@@ -1,0 +1,51 @@
+//! Criterion bench over the Table I codecs: compression and decompression
+//! throughput on a dense synthetic partial bitstream.
+//!
+//! Decompression throughput is the latency-relevant direction for a
+//! reconfiguration controller (it sits on the BRAM→ICAP path); compression
+//! happens offline on a PC (paper §III-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_compress::Algorithm;
+use uparc_fpga::Device;
+
+fn workload(bytes: usize) -> Vec<u8> {
+    let device = Device::xc5vsx50t();
+    let frames = (bytes / device.family().frame_bytes()) as u32;
+    let payload = SynthProfile::dense().generate(&device, 0, frames, 77);
+    PartialBitstream::build(&device, 0, &payload).to_bytes()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = workload(64 * 1024);
+    let mut group = c.benchmark_group("compress-64k");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        let codec = alg.codec();
+        group.bench_with_input(BenchmarkId::from_parameter(alg), &data, |b, data| {
+            b.iter(|| codec.compress(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = workload(64 * 1024);
+    let mut group = c.benchmark_group("decompress-64k");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        let codec = alg.codec();
+        let packed = codec.compress(&data);
+        group.bench_with_input(BenchmarkId::from_parameter(alg), &packed, |b, packed| {
+            b.iter(|| codec.decompress(packed).expect("roundtrip"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench over the Table III controllers: wall-clock cost of one
+//! simulated reconfiguration (the simulator's own speed, complementing the
+//! simulated-time results of the `table3` harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_controllers::adapter::UparcController;
+use uparc_controllers::bram_hwicap::BramHwicap;
+use uparc_controllers::farm::Farm;
+use uparc_controllers::flashcap::FlashCap;
+use uparc_controllers::mst_icap::MstIcap;
+use uparc_controllers::xps_hwicap::XpsHwicap;
+use uparc_controllers::ReconfigController;
+use uparc_fpga::Device;
+
+fn bitstream(device: &Device, bytes: usize) -> PartialBitstream {
+    let frames = (bytes / device.family().frame_bytes()) as u32;
+    let payload = SynthProfile::dense().generate(device, 0, frames, 55);
+    PartialBitstream::build(device, 0, &payload)
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let v5 = Device::xc5vsx50t;
+    let bs = bitstream(&v5(), 100 * 1024);
+    let mut group = c.benchmark_group("reconfigure-100k");
+    group.sample_size(10);
+
+    group.bench_function("xps_hwicap", |b| {
+        b.iter(|| XpsHwicap::new(v5()).reconfigure(&bs).expect("ok"))
+    });
+    group.bench_function("mst_icap", |b| {
+        b.iter(|| MstIcap::new(v5()).reconfigure(&bs).expect("ok"))
+    });
+    group.bench_function("flashcap", |b| {
+        b.iter(|| FlashCap::new(v5()).reconfigure(&bs).expect("ok"))
+    });
+    group.bench_function("bram_hwicap", |b| {
+        b.iter(|| BramHwicap::new(v5()).reconfigure(&bs).expect("ok"))
+    });
+    group.bench_function("farm", |b| {
+        b.iter(|| Farm::new(v5()).reconfigure(&bs).expect("ok"))
+    });
+    group.bench_function("uparc_i", |b| {
+        b.iter(|| {
+            UparcController::uparc_i(v5())
+                .expect("build")
+                .reconfigure(&bs)
+                .expect("ok")
+        })
+    });
+    group.bench_function("uparc_ii", |b| {
+        b.iter(|| {
+            UparcController::uparc_ii(v5())
+                .expect("build")
+                .reconfigure(&bs)
+                .expect("ok")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

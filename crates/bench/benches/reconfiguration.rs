@@ -1,0 +1,57 @@
+//! Criterion bench of the UPaRC fast path: the cycle-stepped UReC transfer
+//! loop (the inner loop of every Fig. 5 data point) and the power-aware
+//! policy planner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_core::policy::{Constraint, PowerAwarePolicy};
+use uparc_core::uparc::{Mode, UParc};
+use uparc_fpga::{Device, Family};
+use uparc_sim::time::{Frequency, SimTime};
+
+fn bench_transfer(c: &mut Criterion) {
+    let device = Device::xc5vsx50t();
+    let mut group = c.benchmark_group("uparc-raw-transfer");
+    group.sample_size(10);
+    for kb in [12usize, 49, 247] {
+        let frames = (kb * 1024 / device.family().frame_bytes()) as u32;
+        let payload = SynthProfile::dense().generate(&device, 0, frames, 66);
+        let bs = PartialBitstream::build(&device, 0, &payload);
+        group.throughput(Throughput::Bytes(bs.size_bytes() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kb), &bs, |b, bs| {
+            b.iter(|| {
+                let mut sys = UParc::builder(device.clone()).build().expect("build");
+                sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).expect("tune");
+                sys.reconfigure_bitstream(bs, Mode::Raw).expect("ok")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let policy = PowerAwarePolicy::paper_setup(Family::Virtex5);
+    let mut group = c.benchmark_group("policy-plan");
+    group.bench_function("deadline", |b| {
+        b.iter(|| {
+            policy
+                .plan(Constraint::Deadline(SimTime::from_us(400)), 216_500)
+                .expect("feasible")
+        })
+    });
+    group.bench_function("power-budget", |b| {
+        b.iter(|| {
+            policy
+                .plan(Constraint::PowerBudget { mw: 300.0 }, 216_500)
+                .expect("feasible")
+        })
+    });
+    group.bench_function("min-energy", |b| {
+        b.iter(|| policy.plan(Constraint::MinEnergy, 216_500).expect("feasible"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer, bench_policy);
+criterion_main!(benches);

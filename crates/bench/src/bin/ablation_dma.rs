@@ -1,0 +1,78 @@
+//! **Ablation: custom burst interface vs vendor DMA** — why UReC beats
+//! FaRM.
+//!
+//! §III-B: prior controllers "re-use DMA module provided by Xilinx which is
+//! very large and does not permit to run at a higher frequency than
+//! 200 MHz. We have totally redesigned the BRAM interface so that
+//! configuration data can be transferred at each clock cycle in burst
+//! mode." This ablation quantifies both halves of that claim on the same
+//! workload:
+//!
+//! 1. *frequency ceiling*: the vendor-DMA design is capped at 200 MHz, the
+//!    custom interface overclocks to 362.5 MHz;
+//! 2. *per-burst overhead*: the vendor DMA pays arbitration cycles per
+//!    burst (≤94% bus efficiency), the custom interface streams one word
+//!    per cycle with no gaps.
+//!
+//! Run with `cargo run --release -p uparc-bench --bin ablation_dma`.
+
+use uparc_bench::Report;
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_controllers::farm::Farm;
+use uparc_controllers::ReconfigController;
+use uparc_core::uparc::{Mode, UParc};
+use uparc_fpga::Device;
+use uparc_sim::time::Frequency;
+
+fn main() {
+    let device = Device::xc5vsx50t();
+    let kb = 120;
+    let frames = (kb * 1024 / device.family().frame_bytes()) as u32;
+    let payload = SynthProfile::dense().generate(&device, 0, frames, 41);
+    let bs = PartialBitstream::build(&device, 0, &payload);
+
+    let mut report = Report::new(
+        "Ablation — data-path design (120 KB bitstream, Virtex-5)",
+        &["Design", "Clock", "BW [MB/s]", "words/cycle", "note"],
+    );
+
+    // Vendor-DMA generation (FaRM is its best representative).
+    let mut farm = Farm::new(device.clone());
+    let rf = farm.reconfigure(&bs).expect("farm");
+    let wpc_farm =
+        rf.bytes as f64 / 4.0 / (rf.elapsed.as_secs_f64() * rf.frequency.as_hz() as f64);
+    report.row(&[
+        "vendor DMA (FaRM)".to_owned(),
+        format!("{:.0} MHz", rf.frequency.as_mhz()),
+        format!("{:.0}", rf.bandwidth_mb_s()),
+        format!("{wpc_farm:.3}"),
+        "timing-capped at 200 MHz".to_owned(),
+    ]);
+
+    // The custom interface at the vendor design's clock: isolates the
+    // per-cycle streaming gain from the overclocking gain.
+    for mhz in [200.0, 300.0, 362.5] {
+        let mut sys = UParc::builder(device.clone()).build().expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("uparc");
+        let wpc =
+            r.bytes as f64 / 4.0 / (r.elapsed().as_secs_f64() * r.frequency.as_hz() as f64);
+        let note = match mhz {
+            200.0 => "same clock as FaRM: the streaming gain alone",
+            300.0 => "max guaranteed BRAM clock",
+            _ => "overclocked custom interface: the full 1.8x over FaRM",
+        };
+        report.row(&[
+            format!("UReC custom @{mhz}"),
+            format!("{mhz:.1} MHz"),
+            format!("{:.0}", r.bandwidth_mb_s()),
+            format!("{wpc:.3}"),
+            note.to_owned(),
+        ]);
+    }
+    report.print();
+    println!("\npaper claim: 1433 MB/s is 1.8x the fastest prior controller (FaRM, 800 MB/s).");
+    println!("area side of the trade: UReC is 26 slices (Table II) versus a vendor DMA of");
+    println!("hundreds of slices — small area is what allows the 362.5 MHz timing closure.");
+}

@@ -1,0 +1,95 @@
+//! `bitinfo` — inspect a `.bit` container: preamble fields, stream
+//! structure, content statistics and per-codec compressibility.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p uparc-bench --bin bitinfo -- <file.bit> [v5|v6]
+//! ```
+//! With no arguments, a demonstration bitstream is generated, written to a
+//! temp file and inspected (so the tool is runnable out of the box).
+
+use uparc_bitstream::bitfile::BitFile;
+use uparc_bitstream::builder::{bytes_to_words, PartialBitstream};
+use uparc_bitstream::parser::StreamInfo;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_compress::{stats, Algorithm, Ratio};
+use uparc_fpga::{Device, Family};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (path, family) = match args.len() {
+        1 => {
+            // Self-demo: generate and dump a bitstream to inspect.
+            let device = Device::xc5vsx50t();
+            let payload = SynthProfile::dense().generate(&device, 300, 500, 99);
+            let bs = PartialBitstream::build(&device, 300, &payload);
+            let path = std::env::temp_dir().join("uparc_bitinfo_demo.bit");
+            std::fs::write(&path, bs.to_bitfile("demo_rp0").to_bytes())
+                .expect("write demo file");
+            println!("(no file given — inspecting a generated demo bitstream)\n");
+            (path.to_string_lossy().into_owned(), Family::Virtex5)
+        }
+        _ => {
+            let family = match args.get(2).map(String::as_str) {
+                Some("v6") => Family::Virtex6,
+                Some("v4") => Family::Virtex4,
+                _ => Family::Virtex5,
+            };
+            (args[1].clone(), family)
+        }
+    };
+
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let file = BitFile::parse(&bytes).unwrap_or_else(|e| {
+        eprintln!("not a .bit container: {e}");
+        std::process::exit(1);
+    });
+
+    println!("file:    {path} ({} bytes)", bytes.len());
+    println!("design:  {}", file.design_name);
+    println!("part:    {}", file.part);
+    println!("built:   {} {}", file.date, file.time);
+    println!("payload: {} bytes of configuration data", file.data.len());
+
+    match bytes_to_words(&file.data).and_then(|w| StreamInfo::scan(family, &w)) {
+        Ok(info) => {
+            println!("\nstream structure ({family}):");
+            println!("  idcode:  {}", info.idcode.map_or("-".into(), |i| format!("{i:#010x}")));
+            println!("  far:     {}", info.far.map_or("-".into(), |f| f.to_string()));
+            println!("  frames:  {} ({} payload words)", info.frames, info.payload_words);
+            println!("  crc:     {}", if info.has_crc { "present" } else { "absent" });
+            println!("  desync:  {}", if info.desynced { "clean trailer" } else { "MISSING" });
+        }
+        Err(e) => println!("\nstream structure: unreadable ({e})"),
+    }
+
+    let s = stats::analyze(&file.data);
+    println!("\ncontent statistics:");
+    println!("  order-0 entropy: {:.2} bits/byte (huffman bound {:.1}% saved)",
+        s.entropy_bits, s.order0_bound_percent());
+    println!("  zero bytes:      {:.1}%", s.zero_fraction * 100.0);
+    println!("  distinct bytes:  {}", s.distinct);
+    println!(
+        "  run mass:        {:.0}% singles, {:.0}% short, {:.0}% medium, {:.0}% long, {:.0}% 64+",
+        s.runs.singles * 100.0,
+        s.runs.short * 100.0,
+        s.runs.medium * 100.0,
+        s.runs.long * 100.0,
+        s.runs.very_long * 100.0
+    );
+
+    println!("\ncompressibility (Table I codecs):");
+    for alg in Algorithm::ALL {
+        let codec = alg.codec();
+        let packed = codec.compress(&file.data);
+        println!(
+            "  {:<11} {:>7} bytes  ({})",
+            alg.to_string(),
+            packed.len(),
+            Ratio::new(file.data.len().max(1), packed.len())
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates the **§V energy-efficiency claim**: xps_hwicap at
+//! ≈30 µJ/KB versus UPaRC at ≈0.66 µJ/KB — "45 times more efficient".
+//!
+//! Same conditions as the paper: a MicroBlaze at 100 MHz, a 216.5 KB
+//! bitstream preloaded in 256 KB of BRAM, xps_hwicap with the unoptimized
+//! driver (≈1.5 MB/s), UPaRC without compression.
+//!
+//! Run with `cargo run --release -p uparc-bench --bin energy45`.
+
+use uparc_bench::{vs_paper, Report};
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_controllers::xps_hwicap::XpsHwicap;
+use uparc_controllers::ReconfigController;
+use uparc_core::uparc::{Mode, UParc};
+use uparc_fpga::Device;
+use uparc_sim::time::Frequency;
+
+fn main() {
+    let device = Device::xc6vlx240t();
+    let bytes = (216.5 * 1024.0) as usize;
+    let frames = (bytes / device.family().frame_bytes()) as u32;
+    let payload = SynthProfile::dense().generate(&device, 0, frames, 17);
+    let bs = PartialBitstream::build(&device, 0, &payload);
+
+    // xps_hwicap, unoptimized driver (the paper's ~1.5 MB/s measurement).
+    let mut xps = XpsHwicap::unoptimized(device.clone());
+    let rx = xps.reconfigure(&bs).expect("xps reconfiguration");
+
+    // UPaRC without compression, swept over the Fig. 7 frequencies.
+    let mut report = Report::new(
+        "§V energy efficiency — 216.5 KB bitstream, MicroBlaze manager @100 MHz",
+        &["Controller", "Throughput", "µJ/KB", "vs paper", "gain over xps"],
+    );
+    report.row(&[
+        "xps_hwicap (unopt)".to_owned(),
+        format!("{:.2} MB/s", rx.bandwidth_mb_s()),
+        format!("{:.1}", rx.uj_per_kb()),
+        vs_paper(rx.uj_per_kb(), 30.0),
+        "1.0x".to_owned(),
+    ]);
+
+    for mhz in [50.0, 100.0, 200.0, 300.0] {
+        let mut sys = UParc::builder(device.clone()).build().expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        let gain = rx.uj_per_kb() / r.uj_per_kb();
+        let vs = if mhz == 50.0 {
+            vs_paper(r.uj_per_kb(), 0.66)
+        } else {
+            format!("{:.2}", r.uj_per_kb())
+        };
+        report.row(&[
+            format!("UPaRC @{mhz} MHz"),
+            format!("{:.0} MB/s", r.bandwidth_mb_s()),
+            format!("{:.2}", r.uj_per_kb()),
+            vs,
+            format!("{gain:.0}x"),
+        ]);
+    }
+    report.print();
+    println!("\npaper claim: UPaRC is 45x more energy-efficient than xps_hwicap");
+    println!("(30 µJ/KB vs 0.66 µJ/KB). The gain grows with frequency because the");
+    println!("actively-waiting manager dominates UPaRC's energy at low clocks (§V).");
+}

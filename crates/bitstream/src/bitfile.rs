@@ -1,0 +1,172 @@
+//! The `.bit` file container.
+//!
+//! Xilinx tools wrap raw configuration data in a small record-oriented
+//! container whose preamble carries the design name, target part, and build
+//! date/time. The Manager parses this preamble during bitstream preloading
+//! (paper §III-A1: "parsing the preamble of the partial bitstream") before
+//! copying the configuration payload into BRAM.
+//!
+//! Layout (big-endian lengths, as in the real format):
+//!
+//! ```text
+//! magic (13 bytes)
+//! 'a' u16 len  design name (NUL-terminated)
+//! 'b' u16 len  part name   (NUL-terminated)
+//! 'c' u16 len  date        (NUL-terminated)
+//! 'd' u16 len  time        (NUL-terminated)
+//! 'e' u32 len  raw configuration bytes
+//! ```
+
+use crate::error::BitstreamError;
+
+/// The fixed 13-byte `.bit` preamble magic.
+pub const MAGIC: [u8; 13] = [
+    0x00, 0x09, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x00, 0x00, 0x01,
+];
+
+/// A parsed (or to-be-written) `.bit` container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFile {
+    /// Design name (field `a`).
+    pub design_name: String,
+    /// Target part (field `b`), e.g. `5vsx50tff1136`.
+    pub part: String,
+    /// Build date (field `c`).
+    pub date: String,
+    /// Build time (field `d`).
+    pub time: String,
+    /// Raw configuration bytes (field `e`) — what goes to the ICAP.
+    pub data: Vec<u8>,
+}
+
+fn push_text(out: &mut Vec<u8>, key: u8, text: &str) {
+    let mut bytes = text.as_bytes().to_vec();
+    bytes.push(0);
+    out.push(key);
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], BitstreamError> {
+    if input.len() < n {
+        return Err(BitstreamError::Truncated);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+fn read_text(input: &mut &[u8], expect_key: u8) -> Result<String, BitstreamError> {
+    let key = take(input, 1)?[0];
+    if key != expect_key {
+        return Err(BitstreamError::UnexpectedField { key });
+    }
+    let len = u16::from_be_bytes(take(input, 2)?.try_into().expect("2 bytes")) as usize;
+    let raw = take(input, len)?;
+    let text = raw.strip_suffix(&[0]).unwrap_or(raw);
+    String::from_utf8(text.to_vec()).map_err(|_| BitstreamError::BadText)
+}
+
+impl BitFile {
+    /// Serialises the container.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() + 128);
+        out.extend_from_slice(&MAGIC);
+        push_text(&mut out, b'a', &self.design_name);
+        push_text(&mut out, b'b', &self.part);
+        push_text(&mut out, b'c', &self.date);
+        push_text(&mut out, b'd', &self.time);
+        out.push(b'e');
+        out.extend_from_slice(&(self.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a container.
+    ///
+    /// # Errors
+    ///
+    /// [`BitstreamError`] on bad magic, truncation, field order or non-UTF-8
+    /// text fields.
+    pub fn parse(mut input: &[u8]) -> Result<Self, BitstreamError> {
+        let magic = take(&mut input, MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(BitstreamError::BadMagic);
+        }
+        let design_name = read_text(&mut input, b'a')?;
+        let part = read_text(&mut input, b'b')?;
+        let date = read_text(&mut input, b'c')?;
+        let time = read_text(&mut input, b'd')?;
+        let key = take(&mut input, 1)?[0];
+        if key != b'e' {
+            return Err(BitstreamError::UnexpectedField { key });
+        }
+        let len = u32::from_be_bytes(take(&mut input, 4)?.try_into().expect("4 bytes")) as usize;
+        let data = take(&mut input, len)?.to_vec();
+        Ok(BitFile { design_name, part, date, time, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BitFile {
+        BitFile {
+            design_name: "fir_filter_rp0.ncd;UserID=0xFFFFFFFF".to_owned(),
+            part: "5vsx50tff1136".to_owned(),
+            date: "2011/09/14".to_owned(),
+            time: "11:35:17".to_owned(),
+            data: (0u32..500).flat_map(|w| w.to_be_bytes()).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let f = sample();
+        let bytes = f.to_bytes();
+        assert_eq!(BitFile::parse(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(BitFile::parse(&bytes), Err(BitstreamError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 5, 13, 14, 20, bytes.len() - 1] {
+            assert!(BitFile::parse(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn field_order_enforced() {
+        let mut bytes = sample().to_bytes();
+        // Overwrite key 'a' with 'b'.
+        bytes[13] = b'b';
+        assert_eq!(
+            BitFile::parse(&bytes),
+            Err(BitstreamError::UnexpectedField { key: b'b' })
+        );
+    }
+
+    #[test]
+    fn non_utf8_text_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[16] = 0xFF; // first byte of design name
+        assert_eq!(BitFile::parse(&bytes), Err(BitstreamError::BadText));
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let mut f = sample();
+        f.data.clear();
+        let bytes = f.to_bytes();
+        assert_eq!(BitFile::parse(&bytes).unwrap(), f);
+    }
+}

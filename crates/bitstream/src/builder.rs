@@ -1,0 +1,226 @@
+//! Composes executable partial bitstreams.
+//!
+//! The builder emits exactly the packet sequence a vendor tool produces for
+//! a partial bitstream: dummy/sync preamble, CRC reset, IDCODE check, WCFG,
+//! the starting frame address, one large type-1+type-2 FDRI write carrying
+//! all frame payloads, a CRC check word and the DESYNC trailer. The result
+//! executes on [`uparc_fpga::Icap`] and is the byte payload that the
+//! compression codecs and BRAM images operate on.
+
+use crate::error::BitstreamError;
+use uparc_fpga::device::Device;
+use uparc_fpga::format::{
+    type1, type2, Command, ConfigCrc, ConfigRegister, Opcode, DUMMY_WORD, NOOP, SYNC_WORD,
+};
+
+/// A fully assembled partial bitstream (word stream + metadata).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialBitstream {
+    words: Vec<u32>,
+    far: u32,
+    frame_count: u32,
+    device_name: &'static str,
+}
+
+impl PartialBitstream {
+    /// Builds a partial bitstream writing `payload` (a whole number of
+    /// frames) starting at frame address `far`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is empty or not a multiple of the family frame
+    /// size, or if the frame range exceeds the device.
+    #[must_use]
+    pub fn build(device: &Device, far: u32, payload: &[u32]) -> Self {
+        let fw = device.family().frame_words();
+        assert!(!payload.is_empty(), "payload must contain at least one frame");
+        assert_eq!(payload.len() % fw, 0, "payload must be whole frames ({fw} words)");
+        let frame_count = (payload.len() / fw) as u32;
+        assert!(
+            far + frame_count <= device.frames(),
+            "frames {far}..{} exceed device ({} frames)",
+            far + frame_count,
+            device.frames()
+        );
+
+        let mut words = Vec::with_capacity(payload.len() + 24);
+        let mut crc = ConfigCrc::new();
+        let reg_write = |words: &mut Vec<u32>, crc: &mut ConfigCrc, reg, value| {
+            words.push(type1(Opcode::Write, reg, 1));
+            words.push(value);
+            crc.update(reg, value);
+        };
+
+        words.push(DUMMY_WORD);
+        words.push(SYNC_WORD);
+        words.push(NOOP);
+        reg_write(&mut words, &mut crc, ConfigRegister::Cmd, Command::Rcrc as u32);
+        crc.reset();
+        words.push(NOOP);
+        reg_write(&mut words, &mut crc, ConfigRegister::Idcode, device.idcode());
+        reg_write(&mut words, &mut crc, ConfigRegister::Cmd, Command::Wcfg as u32);
+        reg_write(&mut words, &mut crc, ConfigRegister::Far, far);
+        words.push(type1(Opcode::Write, ConfigRegister::Fdri, 0));
+        words.push(type2(Opcode::Write, payload.len() as u32));
+        for &w in payload {
+            words.push(w);
+            crc.update(ConfigRegister::Fdri, w);
+        }
+        words.push(type1(Opcode::Write, ConfigRegister::Crc, 1));
+        words.push(crc.value());
+        reg_write(&mut words, &mut crc, ConfigRegister::Cmd, Command::Desync as u32);
+        words.push(NOOP);
+
+        PartialBitstream { words, far, frame_count, device_name: device.name() }
+    }
+
+    /// The executable word stream.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Consumes the bitstream, returning the word stream.
+    #[must_use]
+    pub fn into_words(self) -> Vec<u32> {
+        self.words
+    }
+
+    /// Starting frame address.
+    #[must_use]
+    pub fn far(&self) -> u32 {
+        self.far
+    }
+
+    /// Number of frames written.
+    #[must_use]
+    pub fn frame_count(&self) -> u32 {
+        self.frame_count
+    }
+
+    /// Total size in bytes (the number the paper's bandwidth figures use).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Serialises to big-endian bytes (the on-disk/.bit byte order).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        words_to_bytes(&self.words)
+    }
+
+    /// Wraps the stream in a `.bit` container with the given design name.
+    #[must_use]
+    pub fn to_bitfile(&self, design_name: &str) -> crate::bitfile::BitFile {
+        crate::bitfile::BitFile {
+            design_name: design_name.to_owned(),
+            part: self.device_name.to_lowercase(),
+            date: "2011/09/14".to_owned(),
+            time: "11:35:17".to_owned(),
+            data: self.to_bytes(),
+        }
+    }
+}
+
+/// Serialises configuration words to big-endian bytes.
+#[must_use]
+pub fn words_to_bytes(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for &w in words {
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+    out
+}
+
+/// Parses big-endian bytes back into configuration words.
+///
+/// # Errors
+///
+/// [`BitstreamError::Truncated`] if `bytes` is not a multiple of 4.
+pub fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u32>, BitstreamError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(BitstreamError::Truncated);
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uparc_fpga::Icap;
+
+    fn payload(device: &Device, frames: u32, fill: u32) -> Vec<u32> {
+        vec![fill; device.family().frame_words() * frames as usize]
+    }
+
+    #[test]
+    fn built_stream_executes_on_icap() {
+        let device = Device::xc5vsx50t();
+        let bs = PartialBitstream::build(&device, 200, &payload(&device, 5, 0xA5A5_5A5A));
+        let mut icap = Icap::new(device);
+        icap.write_words(bs.words()).unwrap();
+        assert_eq!(icap.frames_committed(), 5);
+        let frame = icap.config_memory().read_frame(202).unwrap();
+        assert!(frame.iter().all(|&w| w == 0xA5A5_5A5A));
+    }
+
+    #[test]
+    fn size_overhead_is_small_and_fixed() {
+        let device = Device::xc5vsx50t();
+        let bs1 = PartialBitstream::build(&device, 0, &payload(&device, 1, 0));
+        let bs100 = PartialBitstream::build(&device, 0, &payload(&device, 100, 0));
+        let fw = device.family().frame_words();
+        let overhead1 = bs1.words().len() - fw;
+        let overhead100 = bs100.words().len() - 100 * fw;
+        assert_eq!(overhead1, overhead100, "overhead is size-independent");
+        assert!(overhead1 < 32, "overhead {overhead1} words");
+    }
+
+    #[test]
+    fn byte_serialisation_round_trips() {
+        let device = Device::xc5vsx50t();
+        let bs = PartialBitstream::build(&device, 10, &payload(&device, 3, 0x1234_5678));
+        let bytes = bs.to_bytes();
+        assert_eq!(bytes.len(), bs.size_bytes());
+        assert_eq!(bytes_to_words(&bytes).unwrap(), bs.words());
+        assert!(bytes_to_words(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn bitfile_wrapping_preserves_payload() {
+        let device = Device::xc6vlx240t();
+        let bs = PartialBitstream::build(&device, 99, &payload(&device, 2, 7));
+        let bf = bs.to_bitfile("demo_rp1");
+        let parsed = crate::bitfile::BitFile::parse(&bf.to_bytes()).unwrap();
+        assert_eq!(parsed.design_name, "demo_rp1");
+        assert_eq!(parsed.part, "xc6vlx240t");
+        assert_eq!(bytes_to_words(&parsed.data).unwrap(), bs.words());
+    }
+
+    #[test]
+    fn wrong_device_stream_fails_on_other_icap() {
+        let v5 = Device::xc5vsx50t();
+        let bs = PartialBitstream::build(&v5, 0, &payload(&v5, 1, 0));
+        let mut icap = Icap::new(Device::xc6vlx240t());
+        assert!(icap.write_words(bs.words()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole frames")]
+    fn ragged_payload_rejected() {
+        let device = Device::xc5vsx50t();
+        let _ = PartialBitstream::build(&device, 0, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed device")]
+    fn overflowing_frame_range_rejected() {
+        let device = Device::xc5vsx50t();
+        let far = device.frames() - 1;
+        let _ = PartialBitstream::build(&device, far, &payload(&device, 2, 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for bitstream parsing and construction.
+
+/// Errors raised when parsing or building bitstream containers/streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitstreamError {
+    /// The `.bit` container magic was not found.
+    BadMagic,
+    /// The container or stream ended early.
+    Truncated,
+    /// An unexpected record key in the `.bit` container.
+    UnexpectedField {
+        /// The key byte found.
+        key: u8,
+    },
+    /// A text field was not valid UTF-8.
+    BadText,
+    /// The configuration stream has no sync word.
+    NoSync,
+    /// A structural problem in the configuration stream.
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A BRAM image mode word was inconsistent with the payload.
+    BadModeWord {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl BitstreamError {
+    /// Convenience constructor for [`BitstreamError::Malformed`].
+    #[must_use]
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        BitstreamError::Malformed { detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::BadMagic => write!(f, "not a .bit container (bad magic)"),
+            BitstreamError::Truncated => write!(f, "bitstream truncated"),
+            BitstreamError::UnexpectedField { key } => {
+                write!(f, "unexpected .bit field key {key:#04x}")
+            }
+            BitstreamError::BadText => write!(f, "text field is not valid utf-8"),
+            BitstreamError::NoSync => write!(f, "no sync word in configuration stream"),
+            BitstreamError::Malformed { detail } => write!(f, "malformed stream: {detail}"),
+            BitstreamError::BadModeWord { detail } => write!(f, "bad mode word: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BitstreamError::BadMagic.to_string().contains("magic"));
+        assert!(BitstreamError::malformed("x").to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitstreamError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! # uparc-bitstream — configuration bitstream construction and parsing
+//!
+//! Everything the UPaRC system does starts from a partial bitstream. This
+//! crate provides:
+//!
+//! * [`bitfile`] — the `.bit` container with its textual preamble (design
+//!   name, part, date, time), which the Manager parses during preloading
+//!   (paper §III-A1).
+//! * [`builder`] — composes raw configuration word streams (sync, IDCODE,
+//!   FAR/FDRI packets, CRC, DESYNC) that the ICAP model executes.
+//! * [`parser`] — a non-executing structural parser: extracts the device
+//!   IDCODE, target frames and payload size (what a controller needs to
+//!   know *before* pushing the stream).
+//! * [`synth`] — a calibrated synthetic generator of dense partial-bitstream
+//!   content, the workload generator behind Table I, Fig. 5 and Fig. 7.
+//! * [`bramimg`] — the BRAM image layout of Fig. 3: a `size|mode` word
+//!   followed by the configuration payload.
+//!
+//! # Example
+//!
+//! ```
+//! use uparc_bitstream::builder::PartialBitstream;
+//! use uparc_bitstream::synth::SynthProfile;
+//! use uparc_fpga::{Device, Icap};
+//!
+//! let device = Device::xc5vsx50t();
+//! // A dense 40-frame partial bitstream for frames 100..140.
+//! let frames = SynthProfile::dense().generate(&device, 100, 40, 7);
+//! let bs = PartialBitstream::build(&device, 100, &frames);
+//! let mut icap = Icap::new(device);
+//! icap.write_words(bs.words())?;
+//! assert_eq!(icap.frames_committed(), 40);
+//! # Ok::<(), uparc_fpga::FpgaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitfile;
+pub mod bramimg;
+pub mod builder;
+pub mod error;
+pub mod parser;
+pub mod synth;
+
+pub use bitfile::BitFile;
+pub use bramimg::{BramImage, ModeWord};
+pub use builder::PartialBitstream;
+pub use error::BitstreamError;
+pub use parser::StreamInfo;
+pub use synth::SynthProfile;

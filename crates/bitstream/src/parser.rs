@@ -1,0 +1,179 @@
+//! Non-executing structural analysis of configuration streams.
+//!
+//! Controllers (and the Manager during preloading) need to know a stream's
+//! target device, frame range and payload size *without* pushing it through
+//! the ICAP. [`StreamInfo::scan`] walks the packet structure and reports it.
+
+use crate::error::BitstreamError;
+use uparc_fpga::family::Family;
+use uparc_fpga::format::{decode, Command, ConfigRegister, Opcode, Packet, SYNC_WORD};
+
+/// Structural summary of a configuration word stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// IDCODE the stream asserts (if any).
+    pub idcode: Option<u32>,
+    /// First frame address written.
+    pub far: Option<u32>,
+    /// Total FDRI payload words.
+    pub payload_words: u64,
+    /// Whole frames the payload covers for the given family.
+    pub frames: u32,
+    /// Whether a CRC check word is present.
+    pub has_crc: bool,
+    /// Whether the stream ends with DESYNC.
+    pub desynced: bool,
+    /// Total stream length in words.
+    pub total_words: usize,
+}
+
+impl StreamInfo {
+    /// Scans `words` for family `family`.
+    ///
+    /// # Errors
+    ///
+    /// [`BitstreamError::NoSync`] if no sync word is found;
+    /// [`BitstreamError::Malformed`] on undecodable packets or a ragged
+    /// FDRI payload.
+    pub fn scan(family: Family, words: &[u32]) -> Result<Self, BitstreamError> {
+        let sync_pos = words
+            .iter()
+            .position(|&w| w == SYNC_WORD)
+            .ok_or(BitstreamError::NoSync)?;
+        let mut info = StreamInfo {
+            idcode: None,
+            far: None,
+            payload_words: 0,
+            frames: 0,
+            has_crc: false,
+            desynced: false,
+            total_words: words.len(),
+        };
+        let mut i = sync_pos + 1;
+        let mut last_reg: Option<ConfigRegister> = None;
+        while i < words.len() && !info.desynced {
+            let word = words[i];
+            i += 1;
+            let packet = decode(word)
+                .map_err(|e| BitstreamError::malformed(format!("at word {i}: {e}")))?;
+            let (reg, count) = match packet {
+                None => continue, // NOOP
+                Some(Packet::Type1 { op, reg, count }) => {
+                    last_reg = Some(reg);
+                    if !matches!(op, Opcode::Write) {
+                        continue;
+                    }
+                    (reg, u64::from(count))
+                }
+                Some(Packet::Type2 { op, count }) => {
+                    let reg = last_reg
+                        .ok_or_else(|| BitstreamError::malformed("type-2 without type-1"))?;
+                    if !matches!(op, Opcode::Write) {
+                        continue;
+                    }
+                    (reg, u64::from(count))
+                }
+            };
+            let payload_end = i + count as usize;
+            if payload_end > words.len() {
+                return Err(BitstreamError::Truncated);
+            }
+            match reg {
+                ConfigRegister::Fdri => info.payload_words += count,
+                ConfigRegister::Idcode => info.idcode = words[i..payload_end].last().copied(),
+                ConfigRegister::Far
+                    if info.far.is_none() => {
+                        info.far = words[i..payload_end].last().copied();
+                    }
+                ConfigRegister::Crc => info.has_crc = true,
+                ConfigRegister::Cmd
+                    if words[i..payload_end]
+                        .iter()
+                        .any(|&w| Command::from_value(w) == Some(Command::Desync))
+                    => {
+                        info.desynced = true;
+                    }
+                _ => {}
+            }
+            i = payload_end;
+        }
+        let fw = family.frame_words() as u64;
+        if !info.payload_words.is_multiple_of(fw) {
+            return Err(BitstreamError::malformed(format!(
+                "payload of {} words is not whole {fw}-word frames",
+                info.payload_words
+            )));
+        }
+        info.frames = (info.payload_words / fw) as u32;
+        Ok(info)
+    }
+
+    /// Payload size in bytes.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_words * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PartialBitstream;
+    use uparc_fpga::Device;
+
+    #[test]
+    fn scan_reports_builder_metadata() {
+        let device = Device::xc5vsx50t();
+        let fw = device.family().frame_words();
+        let payload = vec![3u32; fw * 7];
+        let bs = PartialBitstream::build(&device, 123, &payload);
+        let info = StreamInfo::scan(device.family(), bs.words()).unwrap();
+        assert_eq!(info.idcode, Some(device.idcode()));
+        assert_eq!(info.far, Some(123));
+        assert_eq!(info.frames, 7);
+        assert_eq!(info.payload_words, (fw * 7) as u64);
+        assert!(info.has_crc);
+        assert!(info.desynced);
+        assert_eq!(info.total_words, bs.words().len());
+    }
+
+    #[test]
+    fn missing_sync_detected() {
+        assert_eq!(
+            StreamInfo::scan(Family::Virtex5, &[0xFFFF_FFFF, 0x2000_0000]),
+            Err(BitstreamError::NoSync)
+        );
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let device = Device::xc5vsx50t();
+        let fw = device.family().frame_words();
+        let bs = PartialBitstream::build(&device, 0, &vec![0u32; fw]);
+        let words = bs.words();
+        // Cut in the middle of the FDRI payload.
+        assert_eq!(
+            StreamInfo::scan(device.family(), &words[..words.len() - 30]),
+            Err(BitstreamError::Truncated)
+        );
+    }
+
+    #[test]
+    fn ragged_frame_payload_detected() {
+        // A V5 stream scanned as V6 (81-word frames) has a ragged payload.
+        let device = Device::xc5vsx50t();
+        let bs = PartialBitstream::build(&device, 0, &[0u32; 41]);
+        assert!(matches!(
+            StreamInfo::scan(Family::Virtex6, bs.words()),
+            Err(BitstreamError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_bytes_scales() {
+        let device = Device::xc5vsx50t();
+        let bs = PartialBitstream::build(&device, 0, &vec![0u32; 41 * 10]);
+        let info = StreamInfo::scan(device.family(), bs.words()).unwrap();
+        assert_eq!(info.payload_bytes(), 41 * 10 * 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Bit-level I/O shared by the codecs (MSB-first within each byte).
+
+use crate::CodecError;
+
+/// Writes bits MSB-first into a growing byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use uparc_compress::bitio::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFF, 8);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bits(8)?, 0xFF);
+/// # Ok::<(), uparc_compress::CodecError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits accumulated in `cur` (0..8).
+    nbits: u32,
+    cur: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | u8::from(bit);
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.bytes.push(self.cur);
+            self.cur = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends the low `n` bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        assert!(n <= 32, "at most 32 bits per call");
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.cur <<= 8 - self.nbits;
+            self.bytes.push(self.cur);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit index.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Remaining bits.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.bytes.get(self.pos / 8).ok_or(CodecError::Truncated)?;
+        let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits MSB-first into the low bits of the result.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u32, CodecError> {
+        assert!(n <= 32, "at most 32 bits per call");
+        if self.remaining() < n as usize {
+            return Err(CodecError::Truncated);
+        }
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(self.read_bit()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        let values = [(0u32, 1u32), (7, 3), (0xABCD, 16), (1, 1), (0xFFFF_FFFF, 32), (5, 11)];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "{v}:{n}");
+        }
+    }
+
+    #[test]
+    fn reading_past_end_is_truncated() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010, 4);
+        let bytes = w.finish(); // padded to 8 bits
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1010_0000);
+        assert_eq!(r.read_bit(), Err(CodecError::Truncated));
+        assert_eq!(r.read_bits(4), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let bytes = [0xFF, 0x00];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.remaining(), 11);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_bit_sequences_round_trip(
+            values in proptest::collection::vec((any::<u32>(), 1u32..33), 0..200),
+        ) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                w.write_bits(v, n);
+            }
+            let total: usize = values.iter().map(|&(_, n)| n as usize).sum();
+            prop_assert_eq!(w.bit_len(), total);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &values {
+                let mask = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+                prop_assert_eq!(r.read_bits(n)?, v & mask);
+            }
+            // Padding only: remaining bits < 8 and all zero.
+            prop_assert!(r.remaining() < 8);
+            while r.remaining() > 0 {
+                prop_assert!(!r.read_bit()?);
+            }
+        }
+    }
+}

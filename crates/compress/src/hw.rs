@@ -1,0 +1,199 @@
+//! Hardware decompressor timing models.
+//!
+//! The software codecs in this crate compute *what* comes out of a
+//! decompressor; this module models *how fast* the corresponding hardware
+//! block delivers it: sustained output rate in 32-bit words per cycle, the
+//! data-path width, and the block's maximum clock — the quantities behind
+//! Table III's compressed-mode rows.
+//!
+//! Reference points from the paper:
+//! * UPaRC's X-MatchPRO decompressor: 64-bit path, 2 words/cycle, 126 MHz
+//!   maximum ⇒ 1.008 GB/s output (§IV).
+//! * FlashCAP's X-MatchPRO: 32-bit integration limited to 120 MHz and ~0.75
+//!   words/cycle ⇒ 358 MB/s (Table III).
+//! * FaRM's RLE: one word per cycle at the system clock (≤200 MHz).
+
+use crate::Algorithm;
+use uparc_sim::time::{Frequency, SimTime};
+
+/// Timing/geometry model of a hardware decompressor block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwDecompressor {
+    algorithm: Algorithm,
+    /// Sustained output rate in 32-bit words per clock cycle.
+    words_per_cycle: f64,
+    /// Output data-path width in bits.
+    data_path_bits: u32,
+    /// Maximum clock the block closes timing at.
+    max_frequency: Frequency,
+    /// Slices the block occupies (Table II: 1035 on V5 / 900 on V6 for the
+    /// UPaRC X-MatchPRO block; stored here for system-level accounting).
+    slices_v5: u32,
+}
+
+impl HwDecompressor {
+    /// UPaRC's X-MatchPRO decompressor: 2 words/cycle on a 64-bit path at up
+    /// to 126 MHz (paper §IV) — "more than 1 GB/s" decompression bandwidth.
+    #[must_use]
+    pub fn uparc_xmatchpro() -> Self {
+        HwDecompressor {
+            algorithm: Algorithm::XMatchPro,
+            words_per_cycle: 2.0,
+            data_path_bits: 64,
+            max_frequency: Frequency::from_mhz(126.0),
+            slices_v5: 1035,
+        }
+    }
+
+    /// FlashCAP's X-MatchPRO integration \[11\]: 32-bit path, limited to
+    /// 120 MHz, ~0.75 words/cycle sustained ⇒ ≈358 MB/s.
+    #[must_use]
+    pub fn flashcap_xmatchpro() -> Self {
+        HwDecompressor {
+            algorithm: Algorithm::XMatchPro,
+            words_per_cycle: 0.746,
+            data_path_bits: 32,
+            max_frequency: Frequency::from_mhz(120.0),
+            slices_v5: 1100,
+        }
+    }
+
+    /// FaRM's RLE decoder \[10\]: one word per cycle at the system clock.
+    #[must_use]
+    pub fn farm_rle() -> Self {
+        HwDecompressor {
+            algorithm: Algorithm::Rle,
+            words_per_cycle: 1.0,
+            data_path_bits: 32,
+            max_frequency: Frequency::from_mhz(200.0),
+            slices_v5: 150,
+        }
+    }
+
+    /// A hypothetical hardware Huffman decoder (one symbol/cycle class) —
+    /// used by the paper's future-work scenario of swapping decompressors at
+    /// run time.
+    #[must_use]
+    pub fn huffman() -> Self {
+        HwDecompressor {
+            algorithm: Algorithm::Huffman,
+            words_per_cycle: 0.25, // bit-serial symbol decoding
+            data_path_bits: 32,
+            max_frequency: Frequency::from_mhz(150.0),
+            slices_v5: 420,
+        }
+    }
+
+    /// A hypothetical hardware LZ77 decoder (copy engine + window RAM).
+    #[must_use]
+    pub fn lz77() -> Self {
+        HwDecompressor {
+            algorithm: Algorithm::Lz77,
+            words_per_cycle: 1.0,
+            data_path_bits: 32,
+            max_frequency: Frequency::from_mhz(180.0),
+            slices_v5: 520,
+        }
+    }
+
+    /// The algorithm this block decodes.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Sustained output rate in words per cycle.
+    #[must_use]
+    pub fn words_per_cycle(&self) -> f64 {
+        self.words_per_cycle
+    }
+
+    /// Output data-path width in bits.
+    #[must_use]
+    pub fn data_path_bits(&self) -> u32 {
+        self.data_path_bits
+    }
+
+    /// Maximum clock of the block.
+    #[must_use]
+    pub fn max_frequency(&self) -> Frequency {
+        self.max_frequency
+    }
+
+    /// Occupied Virtex-5 slices.
+    #[must_use]
+    pub fn slices_v5(&self) -> u32 {
+        self.slices_v5
+    }
+
+    /// Output bandwidth in bytes/second at clock `f` (capped at the block's
+    /// maximum frequency).
+    #[must_use]
+    pub fn output_bandwidth(&self, f: Frequency) -> f64 {
+        let f = f.min(self.max_frequency);
+        self.words_per_cycle * 4.0 * f.as_hz() as f64
+    }
+
+    /// Cycles needed to emit `words` output words.
+    #[must_use]
+    pub fn cycles_for_words(&self, words: u64) -> u64 {
+        (words as f64 / self.words_per_cycle).ceil() as u64
+    }
+
+    /// Time to decompress a payload of `output_bytes` at clock `f`.
+    #[must_use]
+    pub fn decompression_time(&self, output_bytes: usize, f: Frequency) -> SimTime {
+        let f = f.min(self.max_frequency);
+        let words = (output_bytes as u64).div_ceil(4);
+        f.time_of_cycles(self.cycles_for_words(words))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uparc_decompressor_exceeds_1_gb_per_s() {
+        // §IV: "a high decompression bandwidth (more than 1 GB/s)".
+        let hw = HwDecompressor::uparc_xmatchpro();
+        let bw = hw.output_bandwidth(hw.max_frequency());
+        assert!((bw - 1.008e9).abs() < 1e6, "{bw}");
+    }
+
+    #[test]
+    fn flashcap_lands_at_358_mb_per_s() {
+        let hw = HwDecompressor::flashcap_xmatchpro();
+        let bw = hw.output_bandwidth(Frequency::from_mhz(120.0));
+        assert!((bw / 1e6 - 358.0).abs() < 1.0, "{bw}");
+    }
+
+    #[test]
+    fn farm_rle_matches_system_clock() {
+        let hw = HwDecompressor::farm_rle();
+        assert!((hw.output_bandwidth(Frequency::from_mhz(200.0)) - 800e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_caps_at_max_frequency() {
+        let hw = HwDecompressor::uparc_xmatchpro();
+        let at_max = hw.output_bandwidth(hw.max_frequency());
+        let beyond = hw.output_bandwidth(Frequency::from_mhz(300.0));
+        assert!((at_max - beyond).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decompression_time_scales_inversely_with_clock() {
+        let hw = HwDecompressor::farm_rle();
+        let t100 = hw.decompression_time(1 << 20, Frequency::from_mhz(100.0));
+        let t200 = hw.decompression_time(1 << 20, Frequency::from_mhz(200.0));
+        assert_eq!(t100.as_fs(), t200.as_fs() * 2);
+    }
+
+    #[test]
+    fn cycles_for_words_rounds_up() {
+        let hw = HwDecompressor::uparc_xmatchpro(); // 2 words/cycle
+        assert_eq!(hw.cycles_for_words(10), 5);
+        assert_eq!(hw.cycles_for_words(11), 6);
+    }
+}

@@ -1,0 +1,216 @@
+//! LZ78 with a growing phrase dictionary.
+//!
+//! Unlike LZ77's sliding window, LZ78 accumulates phrases over the *whole*
+//! stream, so the frame-to-frame redundancy of a configuration bitstream is
+//! reachable regardless of distance — the reason LZ78 (75.6% saved) beats
+//! both LZ77 and X-MatchPRO in Table I.
+//!
+//! Stream format: `u32-LE original length`, then tokens
+//! `index (k bits, k = ⌈log₂(dict size + 1)⌉) | has-byte flag | byte?`.
+//! Only the final token may omit the byte. The dictionary resets when full.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Codec, CodecError};
+use std::collections::HashMap;
+
+/// Dictionary capacity before reset (entries, including the empty root).
+pub const DICT_CAPACITY: usize = 65_536;
+
+/// LZ78 codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lz78;
+
+impl Lz78 {
+    /// Creates the codec.
+    #[must_use]
+    pub fn new() -> Self {
+        Lz78
+    }
+}
+
+fn index_bits(dict_len: usize) -> u32 {
+    // Enough bits to address any current entry (indices 0..dict_len).
+    usize::BITS - (dict_len - 1).leading_zeros()
+}
+
+impl Codec for Lz78 {
+    fn name(&self) -> &'static str {
+        "LZ78"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        let mut w = BitWriter::new();
+        // Entry 0 is the empty phrase; map (parent, byte) -> index.
+        let mut dict: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut next_index = 1u32;
+        let mut cur = 0u32; // current phrase index (0 = empty)
+        for &b in input {
+            if let Some(&idx) = dict.get(&(cur, b)) {
+                cur = idx;
+                continue;
+            }
+            // Emit (cur, b), add the extended phrase.
+            w.write_bits(cur, index_bits(next_index as usize));
+            w.write_bit(true);
+            w.write_bits(u32::from(b), 8);
+            dict.insert((cur, b), next_index);
+            next_index += 1;
+            cur = 0;
+            if next_index as usize >= DICT_CAPACITY {
+                dict.clear();
+                next_index = 1;
+            }
+        }
+        if cur != 0 {
+            // Pending phrase at EOF: index-only token.
+            w.write_bits(cur, index_bits(next_index as usize));
+            w.write_bit(false);
+        }
+        out.extend_from_slice(&w.finish());
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if input.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let n = u32::from_le_bytes(input[0..4].try_into().expect("4 bytes")) as usize;
+        let mut r = BitReader::new(&input[4..]);
+        let mut out = Vec::with_capacity(n);
+        // Mirror dictionary: entry -> (parent, byte).
+        let mut entries: Vec<(u32, u8)> = vec![(0, 0)]; // index 0 = empty
+        let mut phrase = Vec::new();
+        while out.len() < n {
+            let idx = r.read_bits(index_bits(entries.len()))?;
+            if idx as usize >= entries.len() {
+                return Err(CodecError::corrupt(format!("index {idx} out of dictionary")));
+            }
+            // Materialise the phrase by walking parents.
+            phrase.clear();
+            let mut walk = idx;
+            while walk != 0 {
+                let (parent, byte) = entries[walk as usize];
+                phrase.push(byte);
+                walk = parent;
+            }
+            phrase.reverse();
+            let has_byte = r.read_bit()?;
+            if has_byte {
+                let b = r.read_bits(8)? as u8;
+                phrase.push(b);
+                entries.push((idx, b));
+                if entries.len() >= DICT_CAPACITY {
+                    entries.truncate(1);
+                }
+            }
+            if out.len() + phrase.len() > n {
+                return Err(CodecError::corrupt("phrase overruns output"));
+            }
+            out.extend_from_slice(&phrase);
+            if !has_byte && out.len() < n {
+                return Err(CodecError::corrupt("index-only token before end"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let codec = Lz78::new();
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn basic_round_trips() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"aaaaaaa"); // exercises the EOF index-only token
+        roundtrip(b"TOBEORNOTTOBEORTOBEORNOT");
+        roundtrip(&b"abcabcabc".repeat(500));
+    }
+
+    #[test]
+    fn long_range_redundancy_is_captured() {
+        // Identical 2 KB blocks separated by 8 KB: LZ78's dictionary
+        // persists across the gap (unlike a 1 KB LZ77 window).
+        let mut rng_state = 7u64;
+        let mut noise = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (rng_state >> 33) as u8 % 16 // mildly structured noise
+                })
+                .collect()
+        };
+        let block = noise(2048);
+        let mut data = block.clone();
+        data.extend(noise(8192));
+        data.extend(&block);
+        let codec = Lz78::new();
+        let packed = codec.compress(&data);
+        assert!(packed.len() < data.len());
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn dictionary_reset_round_trips() {
+        // >64k distinct phrases force at least one reset.
+        let mut data = Vec::new();
+        for i in 0u32..300_000 {
+            data.extend_from_slice(&i.to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn index_bits_grows_with_dictionary() {
+        assert_eq!(index_bits(1), 0); // only the empty phrase: no bits needed
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(4), 2);
+        assert_eq!(index_bits(5), 3);
+        assert_eq!(index_bits(65_536), 16);
+    }
+
+    #[test]
+    fn corrupt_index_detected() {
+        let codec = Lz78::new();
+        // n=10 but first token references a nonexistent entry: with an empty
+        // dictionary index_bits(1)=0 so the first index is always 0 — craft
+        // a second token with an out-of-range index instead.
+        let data = b"ab".to_vec();
+        let mut packed = codec.compress(&data);
+        // Flip bits in the payload until decoding fails or differs.
+        let mut corrupted_detected = false;
+        for i in 4..packed.len() {
+            for bit in 0..8 {
+                packed[i] ^= 1 << bit;
+                match codec.decompress(&packed) {
+                    Err(_) => corrupted_detected = true,
+                    Ok(out) => {
+                        if out != data {
+                            corrupted_detected = true;
+                        }
+                    }
+                }
+                packed[i] ^= 1 << bit;
+            }
+        }
+        assert!(corrupted_detected);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let codec = Lz78::new();
+        let packed = codec.compress(&b"hello world hello world".repeat(20));
+        assert!(codec.decompress(&packed[..5]).is_err());
+        assert_eq!(codec.decompress(&[0, 1]), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,400 @@
+//! "7-zip": large-window LZ with an adaptive binary range coder — a
+//! from-scratch LZMA-like codec (Table I row "7-zip", 81.9% saved).
+//!
+//! Three ingredients give it the best ratio of the seven:
+//! * a 1 MB match window (the whole partial bitstream is usually in reach),
+//! * context-modeled literals (order-1: the previous byte selects the
+//!   probability tree), and
+//! * adaptive probabilities — the model learns the bitstream's structure as
+//!   it goes, instead of the two-pass static tables of the Zip codec.
+//!
+//! Stream format: `u32-LE original length`, then the range-coded token
+//! stream (is-match bit, order-1 literal trees, 8-bit length tree,
+//! slot + direct-bit distances).
+
+use crate::lz77::{Lz77, Token, MIN_MATCH};
+use crate::{Codec, CodecError};
+
+const PROB_BITS: u32 = 11;
+const PROB_INIT: u16 = 1 << (PROB_BITS - 1); // p = 0.5
+const MOVE_BITS: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// LZMA-style carry-propagating range encoder.
+#[derive(Debug)]
+struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl RangeEncoder {
+    fn new() -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+    }
+
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    fn encode_bit(&mut self, prob: &mut u16, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * u32::from(*prob);
+        if bit {
+            self.low += u64::from(bound);
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+        } else {
+            self.range = bound;
+            *prob += ((1 << PROB_BITS) - *prob) >> MOVE_BITS;
+        }
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    fn encode_direct(&mut self, value: u32, nbits: u32) {
+        for i in (0..nbits).rev() {
+            self.range >>= 1;
+            if (value >> i) & 1 == 1 {
+                self.low += u64::from(self.range);
+            }
+            while self.range < TOP {
+                self.shift_low();
+                self.range <<= 8;
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Matching range decoder.
+#[derive(Debug)]
+struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    fn new(input: &'a [u8]) -> Result<Self, CodecError> {
+        if input.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        let mut d = RangeDecoder { code: 0, range: u32::MAX, input, pos: 1 };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | u32::from(d.next_byte()?);
+        }
+        Ok(d)
+    }
+
+    fn next_byte(&mut self) -> Result<u8, CodecError> {
+        let b = self.input.get(self.pos).copied().ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn decode_bit(&mut self, prob: &mut u16) -> Result<bool, CodecError> {
+        let bound = (self.range >> PROB_BITS) * u32::from(*prob);
+        let bit = if self.code < bound {
+            self.range = bound;
+            *prob += ((1 << PROB_BITS) - *prob) >> MOVE_BITS;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+            true
+        };
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | u32::from(self.next_byte()?);
+        }
+        Ok(bit)
+    }
+
+    fn decode_direct(&mut self, nbits: u32) -> Result<u32, CodecError> {
+        let mut v = 0u32;
+        for _ in 0..nbits {
+            self.range >>= 1;
+            let bit = self.code >= self.range;
+            if bit {
+                self.code -= self.range;
+            }
+            v = (v << 1) | u32::from(bit);
+            while self.range < TOP {
+                self.range <<= 8;
+                self.code = (self.code << 8) | u32::from(self.next_byte()?);
+            }
+        }
+        Ok(v)
+    }
+}
+
+/// An `N`-bit bit-tree probability model (values 0..2^N).
+#[derive(Debug, Clone)]
+struct BitTree {
+    probs: Vec<u16>,
+    nbits: u32,
+}
+
+impl BitTree {
+    fn new(nbits: u32) -> Self {
+        BitTree { probs: vec![PROB_INIT; 1 << nbits], nbits }
+    }
+
+    fn encode(&mut self, enc: &mut RangeEncoder, value: u32) {
+        let mut m = 1usize;
+        for i in (0..self.nbits).rev() {
+            let bit = (value >> i) & 1 == 1;
+            enc.encode_bit(&mut self.probs[m], bit);
+            m = (m << 1) | usize::from(bit);
+        }
+    }
+
+    fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> Result<u32, CodecError> {
+        let mut m = 1usize;
+        for _ in 0..self.nbits {
+            let bit = dec.decode_bit(&mut self.probs[m])?;
+            m = (m << 1) | usize::from(bit);
+        }
+        Ok(m as u32 - (1 << self.nbits))
+    }
+}
+
+/// The adaptive model shared (structurally) by encoder and decoder.
+#[derive(Debug)]
+struct Model {
+    /// is-match probability, contexted by whether the previous token matched.
+    is_match: [u16; 2],
+    /// Order-1 literal trees: previous byte selects the tree.
+    literals: Vec<BitTree>,
+    /// Match length tree (8 bits, length − 3).
+    length: BitTree,
+    /// Distance slot tree (5 bits: bit-length of the distance).
+    dist_slot: BitTree,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            is_match: [PROB_INIT; 2],
+            literals: (0..256).map(|_| BitTree::new(8)).collect(),
+            length: BitTree::new(8),
+            dist_slot: BitTree::new(5),
+        }
+    }
+}
+
+/// LZMA-like codec ("7-zip" in Table I).
+#[derive(Debug, Clone, Copy)]
+pub struct LzmaLike {
+    lz: Lz77,
+}
+
+impl Default for LzmaLike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LzmaLike {
+    /// Creates the codec with a 1 MB window.
+    #[must_use]
+    pub fn new() -> Self {
+        LzmaLike { lz: Lz77::with_geometry(20, 8) }
+    }
+}
+
+impl Codec for LzmaLike {
+    fn name(&self) -> &'static str {
+        "7-zip"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let tokens = self.lz.tokenize(input);
+        let mut enc = RangeEncoder::new();
+        let mut model = Model::new();
+        let mut pos = 0usize;
+        let mut prev_match = false;
+        for t in &tokens {
+            let prev_byte = if pos == 0 { 0 } else { input[pos - 1] } as usize;
+            match *t {
+                Token::Literal(b) => {
+                    let ctx = usize::from(prev_match);
+                    enc.encode_bit(&mut model.is_match[ctx], false);
+                    model.literals[prev_byte].encode(&mut enc, u32::from(b));
+                    pos += 1;
+                    prev_match = false;
+                }
+                Token::Match { distance, length } => {
+                    let ctx = usize::from(prev_match);
+                    enc.encode_bit(&mut model.is_match[ctx], true);
+                    model.length.encode(&mut enc, length - MIN_MATCH as u32);
+                    let slot = 32 - distance.leading_zeros(); // bit length ≥ 1
+                    model.dist_slot.encode(&mut enc, slot);
+                    if slot > 1 {
+                        enc.encode_direct(distance & ((1 << (slot - 1)) - 1), slot - 1);
+                    }
+                    pos += length as usize;
+                    prev_match = true;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(input.len() / 4 + 16);
+        out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        out.extend_from_slice(&enc.finish());
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if input.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let n = u32::from_le_bytes(input[0..4].try_into().expect("4 bytes")) as usize;
+        let mut dec = RangeDecoder::new(&input[4..])?;
+        let mut model = Model::new();
+        let mut out: Vec<u8> = Vec::with_capacity(n);
+        let mut prev_match = false;
+        while out.len() < n {
+            let prev_byte = out.last().copied().unwrap_or(0) as usize;
+            let ctx = usize::from(prev_match);
+            if dec.decode_bit(&mut model.is_match[ctx])? {
+                let length = model.length.decode(&mut dec)? as usize + MIN_MATCH;
+                let slot = model.dist_slot.decode(&mut dec)?;
+                if slot == 0 || slot > 24 {
+                    return Err(CodecError::corrupt("bad distance slot"));
+                }
+                let distance = if slot > 1 {
+                    (1 << (slot - 1)) | dec.decode_direct(slot - 1)?
+                } else {
+                    1
+                } as usize;
+                if distance > out.len() {
+                    return Err(CodecError::corrupt("backreference before start"));
+                }
+                if out.len() + length > n {
+                    return Err(CodecError::corrupt("match overruns output"));
+                }
+                let start = out.len() - distance;
+                for k in 0..length {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+                prev_match = true;
+            } else {
+                let b = model.literals[prev_byte].decode(&mut dec)? as u8;
+                out.push(b);
+                prev_match = false;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let codec = LzmaLike::new();
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn basic_round_trips() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"range coding is fiddly");
+        roundtrip(&b"abcdefgh".repeat(2000));
+        roundtrip(&vec![0u8; 50_000]);
+        roundtrip(&vec![0xFFu8; 50_000]); // carry-heavy path
+    }
+
+    #[test]
+    fn pseudorandom_data_round_trips() {
+        let mut state = 42u64;
+        let data: Vec<u8> = (0..120_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn adaptive_model_beats_static_zip_on_structured_words() {
+        // Config-like data: structured 32-bit words with slowly-varying
+        // fields — the adaptive order-1 model learns the column structure.
+        let mut data = Vec::new();
+        for i in 0u32..40_000 {
+            let word = 0x3001_2000u32 | ((i / 41) % 64) << 8 | (i % 3);
+            data.extend_from_slice(&word.to_le_bytes());
+        }
+        let seven = LzmaLike::new().compress(&data).len();
+        let zip = crate::deflate_like::DeflateLike::new().compress(&data).len();
+        assert!(
+            seven < zip,
+            "7-zip-like {seven} should beat zip-like {zip} on structured data"
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let codec = LzmaLike::new();
+        let data = b"truncate me ".repeat(1000);
+        let packed = codec.compress(&data);
+        for cut in [0, 4, 6, packed.len() / 2] {
+            assert!(
+                codec.decompress(&packed[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_slots_cover_the_window() {
+        // Data engineered to produce a maximal-distance match: two copies of
+        // a block separated by almost the full 1 MB window.
+        let mut state = 5u64;
+        let mut noise = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect()
+        };
+        let block = noise(600);
+        let mut data = block.clone();
+        data.extend(noise((1 << 20) - 2000));
+        data.extend(&block);
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,235 @@
+//! Run-length encoding — the scheme FaRM \[10\] implements.
+//!
+//! FaRM's hardware RLE operates on **32-bit configuration words** (the unit
+//! the ICAP consumes): the stream is a sequence of `(count, word)` pairs.
+//! Repeated words — blank frames, repeated configuration patterns — shrink
+//! by up to 255×5/4; unique words expand by only 25% (5 bytes per 4), which
+//! is why word-RLE is usable on dense bitstreams at all. The paper's
+//! Table I reports 63% saved for it — the weakest of the seven algorithms.
+//!
+//! Stream format: `u8 tail-length`, tail bytes (input not a multiple of 4),
+//! then `(count: u8 ≥ 1, word: 4 bytes)` pairs.
+//!
+//! A byte-oriented variant ([`Rle::byte_oriented`]) is provided for
+//! comparison experiments.
+
+use crate::{Codec, CodecError};
+
+/// Run-length codec (word-oriented by default, as in FaRM).
+#[derive(Debug, Clone, Copy)]
+pub struct Rle {
+    word_oriented: bool,
+}
+
+impl Default for Rle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Rle {
+    /// FaRM-style 32-bit-word RLE.
+    #[must_use]
+    pub fn new() -> Self {
+        Rle { word_oriented: true }
+    }
+
+    /// Classic byte-oriented RLE (for comparison).
+    #[must_use]
+    pub fn byte_oriented() -> Self {
+        Rle { word_oriented: false }
+    }
+
+    fn compress_words(input: &[u8]) -> Vec<u8> {
+        let tail_len = input.len() % 4;
+        let (body, tail) = input.split_at(input.len() - tail_len);
+        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        out.push(tail_len as u8);
+        out.extend_from_slice(tail);
+        let words: Vec<&[u8]> = body.chunks_exact(4).collect();
+        let mut i = 0usize;
+        while i < words.len() {
+            let w = words[i];
+            let mut run = 1usize;
+            while run < 255 && i + run < words.len() && words[i + run] == w {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.extend_from_slice(w);
+            i += run;
+        }
+        out
+    }
+
+    fn decompress_words(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (&tail_len, rest) = input.split_first().ok_or(CodecError::Truncated)?;
+        let tail_len = tail_len as usize;
+        if tail_len > 3 || rest.len() < tail_len {
+            return Err(CodecError::corrupt("bad tail length"));
+        }
+        let (tail, pairs) = rest.split_at(tail_len);
+        if pairs.len() % 5 != 0 {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(pairs.len());
+        for p in pairs.chunks_exact(5) {
+            let count = p[0] as usize;
+            if count == 0 {
+                return Err(CodecError::corrupt("zero-length run"));
+            }
+            for _ in 0..count {
+                out.extend_from_slice(&p[1..5]);
+            }
+        }
+        out.extend_from_slice(tail);
+        Ok(out)
+    }
+
+    fn compress_bytes(input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        let mut i = 0;
+        while i < input.len() {
+            let byte = input[i];
+            let mut run = 1usize;
+            while run < 255 && i + run < input.len() && input[i + run] == byte {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.push(byte);
+            i += run;
+        }
+        out
+    }
+
+    fn decompress_bytes(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if !input.len().is_multiple_of(2) {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(input.len());
+        for pair in input.chunks_exact(2) {
+            let (count, byte) = (pair[0], pair[1]);
+            if count == 0 {
+                return Err(CodecError::corrupt("zero-length run"));
+            }
+            out.extend(std::iter::repeat_n(byte, count as usize));
+        }
+        Ok(out)
+    }
+}
+
+impl Codec for Rle {
+    fn name(&self) -> &'static str {
+        "RLE"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        if self.word_oriented {
+            Self::compress_words(input)
+        } else {
+            Self::compress_bytes(input)
+        }
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if self.word_oriented {
+            Self::decompress_words(input)
+        } else {
+            Self::decompress_bytes(input)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codec: &Rle, data: &[u8]) {
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn blank_regions_compress_well_in_both_modes() {
+        let blank = vec![0u8; 10_000];
+        for codec in [Rle::new(), Rle::byte_oriented()] {
+            let packed = codec.compress(&blank);
+            assert!(packed.len() < 100, "{} bytes", packed.len());
+            roundtrip(&codec, &blank);
+        }
+    }
+
+    #[test]
+    fn word_mode_expands_unique_words_by_25_percent() {
+        // 1000 distinct words -> 5 bytes each + 1 header byte.
+        let data: Vec<u8> = (0u32..1000)
+            .flat_map(|w| w.wrapping_mul(2_654_435_761).to_be_bytes())
+            .collect();
+        let rle = Rle::new();
+        let packed = rle.compress(&data);
+        assert_eq!(packed.len(), 1 + 1000 * 5);
+        roundtrip(&rle, &data);
+    }
+
+    #[test]
+    fn byte_mode_doubles_unique_bytes() {
+        let data: Vec<u8> = (0..=255).collect();
+        let rle = Rle::byte_oriented();
+        assert_eq!(rle.compress(&data).len(), data.len() * 2);
+        roundtrip(&rle, &data);
+    }
+
+    #[test]
+    fn word_mode_catches_repeated_pattern_words() {
+        // The same 0xAAAAAAAA word repeated is one pair per 255 words.
+        let data: Vec<u8> = std::iter::repeat_n(0xAAu8, 4 * 600).collect();
+        let rle = Rle::new();
+        let packed = rle.compress(&data);
+        assert_eq!(packed.len(), 1 + 5 * 600usize.div_ceil(255));
+        roundtrip(&rle, &data);
+    }
+
+    #[test]
+    fn unaligned_tails_survive() {
+        let rle = Rle::new();
+        for n in [1usize, 2, 3, 5, 6, 7, 1001] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 7) as u8).collect();
+            roundtrip(&rle, &data);
+        }
+    }
+
+    #[test]
+    fn run_boundaries_at_255() {
+        for codec in [Rle::new(), Rle::byte_oriented()] {
+            for n in [254usize * 4, 255 * 4, 256 * 4, 511 * 4] {
+                let data = vec![7u8; n];
+                roundtrip(&codec, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        for codec in [Rle::new(), Rle::byte_oriented()] {
+            let packed = codec.compress(&[]);
+            assert_eq!(codec.decompress(&packed).unwrap(), Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        let rle = Rle::new();
+        assert_eq!(rle.decompress(&[]), Err(CodecError::Truncated));
+        assert!(rle.decompress(&[0, 1, 2, 3]).is_err()); // ragged pairs
+        assert!(matches!(
+            rle.decompress(&[0, 0, 1, 2, 3, 4]),
+            Err(CodecError::Corrupt { .. }) // zero-length run
+        ));
+        assert!(matches!(
+            rle.decompress(&[9]),
+            Err(CodecError::Corrupt { .. }) // tail length > 3
+        ));
+        let byte = Rle::byte_oriented();
+        assert_eq!(byte.decompress(&[5]), Err(CodecError::Truncated));
+        assert!(matches!(byte.decompress(&[0, 7]), Err(CodecError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,160 @@
+//! Content statistics: the quantities that predict compressibility.
+//!
+//! Table I's ratios are functions of the bitstream's statistics — order-0
+//! entropy bounds Huffman, run mass bounds RLE, repetition distance decides
+//! which LZ window reaches it. This module measures those statistics; the
+//! synthetic generator's calibration tests use it, and it doubles as an
+//! analysis tool for arbitrary payloads.
+
+/// Mass of bytes in runs of each length class (fractions of total bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunMass {
+    /// Bytes in runs of length 1.
+    pub singles: f64,
+    /// Runs of 2..=3.
+    pub short: f64,
+    /// Runs of 4..=15.
+    pub medium: f64,
+    /// Runs of 16..=63.
+    pub long: f64,
+    /// Runs of 64+.
+    pub very_long: f64,
+}
+
+/// Summary statistics of a byte payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByteStats {
+    /// Order-0 (marginal) entropy in bits per byte.
+    pub entropy_bits: f64,
+    /// Fraction of zero bytes.
+    pub zero_fraction: f64,
+    /// Number of distinct byte values present.
+    pub distinct: u32,
+    /// Byte mass by run-length class.
+    pub runs: RunMass,
+}
+
+impl ByteStats {
+    /// The Huffman lower bound on compressed size, as percent saved
+    /// (order-0 entropy / 8).
+    #[must_use]
+    pub fn order0_bound_percent(&self) -> f64 {
+        (1.0 - self.entropy_bits / 8.0) * 100.0
+    }
+}
+
+/// Order-0 entropy of `data` in bits per byte (0 for empty input).
+#[must_use]
+pub fn order0_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    freq.iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Full statistics of `data`.
+#[must_use]
+pub fn analyze(data: &[u8]) -> ByteStats {
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+    let n = data.len().max(1) as f64;
+    let mut runs = RunMass::default();
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        let mut j = i + 1;
+        while j < data.len() && data[j] == b {
+            j += 1;
+        }
+        let len = j - i;
+        let mass = len as f64 / n;
+        match len {
+            1 => runs.singles += mass,
+            2..=3 => runs.short += mass,
+            4..=15 => runs.medium += mass,
+            16..=63 => runs.long += mass,
+            _ => runs.very_long += mass,
+        }
+        i = j;
+    }
+    ByteStats {
+        entropy_bits: order0_entropy(data),
+        zero_fraction: freq[0] as f64 / n,
+        distinct: freq.iter().filter(|&&f| f > 0).count() as u32,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_degenerate_inputs() {
+        assert_eq!(order0_entropy(&[]), 0.0);
+        assert_eq!(order0_entropy(&[7; 1000]), 0.0);
+        // Two equiprobable symbols: exactly 1 bit.
+        let data: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert!((order0_entropy(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform_bytes_is_8_bits() {
+        let data: Vec<u8> = (0..25_600).map(|i| (i % 256) as u8).collect();
+        assert!((order0_entropy(&data) - 8.0).abs() < 1e-9);
+        let stats = analyze(&data);
+        assert_eq!(stats.distinct, 256);
+        assert!(stats.order0_bound_percent().abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_mass_classes_sum_to_one() {
+        let mut data = vec![0u8; 100]; // very long run
+        data.extend([1, 2, 2, 3, 3, 3, 3, 4]); // single, short, medium, single
+        let stats = analyze(&data);
+        let total = stats.runs.singles
+            + stats.runs.short
+            + stats.runs.medium
+            + stats.runs.long
+            + stats.runs.very_long;
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(stats.runs.very_long > 0.9);
+        assert!((stats.runs.singles - 2.0 / 108.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fraction_counts_zeros() {
+        let data = [0u8, 0, 1, 2];
+        assert!((analyze(&data).zero_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huffman_respects_the_entropy_bound() {
+        use crate::Algorithm;
+        // Skewed data: Huffman must land between the entropy bound and
+        // bound + a small per-symbol overhead.
+        let data: Vec<u8> = (0..60_000u32)
+            .map(|i| if i % 9 == 0 { (i % 7) as u8 + 1 } else { 0 })
+            .collect();
+        let stats = analyze(&data);
+        let codec = Algorithm::Huffman.codec();
+        let packed = codec.compress(&data);
+        let achieved = (1.0 - packed.len() as f64 / data.len() as f64) * 100.0;
+        let bound = stats.order0_bound_percent();
+        assert!(achieved <= bound + 0.5, "achieved {achieved:.1} vs bound {bound:.1}");
+        assert!(achieved >= bound - 13.0, "within a code-length point of the bound");
+    }
+}

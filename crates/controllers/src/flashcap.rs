@@ -1,0 +1,163 @@
+//! FlashCAP \[11\] — streaming X-MatchPRO decompression into the ICAP.
+//!
+//! FlashCAP stages X-MatchPRO-compressed bitstreams (better ratio than
+//! FaRM's RLE: 74.2% vs 63%, Table I) and decompresses them on the fly.
+//! Its integration is limited to 120 MHz and the 32-bit decoder sustains
+//! ~0.75 words per cycle, capping the reconfiguration bandwidth at
+//! ≈358 MB/s (Table III) — the paper's UPaRC_ii fixes exactly these two
+//! limits with a 64-bit, 2-words/cycle decompressor behind a faster ICAP.
+
+use crate::store::BramStore;
+use crate::{
+    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController,
+    ReconfigReport,
+};
+use uparc_bitstream::builder::{bytes_to_words, PartialBitstream};
+use uparc_compress::hw::HwDecompressor;
+use uparc_compress::xmatchpro::XMatchPro;
+use uparc_compress::Codec;
+use uparc_fpga::{Device, Icap};
+use uparc_sim::power::calib;
+use uparc_sim::time::Frequency;
+
+/// FlashCAP data-path coefficient, mW/MHz (includes the decompressor).
+const FLASHCAP_PATH_MW_PER_MHZ: f64 = 2.6;
+
+/// The FlashCAP controller model (the `FlashCAP_i` instance of Table III).
+#[derive(Debug, Clone)]
+pub struct FlashCap {
+    icap: Icap,
+    store: BramStore,
+    hw: HwDecompressor,
+    clock: Frequency,
+    setup_cycles: u64,
+}
+
+impl FlashCap {
+    /// The published configuration: 120 MHz, 128 KB staging BRAM,
+    /// X-MatchPRO streaming decoder.
+    #[must_use]
+    pub fn new(device: Device) -> Self {
+        FlashCap {
+            icap: Icap::new(device),
+            store: BramStore::new(128 * 1024),
+            hw: HwDecompressor::flashcap_xmatchpro(),
+            clock: Frequency::from_mhz(120.0),
+            setup_cycles: 300,
+        }
+    }
+
+    /// The decompressor model in use.
+    #[must_use]
+    pub fn decompressor(&self) -> &HwDecompressor {
+        &self.hw
+    }
+}
+
+impl ReconfigController for FlashCap {
+    fn spec(&self) -> ControllerSpec {
+        ControllerSpec {
+            name: "FlashCAP_i",
+            max_frequency: Frequency::from_mhz(120.0),
+            large_bitstream: LargeBitstream::Extended,
+        }
+    }
+
+    fn reconfigure(&mut self, bs: &PartialBitstream) -> Result<ReconfigReport, ControllerError> {
+        let raw = bs.to_bytes();
+        let codec = XMatchPro::new();
+        let packed = codec.compress(&raw);
+        let unpacked = codec
+            .decompress(&packed)
+            .map_err(|e| ControllerError::Compression(e.to_string()))?;
+        if unpacked != raw {
+            return Err(ControllerError::Compression("x-matchpro round-trip mismatch".into()));
+        }
+        if !self.store.fits(packed.len()) {
+            return Err(ControllerError::CapacityExceeded {
+                required: packed.len(),
+                available: self.store.capacity_bytes(),
+            });
+        }
+        let words = bytes_to_words(&raw).expect("builder output is word-aligned");
+        self.icap.set_frequency(self.clock)?;
+        self.icap.write_words(&words)?;
+
+        // The decompressor's sustained output rate paces the transfer.
+        let transfer = self.hw.decompression_time(raw.len(), self.clock);
+        let setup = self.clock.time_of_cycles(self.setup_cycles);
+        let elapsed = setup + transfer;
+        let energy = energy_uj(&[
+            (calib::MANAGER_ACTIVE_WAIT_MW, elapsed),
+            (FLASHCAP_PATH_MW_PER_MHZ * self.clock.as_mhz(), transfer),
+        ]);
+        Ok(ReconfigReport {
+            controller: "FlashCAP_i",
+            bytes: raw.len(),
+            stored_bytes: packed.len(),
+            elapsed,
+            control_overhead: setup,
+            frequency: self.clock,
+            energy_uj: energy,
+        })
+    }
+
+    fn icap(&self) -> &Icap {
+        &self.icap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uparc_bitstream::synth::SynthProfile;
+
+    fn bitstream(device: &Device, frames: u32) -> PartialBitstream {
+        let payload = SynthProfile::dense().generate(device, 0, frames, 3);
+        PartialBitstream::build(device, 0, &payload)
+    }
+
+    #[test]
+    fn bandwidth_lands_at_358_mb_s() {
+        let device = Device::xc5vsx50t();
+        let bs = bitstream(&device, 1200); // ~197 KB raw, compressed fits
+        let mut ctrl = FlashCap::new(device);
+        let r = ctrl.reconfigure(&bs).unwrap();
+        assert!(
+            (r.bandwidth_mb_s() - 358.0).abs() < 6.0,
+            "{:.1} MB/s",
+            r.bandwidth_mb_s()
+        );
+    }
+
+    #[test]
+    fn stores_compressed_extends_capacity() {
+        let device = Device::xc5vsx50t();
+        let bs = bitstream(&device, 1200);
+        let mut ctrl = FlashCap::new(device);
+        let r = ctrl.reconfigure(&bs).unwrap();
+        assert!(r.bytes > ctrl.store.capacity_bytes(), "raw would not fit");
+        assert!(r.stored_bytes < ctrl.store.capacity_bytes());
+    }
+
+    #[test]
+    fn faster_than_mst_icap_slower_than_farm() {
+        let device = Device::xc5vsx50t();
+        let bs = bitstream(&device, 600);
+        let mut flash = FlashCap::new(device.clone());
+        let mut farm = crate::farm::Farm::new(device.clone());
+        let rfl = flash.reconfigure(&bs).unwrap();
+        let rfa = farm.reconfigure(&bs).unwrap();
+        assert!(rfl.bandwidth_mb_s() < rfa.bandwidth_mb_s());
+        assert!(rfl.bandwidth_mb_s() > 235.0);
+    }
+
+    #[test]
+    fn frames_land_in_config_memory() {
+        let device = Device::xc5vsx50t();
+        let bs = bitstream(&device, 25);
+        let mut ctrl = FlashCap::new(device);
+        ctrl.reconfigure(&bs).unwrap();
+        assert_eq!(ctrl.icap().frames_committed(), 25);
+    }
+}

@@ -1,0 +1,77 @@
+//! Primitive inventories of the UPaRC blocks — the basis of Table II.
+//!
+//! The inventories are calibrated so the [`AreaEstimator`] reproduces the
+//! paper's slice counts on both families (Table II: DyCloGen 24/18, UReC
+//! 26/26, decompressor 1035/900 on Virtex-5/Virtex-6). The proportions are
+//! architecturally motivated: UReC is LUT-bound (address/size counters and
+//! the burst FSM), DyCloGen is FF-bound (DRP shadow registers), and the
+//! X-MatchPRO decompressor is dominated by its CAM dictionary and shift
+//! networks.
+
+use uparc_fpga::family::Family;
+use uparc_fpga::resources::{AreaEstimator, PrimitiveInventory};
+
+/// UReC: burst FSM, BRAM address counter, size register, mode decode.
+pub const UREC: PrimitiveInventory = PrimitiveInventory::logic(82, 64);
+
+/// DyCloGen: DRP write FSM and M/D shadow registers for three outputs.
+pub const DYCLOGEN: PrimitiveInventory = PrimitiveInventory::logic(56, 76);
+
+/// X-MatchPRO decompressor: 16-entry tuple CAM, match-type decode,
+/// move-to-front network, output packer.
+pub const DECOMPRESSOR_XMATCHPRO: PrimitiveInventory = PrimitiveInventory::logic(2880, 3310);
+
+/// Slices of UReC on `family`.
+#[must_use]
+pub fn urec_slices(family: Family) -> u32 {
+    AreaEstimator::new(family).slices(&UREC)
+}
+
+/// Slices of DyCloGen on `family`.
+#[must_use]
+pub fn dyclogen_slices(family: Family) -> u32 {
+    AreaEstimator::new(family).slices(&DYCLOGEN)
+}
+
+/// Slices of the X-MatchPRO decompressor on `family`.
+#[must_use]
+pub fn decompressor_slices(family: Family) -> u32 {
+    AreaEstimator::new(family).slices(&DECOMPRESSOR_XMATCHPRO)
+}
+
+/// The full Table II for `family`: `(module, slices)` rows.
+#[must_use]
+pub fn table2(family: Family) -> Vec<(&'static str, u32)> {
+    vec![
+        ("DyCloGen", dyclogen_slices(family)),
+        ("UReC", urec_slices(family)),
+        ("Decompressor", decompressor_slices(family)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_paper_numbers() {
+        assert_eq!(table2(Family::Virtex5), vec![
+            ("DyCloGen", 24),
+            ("UReC", 26),
+            ("Decompressor", 1035),
+        ]);
+        assert_eq!(table2(Family::Virtex6), vec![
+            ("DyCloGen", 18),
+            ("UReC", 26),
+            ("Decompressor", 900),
+        ]);
+    }
+
+    #[test]
+    fn urec_is_tiny_compared_to_the_decompressor() {
+        // §IV: "the resources required for proposed modules are relatively
+        // small; the decompressor consumes a large amount".
+        let f = Family::Virtex5;
+        assert!(decompressor_slices(f) > 30 * urec_slices(f));
+    }
+}

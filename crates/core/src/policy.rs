@@ -1,0 +1,296 @@
+//! Power-aware frequency selection (paper §III-A3 and §V).
+//!
+//! "The power-aware solution is to use the lowest possible frequency which
+//! meets timing constraints for the current application" (§V). The policy
+//! searches the DCM-synthesisable frequency grid and picks the operating
+//! point for a constraint:
+//!
+//! * [`Constraint::Deadline`] — slowest clock that still finishes in time
+//!   (minimum power);
+//! * [`Constraint::PowerBudget`] — fastest clock under a power cap;
+//! * [`Constraint::MinEnergy`] — minimum-energy point, which *depends on
+//!   the manager*: with an active wait, energy falls with frequency (run
+//!   fast, finish early); with an event-driven manager it is flat in the
+//!   path term and the slowest clock wins (§V's closing discussion);
+//! * [`Constraint::MaxThroughput`] — the 362.5 MHz headline point.
+
+use crate::error::UparcError;
+use crate::manager::ManagerConfig;
+use uparc_fpga::dcm::DcmConstraints;
+use uparc_fpga::family::Family;
+use uparc_sim::power::calib;
+use uparc_sim::time::{Frequency, SimTime};
+
+/// A run-time constraint on a reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// Finish within the deadline (module downtime bound).
+    Deadline(SimTime),
+    /// Keep total core power at or below this many mW.
+    PowerBudget {
+        /// Total power cap (idle included), mW.
+        mw: f64,
+    },
+    /// Minimise reconfiguration energy.
+    MinEnergy,
+    /// Minimise reconfiguration time.
+    MaxThroughput,
+}
+
+/// A selected operating point with its predictions.
+#[derive(Debug, Clone, Copy)]
+pub struct FrequencyPlan {
+    /// The CLK_2 target to hand to DyCloGen.
+    pub frequency: Frequency,
+    /// Predicted Start→Finish latency.
+    pub predicted_time: SimTime,
+    /// Predicted total core power during the transfer, mW.
+    pub predicted_power_mw: f64,
+    /// Predicted above-idle energy, µJ.
+    pub predicted_energy_uj: f64,
+}
+
+/// The frequency-selection policy for UPaRC_i (raw staging).
+#[derive(Debug, Clone)]
+pub struct PowerAwarePolicy {
+    family: Family,
+    fin: Frequency,
+    manager: ManagerConfig,
+}
+
+impl PowerAwarePolicy {
+    /// A policy for `family` with DyCloGen reference `fin` and the given
+    /// manager behaviour.
+    #[must_use]
+    pub fn new(family: Family, fin: Frequency, manager: ManagerConfig) -> Self {
+        PowerAwarePolicy { family, fin, manager }
+    }
+
+    /// The paper's setup: 100 MHz reference, actively-waiting MicroBlaze.
+    #[must_use]
+    pub fn paper_setup(family: Family) -> Self {
+        PowerAwarePolicy::new(family, Frequency::from_mhz(100.0), ManagerConfig::default())
+    }
+
+    /// All synthesisable CLK_2 frequencies up to the raw-mode cap,
+    /// ascending and deduplicated.
+    #[must_use]
+    pub fn frequency_grid(&self) -> Vec<Frequency> {
+        let cap = self
+            .family
+            .icap_overclock_limit()
+            .min(self.family.bram_overclock_limit());
+        let c = DcmConstraints::for_family(self.family);
+        let mut grid: Vec<Frequency> = Vec::new();
+        for m in c.m_range.clone() {
+            for d in c.d_range.clone() {
+                if let Ok(f) = c.check(self.fin, m, d) {
+                    if f <= cap {
+                        grid.push(f);
+                    }
+                }
+            }
+        }
+        grid.sort_unstable();
+        grid.dedup();
+        grid
+    }
+
+    /// Predicted Start→Finish latency for `bytes` of raw bitstream at `f`.
+    #[must_use]
+    pub fn predicted_time(&self, bytes: usize, f: Frequency) -> SimTime {
+        let control = self.manager.clock.time_of_cycles(self.manager.control_overhead_cycles);
+        // Mode word + one word per cycle.
+        let words = (bytes as u64).div_ceil(4) + 1;
+        control + f.time_of_cycles(words)
+    }
+
+    /// Predicted total core power during the transfer at `f`, mW.
+    #[must_use]
+    pub fn predicted_power_mw(&self, f: Frequency) -> f64 {
+        let wait = if self.manager.active_wait {
+            calib::MANAGER_ACTIVE_WAIT_MW
+        } else {
+            calib::MANAGER_IDLE_MW
+        };
+        calib::V6_IDLE_MW + wait + calib::RECONFIG_PATH_MW_PER_MHZ * f.as_mhz()
+    }
+
+    /// Predicted above-idle energy for `bytes` at `f`, µJ.
+    #[must_use]
+    pub fn predicted_energy_uj(&self, bytes: usize, f: Frequency) -> f64 {
+        let control = self.manager.clock.time_of_cycles(self.manager.control_overhead_cycles);
+        let words = (bytes as u64).div_ceil(4) + 1;
+        let transfer = f.time_of_cycles(words);
+        calib::MANAGER_ACTIVE_WAIT_MW * control.as_secs_f64() * 1e3
+            + (self.predicted_power_mw(f) - calib::V6_IDLE_MW) * transfer.as_secs_f64() * 1e3
+    }
+
+    fn plan_at(&self, bytes: usize, f: Frequency) -> FrequencyPlan {
+        FrequencyPlan {
+            frequency: f,
+            predicted_time: self.predicted_time(bytes, f),
+            predicted_power_mw: self.predicted_power_mw(f),
+            predicted_energy_uj: self.predicted_energy_uj(bytes, f),
+        }
+    }
+
+    /// Selects the operating point for `constraint` on a raw bitstream of
+    /// `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`UparcError::DeadlineInfeasible`] / [`UparcError::BudgetInfeasible`]
+    /// when no grid point satisfies the constraint.
+    pub fn plan(&self, constraint: Constraint, bytes: usize) -> Result<FrequencyPlan, UparcError> {
+        let grid = self.frequency_grid();
+        let fastest = *grid.last().expect("grid is never empty");
+        match constraint {
+            Constraint::MaxThroughput => Ok(self.plan_at(bytes, fastest)),
+            Constraint::Deadline(deadline) => grid
+                .iter()
+                .find(|&&f| self.predicted_time(bytes, f) <= deadline)
+                .map(|&f| self.plan_at(bytes, f))
+                .ok_or_else(|| UparcError::DeadlineInfeasible {
+                    deadline,
+                    best: self.predicted_time(bytes, fastest),
+                }),
+            Constraint::PowerBudget { mw } => grid
+                .iter()
+                .rev()
+                .find(|&&f| self.predicted_power_mw(f) <= mw)
+                .map(|&f| self.plan_at(bytes, f))
+                .ok_or_else(|| UparcError::BudgetInfeasible {
+                    budget_mw: mw,
+                    floor_mw: self.predicted_power_mw(grid[0]),
+                }),
+            Constraint::MinEnergy => {
+                // Ties (the event-driven manager makes energy flat in
+                // frequency) resolve to the *slowest* clock: same energy,
+                // lower peak power.
+                let mut best = self.plan_at(bytes, grid[0]);
+                for &f in &grid[1..] {
+                    let plan = self.plan_at(bytes, f);
+                    if plan.predicted_energy_uj < best.predicted_energy_uj - 1e-9 {
+                        best = plan;
+                    }
+                }
+                Ok(best)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> PowerAwarePolicy {
+        PowerAwarePolicy::paper_setup(Family::Virtex5)
+    }
+
+    const BYTES: usize = 216_500;
+
+    #[test]
+    fn grid_contains_the_paper_points() {
+        let grid = policy().frequency_grid();
+        for mhz in [50.0, 100.0, 200.0, 300.0, 362.5] {
+            assert!(
+                grid.contains(&Frequency::from_mhz(mhz)),
+                "{mhz} MHz missing from the grid"
+            );
+        }
+        let max = *grid.last().unwrap();
+        assert_eq!(max, Frequency::from_mhz(362.5), "raw-mode cap");
+    }
+
+    #[test]
+    fn deadline_picks_the_slowest_sufficient_clock() {
+        let p = policy();
+        // 216.5 KB at ~90 MHz takes ≈598 µs; a 600 µs deadline must pick
+        // the slowest sufficient grid point, nothing faster than 100 MHz.
+        let plan = p.plan(Constraint::Deadline(SimTime::from_us(600)), BYTES).unwrap();
+        assert!(plan.frequency >= Frequency::from_mhz(90.0), "{}", plan.frequency);
+        assert!(plan.frequency <= Frequency::from_mhz(100.0), "{}", plan.frequency);
+        assert!(plan.predicted_time <= SimTime::from_us(600));
+        // A tight 200 µs deadline needs ≥ ~272 MHz.
+        let plan = p.plan(Constraint::Deadline(SimTime::from_us(200)), BYTES).unwrap();
+        assert!(plan.frequency >= Frequency::from_mhz(272.0), "{}", plan.frequency);
+        assert!(plan.predicted_time <= SimTime::from_us(200));
+    }
+
+    #[test]
+    fn infeasible_deadline_reports_best_achievable() {
+        let p = policy();
+        let err = p.plan(Constraint::Deadline(SimTime::from_us(100)), BYTES).unwrap_err();
+        match err {
+            UparcError::DeadlineInfeasible { best, .. } => {
+                // Best is ≈ 216.5 KB / 1.45 GB/s + 1.2 µs ≈ 154 µs.
+                assert!(best > SimTime::from_us(150) && best < SimTime::from_us(160), "{best}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn power_budget_picks_the_fastest_clock_under_cap() {
+        let p = policy();
+        // Fig. 7: 259 mW at 100 MHz, 394 mW at 200 MHz. A 260 mW budget
+        // must select ≈100 MHz, not more.
+        let plan = p.plan(Constraint::PowerBudget { mw: 260.0 }, BYTES).unwrap();
+        assert!(plan.frequency <= Frequency::from_mhz(106.0));
+        assert!(plan.frequency >= Frequency::from_mhz(100.0));
+        assert!(plan.predicted_power_mw <= 260.0);
+    }
+
+    #[test]
+    fn impossible_budget_reports_floor() {
+        let p = policy();
+        let err = p.plan(Constraint::PowerBudget { mw: 100.0 }, BYTES).unwrap_err();
+        assert!(matches!(err, UparcError::BudgetInfeasible { .. }));
+    }
+
+    #[test]
+    fn min_energy_is_fastest_with_active_wait_slowest_without() {
+        // §V: with the active wait, energy decreases with frequency; with
+        // an event-driven manager it would be "the same for each
+        // frequency" up to the path term, making the slowest clock win.
+        let active = policy();
+        let plan = active.plan(Constraint::MinEnergy, BYTES).unwrap();
+        assert_eq!(plan.frequency, Frequency::from_mhz(362.5));
+
+        let event_driven = PowerAwarePolicy::new(
+            Family::Virtex5,
+            Frequency::from_mhz(100.0),
+            ManagerConfig { active_wait: false, ..ManagerConfig::default() },
+        );
+        let plan = event_driven.plan(Constraint::MinEnergy, BYTES).unwrap();
+        let grid = event_driven.frequency_grid();
+        assert_eq!(plan.frequency, grid[0], "slowest grid point");
+    }
+
+    #[test]
+    fn max_throughput_is_the_headline_point() {
+        let plan = policy().plan(Constraint::MaxThroughput, BYTES).unwrap();
+        assert_eq!(plan.frequency, Frequency::from_mhz(362.5));
+        // ≈154 µs for 216.5 KB.
+        assert!(plan.predicted_time < SimTime::from_us(160));
+    }
+
+    #[test]
+    fn predictions_match_fig7_calibration() {
+        let p = policy();
+        for (mhz, mw) in calib::FIG7_POINTS {
+            let predicted = p.predicted_power_mw(Frequency::from_mhz(mhz));
+            assert!(
+                (predicted - mw).abs() / mw < 0.10,
+                "{mhz} MHz: {predicted:.0} vs {mw} mW"
+            );
+        }
+        for (mhz, us) in calib::FIG7_TIMES_US {
+            let t = p.predicted_time(BYTES, Frequency::from_mhz(mhz));
+            let err = (t.as_us_f64() - us).abs() / us;
+            assert!(err < 0.02, "{mhz} MHz: {t} vs {us} µs");
+        }
+    }
+}

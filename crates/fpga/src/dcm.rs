@@ -1,0 +1,427 @@
+//! Digital Clock Manager (DCM) with Dynamic Reconfiguration Port (DRP).
+//!
+//! DyCloGen changes clock frequencies *while the clock network stays
+//! operational* by programming the DCM's multiply/divide factors through its
+//! DRP (paper §III-D): `F_out = F_in · M / D`. The model enforces the legal
+//! M/D/output ranges, the relock latency after a DRP write, and provides the
+//! factor search DyCloGen runs to hit a target frequency — e.g. the paper's
+//! `F_in = 100 MHz, M = 29, D = 8 → 362.5 MHz` point.
+
+use crate::error::FpgaError;
+use crate::family::Family;
+use std::ops::RangeInclusive;
+use uparc_sim::time::{Frequency, SimTime};
+
+/// DRP register address of the multiply factor (stored as `M − 1`).
+pub const DRP_ADDR_M: u16 = 0x50;
+/// DRP register address of the divide factor (stored as `D − 1`).
+pub const DRP_ADDR_D: u16 = 0x52;
+
+/// Legal operating ranges of a family's DCM frequency synthesis.
+#[derive(Debug, Clone)]
+pub struct DcmConstraints {
+    /// Legal multiply factors.
+    pub m_range: RangeInclusive<u32>,
+    /// Legal divide factors.
+    pub d_range: RangeInclusive<u32>,
+    /// Minimum synthesised output frequency.
+    pub fout_min: Frequency,
+    /// Maximum synthesised output frequency.
+    pub fout_max: Frequency,
+}
+
+impl DcmConstraints {
+    /// Constraints of `family`'s clock management tile.
+    #[must_use]
+    pub fn for_family(family: Family) -> Self {
+        match family {
+            Family::Virtex4 => DcmConstraints {
+                m_range: 2..=32,
+                d_range: 1..=32,
+                fout_min: Frequency::from_mhz(32.0),
+                fout_max: Frequency::from_mhz(320.0),
+            },
+            Family::Virtex5 | Family::Virtex6 => DcmConstraints {
+                m_range: 2..=32,
+                d_range: 1..=32,
+                fout_min: Frequency::from_mhz(32.0),
+                fout_max: Frequency::from_mhz(450.0),
+            },
+        }
+    }
+
+    /// Validates `(fin, m, d)` and returns the synthesised output frequency.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::DcmOutOfRange`] if a factor or the output frequency is
+    /// outside this tile's ranges.
+    pub fn check(&self, fin: Frequency, m: u32, d: u32) -> Result<Frequency, FpgaError> {
+        if !self.m_range.contains(&m) {
+            return Err(FpgaError::DcmOutOfRange {
+                reason: format!("m={m} outside {:?}", self.m_range),
+            });
+        }
+        if !self.d_range.contains(&d) {
+            return Err(FpgaError::DcmOutOfRange {
+                reason: format!("d={d} outside {:?}", self.d_range),
+            });
+        }
+        let fout = fin.scaled(m, d);
+        if fout < self.fout_min || fout > self.fout_max {
+            return Err(FpgaError::DcmOutOfRange {
+                reason: format!(
+                    "fout {fout} outside [{}, {}]",
+                    self.fout_min, self.fout_max
+                ),
+            });
+        }
+        Ok(fout)
+    }
+
+    /// Finds the legal `(M, D)` whose output is closest to `target`
+    /// (ties: smaller M, then smaller D — less VCO activity).
+    ///
+    /// Returns `None` when no legal combination exists for this input clock.
+    #[must_use]
+    pub fn best_factors(
+        &self,
+        fin: Frequency,
+        target: Frequency,
+    ) -> Option<(u32, u32, Frequency)> {
+        let mut best: Option<(u64, u32, u32, Frequency)> = None;
+        for m in self.m_range.clone() {
+            for d in self.d_range.clone() {
+                let Ok(fout) = self.check(fin, m, d) else { continue };
+                let err = fout.as_hz().abs_diff(target.as_hz());
+                let better = match &best {
+                    None => true,
+                    Some((be, bm, bd, _)) => {
+                        err < *be || (err == *be && (m < *bm || (m == *bm && d < *bd)))
+                    }
+                };
+                if better {
+                    best = Some((err, m, d, fout));
+                }
+            }
+        }
+        best.map(|(_, m, d, f)| (m, d, f))
+    }
+
+    /// Finds the legal `(M, D)` maximising the output frequency subject to
+    /// `fout ≤ cap` (ties: smaller M, then smaller D).
+    ///
+    /// This is the search a power-aware policy runs: "fastest clock that a
+    /// component still sustains".
+    #[must_use]
+    pub fn best_factors_at_most(
+        &self,
+        fin: Frequency,
+        cap: Frequency,
+    ) -> Option<(u32, u32, Frequency)> {
+        let mut best: Option<(Frequency, u32, u32)> = None;
+        for m in self.m_range.clone() {
+            for d in self.d_range.clone() {
+                let Ok(fout) = self.check(fin, m, d) else { continue };
+                if fout > cap {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bf, bm, bd)) => {
+                        fout > *bf || (fout == *bf && (m < *bm || (m == *bm && d < *bd)))
+                    }
+                };
+                if better {
+                    best = Some((fout, m, d));
+                }
+            }
+        }
+        best.map(|(f, m, d)| (m, d, f))
+    }
+}
+
+/// A DCM instance: one frequency-synthesis output, retunable through DRP.
+///
+/// After any DRP write the output is unlocked for [`Dcm::lock_time`]; using
+/// the output before relock is an error, which forces controllers to model
+/// the retuning latency honestly.
+///
+/// # Example
+///
+/// ```
+/// use uparc_fpga::dcm::{Dcm, DRP_ADDR_M, DRP_ADDR_D};
+/// use uparc_fpga::family::Family;
+/// use uparc_sim::time::{Frequency, SimTime};
+///
+/// let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 2, 2)?;
+/// // Program M=29, D=8 through the DRP (the paper's 362.5 MHz point).
+/// dcm.drp_write(DRP_ADDR_M, 28, SimTime::ZERO)?;
+/// dcm.drp_write(DRP_ADDR_D, 7, SimTime::ZERO)?;
+/// assert!(dcm.output(SimTime::ZERO).is_err());            // still locking
+/// let t = dcm.locked_at().unwrap();
+/// assert_eq!(dcm.output(t)?, Frequency::from_mhz(362.5)); // locked
+/// # Ok::<(), uparc_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dcm {
+    constraints: DcmConstraints,
+    fin: Frequency,
+    m: u32,
+    d: u32,
+    lock_time: SimTime,
+    /// Time at which the current factors (re-)lock; `None` = locked since
+    /// before time tracking (initial configuration).
+    locked_at: Option<SimTime>,
+}
+
+impl Dcm {
+    /// Default DCM relock time after a DRP factor change.
+    pub const DEFAULT_LOCK_TIME: SimTime = SimTime::from_us(10);
+
+    /// Creates a DCM locked at `fin · m / d` from power-up.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::DcmOutOfRange`] for illegal initial factors.
+    pub fn new(family: Family, fin: Frequency, m: u32, d: u32) -> Result<Self, FpgaError> {
+        let constraints = DcmConstraints::for_family(family);
+        constraints.check(fin, m, d)?;
+        Ok(Dcm {
+            constraints,
+            fin,
+            m,
+            d,
+            lock_time: Self::DEFAULT_LOCK_TIME,
+            locked_at: None,
+        })
+    }
+
+    /// Overrides the relock time (speed-grade / simulation granularity knob).
+    #[must_use]
+    pub fn with_lock_time(mut self, lock_time: SimTime) -> Self {
+        self.lock_time = lock_time;
+        self
+    }
+
+    /// The constraint set of this tile.
+    #[must_use]
+    pub fn constraints(&self) -> &DcmConstraints {
+        &self.constraints
+    }
+
+    /// Relock latency after a factor change.
+    #[must_use]
+    pub fn lock_time(&self) -> SimTime {
+        self.lock_time
+    }
+
+    /// Current `(M, D)` factors.
+    #[must_use]
+    pub fn factors(&self) -> (u32, u32) {
+        (self.m, self.d)
+    }
+
+    /// Time at which the most recent retune locks (`None` if locked from
+    /// power-up).
+    #[must_use]
+    pub fn locked_at(&self) -> Option<SimTime> {
+        self.locked_at
+    }
+
+    /// Whether the output is locked at `now`.
+    #[must_use]
+    pub fn is_locked(&self, now: SimTime) -> bool {
+        self.locked_at.is_none_or(|t| now >= t)
+    }
+
+    /// Writes a DRP register at simulation time `now`. Factor registers hold
+    /// `value + 1`; any factor write drops lock for [`Dcm::lock_time`].
+    ///
+    /// DRP writes happen while the output is held in reset, so only the
+    /// *individual* factor range is checked here; the combined output
+    /// frequency is validated when the output is next used (at lock).
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::DcmOutOfRange`] for an unknown DRP address or a factor
+    /// outside its register range (the write is then rejected and the
+    /// previous factor stays in force).
+    pub fn drp_write(&mut self, addr: u16, value: u16, now: SimTime) -> Result<(), FpgaError> {
+        let v = u32::from(value) + 1;
+        match addr {
+            DRP_ADDR_M => {
+                if !self.constraints.m_range.contains(&v) {
+                    return Err(FpgaError::DcmOutOfRange {
+                        reason: format!("m={v} outside {:?}", self.constraints.m_range),
+                    });
+                }
+                self.m = v;
+            }
+            DRP_ADDR_D => {
+                if !self.constraints.d_range.contains(&v) {
+                    return Err(FpgaError::DcmOutOfRange {
+                        reason: format!("d={v} outside {:?}", self.constraints.d_range),
+                    });
+                }
+                self.d = v;
+            }
+            _ => {
+                return Err(FpgaError::DcmOutOfRange {
+                    reason: format!("unknown drp address {addr:#x}"),
+                })
+            }
+        }
+        self.locked_at = Some(now + self.lock_time);
+        Ok(())
+    }
+
+    /// Retunes to `(m, d)` in one step (two DRP writes under output reset),
+    /// returning the future output frequency.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::DcmOutOfRange`] if the final combination is illegal; the
+    /// previous factors then stay in force.
+    pub fn retune(&mut self, m: u32, d: u32, now: SimTime) -> Result<Frequency, FpgaError> {
+        let fout = self.constraints.check(self.fin, m, d)?;
+        self.drp_write(DRP_ADDR_M, (m - 1) as u16, now)?;
+        self.drp_write(DRP_ADDR_D, (d - 1) as u16, now)?;
+        Ok(fout)
+    }
+
+    /// The synthesised output frequency, if locked at `now`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FpgaError::DcmNotLocked`] during relock.
+    /// * [`FpgaError::DcmOutOfRange`] if the programmed factor combination
+    ///   synthesises an illegal output — such a DCM never locks.
+    pub fn output(&self, now: SimTime) -> Result<Frequency, FpgaError> {
+        let fout = self.constraints.check(self.fin, self.m, self.d)?;
+        if !self.is_locked(now) {
+            return Err(FpgaError::DcmNotLocked);
+        }
+        Ok(fout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_is_found_by_search() {
+        let c = DcmConstraints::for_family(Family::Virtex5);
+        let (m, d, f) = c
+            .best_factors(Frequency::from_mhz(100.0), Frequency::from_mhz(362.5))
+            .unwrap();
+        assert_eq!((m, d), (29, 8));
+        assert_eq!(f, Frequency::from_mhz(362.5));
+    }
+
+    #[test]
+    fn search_covers_fig7_frequencies() {
+        // Every Fig. 7 sweep point is exactly synthesisable from 100 MHz.
+        let c = DcmConstraints::for_family(Family::Virtex6);
+        for mhz in [50.0, 100.0, 200.0, 300.0] {
+            let (_, _, f) = c
+                .best_factors(Frequency::from_mhz(100.0), Frequency::from_mhz(mhz))
+                .unwrap();
+            assert_eq!(f, Frequency::from_mhz(mhz), "target {mhz} MHz");
+        }
+    }
+
+    #[test]
+    fn at_most_never_exceeds_cap() {
+        let c = DcmConstraints::for_family(Family::Virtex5);
+        let fin = Frequency::from_mhz(100.0);
+        for cap_mhz in [33.0, 126.0, 255.0, 300.0, 362.5, 449.0] {
+            let cap = Frequency::from_mhz(cap_mhz);
+            let (m, d, f) = c.best_factors_at_most(fin, cap).unwrap();
+            assert!(f <= cap, "cap {cap}: got {f} (m={m}, d={d})");
+            // Away from the edge of the legal range the rich M/D grid gets
+            // within 2% of the cap (near fout_min the grid is sparser).
+            if cap_mhz >= 50.0 {
+                assert!(f.as_hz() as f64 >= cap.as_hz() as f64 * 0.98, "cap {cap}: got {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_factors_rejected() {
+        let c = DcmConstraints::for_family(Family::Virtex5);
+        let fin = Frequency::from_mhz(100.0);
+        assert!(c.check(fin, 1, 1).is_err()); // m too small
+        assert!(c.check(fin, 33, 1).is_err()); // m too large
+        assert!(c.check(fin, 2, 0).is_err()); // d zero
+        assert!(c.check(fin, 32, 1).is_err()); // 3.2 GHz out of range
+        assert!(c.check(fin, 2, 32).is_err()); // 6.25 MHz below fout_min
+        assert_eq!(c.check(fin, 29, 8).unwrap(), Frequency::from_mhz(362.5));
+    }
+
+    #[test]
+    fn drp_write_drops_lock_until_lock_time() {
+        let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 4, 2).unwrap();
+        assert!(dcm.is_locked(SimTime::ZERO));
+        let t0 = SimTime::from_us(100);
+        dcm.drp_write(DRP_ADDR_M, 5, t0).unwrap(); // M = 6
+        assert!(!dcm.is_locked(t0));
+        assert!(matches!(dcm.output(t0), Err(FpgaError::DcmNotLocked)));
+        let relock = t0 + Dcm::DEFAULT_LOCK_TIME;
+        assert!(dcm.is_locked(relock));
+        assert_eq!(dcm.output(relock).unwrap(), Frequency::from_mhz(300.0));
+    }
+
+    #[test]
+    fn rejected_drp_write_keeps_previous_factors() {
+        let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 29, 8).unwrap();
+        // M = 32 with D = 8 gives 400 MHz (legal); M register value 31.
+        // But M = 40 is out of the factor range entirely.
+        assert!(dcm.drp_write(DRP_ADDR_M, 39, SimTime::ZERO).is_err());
+        assert_eq!(dcm.factors(), (29, 8));
+        assert!(dcm.is_locked(SimTime::ZERO), "failed write must not drop lock");
+    }
+
+    #[test]
+    fn retune_across_wide_ratio_changes() {
+        // From 2/1 (200 MHz) to 29/8 (362.5 MHz): the transient M/D mix is
+        // irrelevant because the output is reset during DRP programming.
+        let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 2, 1).unwrap();
+        let f = dcm.retune(29, 8, SimTime::ZERO).unwrap();
+        assert_eq!(f, Frequency::from_mhz(362.5));
+        assert_eq!(dcm.factors(), (29, 8));
+        // And back down again.
+        let t = dcm.locked_at().unwrap();
+        let f = dcm.retune(2, 4, t).unwrap();
+        assert_eq!(f, Frequency::from_mhz(50.0));
+    }
+
+    #[test]
+    fn illegal_combination_never_locks() {
+        let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 2, 2).unwrap();
+        // Individually legal factors whose combination (3.2 GHz) is not.
+        dcm.drp_write(DRP_ADDR_M, 31, SimTime::ZERO).unwrap(); // M = 32
+        dcm.drp_write(DRP_ADDR_D, 0, SimTime::ZERO).unwrap(); // D = 1
+        let after_lock_time = SimTime::from_ms(1);
+        assert!(matches!(
+            dcm.output(after_lock_time),
+            Err(FpgaError::DcmOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_drp_address_rejected() {
+        let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 2, 2).unwrap();
+        assert!(dcm.drp_write(0x99, 0, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn custom_lock_time_respected() {
+        let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 2, 2)
+            .unwrap()
+            .with_lock_time(SimTime::from_us(3));
+        dcm.drp_write(DRP_ADDR_M, 3, SimTime::ZERO).unwrap();
+        assert_eq!(dcm.locked_at(), Some(SimTime::from_us(3)));
+    }
+}

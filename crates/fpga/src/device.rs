@@ -1,0 +1,223 @@
+//! Concrete device descriptors (part numbers, geometry, bitstream sizes).
+
+use crate::family::Family;
+
+/// Configuration-array geometry: the frame address space is
+/// `rows × majors × minors` frames (a simplified but structurally faithful
+/// version of the Virtex FAR decomposition into row / major column / minor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Clock-region rows.
+    pub rows: u32,
+    /// Major columns per row.
+    pub majors: u32,
+    /// Minor frames per major column.
+    pub minors: u32,
+}
+
+impl Geometry {
+    /// Total number of configuration frames.
+    #[must_use]
+    pub const fn frames(self) -> u32 {
+        self.rows * self.majors * self.minors
+    }
+}
+
+/// Command/header overhead of a full configuration bitstream, in bytes
+/// (sync sequence, register setup, CRC and trailer).
+pub const CONFIG_OVERHEAD_BYTES: usize = 2640;
+
+/// A concrete FPGA part.
+///
+/// # Example
+///
+/// ```
+/// use uparc_fpga::device::Device;
+///
+/// // §IV: the selected Virtex-5 has a 2444 KB full bitstream.
+/// let dev = Device::xc5vsx50t();
+/// let kib = dev.full_bitstream_bytes() as f64 / 1024.0;
+/// assert!((kib - 2444.0).abs() / 2444.0 < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Device {
+    name: &'static str,
+    family: Family,
+    idcode: u32,
+    geometry: Geometry,
+    slices: u32,
+    bram36_blocks: u32,
+}
+
+impl Device {
+    /// XC5VSX50T — the Virtex-5 on the ML506 platform (UPaRC's speed
+    /// experiments). Full bitstream ≈ 2444 KB (§IV).
+    #[must_use]
+    pub fn xc5vsx50t() -> Self {
+        Device {
+            name: "XC5VSX50T",
+            family: Family::Virtex5,
+            idcode: 0x02E9_E093,
+            geometry: Geometry { rows: 6, majors: 58, minors: 44 },
+            slices: 8160,
+            bram36_blocks: 132,
+        }
+    }
+
+    /// XC6VLX240T — the Virtex-6 on the ML605 platform (UPaRC's power
+    /// experiments; the ML605 has the core shunt resistor).
+    #[must_use]
+    pub fn xc6vlx240t() -> Self {
+        Device {
+            name: "XC6VLX240T",
+            family: Family::Virtex6,
+            idcode: 0x0424_A093,
+            geometry: Geometry { rows: 12, majors: 74, minors: 32 },
+            slices: 37_680,
+            bram36_blocks: 416,
+        }
+    }
+
+    /// XC4VFX60 — the Virtex-4 used by the BRAM_HWICAP / MST_ICAP paper \[9\].
+    #[must_use]
+    pub fn xc4vfx60() -> Self {
+        Device {
+            name: "XC4VFX60",
+            family: Family::Virtex4,
+            idcode: 0x0232_2093,
+            geometry: Geometry { rows: 8, majors: 52, minors: 22 },
+            slices: 25_280,
+            bram36_blocks: 232,
+        }
+    }
+
+    /// A custom device (for tests and synthetic experiments).
+    #[must_use]
+    pub fn custom(
+        name: &'static str,
+        family: Family,
+        idcode: u32,
+        geometry: Geometry,
+        slices: u32,
+        bram36_blocks: u32,
+    ) -> Self {
+        Device { name, family, idcode, geometry, slices, bram36_blocks }
+    }
+
+    /// Part number.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Device family.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// JTAG/configuration IDCODE; a bitstream built for a different IDCODE
+    /// is rejected by the configuration logic.
+    #[must_use]
+    pub fn idcode(&self) -> u32 {
+        self.idcode
+    }
+
+    /// Configuration-array geometry.
+    #[must_use]
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Total configuration frames.
+    #[must_use]
+    pub fn frames(&self) -> u32 {
+        self.geometry.frames()
+    }
+
+    /// Slice count (Table II's unit).
+    #[must_use]
+    pub fn slices(&self) -> u32 {
+        self.slices
+    }
+
+    /// Number of 36 Kb block RAMs.
+    #[must_use]
+    pub fn bram36_blocks(&self) -> u32 {
+        self.bram36_blocks
+    }
+
+    /// Total block-RAM capacity in bytes (data bits only: 32 Kb of each
+    /// 36 Kb block; the parity bits are not usable for bitstream storage).
+    #[must_use]
+    pub fn bram_bytes(&self) -> usize {
+        self.bram36_blocks as usize * 4096
+    }
+
+    /// Size of the full-device configuration bitstream in bytes.
+    #[must_use]
+    pub fn full_bitstream_bytes(&self) -> usize {
+        self.frames() as usize * self.family.frame_bytes() + CONFIG_OVERHEAD_BYTES
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name, self.family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v5sx50t_full_bitstream_close_to_2444_kb() {
+        let dev = Device::xc5vsx50t();
+        let kib = dev.full_bitstream_bytes() as f64 / 1024.0;
+        assert!(
+            (kib - 2444.0).abs() / 2444.0 < 0.01,
+            "full bitstream {kib:.1} KiB (paper: 2444 KB)"
+        );
+    }
+
+    #[test]
+    fn devices_have_distinct_idcodes() {
+        let ids = [
+            Device::xc5vsx50t().idcode(),
+            Device::xc6vlx240t().idcode(),
+            Device::xc4vfx60().idcode(),
+        ];
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[1], ids[2]);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn geometry_frames_multiplies_out() {
+        let g = Geometry { rows: 2, majors: 3, minors: 5 };
+        assert_eq!(g.frames(), 30);
+        assert_eq!(Device::xc5vsx50t().frames(), 6 * 58 * 44);
+    }
+
+    #[test]
+    fn bram_capacity_covers_the_256kb_store() {
+        // UPaRC dedicates 256 KB of BRAM to bitstream storage; both paper
+        // devices must have at least that much on chip.
+        assert!(Device::xc5vsx50t().bram_bytes() >= 256 * 1024);
+        assert!(Device::xc6vlx240t().bram_bytes() >= 256 * 1024);
+    }
+
+    #[test]
+    fn v6_frames_are_larger_than_v5() {
+        let v5 = Device::xc5vsx50t();
+        let v6 = Device::xc6vlx240t();
+        assert!(v6.family().frame_bytes() > v5.family().frame_bytes());
+        assert!(v6.full_bitstream_bytes() > v5.full_bitstream_bytes());
+    }
+
+    #[test]
+    fn display_includes_family() {
+        assert_eq!(format!("{}", Device::xc5vsx50t()), "XC5VSX50T (Virtex-5)");
+    }
+}

@@ -1,0 +1,137 @@
+//! Frame ECC — Hamming SECDED over configuration frames.
+//!
+//! Virtex-5/-6 devices embed per-frame ECC (the `FRAME_ECC` primitive):
+//! each frame carries parity that lets configuration scrubbers detect and
+//! *locate* a single flipped bit without keeping a golden copy, and detect
+//! (but not correct) multi-bit upsets. The model stores the expected
+//! parity alongside each frame in [`crate::ConfigMemory`]; a radiation
+//! upset corrupts the data without updating the parity, which is exactly
+//! how the syndrome exposes it.
+//!
+//! Encoding: the syndrome's low bits are the XOR of `(bit index + 1)` over
+//! all set bits (a flipped bit at index *i* changes it by `i + 1`), and
+//! one extra overall-parity bit distinguishes single flips (overall parity
+//! changes) from double flips (it does not).
+
+/// Parity word of a frame: `(position parity, overall parity)` packed as
+/// `pos | (overall << 31)`.
+#[must_use]
+pub fn frame_parity(frame: &[u32]) -> u32 {
+    let mut pos = 0u32;
+    let mut overall = 0u32;
+    for (w, &word) in frame.iter().enumerate() {
+        let mut bits = word;
+        overall ^= word.count_ones() & 1;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            let index = (w as u32) * 32 + b;
+            pos ^= index + 1;
+            bits &= bits - 1;
+        }
+    }
+    pos | (overall << 31)
+}
+
+/// Outcome of an ECC check of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccStatus {
+    /// Parity matches: no upset.
+    Clean,
+    /// Exactly one bit flipped — located.
+    SingleBit {
+        /// Word index within the frame.
+        word: usize,
+        /// Bit index within the word.
+        bit: u32,
+    },
+    /// An even/multi-bit upset: detected but not locatable.
+    MultiBit,
+}
+
+/// Compares the stored parity of a frame against its current contents.
+#[must_use]
+pub fn check(frame: &[u32], stored_parity: u32) -> EccStatus {
+    let current = frame_parity(frame);
+    if current == stored_parity {
+        return EccStatus::Clean;
+    }
+    let pos_delta = (current ^ stored_parity) & 0x7FFF_FFFF;
+    let overall_changed = (current ^ stored_parity) >> 31 == 1;
+    if overall_changed && pos_delta >= 1 {
+        let index = pos_delta - 1;
+        let word = (index / 32) as usize;
+        let bit = index % 32;
+        if word < frame.len() {
+            return EccStatus::SingleBit { word, bit };
+        }
+    }
+    EccStatus::MultiBit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Vec<u32> {
+        (0..41u32).map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0x5A5A).collect()
+    }
+
+    #[test]
+    fn clean_frame_checks_clean() {
+        let f = frame();
+        let p = frame_parity(&f);
+        assert_eq!(check(&f, p), EccStatus::Clean);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_located_exactly() {
+        let golden = frame();
+        let p = frame_parity(&golden);
+        for word in [0usize, 1, 20, 40] {
+            for bit in [0u32, 1, 15, 31] {
+                let mut f = golden.clone();
+                f[word] ^= 1 << bit;
+                assert_eq!(
+                    check(&f, p),
+                    EccStatus::SingleBit { word, bit },
+                    "flip at {word}:{bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_flips_detected_as_multibit() {
+        let golden = frame();
+        let p = frame_parity(&golden);
+        let mut f = golden.clone();
+        f[3] ^= 1 << 4;
+        f[17] ^= 1 << 9;
+        assert_eq!(check(&f, p), EccStatus::MultiBit);
+        // Two flips in the same word too.
+        let mut f = golden.clone();
+        f[3] ^= (1 << 4) | (1 << 5);
+        assert_eq!(check(&f, p), EccStatus::MultiBit);
+    }
+
+    #[test]
+    fn parity_of_all_zero_frame_is_zero() {
+        let zeros = vec![0u32; 41];
+        assert_eq!(frame_parity(&zeros), 0);
+        // A flip in an all-zero frame is still located.
+        let mut f = zeros.clone();
+        f[10] ^= 1 << 7;
+        assert_eq!(
+            check(&f, frame_parity(&zeros)),
+            EccStatus::SingleBit { word: 10, bit: 7 }
+        );
+    }
+
+    #[test]
+    fn parity_is_content_sensitive() {
+        let a = frame_parity(&frame());
+        let mut other = frame();
+        other[0] = other[0].wrapping_add(1);
+        assert_ne!(a, frame_parity(&other));
+    }
+}

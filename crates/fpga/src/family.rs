@@ -1,0 +1,188 @@
+//! FPGA device families and their family-wide parameters.
+
+use uparc_sim::time::Frequency;
+
+/// A Xilinx FPGA family modeled by this crate.
+///
+/// The paper implements UPaRC on Virtex-5 and Virtex-6; Virtex-4 is included
+/// because two of the baseline controllers (BRAM_HWICAP and MST_ICAP, \[9\])
+/// were published on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Virtex-4 (90 nm).
+    Virtex4,
+    /// Virtex-5 (65 nm) — the ML506 platform, XC5VSX50T.
+    Virtex5,
+    /// Virtex-6 (40 nm) — the ML605 platform, XC6VLX240T.
+    Virtex6,
+}
+
+impl Family {
+    /// Process node in nanometres (paper §V discusses the 65 vs 40 nm
+    /// difference between the two measurement platforms).
+    #[must_use]
+    pub const fn process_nm(self) -> u32 {
+        match self {
+            Family::Virtex4 => 90,
+            Family::Virtex5 => 65,
+            Family::Virtex6 => 40,
+        }
+    }
+
+    /// Number of 32-bit words in one configuration frame.
+    #[must_use]
+    pub const fn frame_words(self) -> usize {
+        match self {
+            Family::Virtex4 | Family::Virtex5 => 41,
+            Family::Virtex6 => 81,
+        }
+    }
+
+    /// Bytes in one configuration frame.
+    #[must_use]
+    pub const fn frame_bytes(self) -> usize {
+        self.frame_words() * 4
+    }
+
+    /// 6-input LUTs (4-input on Virtex-4) per slice.
+    #[must_use]
+    pub const fn luts_per_slice(self) -> u32 {
+        match self {
+            Family::Virtex4 => 2,
+            Family::Virtex5 | Family::Virtex6 => 4,
+        }
+    }
+
+    /// Flip-flops per slice.
+    #[must_use]
+    pub const fn ffs_per_slice(self) -> u32 {
+        match self {
+            Family::Virtex4 => 2,
+            Family::Virtex5 => 4,
+            Family::Virtex6 => 8,
+        }
+    }
+
+    /// ICAP port width in bits (the ICAP primitive is configured for its
+    /// widest mode, as every fast controller does).
+    #[must_use]
+    pub const fn icap_width_bits(self) -> u32 {
+        32
+    }
+
+    /// Datasheet ICAP clock specification.
+    ///
+    /// All reviewed controllers exceed it; the interesting limit is
+    /// [`Family::icap_overclock_limit`].
+    #[must_use]
+    pub fn icap_spec_frequency(self) -> Frequency {
+        Frequency::from_mhz(100.0)
+    }
+
+    /// Empirical maximum reliable ICAP overclock (paper §IV): 362.5 MHz on
+    /// every tested Virtex-5 sample at 1 V / 20 °C; "a few MHz lower" on
+    /// Virtex-6 samples. Virtex-4 tracks its 90 nm process.
+    #[must_use]
+    pub fn icap_overclock_limit(self) -> Frequency {
+        match self {
+            Family::Virtex4 => Frequency::from_mhz(140.0),
+            Family::Virtex5 => Frequency::from_mhz(362.5),
+            Family::Virtex6 => Frequency::from_mhz(358.0),
+        }
+    }
+
+    /// Maximum *guaranteed* block-RAM frequency (paper §V cites 300 MHz as
+    /// the BRAM ceiling it sweeps Fig. 7 up to; \[14\]).
+    #[must_use]
+    pub fn bram_guaranteed_frequency(self) -> Frequency {
+        match self {
+            Family::Virtex4 => Frequency::from_mhz(250.0),
+            Family::Virtex5 | Family::Virtex6 => Frequency::from_mhz(300.0),
+        }
+    }
+
+    /// Empirical BRAM overclock ceiling reachable with UReC's custom burst
+    /// interface (§III-B: "higher than the maximum BRAM operating
+    /// frequency — 300 MHz").
+    #[must_use]
+    pub fn bram_overclock_limit(self) -> Frequency {
+        // The read path keeps up with the ICAP at its own ceiling.
+        self.icap_overclock_limit()
+    }
+
+    /// IDCODE family field (bits \[27:21\] of the device IDCODE).
+    #[must_use]
+    pub const fn idcode_family(self) -> u32 {
+        match self {
+            Family::Virtex4 => 0x08,
+            Family::Virtex5 => 0x14,
+            Family::Virtex6 => 0x21,
+        }
+    }
+
+    /// Marketing name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Family::Virtex4 => "Virtex-4",
+            Family::Virtex5 => "Virtex-5",
+            Family::Virtex6 => "Virtex-6",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_overclock_points() {
+        assert_eq!(
+            Family::Virtex5.icap_overclock_limit(),
+            Frequency::from_mhz(362.5)
+        );
+        // §IV: "362.5 MHz is not reliable [on V6], the maximum frequency
+        // seems to be few MHz lower".
+        assert!(Family::Virtex6.icap_overclock_limit() < Frequency::from_mhz(362.5));
+        assert!(Family::Virtex6.icap_overclock_limit() > Frequency::from_mhz(350.0));
+    }
+
+    #[test]
+    fn frame_geometry_differs_per_family() {
+        assert_eq!(Family::Virtex5.frame_words(), 41);
+        assert_eq!(Family::Virtex6.frame_words(), 81);
+        assert_eq!(Family::Virtex5.frame_bytes(), 164);
+    }
+
+    #[test]
+    fn slice_composition() {
+        assert_eq!(Family::Virtex5.luts_per_slice(), 4);
+        assert_eq!(Family::Virtex5.ffs_per_slice(), 4);
+        assert_eq!(Family::Virtex6.ffs_per_slice(), 8);
+    }
+
+    #[test]
+    fn process_nodes_match_paper() {
+        assert_eq!(Family::Virtex5.process_nm(), 65);
+        assert_eq!(Family::Virtex6.process_nm(), 40);
+    }
+
+    #[test]
+    fn bram_guaranteed_is_300mhz_on_measured_families() {
+        assert_eq!(
+            Family::Virtex5.bram_guaranteed_frequency(),
+            Frequency::from_mhz(300.0)
+        );
+        assert_eq!(
+            Family::Virtex6.bram_guaranteed_frequency(),
+            Frequency::from_mhz(300.0)
+        );
+        assert!(Family::Virtex5.bram_overclock_limit() > Frequency::from_mhz(300.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Structured frame addresses (the FAR register's bit fields).
+//!
+//! The ICAP model addresses frames by a flat index; real tools think in
+//! the FAR's structured fields (UG191 table 6-8): block type, top/bottom
+//! half, clock-region row, major column, minor frame. This module converts
+//! between the two against a device's [`Geometry`], and packs/unpacks the
+//! register encoding:
+//!
+//! ```text
+//! [23:21] block type   [20] bottom half   [19:15] row-in-half
+//! [14:7]  major column [6:0] minor frame
+//! ```
+//!
+//! Convention: global rows `0..ceil(rows/2)` are the top half (bit 20
+//! clear), the remainder the bottom half, each numbered from 0 within its
+//! half.
+
+use crate::device::Geometry;
+use crate::error::FpgaError;
+
+/// Block type field of a FAR (we model the CLB/interconnect plane; the
+/// other planes exist in the encoding for completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum BlockType {
+    /// CLB / interconnect / IO configuration.
+    #[default]
+    Interconnect = 0,
+    /// Block RAM content.
+    BramContent = 1,
+    /// Special frames (e.g. dynamic reconfiguration).
+    Special = 2,
+}
+
+impl BlockType {
+    /// Decodes the 3-bit field.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Option<BlockType> {
+        Some(match bits {
+            0 => BlockType::Interconnect,
+            1 => BlockType::BramContent,
+            2 => BlockType::Special,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured frame address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FrameAddress {
+    /// Configuration plane.
+    pub block: BlockType,
+    /// Bottom-half flag (bit 20).
+    pub bottom: bool,
+    /// Clock-region row within the half.
+    pub row: u32,
+    /// Major column.
+    pub major: u32,
+    /// Minor frame within the column.
+    pub minor: u32,
+}
+
+impl FrameAddress {
+    /// Builds the structured address of flat frame index `flat` in
+    /// `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] past the device.
+    pub fn from_flat(geometry: Geometry, flat: u32) -> Result<Self, FpgaError> {
+        if flat >= geometry.frames() {
+            return Err(FpgaError::FrameOutOfRange { far: flat, frames: geometry.frames() });
+        }
+        let minors = geometry.minors;
+        let majors = geometry.majors;
+        let minor = flat % minors;
+        let major = (flat / minors) % majors;
+        let global_row = flat / (minors * majors);
+        let top_rows = geometry.rows.div_ceil(2);
+        let (bottom, row) = if global_row < top_rows {
+            (false, global_row)
+        } else {
+            (true, global_row - top_rows)
+        };
+        Ok(FrameAddress { block: BlockType::Interconnect, bottom, row, major, minor })
+    }
+
+    /// The flat frame index of this address in `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] if a field exceeds the geometry.
+    pub fn to_flat(self, geometry: Geometry) -> Result<u32, FpgaError> {
+        let top_rows = geometry.rows.div_ceil(2);
+        let global_row = if self.bottom { top_rows + self.row } else { self.row };
+        if global_row >= geometry.rows
+            || self.major >= geometry.majors
+            || self.minor >= geometry.minors
+        {
+            return Err(FpgaError::FrameOutOfRange {
+                far: u32::MAX,
+                frames: geometry.frames(),
+            });
+        }
+        Ok((global_row * geometry.majors + self.major) * geometry.minors + self.minor)
+    }
+
+    /// Packs the FAR register encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its bit width (row 5 bits, major 8,
+    /// minor 7).
+    #[must_use]
+    pub fn encode(self) -> u32 {
+        assert!(self.row < 32, "row field is 5 bits");
+        assert!(self.major < 256, "major field is 8 bits");
+        assert!(self.minor < 128, "minor field is 7 bits");
+        ((self.block as u32) << 21)
+            | (u32::from(self.bottom) << 20)
+            | (self.row << 15)
+            | (self.major << 7)
+            | self.minor
+    }
+
+    /// Unpacks a FAR register value.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::MalformedPacket`] for a reserved block type or set
+    /// reserved bits.
+    pub fn decode(word: u32) -> Result<Self, FpgaError> {
+        if word >> 24 != 0 {
+            return Err(FpgaError::MalformedPacket { word });
+        }
+        let block = BlockType::from_bits((word >> 21) & 0x7)
+            .ok_or(FpgaError::MalformedPacket { word })?;
+        Ok(FrameAddress {
+            block,
+            bottom: (word >> 20) & 1 == 1,
+            row: (word >> 15) & 0x1F,
+            major: (word >> 7) & 0xFF,
+            minor: word & 0x7F,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    #[test]
+    fn flat_round_trips_over_the_whole_device() {
+        let g = Device::xc5vsx50t().geometry();
+        for flat in [0, 1, 43, 44, 2551, 2552, g.frames() / 2, g.frames() - 1] {
+            let fa = FrameAddress::from_flat(g, flat).unwrap();
+            assert_eq!(fa.to_flat(g).unwrap(), flat, "{fa:?}");
+        }
+        assert!(FrameAddress::from_flat(g, g.frames()).is_err());
+    }
+
+    #[test]
+    fn register_encoding_round_trips() {
+        let g = Device::xc6vlx240t().geometry();
+        for flat in (0..g.frames()).step_by(997) {
+            let fa = FrameAddress::from_flat(g, flat).unwrap();
+            let decoded = FrameAddress::decode(fa.encode()).unwrap();
+            assert_eq!(decoded, fa);
+        }
+    }
+
+    #[test]
+    fn half_split_follows_the_convention() {
+        // 6 rows on the V5: rows 0..3 top, 3..6 bottom.
+        let g = Device::xc5vsx50t().geometry();
+        let frames_per_row = g.majors * g.minors;
+        let top_last = FrameAddress::from_flat(g, 3 * frames_per_row - 1).unwrap();
+        assert!(!top_last.bottom);
+        assert_eq!(top_last.row, 2);
+        let bottom_first = FrameAddress::from_flat(g, 3 * frames_per_row).unwrap();
+        assert!(bottom_first.bottom);
+        assert_eq!(bottom_first.row, 0);
+    }
+
+    #[test]
+    fn malformed_register_values_rejected() {
+        assert!(FrameAddress::decode(1 << 24).is_err()); // reserved bits
+        assert!(FrameAddress::decode(0x7 << 21).is_err()); // block type 7
+        assert!(FrameAddress::decode(0).is_ok());
+    }
+
+    #[test]
+    fn out_of_geometry_fields_rejected() {
+        let g = Device::xc5vsx50t().geometry(); // 6 rows, 58 majors, 44 minors
+        let fa = FrameAddress {
+            block: BlockType::Interconnect,
+            bottom: false,
+            row: 0,
+            major: 60, // > 58
+            minor: 0,
+        };
+        assert!(fa.to_flat(g).is_err());
+    }
+
+    #[test]
+    fn adjacent_flat_addresses_differ_in_minor_first() {
+        let g = Device::xc5vsx50t().geometry();
+        let a = FrameAddress::from_flat(g, 100).unwrap();
+        let b = FrameAddress::from_flat(g, 101).unwrap();
+        assert_eq!(a.major, b.major);
+        assert_eq!(b.minor, a.minor + 1);
+    }
+}

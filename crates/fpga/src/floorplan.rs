@@ -1,0 +1,190 @@
+//! Floorplan management: multiple reconfigurable partitions on one device.
+//!
+//! Real systems floorplan several reconfigurable regions (the paper's
+//! decompressor slot is itself one, next to the application's partitions).
+//! The floorplan enforces the two static invariants a vendor flow would:
+//! partitions stay inside the device and never overlap — an overlap would
+//! let one module's bitstream clobber another's frames.
+
+use crate::device::Device;
+use crate::error::FpgaError;
+use crate::partition::Partition;
+use std::ops::Range;
+
+/// Identifier of a partition within a [`Floorplan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionId(usize);
+
+/// A device's set of reconfigurable partitions.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    device: Device,
+    partitions: Vec<Partition>,
+}
+
+impl Floorplan {
+    /// An empty floorplan for `device`.
+    #[must_use]
+    pub fn new(device: Device) -> Self {
+        Floorplan { device, partitions: Vec::new() }
+    }
+
+    /// The floorplanned device.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Adds a partition over `frames`.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] past the device,
+    /// [`FpgaError::PartitionOverlap`] if it intersects an existing
+    /// partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn add_partition(
+        &mut self,
+        name: &str,
+        frames: Range<u32>,
+    ) -> Result<PartitionId, FpgaError> {
+        assert!(!frames.is_empty(), "partition must span at least one frame");
+        if frames.end > self.device.frames() {
+            return Err(FpgaError::FrameOutOfRange {
+                far: frames.end - 1,
+                frames: self.device.frames(),
+            });
+        }
+        for existing in &self.partitions {
+            let e = existing.frames();
+            if frames.start < e.end && e.start < frames.end {
+                return Err(FpgaError::PartitionOverlap {
+                    new: name.to_owned(),
+                    existing: existing.name().to_owned(),
+                });
+            }
+        }
+        self.partitions.push(Partition::new(&self.device, name, frames));
+        Ok(PartitionId(self.partitions.len() - 1))
+    }
+
+    /// Immutable access to a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this floorplan.
+    #[must_use]
+    pub fn partition(&self, id: PartitionId) -> &Partition {
+        &self.partitions[id.0]
+    }
+
+    /// Mutable access to a partition (lifecycle updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this floorplan.
+    pub fn partition_mut(&mut self, id: PartitionId) -> &mut Partition {
+        &mut self.partitions[id.0]
+    }
+
+    /// Looks a partition up by name.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> Option<PartitionId> {
+        self.partitions
+            .iter()
+            .position(|p| p.name() == name)
+            .map(PartitionId)
+    }
+
+    /// Iterates over `(id, partition)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PartitionId, &Partition)> {
+        self.partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PartitionId(i), p))
+    }
+
+    /// Total frames under reconfigurable partitions.
+    #[must_use]
+    pub fn reconfigurable_frames(&self) -> u32 {
+        self.partitions.iter().map(Partition::frame_count).sum()
+    }
+
+    /// Picks the smallest *empty* partition that fits a module of
+    /// `frames_needed` frames (best-fit placement).
+    #[must_use]
+    pub fn place(&self, frames_needed: u32) -> Option<PartitionId> {
+        self.iter()
+            .filter(|(_, p)| {
+                matches!(p.state(), crate::partition::PartitionState::Empty)
+                    && p.frame_count() >= frames_needed
+            })
+            .min_by_key(|(_, p)| p.frame_count())
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uparc_sim::time::SimTime;
+
+    fn plan() -> Floorplan {
+        Floorplan::new(Device::xc5vsx50t())
+    }
+
+    #[test]
+    fn partitions_register_and_look_up() {
+        let mut fp = plan();
+        let a = fp.add_partition("rp0", 100..500).unwrap();
+        let b = fp.add_partition("rp1", 500..800).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fp.by_name("rp1"), Some(b));
+        assert_eq!(fp.by_name("nope"), None);
+        assert_eq!(fp.reconfigurable_frames(), 700);
+    }
+
+    #[test]
+    fn overlap_rejected_in_both_directions() {
+        let mut fp = plan();
+        fp.add_partition("rp0", 100..500).unwrap();
+        for bad in [50..150u32, 499..600, 200..300, 0..1000] {
+            assert!(
+                matches!(
+                    fp.add_partition("bad", bad.clone()),
+                    Err(FpgaError::PartitionOverlap { .. })
+                ),
+                "{bad:?}"
+            );
+        }
+        // Adjacent is fine.
+        assert!(fp.add_partition("rp1", 500..600).is_ok());
+    }
+
+    #[test]
+    fn out_of_device_rejected() {
+        let mut fp = plan();
+        let frames = fp.device().frames();
+        assert!(matches!(
+            fp.add_partition("big", 0..frames + 1),
+            Err(FpgaError::FrameOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn best_fit_placement_prefers_smallest_empty() {
+        let mut fp = plan();
+        let small = fp.add_partition("small", 0..200).unwrap();
+        let large = fp.add_partition("large", 200..1000).unwrap();
+        assert_eq!(fp.place(150), Some(small));
+        assert_eq!(fp.place(300), Some(large));
+        assert_eq!(fp.place(5000), None);
+        // Occupy the small one: a 150-frame module now lands in the large.
+        fp.partition_mut(small).begin_reconfiguration("m", SimTime::ZERO);
+        fp.partition_mut(small).finish_reconfiguration(SimTime::from_us(1));
+        assert_eq!(fp.place(150), Some(large));
+    }
+}

@@ -1,0 +1,402 @@
+//! The configuration stream format consumed by the ICAP.
+//!
+//! This is the packet-level protocol of UG191 ("Virtex-5 FPGA Configuration
+//! User Guide", reference \[5\] of the paper), modeled faithfully enough that
+//! the ICAP model is a real streaming parser and the bitstream crate a real
+//! generator: dummy/sync preamble, type-1/type-2 packet headers,
+//! configuration registers (FAR, FDRI, CMD, CRC, IDCODE, …) and commands
+//! (RCRC, WCFG, DESYNC, …).
+//!
+//! Simplifications versus real silicon are noted inline (no bus-width
+//! detection pattern, no pad frame after a row crossing, CRC-32C instead of
+//! the undocumented Xilinx polynomial). None of these affect the timing or
+//! power questions the paper asks.
+
+/// Dummy word preceding synchronisation.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+/// Synchronisation word: configuration data before it is ignored/refused.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+/// A type-1 NOOP packet.
+pub const NOOP: u32 = 0x2000_0000;
+
+/// Configuration registers addressable by packet headers (UG191 table 6-5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum ConfigRegister {
+    /// Cyclic redundancy check.
+    Crc = 0,
+    /// Frame address register.
+    Far = 1,
+    /// Frame data input (configuration data port).
+    Fdri = 2,
+    /// Frame data output (readback).
+    Fdro = 3,
+    /// Command register.
+    Cmd = 4,
+    /// Control register 0.
+    Ctl0 = 5,
+    /// Masking register for CTL.
+    Mask = 6,
+    /// Status register.
+    Stat = 7,
+    /// Legacy output register.
+    Lout = 8,
+    /// Configuration option register 0.
+    Cor0 = 9,
+    /// Multiple frame write register.
+    Mfwr = 10,
+    /// Initial CBC value register.
+    Cbc = 11,
+    /// Device ID register.
+    Idcode = 12,
+    /// User access register.
+    Axss = 13,
+}
+
+impl ConfigRegister {
+    /// Decodes a register address field.
+    #[must_use]
+    pub fn from_addr(addr: u32) -> Option<ConfigRegister> {
+        use ConfigRegister::*;
+        Some(match addr {
+            0 => Crc,
+            1 => Far,
+            2 => Fdri,
+            3 => Fdro,
+            4 => Cmd,
+            5 => Ctl0,
+            6 => Mask,
+            7 => Stat,
+            8 => Lout,
+            9 => Cor0,
+            10 => Mfwr,
+            11 => Cbc,
+            12 => Idcode,
+            13 => Axss,
+            _ => return None,
+        })
+    }
+
+    /// The register's address field value.
+    #[must_use]
+    pub const fn addr(self) -> u32 {
+        self as u32
+    }
+}
+
+/// Commands written to the CMD register (UG191 table 6-6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Command {
+    /// Null command.
+    Null = 0,
+    /// Write configuration data (enables FDRI writes).
+    Wcfg = 1,
+    /// Multiple frame write.
+    Mfw = 2,
+    /// Last frame.
+    Lfrm = 3,
+    /// Read configuration data.
+    Rcfg = 4,
+    /// Begin startup sequence.
+    Start = 5,
+    /// Reset capture.
+    Rcap = 6,
+    /// Reset CRC register.
+    Rcrc = 7,
+    /// Assert GHIGH (disable interconnect during config).
+    Aghigh = 8,
+    /// Switch clock source.
+    Switch = 9,
+    /// Pulse GRESTORE.
+    Grestore = 10,
+    /// Begin shutdown sequence.
+    Shutdown = 11,
+    /// Pulse GCAPTURE.
+    Gcapture = 12,
+    /// Desynchronise: the port ignores data until the next sync word.
+    Desync = 13,
+}
+
+impl Command {
+    /// Decodes a CMD register value.
+    #[must_use]
+    pub fn from_value(value: u32) -> Option<Command> {
+        use Command::*;
+        Some(match value {
+            0 => Null,
+            1 => Wcfg,
+            2 => Mfw,
+            3 => Lfrm,
+            4 => Rcfg,
+            5 => Start,
+            6 => Rcap,
+            7 => Rcrc,
+            8 => Aghigh,
+            9 => Switch,
+            10 => Grestore,
+            11 => Shutdown,
+            12 => Gcapture,
+            13 => Desync,
+            _ => return None,
+        })
+    }
+}
+
+/// Packet opcode field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// No operation.
+    Nop,
+    /// Register read.
+    Read,
+    /// Register write.
+    Write,
+}
+
+/// A decoded configuration packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packet {
+    /// Type-1: addresses a register, carries up to 2047 payload words.
+    Type1 {
+        /// Operation.
+        op: Opcode,
+        /// Addressed register.
+        reg: ConfigRegister,
+        /// Payload word count.
+        count: u32,
+    },
+    /// Type-2: extends the *previous* type-1's register with a large payload
+    /// (up to 2^27−1 words) — how real tools write the whole FDRI payload.
+    Type2 {
+        /// Operation.
+        op: Opcode,
+        /// Payload word count.
+        count: u32,
+    },
+}
+
+/// Maximum payload of a type-1 packet.
+pub const TYPE1_MAX_COUNT: u32 = 0x7FF;
+/// Maximum payload of a type-2 packet.
+pub const TYPE2_MAX_COUNT: u32 = 0x07FF_FFFF;
+
+const fn op_bits(op: Opcode) -> u32 {
+    match op {
+        Opcode::Nop => 0b00,
+        Opcode::Read => 0b01,
+        Opcode::Write => 0b10,
+    }
+}
+
+/// Encodes a type-1 packet header.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds [`TYPE1_MAX_COUNT`].
+#[must_use]
+pub fn type1(op: Opcode, reg: ConfigRegister, count: u32) -> u32 {
+    assert!(count <= TYPE1_MAX_COUNT, "type-1 payload too large: {count}");
+    (0b001 << 29) | (op_bits(op) << 27) | (reg.addr() << 13) | count
+}
+
+/// Encodes a type-2 packet header (register carried over from the previous
+/// type-1).
+///
+/// # Panics
+///
+/// Panics if `count` exceeds [`TYPE2_MAX_COUNT`].
+#[must_use]
+pub fn type2(op: Opcode, count: u32) -> u32 {
+    assert!(count <= TYPE2_MAX_COUNT, "type-2 payload too large: {count}");
+    (0b010 << 29) | (op_bits(op) << 27) | count
+}
+
+/// Decodes a packet header word.
+///
+/// Returns `None` for NOOPs (which carry no payload and no register) and
+/// `Some(Err(..))`-like semantics are avoided: malformed headers return
+/// `Err` through [`decode`]'s `Result`.
+pub fn decode(word: u32) -> Result<Option<Packet>, crate::error::FpgaError> {
+    let header_type = word >> 29;
+    let op = match (word >> 27) & 0b11 {
+        0b00 => Opcode::Nop,
+        0b01 => Opcode::Read,
+        0b10 => Opcode::Write,
+        _ => return Err(crate::error::FpgaError::MalformedPacket { word }),
+    };
+    match header_type {
+        0b001 => {
+            if matches!(op, Opcode::Nop) {
+                return Ok(None);
+            }
+            let addr = (word >> 13) & 0x3FFF;
+            let reg = ConfigRegister::from_addr(addr)
+                .ok_or(crate::error::FpgaError::UnknownRegister { addr })?;
+            Ok(Some(Packet::Type1 { op, reg, count: word & TYPE1_MAX_COUNT }))
+        }
+        0b010 => Ok(Some(Packet::Type2 { op, count: word & TYPE2_MAX_COUNT })),
+        _ => Err(crate::error::FpgaError::MalformedPacket { word }),
+    }
+}
+
+/// Running CRC over `(register, word)` pairs, as maintained by the
+/// configuration logic and checked on CRC-register writes.
+///
+/// Real Virtex devices use an undocumented 32-bit polynomial; we use CRC-32C
+/// (Castagnoli). The *protocol* — reset via RCRC, update on every register
+/// write, compare on CRC write — is the part that matters and is faithful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigCrc {
+    state: u32,
+}
+
+impl Default for ConfigCrc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const CRC32C_POLY: u32 = 0x82F6_3B78; // reflected 0x1EDC6F41
+
+impl ConfigCrc {
+    /// A freshly reset CRC (the RCRC command).
+    #[must_use]
+    pub fn new() -> Self {
+        ConfigCrc { state: 0xFFFF_FFFF }
+    }
+
+    /// Resets the running value (CMD = RCRC).
+    pub fn reset(&mut self) {
+        self.state = 0xFFFF_FFFF;
+    }
+
+    /// Absorbs one register write.
+    pub fn update(&mut self, reg: ConfigRegister, word: u32) {
+        for byte in word.to_le_bytes().into_iter().chain([reg.addr() as u8]) {
+            self.state ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (self.state & 1).wrapping_neg();
+                self.state = (self.state >> 1) ^ (CRC32C_POLY & mask);
+            }
+        }
+    }
+
+    /// The value a CRC-register write is compared against.
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type1_round_trips() {
+        let hdr = type1(Opcode::Write, ConfigRegister::Fdri, 0);
+        assert_eq!(
+            decode(hdr).unwrap(),
+            Some(Packet::Type1 { op: Opcode::Write, reg: ConfigRegister::Fdri, count: 0 })
+        );
+        let hdr = type1(Opcode::Write, ConfigRegister::Cmd, 1);
+        assert_eq!(
+            decode(hdr).unwrap(),
+            Some(Packet::Type1 { op: Opcode::Write, reg: ConfigRegister::Cmd, count: 1 })
+        );
+    }
+
+    #[test]
+    fn type2_round_trips_large_counts() {
+        // A full XC5VSX50T FDRI payload is ~626k words — needs type-2.
+        let hdr = type2(Opcode::Write, 626_000);
+        assert_eq!(
+            decode(hdr).unwrap(),
+            Some(Packet::Type2 { op: Opcode::Write, count: 626_000 })
+        );
+    }
+
+    #[test]
+    fn noop_decodes_to_none() {
+        assert_eq!(decode(NOOP).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        // Header type 0b111 does not exist.
+        let word = 0b111 << 29;
+        assert!(decode(word).is_err());
+        // Opcode 0b11 is reserved.
+        let word = (0b001 << 29) | (0b11 << 27);
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        let word = (0b001 << 29) | (0b10 << 27) | (99 << 13);
+        assert!(matches!(
+            decode(word),
+            Err(crate::error::FpgaError::UnknownRegister { addr: 99 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn type1_count_overflow_panics() {
+        let _ = type1(Opcode::Write, ConfigRegister::Fdri, TYPE1_MAX_COUNT + 1);
+    }
+
+    #[test]
+    fn all_registers_round_trip() {
+        for addr in 0..=13 {
+            let reg = ConfigRegister::from_addr(addr).unwrap();
+            assert_eq!(reg.addr(), addr);
+        }
+        assert!(ConfigRegister::from_addr(14).is_none());
+    }
+
+    #[test]
+    fn all_commands_round_trip() {
+        for v in 0..=13 {
+            let cmd = Command::from_value(v).unwrap();
+            assert_eq!(cmd as u32, v);
+        }
+        assert!(Command::from_value(14).is_none());
+    }
+
+    #[test]
+    fn crc_is_deterministic_and_order_sensitive() {
+        let mut a = ConfigCrc::new();
+        let mut b = ConfigCrc::new();
+        a.update(ConfigRegister::Far, 1);
+        a.update(ConfigRegister::Fdri, 2);
+        b.update(ConfigRegister::Fdri, 2);
+        b.update(ConfigRegister::Far, 1);
+        assert_ne!(a.value(), b.value(), "crc must be order-sensitive");
+        let mut c = ConfigCrc::new();
+        c.update(ConfigRegister::Far, 1);
+        c.update(ConfigRegister::Fdri, 2);
+        assert_eq!(a.value(), c.value(), "crc must be deterministic");
+    }
+
+    #[test]
+    fn crc_reset_restores_initial_state() {
+        let mut a = ConfigCrc::new();
+        let initial = a.value();
+        a.update(ConfigRegister::Cmd, 7);
+        assert_ne!(a.value(), initial);
+        a.reset();
+        assert_eq!(a.value(), initial);
+    }
+
+    #[test]
+    fn crc_distinguishes_register_from_data() {
+        // Same word written to two different registers must differ.
+        let mut a = ConfigCrc::new();
+        let mut b = ConfigCrc::new();
+        a.update(ConfigRegister::Far, 42);
+        b.update(ConfigRegister::Fdri, 42);
+        assert_ne!(a.value(), b.value());
+    }
+}

@@ -1,0 +1,495 @@
+//! The Internal Configuration Access Port (ICAP) model.
+//!
+//! ICAP is the hardwired primitive through which a design reconfigures its
+//! own device (paper Fig. 1). The model is a streaming parser: it accepts
+//! exactly **one 32-bit word per clock cycle** (the property every fast
+//! controller exploits — reconfiguration bandwidth is `4 bytes × f`), decodes
+//! the packet protocol of [`crate::format`], and commits configuration
+//! frames to a [`ConfigMemory`].
+//!
+//! Timing is externalised: callers count the words they pushed
+//! ([`Icap::words_consumed`]) and convert to time with the clock they drive
+//! the port at. [`Icap::set_frequency`] enforces the per-family overclock
+//! ceiling the paper established experimentally (§IV).
+
+use crate::config_mem::ConfigMemory;
+use crate::device::Device;
+use crate::error::FpgaError;
+use crate::format::{
+    decode, Command, ConfigCrc, ConfigRegister, Opcode, Packet, SYNC_WORD,
+};
+use uparc_sim::time::{Frequency, SimTime};
+
+/// Result of pushing one word: whether the stream reached DESYNC (end of a
+/// well-formed bitstream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcapStatus {
+    /// Port is waiting for a sync word.
+    Desynced,
+    /// Port is synchronised and parsing packets.
+    Synced,
+}
+
+/// The ICAP primitive attached to a device's configuration memory.
+///
+/// # Example
+///
+/// ```
+/// use uparc_fpga::{Device, Icap};
+/// use uparc_sim::time::Frequency;
+///
+/// let mut icap = Icap::new(Device::xc5vsx50t());
+/// icap.set_frequency(Frequency::from_mhz(362.5))?; // paper's maximum
+/// assert!(icap.set_frequency(Frequency::from_mhz(400.0)).is_err());
+/// # Ok::<(), uparc_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Icap {
+    device: Device,
+    cfg: ConfigMemory,
+    freq: Frequency,
+    status: IcapStatus,
+    crc: ConfigCrc,
+    /// Register addressed by the last type-1 header (type-2 extends it).
+    last_reg: Option<ConfigRegister>,
+    /// Payload words still owed to `pending_reg`.
+    pending_count: u32,
+    pending_reg: Option<ConfigRegister>,
+    /// Partial frame being assembled from FDRI words.
+    frame_buf: Vec<u32>,
+    far: u32,
+    wcfg_enabled: bool,
+    idcode_ok: bool,
+    words: u64,
+    frames_committed: u64,
+    /// Simple register file for the registers the model stores verbatim.
+    regs: [u32; 14],
+}
+
+impl Icap {
+    /// Creates a desynced ICAP for `device`, clocked at the datasheet
+    /// specification frequency.
+    #[must_use]
+    pub fn new(device: Device) -> Self {
+        let cfg = ConfigMemory::for_device(&device);
+        let freq = device.family().icap_spec_frequency();
+        let frame_words = device.family().frame_words();
+        Icap {
+            device,
+            cfg,
+            freq,
+            status: IcapStatus::Desynced,
+            crc: ConfigCrc::new(),
+            last_reg: None,
+            pending_count: 0,
+            pending_reg: None,
+            frame_buf: Vec::with_capacity(frame_words),
+            far: 0,
+            wcfg_enabled: false,
+            idcode_ok: false,
+            words: 0,
+            frames_committed: 0,
+            regs: [0; 14],
+        }
+    }
+
+    /// The device this port belongs to.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Current port clock.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+
+    /// Sets the port clock.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrequencyTooHigh`] above the family's empirically
+    /// reliable ceiling (V5: 362.5 MHz; V6: 358 MHz — §IV).
+    pub fn set_frequency(&mut self, freq: Frequency) -> Result<(), FpgaError> {
+        let max = self.device.family().icap_overclock_limit();
+        if freq > max {
+            return Err(FpgaError::FrequencyTooHigh { requested: freq, max });
+        }
+        self.freq = freq;
+        Ok(())
+    }
+
+    /// Theoretical reconfiguration bandwidth at the current clock, in
+    /// bytes/second (`4 × f` — the "Theoretical Bandwidth" plane of Fig. 5).
+    #[must_use]
+    pub fn theoretical_bandwidth(&self) -> f64 {
+        4.0 * self.freq.as_hz() as f64
+    }
+
+    /// Synchronisation status.
+    #[must_use]
+    pub fn status(&self) -> IcapStatus {
+        self.status
+    }
+
+    /// Total words clocked into the port (one per cycle).
+    #[must_use]
+    pub fn words_consumed(&self) -> u64 {
+        self.words
+    }
+
+    /// Frames committed to configuration memory.
+    #[must_use]
+    pub fn frames_committed(&self) -> u64 {
+        self.frames_committed
+    }
+
+    /// Time spent consuming `words` at the current clock (1 word/cycle).
+    #[must_use]
+    pub fn transfer_time(&self, words: u64) -> SimTime {
+        self.freq.time_of_cycles(words)
+    }
+
+    /// The configuration memory behind the port.
+    #[must_use]
+    pub fn config_memory(&self) -> &ConfigMemory {
+        &self.cfg
+    }
+
+    /// Reads back `frames` frames starting at `far` (the RCFG/FDRO path).
+    /// Readback consumes one port cycle per word, like configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] if the range leaves the device.
+    pub fn readback(&mut self, far: u32, frames: u32) -> Result<Vec<u32>, FpgaError> {
+        let fw = self.cfg.frame_words();
+        let mut out = Vec::with_capacity(frames as usize * fw);
+        for i in 0..frames {
+            out.extend_from_slice(self.cfg.read_frame(far + i)?);
+        }
+        self.words += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Injects a single-event upset: flips `bit` of word `word_idx` in
+    /// frame `far` — the radiation fault model behind the scrubbing
+    /// experiments (the fault-tolerance motivation of the paper's §I).
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] for an address outside the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx` or `bit` exceed the frame geometry.
+    pub fn inject_upset(&mut self, far: u32, word_idx: usize, bit: u32) -> Result<(), FpgaError> {
+        // Radiation flips the bit but does not update the frame's ECC
+        // parity — that asymmetry is what the syndrome check detects.
+        self.cfg.corrupt_bit(far, word_idx, bit)
+    }
+
+    /// Consumes the whole `words` slice, one word per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first protocol error (see [`Icap::write_word`]).
+    pub fn write_words(&mut self, words: &[u32]) -> Result<(), FpgaError> {
+        for &w in words {
+            self.write_word(w)?;
+        }
+        Ok(())
+    }
+
+    /// Clocks one 32-bit word into the port.
+    ///
+    /// # Errors
+    ///
+    /// * [`FpgaError::WrongDevice`] — IDCODE mismatch.
+    /// * [`FpgaError::CrcMismatch`] — bad checksum word.
+    /// * [`FpgaError::FrameOutOfRange`] — FDRI ran past the device.
+    /// * [`FpgaError::MalformedPacket`] / [`FpgaError::UnknownRegister`] /
+    ///   [`FpgaError::UnknownCommand`] — protocol violations.
+    /// * [`FpgaError::TruncatedStream`] — DESYNC with a partial frame
+    ///   buffered.
+    pub fn write_word(&mut self, word: u32) -> Result<(), FpgaError> {
+        self.words += 1;
+        if self.status == IcapStatus::Desynced {
+            if word == SYNC_WORD {
+                self.status = IcapStatus::Synced;
+            }
+            // Dummy words and anything else pre-sync are ignored.
+            return Ok(());
+        }
+        if self.pending_count > 0 {
+            let reg = self.pending_reg.expect("pending payload implies a register");
+            self.pending_count -= 1;
+            return self.register_write(reg, word);
+        }
+        match decode(word)? {
+            None => Ok(()), // NOOP
+            Some(Packet::Type1 { op, reg, count }) => {
+                self.last_reg = Some(reg);
+                match op {
+                    Opcode::Write => {
+                        self.pending_reg = Some(reg);
+                        self.pending_count = count;
+                        Ok(())
+                    }
+                    // Readback is modeled at the ConfigMemory level; a read
+                    // request through the write port carries no payload.
+                    Opcode::Read | Opcode::Nop => Ok(()),
+                }
+            }
+            Some(Packet::Type2 { op, count }) => {
+                let reg = self
+                    .last_reg
+                    .ok_or(FpgaError::MalformedPacket { word })?;
+                if matches!(op, Opcode::Write) {
+                    self.pending_reg = Some(reg);
+                    self.pending_count = count;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn register_write(&mut self, reg: ConfigRegister, word: u32) -> Result<(), FpgaError> {
+        // Every register write except the CRC check itself feeds the CRC.
+        if reg != ConfigRegister::Crc {
+            self.crc.update(reg, word);
+        }
+        match reg {
+            ConfigRegister::Idcode => {
+                if word != self.device.idcode() {
+                    return Err(FpgaError::WrongDevice {
+                        expected: self.device.idcode(),
+                        got: word,
+                    });
+                }
+                self.idcode_ok = true;
+                self.regs[reg.addr() as usize] = word;
+                Ok(())
+            }
+            ConfigRegister::Far => {
+                self.far = word;
+                self.frame_buf.clear();
+                self.regs[reg.addr() as usize] = word;
+                Ok(())
+            }
+            ConfigRegister::Fdri => {
+                if !self.wcfg_enabled {
+                    // FDRI data without WCFG is a protocol violation.
+                    return Err(FpgaError::MalformedPacket { word });
+                }
+                self.frame_buf.push(word);
+                if self.frame_buf.len() == self.cfg.frame_words() {
+                    self.cfg.write_frame(self.far, &self.frame_buf)?;
+                    self.frames_committed += 1;
+                    self.far += 1;
+                    self.frame_buf.clear();
+                }
+                Ok(())
+            }
+            ConfigRegister::Cmd => {
+                let cmd = Command::from_value(word)
+                    .ok_or(FpgaError::UnknownCommand { value: word })?;
+                match cmd {
+                    Command::Rcrc => self.crc.reset(),
+                    Command::Wcfg => self.wcfg_enabled = true,
+                    Command::Desync => {
+                        if !self.frame_buf.is_empty() {
+                            return Err(FpgaError::TruncatedStream);
+                        }
+                        self.status = IcapStatus::Desynced;
+                        self.wcfg_enabled = false;
+                        self.pending_count = 0;
+                        self.pending_reg = None;
+                        self.last_reg = None;
+                    }
+                    // Startup/housekeeping commands are accepted as no-ops.
+                    _ => {}
+                }
+                self.regs[reg.addr() as usize] = word;
+                Ok(())
+            }
+            ConfigRegister::Crc => {
+                let computed = self.crc.value();
+                if word != computed {
+                    return Err(FpgaError::CrcMismatch { computed, expected: word });
+                }
+                Ok(())
+            }
+            // Stored verbatim; sufficient for the experiments.
+            other => {
+                self.regs[other.addr() as usize] = word;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{type1, type2, DUMMY_WORD, NOOP};
+
+    fn icap() -> Icap {
+        Icap::new(Device::xc5vsx50t())
+    }
+
+    /// Builds a minimal well-formed partial bitstream configuring `frames`
+    /// frames starting at `far`, each filled with `far+i`.
+    fn mini_stream(dev: &Device, far: u32, frames: u32) -> Vec<u32> {
+        let fw = dev.family().frame_words() as u32;
+        let mut v = vec![DUMMY_WORD, SYNC_WORD, NOOP];
+        let mut crc = ConfigCrc::new();
+        let push = |v: &mut Vec<u32>, reg: ConfigRegister, w: u32, crc: &mut ConfigCrc| {
+            v.push(type1(Opcode::Write, reg, 1));
+            v.push(w);
+            crc.update(reg, w);
+        };
+        push(&mut v, ConfigRegister::Cmd, Command::Rcrc as u32, &mut crc);
+        crc.reset();
+        push(&mut v, ConfigRegister::Idcode, dev.idcode(), &mut crc);
+        push(&mut v, ConfigRegister::Cmd, Command::Wcfg as u32, &mut crc);
+        push(&mut v, ConfigRegister::Far, far, &mut crc);
+        v.push(type1(Opcode::Write, ConfigRegister::Fdri, 0));
+        v.push(type2(Opcode::Write, frames * fw));
+        for i in 0..frames {
+            for _ in 0..fw {
+                v.push(far + i);
+                crc.update(ConfigRegister::Fdri, far + i);
+            }
+        }
+        v.push(type1(Opcode::Write, ConfigRegister::Crc, 1));
+        v.push(crc.value());
+        crc.update(ConfigRegister::Cmd, Command::Desync as u32);
+        v.push(type1(Opcode::Write, ConfigRegister::Cmd, 1));
+        v.push(Command::Desync as u32);
+        v
+    }
+
+    #[test]
+    fn parses_a_minimal_partial_bitstream() {
+        let dev = Device::xc5vsx50t();
+        let mut icap = icap();
+        let words = mini_stream(&dev, 700, 3);
+        icap.write_words(&words).unwrap();
+        assert_eq!(icap.frames_committed(), 3);
+        assert_eq!(icap.status(), IcapStatus::Desynced);
+        for i in 0..3 {
+            let frame = icap.config_memory().read_frame(700 + i).unwrap();
+            assert!(frame.iter().all(|&w| w == 700 + i));
+        }
+        assert_eq!(icap.words_consumed(), words.len() as u64);
+    }
+
+    #[test]
+    fn data_before_sync_is_ignored() {
+        let mut icap = icap();
+        icap.write_words(&[DUMMY_WORD, 0x1234_5678, DUMMY_WORD]).unwrap();
+        assert_eq!(icap.status(), IcapStatus::Desynced);
+        icap.write_word(SYNC_WORD).unwrap();
+        assert_eq!(icap.status(), IcapStatus::Synced);
+    }
+
+    #[test]
+    fn wrong_idcode_rejected() {
+        let dev = Device::xc5vsx50t();
+        let mut icap = Icap::new(Device::xc6vlx240t());
+        let words = mini_stream(&dev, 0, 1);
+        let err = icap.write_words(&words).unwrap_err();
+        assert!(matches!(err, FpgaError::WrongDevice { .. }));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let dev = Device::xc5vsx50t();
+        let mut icap = icap();
+        let mut words = mini_stream(&dev, 10, 2);
+        // Flip one bit in the middle of the FDRI payload.
+        let idx = words.len() - 10;
+        words[idx] ^= 1;
+        let err = icap.write_words(&words).unwrap_err();
+        assert!(matches!(err, FpgaError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn fdri_without_wcfg_rejected() {
+        let mut icap = icap();
+        icap.write_word(SYNC_WORD).unwrap();
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Fdri, 1)).unwrap();
+        assert!(icap.write_word(0xDEAD_BEEF).is_err());
+    }
+
+    #[test]
+    fn fdri_past_end_of_device_rejected() {
+        let dev = Device::xc5vsx50t();
+        let last = dev.frames() - 1;
+        let mut icap = icap();
+        let words = mini_stream(&dev, last, 2); // second frame runs off the end
+        let err = icap.write_words(&words).unwrap_err();
+        assert!(matches!(err, FpgaError::FrameOutOfRange { .. }));
+    }
+
+    #[test]
+    fn desync_with_partial_frame_is_truncation() {
+        let dev = Device::xc5vsx50t();
+        let mut icap = icap();
+        icap.write_word(SYNC_WORD).unwrap();
+        for (reg, val) in [
+            (ConfigRegister::Idcode, dev.idcode()),
+            (ConfigRegister::Cmd, Command::Wcfg as u32),
+            (ConfigRegister::Far, 0),
+        ] {
+            icap.write_word(type1(Opcode::Write, reg, 1)).unwrap();
+            icap.write_word(val).unwrap();
+        }
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Fdri, 5)).unwrap();
+        for i in 0..5 {
+            icap.write_word(i).unwrap(); // 5 of 41 words: partial frame
+        }
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Cmd, 1)).unwrap();
+        let err = icap.write_word(Command::Desync as u32).unwrap_err();
+        assert_eq!(err, FpgaError::TruncatedStream);
+    }
+
+    #[test]
+    fn frequency_limits_enforced_per_family() {
+        let mut v5 = Icap::new(Device::xc5vsx50t());
+        assert!(v5.set_frequency(Frequency::from_mhz(362.5)).is_ok());
+        assert!(v5.set_frequency(Frequency::from_mhz(363.0)).is_err());
+        // §IV: 362.5 MHz "is not reliable" on the tested Virtex-6 samples.
+        let mut v6 = Icap::new(Device::xc6vlx240t());
+        assert!(v6.set_frequency(Frequency::from_mhz(362.5)).is_err());
+        assert!(v6.set_frequency(Frequency::from_mhz(355.0)).is_ok());
+    }
+
+    #[test]
+    fn theoretical_bandwidth_is_4_bytes_per_cycle() {
+        let mut icap = icap();
+        icap.set_frequency(Frequency::from_mhz(362.5)).unwrap();
+        assert!((icap.theoretical_bandwidth() - 1.45e9).abs() < 1.0);
+        icap.set_frequency(Frequency::from_mhz(100.0)).unwrap();
+        assert!((icap.theoretical_bandwidth() - 400e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_matches_word_count() {
+        let mut icap = icap();
+        icap.set_frequency(Frequency::from_mhz(100.0)).unwrap();
+        // 1000 words at 100 MHz = 10 µs.
+        assert_eq!(icap.transfer_time(1000), SimTime::from_us(10));
+    }
+
+    #[test]
+    fn resync_after_desync_allows_second_reconfiguration() {
+        let dev = Device::xc5vsx50t();
+        let mut icap = icap();
+        icap.write_words(&mini_stream(&dev, 0, 1)).unwrap();
+        icap.write_words(&mini_stream(&dev, 40, 2)).unwrap();
+        assert_eq!(icap.frames_committed(), 3);
+    }
+}

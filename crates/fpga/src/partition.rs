@@ -1,0 +1,199 @@
+//! Reconfigurable partitions and their lifecycle.
+//!
+//! Partial reconfiguration targets a *partition*: a floorplanned region
+//! whose frames can be rewritten while the rest of the device keeps running.
+//! The paper's motivation (§I) is that the partition is **inactive during
+//! reconfiguration** — which is exactly why reconfiguration speed matters.
+//! The model tracks that lifecycle so schedulers (and tests) can reason
+//! about module downtime.
+
+use crate::device::Device;
+use std::ops::Range;
+use uparc_sim::time::SimTime;
+
+/// State of a reconfigurable partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionState {
+    /// No module configured (blank frames).
+    Empty,
+    /// A module is configured and running.
+    Active {
+        /// Name of the configured module.
+        module: String,
+    },
+    /// A reconfiguration is in flight — the region is unusable.
+    Reconfiguring {
+        /// Name of the incoming module.
+        module: String,
+        /// When the reconfiguration started.
+        since: SimTime,
+    },
+}
+
+/// A floorplanned reconfigurable region of a device.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    name: String,
+    frames: Range<u32>,
+    state: PartitionState,
+    /// Accumulated time spent unusable (reconfiguring).
+    downtime: SimTime,
+}
+
+impl Partition {
+    /// Creates an empty partition over the frame range `frames`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the device's frame count.
+    #[must_use]
+    pub fn new(device: &Device, name: &str, frames: Range<u32>) -> Self {
+        assert!(!frames.is_empty(), "partition must span at least one frame");
+        assert!(
+            frames.end <= device.frames(),
+            "partition {:?} exceeds device ({} frames)",
+            frames,
+            device.frames()
+        );
+        Partition {
+            name: name.to_owned(),
+            frames,
+            state: PartitionState::Empty,
+            downtime: SimTime::ZERO,
+        }
+    }
+
+    /// Partition name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Frame address range.
+    #[must_use]
+    pub fn frames(&self) -> Range<u32> {
+        self.frames.clone()
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn frame_count(&self) -> u32 {
+        self.frames.end - self.frames.start
+    }
+
+    /// Size of this partition's configuration payload in bytes, given the
+    /// device family frame size.
+    #[must_use]
+    pub fn payload_bytes(&self, device: &Device) -> usize {
+        self.frame_count() as usize * device.family().frame_bytes()
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> &PartitionState {
+        &self.state
+    }
+
+    /// Total time this partition has spent reconfiguring.
+    #[must_use]
+    pub fn downtime(&self) -> SimTime {
+        self.downtime
+    }
+
+    /// Whether a module is currently usable.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        matches!(self.state, PartitionState::Active { .. })
+    }
+
+    /// Begins a reconfiguration: the region becomes unusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reconfiguration is already in flight.
+    pub fn begin_reconfiguration(&mut self, module: &str, at: SimTime) {
+        assert!(
+            !matches!(self.state, PartitionState::Reconfiguring { .. }),
+            "partition {} is already reconfiguring",
+            self.name
+        );
+        self.state = PartitionState::Reconfiguring { module: module.to_owned(), since: at };
+    }
+
+    /// Completes the in-flight reconfiguration; the new module is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no reconfiguration is in flight or `at` precedes its start.
+    pub fn finish_reconfiguration(&mut self, at: SimTime) {
+        match std::mem::replace(&mut self.state, PartitionState::Empty) {
+            PartitionState::Reconfiguring { module, since } => {
+                assert!(at >= since, "finish precedes start");
+                self.downtime += at - since;
+                self.state = PartitionState::Active { module };
+            }
+            other => {
+                self.state = other;
+                panic!("partition {} has no reconfiguration in flight", self.name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition() -> (Device, Partition) {
+        let dev = Device::xc5vsx50t();
+        let p = Partition::new(&dev, "rp0", 1000..1386);
+        (dev, p)
+    }
+
+    #[test]
+    fn payload_matches_frame_range() {
+        let (dev, p) = partition();
+        assert_eq!(p.frame_count(), 386);
+        // 386 frames x 164 B = 63304 B ≈ 61.8 KiB — a mid-size partial
+        // bitstream on the Fig. 5 axis.
+        assert_eq!(p.payload_bytes(&dev), 386 * 164);
+    }
+
+    #[test]
+    fn lifecycle_tracks_downtime() {
+        let (_, mut p) = partition();
+        assert!(!p.is_active());
+        p.begin_reconfiguration("fir-filter", SimTime::from_us(100));
+        assert!(matches!(p.state(), PartitionState::Reconfiguring { .. }));
+        p.finish_reconfiguration(SimTime::from_us(280)); // 180 µs, cf. Fig. 7
+        assert!(p.is_active());
+        assert_eq!(p.downtime(), SimTime::from_us(180));
+        // A second swap accumulates.
+        p.begin_reconfiguration("fft", SimTime::from_ms(1));
+        p.finish_reconfiguration(SimTime::from_ms(1) + SimTime::from_us(20));
+        assert_eq!(p.downtime(), SimTime::from_us(200));
+        assert!(matches!(p.state(), PartitionState::Active { module } if module == "fft"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already reconfiguring")]
+    fn double_begin_panics() {
+        let (_, mut p) = partition();
+        p.begin_reconfiguration("a", SimTime::ZERO);
+        p.begin_reconfiguration("b", SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reconfiguration in flight")]
+    fn finish_without_begin_panics() {
+        let (_, mut p) = partition();
+        p.finish_reconfiguration(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device")]
+    fn oversized_partition_rejected() {
+        let dev = Device::xc5vsx50t();
+        let _ = Partition::new(&dev, "huge", 0..dev.frames() + 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-device maximum-frequency variation and overclock screening.
+//!
+//! The paper's §IV reports a screening experiment: "UPaRC is tested on
+//! several Virtex-5 XC5VSX50T FPGAs and 362.5 MHz is a successful
+//! reconfiguration frequency in our working conditions (default core
+//! voltage 1 V, ambient temperature 20 °C). Tests under the same
+//! conditions on a few Virtex-6 XC6VLX240T show that 362.5 MHz is not
+//! reliable, the maximum frequency seems to be few MHz lower. Experiments
+//! are underway on a larger number of samples…"
+//!
+//! This module is that larger-number-of-samples experiment: a seeded
+//! Monte-Carlo model of per-sample ICAP overclock headroom. Each family's
+//! [`crate::Family::icap_overclock_limit`] is treated as the *screened
+//! minimum* — every sample's true ceiling sits at or (slightly) above it,
+//! with a half-normal margin modeling process variation.
+
+use crate::family::Family;
+use uparc_sim::time::Frequency;
+
+/// One physical device sample with its true ICAP ceiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSample {
+    /// Sample index within its lot.
+    pub id: u32,
+    /// The sample's true maximum reliable ICAP frequency.
+    pub icap_fmax: Frequency,
+}
+
+impl DeviceSample {
+    /// Whether the sample sustains reconfiguration at `f`.
+    #[must_use]
+    pub fn passes_at(&self, f: Frequency) -> bool {
+        f <= self.icap_fmax
+    }
+}
+
+/// A lot of device samples of one family (deterministic in the seed).
+#[derive(Debug, Clone)]
+pub struct SampleLot {
+    family: Family,
+    samples: Vec<DeviceSample>,
+}
+
+impl SampleLot {
+    /// Draws `count` samples. The margin above the screened minimum is
+    /// half-normal with a ~1% scale (a few MHz at these clocks), matching
+    /// the paper's observation that the limit is reproducible across
+    /// samples of a family.
+    #[must_use]
+    pub fn draw(family: Family, count: u32, seed: u64) -> Self {
+        let nominal = family.icap_overclock_limit().as_hz() as f64;
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // xorshift64* — good enough for a margin model, no rand dep.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let samples = (0..count)
+            .map(|id| {
+                // Sum of 4 uniforms ≈ gaussian; fold to half-normal.
+                let g: f64 = (0..4)
+                    .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+                    .sum::<f64>()
+                    / 2.0;
+                let margin = g.abs() * 0.02; // σ ≈ 1% of nominal
+                let fmax = nominal * (1.0 + margin);
+                DeviceSample { id, icap_fmax: Frequency::from_hz(fmax as u64) }
+            })
+            .collect();
+        SampleLot { family, samples }
+    }
+
+    /// The lot's family.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The drawn samples.
+    #[must_use]
+    pub fn samples(&self) -> &[DeviceSample] {
+        &self.samples
+    }
+
+    /// Screens the lot at frequency `f`.
+    #[must_use]
+    pub fn screen(&self, f: Frequency) -> ScreeningReport {
+        let passed = self.samples.iter().filter(|s| s.passes_at(f)).count() as u32;
+        let min_fmax = self
+            .samples
+            .iter()
+            .map(|s| s.icap_fmax)
+            .min()
+            .unwrap_or(f);
+        ScreeningReport {
+            frequency: f,
+            total: self.samples.len() as u32,
+            passed,
+            min_fmax,
+        }
+    }
+}
+
+/// Outcome of screening a lot at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScreeningReport {
+    /// The screened frequency.
+    pub frequency: Frequency,
+    /// Samples in the lot.
+    pub total: u32,
+    /// Samples that sustain the frequency.
+    pub passed: u32,
+    /// The weakest sample's ceiling.
+    pub min_fmax: Frequency,
+}
+
+impl ScreeningReport {
+    /// Pass rate in `[0, 1]`.
+    #[must_use]
+    pub fn yield_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        f64::from(self.passed) / f64::from(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_v5_samples_pass_at_362_5() {
+        // §IV: every tested XC5VSX50T sustained 362.5 MHz.
+        let lot = SampleLot::draw(Family::Virtex5, 1000, 1);
+        let report = lot.screen(Frequency::from_mhz(362.5));
+        assert_eq!(report.passed, report.total);
+        assert!(report.min_fmax >= Frequency::from_mhz(362.5));
+    }
+
+    #[test]
+    fn v6_samples_fail_at_362_5_but_pass_a_few_mhz_lower() {
+        // §IV: "362.5 MHz is not reliable [on V6], the maximum frequency
+        // seems to be few MHz lower".
+        let lot = SampleLot::draw(Family::Virtex6, 1000, 2);
+        let at_v5_point = lot.screen(Frequency::from_mhz(362.5));
+        assert!(at_v5_point.yield_fraction() < 0.5, "most V6 samples fail");
+        let a_few_lower = lot.screen(Frequency::from_mhz(358.0));
+        assert_eq!(a_few_lower.passed, a_few_lower.total);
+        // "A few MHz": the V6 shortfall is single-digit MHz, not tens.
+        let shortfall = 362.5 - at_v5_point.min_fmax.as_mhz();
+        assert!(shortfall > 0.0 && shortfall < 10.0, "shortfall {shortfall:.1} MHz");
+    }
+
+    #[test]
+    fn lots_are_deterministic_in_seed() {
+        let a = SampleLot::draw(Family::Virtex5, 50, 7);
+        let b = SampleLot::draw(Family::Virtex5, 50, 7);
+        let c = SampleLot::draw(Family::Virtex5, 50, 8);
+        assert_eq!(a.samples(), b.samples());
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn margins_are_small_and_nonnegative() {
+        let lot = SampleLot::draw(Family::Virtex5, 500, 3);
+        let nominal = Family::Virtex5.icap_overclock_limit();
+        for s in lot.samples() {
+            assert!(s.icap_fmax >= nominal);
+            assert!(s.icap_fmax.as_mhz() < nominal.as_mhz() * 1.03, "{}", s.icap_fmax);
+        }
+    }
+
+    #[test]
+    fn screening_yield_is_monotone_in_frequency() {
+        let lot = SampleLot::draw(Family::Virtex5, 200, 4);
+        let mut last = 1.0;
+        for mhz in [362.5, 364.0, 366.0, 370.0, 380.0] {
+            let y = lot.screen(Frequency::from_mhz(mhz)).yield_fraction();
+            assert!(y <= last, "{mhz}: {y}");
+            last = y;
+        }
+        assert!(last < 0.05, "far above nominal almost nothing passes");
+    }
+}

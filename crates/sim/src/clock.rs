@@ -1,0 +1,358 @@
+//! Clock domains with runtime frequency scaling, and multi-rate edge merging.
+//!
+//! UPaRC's DyCloGen retunes the reconfiguration clock while the rest of the
+//! system keeps running; [`ClockDomain`] therefore supports changing the
+//! frequency *mid-simulation* without perturbing edges already produced, by
+//! re-anchoring the cycle counter at the change point.
+
+use crate::time::{Frequency, SimTime};
+use std::fmt;
+
+/// Identifier of a clock domain inside a [`MultiClock`].
+///
+/// The UPaRC system uses three: `CLK_1` (preload), `CLK_2` (reconfiguration)
+/// and `CLK_3` (decompressor); plus the manager's own system clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockId(pub usize);
+
+impl fmt::Display for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// A clock domain: a frequency, an enable gate, and a cycle counter.
+///
+/// Edges are numbered from 0; edge `n` occurs at
+/// `anchor_time + (n - anchor_cycle + 1) / f` relative to the most recent
+/// frequency change ("anchor"). Frequency changes and gating re-anchor, so
+/// past edges are never rewritten.
+///
+/// # Example
+///
+/// ```
+/// use uparc_sim::clock::ClockDomain;
+/// use uparc_sim::time::{Frequency, SimTime};
+///
+/// let mut clk = ClockDomain::new(Frequency::from_mhz(100.0));
+/// assert_eq!(clk.next_edge(), SimTime::from_ns(10));
+/// clk.advance_edges(9); // consume edges up to 100 ns
+/// // Retune to 200 MHz at 100 ns (what DyCloGen does through the DRP).
+/// clk.set_frequency_at(SimTime::from_ns(100), Frequency::from_mhz(200.0));
+/// assert_eq!(clk.next_edge(), SimTime::from_ns(105));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockDomain {
+    freq: Frequency,
+    /// Time of the most recent re-anchor (start, gate toggle or retune).
+    anchor: SimTime,
+    /// Edges produced before the anchor.
+    edges_before_anchor: u64,
+    /// Edges produced since the anchor.
+    edges_since_anchor: u64,
+    enabled: bool,
+}
+
+impl ClockDomain {
+    /// Creates an enabled clock domain starting at time zero.
+    #[must_use]
+    pub fn new(freq: Frequency) -> Self {
+        ClockDomain {
+            freq,
+            anchor: SimTime::ZERO,
+            edges_before_anchor: 0,
+            edges_since_anchor: 0,
+            enabled: true,
+        }
+    }
+
+    /// The current frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+
+    /// Whether the clock is currently running (not gated).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total edges produced so far.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.edges_before_anchor + self.edges_since_anchor
+    }
+
+    /// Time of the next rising edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is gated off — a gated clock has no next edge;
+    /// check [`ClockDomain::is_enabled`] first.
+    #[must_use]
+    pub fn next_edge(&self) -> SimTime {
+        assert!(self.enabled, "gated clock has no next edge");
+        self.anchor + self.freq.time_of_cycles(self.edges_since_anchor + 1)
+    }
+
+    /// Consumes the next rising edge, returning its time.
+    pub fn tick(&mut self) -> SimTime {
+        let t = self.next_edge();
+        self.edges_since_anchor += 1;
+        t
+    }
+
+    /// Consumes `n` edges at once, returning the time of the last one.
+    ///
+    /// Equivalent to calling [`ClockDomain::tick`] `n` times but O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the clock is gated.
+    pub fn advance_edges(&mut self, n: u64) -> SimTime {
+        assert!(n > 0, "must advance by at least one edge");
+        assert!(self.enabled, "gated clock has no edges");
+        self.edges_since_anchor += n;
+        self.anchor + self.freq.time_of_cycles(self.edges_since_anchor)
+    }
+
+    /// Retunes the clock to `freq`, effective at `at` (which must not precede
+    /// the last produced edge). Edge numbering continues seamlessly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the time of the last produced edge.
+    pub fn set_frequency_at(&mut self, at: SimTime, freq: Frequency) {
+        let last = self.last_edge_time();
+        assert!(
+            at >= last,
+            "cannot retune at {at}, last edge already at {last}"
+        );
+        self.edges_before_anchor += self.edges_since_anchor;
+        self.edges_since_anchor = 0;
+        self.anchor = at;
+        self.freq = freq;
+    }
+
+    /// Gates the clock off at `at` (EN deasserted — the power-saving measure
+    /// UReC applies to BRAM and ICAP after "Finish").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last produced edge.
+    pub fn gate_off_at(&mut self, at: SimTime) {
+        let f = self.freq;
+        self.set_frequency_at(at, f);
+        self.enabled = false;
+    }
+
+    /// Re-enables a gated clock at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the gate-off time.
+    pub fn gate_on_at(&mut self, at: SimTime) {
+        assert!(
+            at >= self.anchor,
+            "cannot ungate at {at}, clock was gated at {}",
+            self.anchor
+        );
+        self.anchor = at;
+        self.enabled = true;
+    }
+
+    fn last_edge_time(&self) -> SimTime {
+        if self.edges_since_anchor == 0 {
+            self.anchor
+        } else {
+            self.anchor + self.freq.time_of_cycles(self.edges_since_anchor)
+        }
+    }
+}
+
+/// Merges the rising edges of several clock domains into one deterministic,
+/// time-ordered stream — the heart of multi-rate cycle simulation.
+///
+/// Ties (simultaneous edges of different domains) are broken by `ClockId`
+/// order, so simulations are reproducible bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use uparc_sim::clock::{ClockDomain, MultiClock};
+/// use uparc_sim::time::Frequency;
+///
+/// let mut mc = MultiClock::new();
+/// let fast = mc.add(ClockDomain::new(Frequency::from_mhz(200.0)));
+/// let slow = mc.add(ClockDomain::new(Frequency::from_mhz(100.0)));
+/// // In 10 merged edges, the 200 MHz domain fires twice as often.
+/// let mut fast_edges = 0;
+/// for _ in 0..9 {
+///     let (_, id) = mc.next_edge().unwrap();
+///     if id == fast { fast_edges += 1; }
+/// }
+/// assert_eq!(fast_edges, 6);
+/// # let _ = slow;
+/// ```
+#[derive(Debug, Default)]
+pub struct MultiClock {
+    domains: Vec<ClockDomain>,
+}
+
+impl MultiClock {
+    /// Creates an empty merger.
+    #[must_use]
+    pub fn new() -> Self {
+        MultiClock::default()
+    }
+
+    /// Adds a domain, returning its id.
+    pub fn add(&mut self, domain: ClockDomain) -> ClockId {
+        self.domains.push(domain);
+        ClockId(self.domains.len() - 1)
+    }
+
+    /// Immutable access to a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this merger.
+    #[must_use]
+    pub fn domain(&self, id: ClockId) -> &ClockDomain {
+        &self.domains[id.0]
+    }
+
+    /// Mutable access to a domain (for retuning/gating mid-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this merger.
+    pub fn domain_mut(&mut self, id: ClockId) -> &mut ClockDomain {
+        &mut self.domains[id.0]
+    }
+
+    /// Consumes and returns the earliest pending edge across all enabled
+    /// domains, or `None` if every domain is gated off.
+    pub fn next_edge(&mut self) -> Option<(SimTime, ClockId)> {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, d) in self.domains.iter().enumerate() {
+            if !d.is_enabled() {
+                continue;
+            }
+            let t = d.next_edge();
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, i));
+            }
+        }
+        best.map(|(t, i)| {
+            self.domains[i].tick();
+            (t, ClockId(i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_periodic() {
+        let mut clk = ClockDomain::new(Frequency::from_mhz(100.0));
+        assert_eq!(clk.tick(), SimTime::from_ns(10));
+        assert_eq!(clk.tick(), SimTime::from_ns(20));
+        assert_eq!(clk.tick(), SimTime::from_ns(30));
+        assert_eq!(clk.edge_count(), 3);
+    }
+
+    #[test]
+    fn advance_edges_matches_repeated_tick() {
+        let mut a = ClockDomain::new(Frequency::from_mhz(362.5));
+        let mut b = a.clone();
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            last = a.tick();
+        }
+        assert_eq!(b.advance_edges(1000), last);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn retune_preserves_edge_history() {
+        let mut clk = ClockDomain::new(Frequency::from_mhz(100.0));
+        clk.advance_edges(10); // last edge at 100 ns
+        clk.set_frequency_at(SimTime::from_ns(100), Frequency::from_mhz(50.0));
+        assert_eq!(clk.next_edge(), SimTime::from_ns(120));
+        assert_eq!(clk.edge_count(), 10);
+        clk.tick();
+        assert_eq!(clk.edge_count(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retune")]
+    fn retune_in_the_past_panics() {
+        let mut clk = ClockDomain::new(Frequency::from_mhz(100.0));
+        clk.advance_edges(10);
+        clk.set_frequency_at(SimTime::from_ns(50), Frequency::from_mhz(50.0));
+    }
+
+    #[test]
+    fn gating_stops_and_resumes_edges() {
+        let mut clk = ClockDomain::new(Frequency::from_mhz(100.0));
+        clk.advance_edges(5); // 50 ns
+        clk.gate_off_at(SimTime::from_ns(50));
+        assert!(!clk.is_enabled());
+        clk.gate_on_at(SimTime::from_us(1));
+        assert_eq!(clk.next_edge(), SimTime::from_us(1) + SimTime::from_ns(10));
+        assert_eq!(clk.edge_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gated clock")]
+    fn gated_clock_has_no_next_edge() {
+        let mut clk = ClockDomain::new(Frequency::from_mhz(100.0));
+        clk.gate_off_at(SimTime::ZERO);
+        let _ = clk.next_edge();
+    }
+
+    #[test]
+    fn multiclock_merges_in_time_order() {
+        let mut mc = MultiClock::new();
+        let a = mc.add(ClockDomain::new(Frequency::from_mhz(100.0)));
+        let b = mc.add(ClockDomain::new(Frequency::from_mhz(300.0)));
+        let mut last = SimTime::ZERO;
+        let mut counts = [0u64; 2];
+        for _ in 0..400 {
+            let (t, id) = mc.next_edge().unwrap();
+            assert!(t >= last, "edges must be non-decreasing");
+            last = t;
+            counts[id.0] += 1;
+        }
+        // 300 MHz fires 3x as often as 100 MHz.
+        assert_eq!(counts[a.0], 100);
+        assert_eq!(counts[b.0], 300);
+    }
+
+    #[test]
+    fn multiclock_tie_break_is_deterministic() {
+        // Two identical domains: the lower id must always fire first.
+        let mut mc = MultiClock::new();
+        let a = mc.add(ClockDomain::new(Frequency::from_mhz(100.0)));
+        let _b = mc.add(ClockDomain::new(Frequency::from_mhz(100.0)));
+        for _ in 0..10 {
+            let (t1, id1) = mc.next_edge().unwrap();
+            let (t2, id2) = mc.next_edge().unwrap();
+            assert_eq!(t1, t2);
+            assert_eq!(id1, a);
+            assert_ne!(id2, a);
+        }
+    }
+
+    #[test]
+    fn multiclock_all_gated_yields_none() {
+        let mut mc = MultiClock::new();
+        let a = mc.add(ClockDomain::new(Frequency::from_mhz(100.0)));
+        mc.domain_mut(a).gate_off_at(SimTime::ZERO);
+        assert!(mc.next_edge().is_none());
+    }
+}

@@ -1,0 +1,308 @@
+//! A small process-based discrete-event kernel.
+//!
+//! The cycle-stepped models (UReC, the baseline controllers) advance time
+//! analytically; system-level scenarios — schedulers juggling several
+//! partitions, managers reacting to completion events — want *asynchronous*
+//! composition. The engine provides it: processes own their state, react to
+//! typed events, and schedule further events; the kernel dispatches them in
+//! deterministic time order (FIFO within an instant, by target id within a
+//! batch).
+//!
+//! # Example
+//!
+//! A requester fires reconfiguration requests; a controller process serves
+//! them with a fixed latency:
+//!
+//! ```
+//! use uparc_sim::engine::{Engine, Process, ProcessId, Context};
+//! use uparc_sim::time::SimTime;
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! enum Ev { Request, Done }
+//!
+//! struct Controller { served: u32 }
+//! impl Process<Ev> for Controller {
+//!     fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+//!         if ev == Ev::Request {
+//!             self.served += 1;
+//!             ctx.send_in(SimTime::from_us(150), ctx.self_id(), Ev::Done);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! let ctrl = engine.spawn(Box::new(Controller { served: 0 }));
+//! engine.schedule(SimTime::ZERO, ctrl, Ev::Request);
+//! engine.schedule(SimTime::from_us(100), ctrl, Ev::Request);
+//! engine.run();
+//! assert_eq!(engine.now(), SimTime::from_us(250)); // last Done event
+//! ```
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Identifier of a spawned process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(usize);
+
+/// A reactive process: owns state, handles events, schedules more.
+///
+/// `Any` is a supertrait so callers can downcast [`Engine::process`] /
+/// [`Engine::process_mut`] back to the concrete type — to wire mutually-
+/// referencing processes after both ids are known, and to extract results
+/// after a run.
+pub trait Process<E>: std::any::Any {
+    /// Reacts to `event`, possibly scheduling further events through `ctx`.
+    fn handle(&mut self, ctx: &mut Context<'_, E>, event: E);
+}
+
+/// The scheduling interface handed to a process during dispatch.
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    queue: &'a mut EventQueue<(ProcessId, E)>,
+    now: SimTime,
+    self_id: ProcessId,
+}
+
+impl<E> Context<'_, E> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the process being dispatched.
+    #[must_use]
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// Schedules `event` for `target` at `delay` after now.
+    pub fn send_in(&mut self, delay: SimTime, target: ProcessId, event: E) {
+        self.queue.schedule(self.now + delay, (target, event));
+    }
+
+    /// Schedules `event` for `target` at the current instant (delta cycle).
+    pub fn send_now(&mut self, target: ProcessId, event: E) {
+        self.queue.schedule(self.now, (target, event));
+    }
+}
+
+/// The event-dispatch kernel.
+///
+/// `E: 'static` because processes are type-erased trait objects (events are
+/// owned values, so this costs nothing in practice).
+pub struct Engine<E: 'static> {
+    processes: Vec<Box<dyn Process<E>>>,
+    queue: EventQueue<(ProcessId, E)>,
+    dispatched: u64,
+}
+
+impl<E: 'static> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: 'static> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("processes", &self.processes.len())
+            .field("pending", &self.queue.len())
+            .field("dispatched", &self.dispatched)
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl<E: 'static> Engine<E> {
+    /// Creates an empty engine at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine { processes: Vec::new(), queue: EventQueue::new(), dispatched: 0 }
+    }
+
+    /// Registers a process, returning its id.
+    pub fn spawn(&mut self, process: Box<dyn Process<E>>) -> ProcessId {
+        self.processes.push(process);
+        ProcessId(self.processes.len() - 1)
+    }
+
+    /// Schedules an initial event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` was not spawned on this engine, or `at` lies in
+    /// the past.
+    pub fn schedule(&mut self, at: SimTime, target: ProcessId, event: E) {
+        assert!(target.0 < self.processes.len(), "unknown process {target:?}");
+        self.queue.schedule(at, (target, event));
+    }
+
+    /// Current simulation time (time of the last dispatched event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Dispatches the next event; `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((now, (target, event))) = self.queue.pop() else {
+            return false;
+        };
+        self.dispatched += 1;
+        let mut ctx = Context { queue: &mut self.queue, now, self_id: target };
+        self.processes[target.0].handle(&mut ctx, event);
+        true
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until `deadline` (events at later times stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.queue.peek_time().is_some_and(|t| t <= deadline) {
+            self.step();
+        }
+    }
+
+    /// Immutable access to a process (for result extraction after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not spawned on this engine.
+    #[must_use]
+    pub fn process(&self, id: ProcessId) -> &dyn Process<E> {
+        self.processes[id.0].as_ref()
+    }
+
+    /// Mutable access to a process — used to wire mutually-referencing
+    /// processes after both have been spawned (ids are only known then);
+    /// downcast with `(… as &mut dyn Any).downcast_mut::<P>()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not spawned on this engine.
+    pub fn process_mut(&mut self, id: ProcessId) -> &mut dyn Process<E> {
+        self.processes[id.0].as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Ev {
+        Ping,
+        Pong,
+        Tick(u32),
+    }
+
+    /// Replies to Ping with Pong after 10 ns; counts everything it sees.
+    struct Echo {
+        peer: Option<ProcessId>,
+        seen: u32,
+    }
+
+    impl Process<Ev> for Echo {
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            self.seen += 1;
+            if ev == Ev::Ping {
+                if let Some(peer) = self.peer {
+                    ctx.send_in(SimTime::from_ns(10), peer, Ev::Pong);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut engine = Engine::new();
+        let b = engine.spawn(Box::new(Echo { peer: None, seen: 0 }));
+        let a = engine.spawn(Box::new(Echo { peer: Some(b), seen: 0 }));
+        engine.schedule(SimTime::from_ns(5), a, Ev::Ping);
+        engine.run();
+        assert_eq!(engine.now(), SimTime::from_ns(15));
+        assert_eq!(engine.dispatched(), 2);
+    }
+
+    /// Emits Tick(n-1) to itself until n == 0.
+    struct Countdown {
+        fired: Vec<u32>,
+    }
+
+    impl Process<Ev> for Countdown {
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            if let Ev::Tick(n) = ev {
+                self.fired.push(n);
+                if n > 0 {
+                    ctx.send_in(SimTime::from_us(1), ctx.self_id(), Ev::Tick(n - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_scheduling_loops_terminate() {
+        let mut engine = Engine::new();
+        let c = engine.spawn(Box::new(Countdown { fired: Vec::new() }));
+        engine.schedule(SimTime::ZERO, c, Ev::Tick(5));
+        engine.run();
+        assert_eq!(engine.now(), SimTime::from_us(5));
+        assert_eq!(engine.dispatched(), 6);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut engine = Engine::new();
+        let c = engine.spawn(Box::new(Countdown { fired: Vec::new() }));
+        engine.schedule(SimTime::ZERO, c, Ev::Tick(10));
+        engine.run_until(SimTime::from_us(3));
+        assert_eq!(engine.now(), SimTime::from_us(3));
+        assert_eq!(engine.dispatched(), 4); // ticks 10, 9, 8, 7
+        engine.run();
+        assert_eq!(engine.dispatched(), 11);
+    }
+
+    #[test]
+    fn delta_cycles_dispatch_in_fifo_order() {
+        struct Recorder {
+            order: Vec<u32>,
+        }
+        impl Process<Ev> for Recorder {
+            fn handle(&mut self, _ctx: &mut Context<'_, Ev>, ev: Ev) {
+                if let Ev::Tick(n) = ev {
+                    self.order.push(n);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        let r = engine.spawn(Box::new(Recorder { order: Vec::new() }));
+        for n in 0..50 {
+            engine.schedule(SimTime::from_ns(100), r, Ev::Tick(n));
+        }
+        engine.run();
+        assert_eq!(engine.dispatched(), 50);
+        assert_eq!(engine.now(), SimTime::from_ns(100));
+        let rec: &Recorder = (engine.process(r) as &dyn std::any::Any)
+            .downcast_ref()
+            .expect("concrete type");
+        assert_eq!(rec.order, (0..50).collect::<Vec<_>>(), "FIFO within an instant");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn scheduling_to_unknown_process_panics() {
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule(SimTime::ZERO, ProcessId(3), Ev::Ping);
+    }
+}

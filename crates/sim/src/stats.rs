@@ -1,0 +1,146 @@
+//! Small statistics helpers for the benchmark harnesses.
+//!
+//! The table/figure harnesses report means, spreads and fitted slopes (e.g.
+//! the mW/MHz regression used to calibrate the power model). Nothing here is
+//! FPGA-specific.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Geometric mean. Returns `None` if empty or any element is non-positive.
+#[must_use]
+pub fn geo_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`). Returns `None` for an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Least-squares fit of `y = intercept + slope·x`.
+///
+/// Returns `None` for fewer than two points or zero variance in `x`.
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit { slope, intercept, r2 })
+}
+
+/// Result of [`linear_fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), Some(0.0));
+        let sd = std_dev(&[2.0, 4.0]).unwrap();
+        assert!((sd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        assert_eq!(geo_mean(&[]), None);
+        assert_eq!(geo_mean(&[1.0, -1.0]), None);
+        let g = geo_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn linear_fit_recovers_fig7_calibration() {
+        // The exact fit used for the power calibration in DESIGN.md §3.
+        let pts = [(50.0, 183.0), (100.0, 259.0), (200.0, 394.0), (300.0, 453.0)];
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 1.0925).abs() < 1e-3, "slope {}", fit.slope);
+        assert!((fit.intercept - 144.7).abs() < 0.5, "intercept {}", fit.intercept);
+        assert!(fit.r2 > 0.95, "r2 {}", fit.r2);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+        let exact = linear_fit(&[(0.0, 1.0), (1.0, 3.0)]).unwrap();
+        assert!((exact.eval(2.0) - 5.0).abs() < 1e-12);
+        assert!((exact.r2 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,410 @@
+//! Power traces and the oscilloscope/shunt-resistor measurement model.
+//!
+//! The paper measures FPGA core power on the ML605 through a shunt resistor,
+//! a high-precision current amplifier and a digital oscilloscope (Fig. 6).
+//! [`PowerTrace`] is the ideal step-wise power waveform produced by the
+//! simulation; [`Oscilloscope`] resamples it at a fixed sample rate through
+//! the shunt/amplifier chain, which is how the Figure 7 curves are
+//! regenerated.
+
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// A step-wise power waveform: the power level holds between samples.
+///
+/// # Example
+///
+/// ```
+/// use uparc_sim::trace::PowerTrace;
+/// use uparc_sim::time::SimTime;
+///
+/// let mut tr = PowerTrace::new();
+/// tr.push(SimTime::ZERO, 53.0);          // idle
+/// tr.push(SimTime::from_us(100), 453.0); // reconfiguration burst
+/// tr.push(SimTime::from_us(280), 53.0);  // back to idle
+/// tr.finish(SimTime::from_us(400));
+/// let e = tr.energy_uj();
+/// assert!((e - (53.0*100e-6 + 453.0*180e-6 + 53.0*120e-6)*1e3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerTrace {
+    /// (time, power-mW) step points, strictly increasing in time.
+    steps: Vec<(SimTime, f64)>,
+    /// End of the waveform; power is undefined past this point.
+    end: Option<SimTime>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        PowerTrace::default()
+    }
+
+    /// Appends a power step at `at`. Consecutive equal-time pushes replace
+    /// the previous level (last-write-wins within one instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last step or the trace is finished.
+    pub fn push(&mut self, at: SimTime, power_mw: f64) {
+        assert!(self.end.is_none(), "trace already finished");
+        if let Some(&(last, _)) = self.steps.last() {
+            assert!(at >= last, "trace steps must be time-ordered");
+            if at == last {
+                self.steps.last_mut().expect("nonempty").1 = power_mw;
+                return;
+            }
+        }
+        self.steps.push((at, power_mw));
+    }
+
+    /// Closes the waveform at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty, already finished, or `at` precedes the
+    /// last step.
+    pub fn finish(&mut self, at: SimTime) {
+        assert!(self.end.is_none(), "trace already finished");
+        let &(last, _) = self.steps.last().expect("cannot finish an empty trace");
+        assert!(at >= last, "finish time precedes last step");
+        self.end = Some(at);
+    }
+
+    /// The step points `(time, power-mW)`.
+    #[must_use]
+    pub fn steps(&self) -> &[(SimTime, f64)] {
+        &self.steps
+    }
+
+    /// End time, if [`PowerTrace::finish`] was called.
+    #[must_use]
+    pub fn end(&self) -> Option<SimTime> {
+        self.end
+    }
+
+    /// Power level at `at`, or `None` outside the waveform.
+    #[must_use]
+    pub fn power_at(&self, at: SimTime) -> Option<f64> {
+        let end = self.end?;
+        if at > end || self.steps.first().map(|&(t, _)| at < t).unwrap_or(true) {
+            return None;
+        }
+        let idx = self.steps.partition_point(|&(t, _)| t <= at);
+        Some(self.steps[idx - 1].1)
+    }
+
+    /// Exact energy of the waveform in microjoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished.
+    #[must_use]
+    pub fn energy_uj(&self) -> f64 {
+        let end = self.end.expect("finish the trace before integrating");
+        let mut e = 0.0;
+        for w in self.steps.windows(2) {
+            let (t0, p) = w[0];
+            let (t1, _) = w[1];
+            e += p * (t1 - t0).as_secs_f64();
+        }
+        if let Some(&(t_last, p_last)) = self.steps.last() {
+            e += p_last * (end - t_last).as_secs_f64();
+        }
+        e * 1e3 // mW·s = mJ → µJ
+    }
+
+    /// Peak power level in mW.
+    #[must_use]
+    pub fn peak_mw(&self) -> f64 {
+        self.steps.iter().map(|&(_, p)| p).fold(0.0, f64::max)
+    }
+
+    /// Duration for which power strictly exceeds `threshold_mw`.
+    ///
+    /// Useful for extracting "reconfiguration time" from a trace the way one
+    /// would from an oscilloscope screenshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished.
+    #[must_use]
+    pub fn time_above(&self, threshold_mw: f64) -> SimTime {
+        let end = self.end.expect("finish the trace first");
+        let mut total = SimTime::ZERO;
+        for w in self.steps.windows(2) {
+            let (t0, p) = w[0];
+            let (t1, _) = w[1];
+            if p > threshold_mw {
+                total += t1 - t0;
+            }
+        }
+        if let Some(&(t_last, p_last)) = self.steps.last() {
+            if p_last > threshold_mw {
+                total += end - t_last;
+            }
+        }
+        total
+    }
+
+    /// Renders the trace as `time_us,power_mw` CSV (header included).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("time_us,power_mw\n");
+        for &(t, p) in &self.steps {
+            let _ = writeln!(s, "{:.4},{:.3}", t.as_us_f64(), p);
+        }
+        if let Some(end) = self.end {
+            if let Some(&(_, p)) = self.steps.last() {
+                let _ = writeln!(s, "{:.4},{:.3}", end.as_us_f64(), p);
+            }
+        }
+        s
+    }
+}
+
+/// The ML605 measurement chain of Fig. 6: shunt resistor, precision current
+/// amplifier and digital oscilloscope sampling at a fixed rate.
+///
+/// Given an ideal [`PowerTrace`] it produces `(time, sampled power)` points,
+/// converting through core voltage → current → shunt voltage and back, so
+/// quantisation of the amplifier can be modeled if desired.
+#[derive(Debug, Clone)]
+pub struct Oscilloscope {
+    /// Core supply voltage (V). The paper runs the default 1.0 V.
+    vcc: f64,
+    /// Shunt resistance in ohms (ML605 uses milliohm-scale shunts).
+    shunt_ohm: f64,
+    /// Amplifier gain (V/V).
+    gain: f64,
+    /// Sample interval.
+    sample_period: SimTime,
+    /// ADC quantisation: `(bits, full-scale volts)`; `None` = ideal.
+    adc: Option<(u32, f64)>,
+}
+
+impl Oscilloscope {
+    /// Creates the default ML605-like chain: 1.0 V core, 5 mΩ shunt, 100×
+    /// amplifier, 1 µs sample period.
+    #[must_use]
+    pub fn ml605() -> Self {
+        Oscilloscope {
+            vcc: 1.0,
+            shunt_ohm: 0.005,
+            gain: 100.0,
+            sample_period: SimTime::from_us(1),
+            adc: None,
+        }
+    }
+
+    /// Models the scope's ADC: `bits` of resolution over `full_scale`
+    /// volts at the amplifier output. Samples then show the quantisation
+    /// staircase a real capture has.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 24` and `full_scale > 0`.
+    #[must_use]
+    pub fn with_adc(mut self, bits: u32, full_scale: f64) -> Self {
+        assert!((1..=24).contains(&bits), "adc resolution out of range");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        self.adc = Some((bits, full_scale));
+        self
+    }
+
+    /// Overrides the sample period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_sample_period(mut self, period: SimTime) -> Self {
+        assert!(!period.is_zero(), "sample period must be non-zero");
+        self.sample_period = period;
+        self
+    }
+
+    /// Core current in amperes for a given power level.
+    #[must_use]
+    pub fn current_a(&self, power_mw: f64) -> f64 {
+        power_mw / 1e3 / self.vcc
+    }
+
+    /// Amplifier output voltage for a given power level — what the scope
+    /// actually digitises.
+    #[must_use]
+    pub fn scope_voltage(&self, power_mw: f64) -> f64 {
+        self.current_a(power_mw) * self.shunt_ohm * self.gain
+    }
+
+    /// Samples a finished trace at the configured rate, returning
+    /// `(time, power-mW)` points reconstructed from the scope voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished.
+    #[must_use]
+    pub fn sample(&self, trace: &PowerTrace) -> Vec<(SimTime, f64)> {
+        let end = trace.end().expect("finish the trace before sampling");
+        let start = trace
+            .steps()
+            .first()
+            .map(|&(t, _)| t)
+            .unwrap_or(SimTime::ZERO);
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end {
+            if let Some(p) = trace.power_at(t) {
+                // Through the chain and back: voltage → current → power.
+                let mut v = self.scope_voltage(p);
+                if let Some((bits, full_scale)) = self.adc {
+                    let levels = f64::from(1u32 << bits);
+                    let lsb = full_scale / levels;
+                    v = (v / lsb).round().clamp(0.0, levels) * lsb;
+                }
+                let i = v / self.gain / self.shunt_ohm;
+                out.push((t, i * self.vcc * 1e3));
+            }
+            match t.checked_add(self.sample_period) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl Default for Oscilloscope {
+    fn default() -> Self {
+        Oscilloscope::ml605()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig7_like_trace() -> PowerTrace {
+        // Manager burst, reconfiguration at 300 MHz, then idle (cf. Fig. 7).
+        let mut tr = PowerTrace::new();
+        tr.push(SimTime::ZERO, 53.0);
+        tr.push(SimTime::from_us(10), 145.0); // manager control
+        tr.push(SimTime::from_us(12), 453.0); // reconfiguration
+        tr.push(SimTime::from_us(192), 53.0); // idle again
+        tr.finish(SimTime::from_us(250));
+        tr
+    }
+
+    #[test]
+    fn energy_matches_hand_computation() {
+        let tr = fig7_like_trace();
+        let expected =
+            (53.0 * 10.0 + 145.0 * 2.0 + 453.0 * 180.0 + 53.0 * 58.0) * 1e-6 * 1e3;
+        assert!((tr.energy_uj() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_at_interpolates_steps() {
+        let tr = fig7_like_trace();
+        assert_eq!(tr.power_at(SimTime::from_us(5)), Some(53.0));
+        assert_eq!(tr.power_at(SimTime::from_us(12)), Some(453.0));
+        assert_eq!(tr.power_at(SimTime::from_us(100)), Some(453.0));
+        assert_eq!(tr.power_at(SimTime::from_us(200)), Some(53.0));
+        assert_eq!(tr.power_at(SimTime::from_us(251)), None);
+    }
+
+    #[test]
+    fn time_above_extracts_reconfiguration_duration() {
+        let tr = fig7_like_trace();
+        // Only the 453 mW plateau exceeds 200 mW; it lasts 180 µs.
+        assert_eq!(tr.time_above(200.0), SimTime::from_us(180));
+    }
+
+    #[test]
+    fn peak_is_reconfiguration_power() {
+        assert!((fig7_like_trace().peak_mw() - 453.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_time_push_replaces() {
+        let mut tr = PowerTrace::new();
+        tr.push(SimTime::ZERO, 10.0);
+        tr.push(SimTime::ZERO, 20.0);
+        tr.finish(SimTime::from_us(1));
+        assert_eq!(tr.steps().len(), 1);
+        assert!((tr.energy_uj() - 20.0 * 1e-6 * 1e3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut tr = PowerTrace::new();
+        tr.push(SimTime::from_us(5), 1.0);
+        tr.push(SimTime::from_us(4), 1.0);
+    }
+
+    #[test]
+    fn csv_contains_all_steps() {
+        let tr = fig7_like_trace();
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_us,power_mw");
+        assert_eq!(lines.len(), 1 + tr.steps().len() + 1);
+    }
+
+    #[test]
+    fn oscilloscope_round_trips_power() {
+        let tr = fig7_like_trace();
+        let scope = Oscilloscope::ml605().with_sample_period(SimTime::from_us(10));
+        let samples = scope.sample(&tr);
+        assert!(!samples.is_empty());
+        for (t, p) in samples {
+            let ideal = tr.power_at(t).unwrap();
+            assert!((p - ideal).abs() < 1e-9, "sample at {t} off: {p} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn oscilloscope_chain_voltages_are_sane() {
+        let scope = Oscilloscope::ml605();
+        // 453 mW at 1.0 V = 453 mA; through 5 mΩ = 2.265 mV; ×100 = 226.5 mV.
+        assert!((scope.current_a(453.0) - 0.453).abs() < 1e-12);
+        assert!((scope.scope_voltage(453.0) - 0.2265).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adc_quantisation_error_is_bounded_by_one_lsb() {
+        let tr = fig7_like_trace();
+        // 8-bit ADC over 1 V at the amplifier output: LSB = 3.9 mV, which
+        // maps back to 1 LSB / (gain · shunt) · vcc = 7.8 mW of power.
+        let scope = Oscilloscope::ml605()
+            .with_sample_period(SimTime::from_us(10))
+            .with_adc(8, 1.0);
+        let lsb_power_mw = 1.0 / 256.0 / (100.0 * 0.005) * 1.0 * 1e3;
+        for (t, p) in scope.sample(&tr) {
+            let ideal = tr.power_at(t).unwrap();
+            assert!(
+                (p - ideal).abs() <= lsb_power_mw / 2.0 + 1e-9,
+                "at {t}: {p} vs {ideal}"
+            );
+        }
+        // And a coarse ADC really quantises (staircase ≠ ideal somewhere).
+        let coarse = Oscilloscope::ml605()
+            .with_sample_period(SimTime::from_us(10))
+            .with_adc(4, 1.0);
+        let any_off = coarse
+            .sample(&tr)
+            .iter()
+            .any(|&(t, p)| (p - tr.power_at(t).unwrap()).abs() > 1.0);
+        assert!(any_off, "4-bit quantisation must be visible");
+    }
+
+    #[test]
+    fn sample_count_matches_duration() {
+        let tr = fig7_like_trace();
+        let scope = Oscilloscope::ml605(); // 1 µs period
+        let samples = scope.sample(&tr);
+        assert_eq!(samples.len(), 251); // 0..=250 µs inclusive
+    }
+}

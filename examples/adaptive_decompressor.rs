@@ -1,0 +1,70 @@
+//! Run-time decompressor adaptation — the paper's future-work feature
+//! (§VI): "choosing different bitstream compression techniques at run-time
+//! using dynamic partial reconfiguration", implemented here.
+//!
+//! Scenario: a system first needs maximum staging capacity (X-MatchPRO,
+//! best hardware-decodable ratio), then switches to a leaner RLE decoder
+//! to free slices, accepting the worse ratio. The swap itself is a partial
+//! reconfiguration carried out by UPaRC, and DyCloGen retunes CLK_3 to the
+//! incoming block's maximum clock.
+//!
+//! Run with `cargo run --release --example adaptive_decompressor`.
+
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::compress::Algorithm;
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::Device;
+use uparc_repro::sim::time::Frequency;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::xc5vsx50t();
+    // A 400 KB module: too large for the 256 KB BRAM raw, so staging is
+    // always compressed.
+    let frames = 400 * 1024 / device.family().frame_bytes();
+    let payload = SynthProfile::dense().generate(&device, 0, frames as u32, 9);
+    let bitstream = PartialBitstream::build(&device, 0, &payload);
+
+    let mut uparc = UParc::builder(device).build()?;
+    uparc.set_reconfiguration_frequency(Frequency::from_mhz(255.0))?;
+
+    // Phase 1: X-MatchPRO slot (the default).
+    let report = uparc.reconfigure_bitstream(&bitstream, Mode::Auto)?;
+    println!(
+        "X-MatchPRO slot: {:.0} KB staged as {:.0} KB ({:.1}% saved), {:.0} MB/s",
+        report.bytes as f64 / 1024.0,
+        report.stored_bytes as f64 / 1024.0,
+        (1.0 - report.stored_bytes as f64 / report.bytes as f64) * 100.0,
+        report.bandwidth_mb_s(),
+    );
+
+    // Phase 2: swap the slot to the RLE decoder — by reconfiguring the
+    // decompressor partition through UPaRC itself.
+    let swap = uparc.swap_decompressor(Algorithm::Rle)?;
+    println!(
+        "\nswapped slot to {} in {} ({:.0} KB of its own bitstream, staged {})",
+        swap.algorithm,
+        swap.reconfiguration.elapsed(),
+        swap.reconfiguration.bytes as f64 / 1024.0,
+        if swap.reconfiguration.compressed { "compressed" } else { "raw" },
+    );
+    println!("CLK_3 retuned to {} (the RLE decoder's ceiling)", swap.clk3);
+
+    // Phase 3: the same module now stages through RLE — worse ratio,
+    // different throughput profile.
+    let report = uparc.reconfigure_bitstream(&bitstream, Mode::Auto)?;
+    println!(
+        "\nRLE slot: {:.0} KB staged as {:.0} KB ({:.1}% saved), {:.0} MB/s",
+        report.bytes as f64 / 1024.0,
+        report.stored_bytes as f64 / 1024.0,
+        (1.0 - report.stored_bytes as f64 / report.bytes as f64) * 100.0,
+        report.bandwidth_mb_s(),
+    );
+
+    // Software-only algorithms have no streaming hardware decoder.
+    match uparc.swap_decompressor(Algorithm::SevenZip) {
+        Err(e) => println!("\n7-zip slot correctly rejected: {e}"),
+        Ok(_) => unreachable!("no streaming hardware decoder for 7-zip"),
+    }
+    Ok(())
+}

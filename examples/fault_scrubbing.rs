@@ -1,0 +1,64 @@
+//! SEU scrubbing — the fault-tolerance motivation of the paper's §I: "a
+//! long inactive period of a part inside a system may be prohibited in
+//! certain applications especially in high-performance or fault-tolerant
+//! systems".
+//!
+//! Scenario: a satellite payload's accelerator partition is protected by
+//! readback scrubbing. Radiation flips configuration bits; each scrub pass
+//! detects them by ICAP readback and repairs the affected frames by fast
+//! partial reconfiguration. The repair latency — the partition's outage —
+//! is measured at a slow clock and at UPaRC's 362.5 MHz.
+//!
+//! Run with `cargo run --release --example fault_scrubbing`.
+
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::core::scrub::Scrubber;
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::Device;
+use uparc_repro::sim::time::Frequency;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::xc5vsx50t();
+    // Configure the protected partition: 300 frames at FAR 1200.
+    let payload = SynthProfile::dense().generate(&device, 1200, 300, 13);
+    let bs = PartialBitstream::build(&device, 1200, &payload);
+
+    for mhz in [100.0, 362.5] {
+        let mut uparc = UParc::builder(device.clone()).build()?;
+        uparc.set_reconfiguration_frequency(Frequency::from_mhz(mhz))?;
+        uparc.reconfigure_bitstream(&bs, Mode::Raw)?;
+        let scrubber = Scrubber::capture(&mut uparc, 1200, 300)?;
+
+        // A burst of upsets: one isolated, one multi-bit cluster.
+        uparc.inject_upset(1207, 4, 17)?;
+        for far in 1250..1254 {
+            uparc.inject_upset(far, 0, 31)?;
+        }
+
+        let report = scrubber.scrub(&mut uparc)?;
+        println!("scrub pass at CLK_2 = {mhz} MHz:");
+        println!(
+            "  scanned {} frames in {}; {} corrupt: {:?}",
+            report.scanned,
+            report.scan_time,
+            report.dirty.len(),
+            report.dirty
+        );
+        println!(
+            "  {} repair reconfiguration(s), total partition outage {}",
+            report.repairs.len(),
+            report.repair_time()
+        );
+        // Verify: a second pass is clean.
+        let clean = scrubber.scrub(&mut uparc)?;
+        assert!(clean.dirty.is_empty());
+        println!("  verification pass clean\n");
+    }
+
+    println!("the scan time scales with 1/f (~3.6x shorter at 362.5 MHz), so a faster clock");
+    println!("directly buys a tighter scrub period. Small repairs are dominated by the");
+    println!("constant ~1.2 µs control overhead per reconfiguration — batching adjacent");
+    println!("frames into one repair range (as the scrubber does) is what keeps outages low.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Power-aware reconfiguration: pick the operating frequency from run-time
+//! constraints, as the Manager's frequency-adaptation task does
+//! (paper §III-A3, §V).
+//!
+//! Scenario: a software-defined-radio platform swaps a channel decoder in
+//! and out. Depending on the situation it needs either a hard swap
+//! deadline (a frame gap), a power cap (battery saver), or minimum energy.
+//!
+//! Run with `cargo run --release --example power_aware`.
+
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::core::policy::{Constraint, PowerAwarePolicy};
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::Device;
+use uparc_repro::sim::time::SimTime;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::xc6vlx240t();
+    let bytes = (216.5 * 1024.0) as usize; // the paper's §V workload
+    let frames = bytes / device.family().frame_bytes();
+    let payload = SynthProfile::dense().generate(&device, 0, frames as u32, 3);
+    let bitstream = PartialBitstream::build(&device, 0, &payload);
+    let policy = PowerAwarePolicy::paper_setup(device.family());
+
+    let scenarios = [
+        ("frame gap: swap within 600 µs", Constraint::Deadline(SimTime::from_us(600))),
+        ("battery saver: stay under 300 mW", Constraint::PowerBudget { mw: 300.0 }),
+        ("minimum energy", Constraint::MinEnergy),
+        ("panic swap: as fast as possible", Constraint::MaxThroughput),
+    ];
+
+    for (label, constraint) in scenarios {
+        let plan = policy.plan(constraint, bitstream.size_bytes())?;
+        // Apply the plan on a fresh system and verify the prediction.
+        let mut uparc = UParc::builder(device.clone()).build()?;
+        uparc.set_reconfiguration_frequency(plan.frequency)?;
+        let report = uparc.reconfigure_bitstream(&bitstream, Mode::Raw)?;
+        println!("{label}");
+        println!(
+            "  plan: CLK_2 = {} -> predicted {} at {:.0} mW, {:.0} µJ",
+            plan.frequency,
+            plan.predicted_time,
+            plan.predicted_power_mw,
+            plan.predicted_energy_uj
+        );
+        println!(
+            "  run : {} at {:.0} MB/s, {:.0} µJ above idle",
+            report.elapsed(),
+            report.bandwidth_mb_s(),
+            report.energy_uj
+        );
+        match constraint {
+            Constraint::Deadline(d) => assert!(report.elapsed() <= d, "deadline met"),
+            Constraint::PowerBudget { mw } => {
+                assert!(plan.predicted_power_mw <= mw, "budget met");
+            }
+            _ => {}
+        }
+    }
+
+    // Infeasible constraints are reported, not silently violated.
+    match policy.plan(Constraint::Deadline(SimTime::from_us(50)), bitstream.size_bytes()) {
+        Err(e) => println!("infeasible 50 µs deadline correctly rejected: {e}"),
+        Ok(_) => unreachable!("216.5 KB cannot move in 50 µs"),
+    }
+    Ok(())
+}

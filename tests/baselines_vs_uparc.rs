@@ -1,0 +1,128 @@
+//! Cross-crate comparison tests: the Table III ordering, the §V energy
+//! ratio, and the Fig. 5 bandwidth laws, measured through the public APIs.
+
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::controllers::adapter::UparcController;
+use uparc_repro::controllers::bram_hwicap::BramHwicap;
+use uparc_repro::controllers::farm::Farm;
+use uparc_repro::controllers::flashcap::FlashCap;
+use uparc_repro::controllers::mst_icap::MstIcap;
+use uparc_repro::controllers::xps_hwicap::XpsHwicap;
+use uparc_repro::controllers::ReconfigController;
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::Device;
+use uparc_repro::sim::time::Frequency;
+
+fn bitstream(device: &Device, bytes: usize, seed: u64) -> PartialBitstream {
+    let frames = (bytes / device.family().frame_bytes()) as u32;
+    let payload = SynthProfile::dense().generate(device, 0, frames, seed);
+    PartialBitstream::build(device, 0, &payload)
+}
+
+#[test]
+fn table3_ordering_holds_on_a_common_workload() {
+    let v5 = Device::xc5vsx50t;
+    let bs = bitstream(&v5(), 100 * 1024, 1);
+    let mut controllers: Vec<Box<dyn ReconfigController>> = vec![
+        Box::new(XpsHwicap::new(v5())),
+        Box::new(MstIcap::new(v5())),
+        Box::new(FlashCap::new(v5())),
+        Box::new(BramHwicap::new(v5())),
+        Box::new(Farm::new(v5())),
+        Box::new(UparcController::uparc_ii(v5()).expect("uparc_ii")),
+        Box::new(UparcController::uparc_i(v5()).expect("uparc_i")),
+    ];
+    let mut bws = Vec::new();
+    for c in &mut controllers {
+        let r = c.reconfigure(&bs).expect("reconfigure");
+        // All controllers really configured the device.
+        assert_eq!(c.icap().frames_committed() as usize, 100 * 1024 / 164);
+        bws.push((r.controller, r.bandwidth_mb_s()));
+    }
+    for pair in bws.windows(2) {
+        assert!(
+            pair[1].1 > pair[0].1,
+            "{} ({:.0}) must beat {} ({:.0})",
+            pair[1].0,
+            pair[1].1,
+            pair[0].0,
+            pair[0].1
+        );
+    }
+    // And the span matches the paper: ~14.5 MB/s to ~1.4 GB/s.
+    assert!(bws.first().unwrap().1 < 20.0);
+    assert!(bws.last().unwrap().1 > 1300.0);
+}
+
+#[test]
+fn uparc_is_tens_of_times_more_energy_efficient_than_xps() {
+    // §V: 30 µJ/KB vs 0.66 µJ/KB ⇒ 45×. Our calibration lands at ≈41×.
+    let device = Device::xc6vlx240t();
+    let bs = bitstream(&device, (216.5 * 1024.0) as usize, 2);
+    let mut xps = XpsHwicap::unoptimized(device.clone());
+    let rx = xps.reconfigure(&bs).expect("xps");
+    let mut sys = UParc::builder(device).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(50.0)).expect("tune");
+    let ru = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("uparc");
+    let ratio = rx.uj_per_kb() / ru.uj_per_kb();
+    assert!(
+        (35.0..60.0).contains(&ratio),
+        "efficiency ratio {ratio:.1} (paper: 45x)"
+    );
+}
+
+#[test]
+fn effective_bandwidth_is_monotone_in_frequency_and_size() {
+    // The two monotonicity laws of the Fig. 5 surface.
+    let device = Device::xc5vsx50t();
+    let mut last_bw = 0.0;
+    for mhz in [50.0, 100.0, 200.0, 300.0, 362.5] {
+        let bs = bitstream(&device, 49 * 1024, 3);
+        let mut sys = UParc::builder(device.clone()).build().expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("tune");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        assert!(r.bandwidth_mb_s() > last_bw, "{mhz} MHz");
+        last_bw = r.bandwidth_mb_s();
+    }
+    let mut last_eff = 0.0;
+    for kb in [6usize, 12, 49, 156, 247] {
+        let bs = bitstream(&device, kb * 1024, 4);
+        let mut sys = UParc::builder(device.clone()).build().expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).expect("tune");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        assert!(r.efficiency() > last_eff, "{kb} KB");
+        last_eff = r.efficiency();
+    }
+    assert!(last_eff > 0.98, "247 KB is ≈99% of theoretical");
+}
+
+#[test]
+fn farm_vs_uparc_gap_is_about_1_8x() {
+    // §IV: UPaRC_i's 1433 MB/s "is 1.8 times higher than the fastest
+    // controller found in the literature (FaRM — 800 MB/s)".
+    let v5 = Device::xc5vsx50t;
+    let bs = bitstream(&v5(), 120 * 1024, 5);
+    let mut farm = Farm::new(v5());
+    let rf = farm.reconfigure(&bs).expect("farm");
+    let mut uparc = UparcController::uparc_i(v5()).expect("uparc");
+    let ru = uparc.reconfigure(&bs).expect("uparc");
+    let gap = ru.bandwidth_mb_s() / rf.bandwidth_mb_s();
+    assert!((gap - 1.8).abs() < 0.05, "gap {gap:.2}");
+}
+
+#[test]
+fn compressed_capacity_reaches_the_992_kb_claim() {
+    // §IV: with compression, 256 KB of BRAM stores bitstreams up to
+    // ~992 KB — >40% of the 2444 KB full-device bitstream.
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, 992 * 1024, 6);
+    let mut sys = UParc::builder(device.clone()).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0)).expect("tune");
+    let pre = sys.preload(&bs, Mode::Compressed).expect("fits compressed");
+    assert!(pre.stored_bytes <= 256 * 1024);
+    let full = device.full_bitstream_bytes() as f64;
+    assert!(bs.size_bytes() as f64 / full > 0.40, "more than 40% of the device");
+    let r = sys.reconfigure().expect("reconfigure");
+    assert!(r.bandwidth_mb_s() > 900.0);
+}

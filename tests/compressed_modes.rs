@@ -1,0 +1,109 @@
+//! Compressed-mode integration across every hardware-decodable algorithm:
+//! each slot stages, decompresses and configures identically to the raw
+//! path, at its own characteristic throughput.
+
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::compress::Algorithm;
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::Device;
+use uparc_repro::sim::time::Frequency;
+
+fn bitstream(device: &Device, frames: u32) -> PartialBitstream {
+    let payload = SynthProfile::dense().generate(device, 70, frames, 9);
+    PartialBitstream::build(device, 70, &payload)
+}
+
+/// The algorithms with streaming hardware decoders.
+const HW_ALGS: [Algorithm; 4] =
+    [Algorithm::XMatchPro, Algorithm::Rle, Algorithm::Lz77, Algorithm::Huffman];
+
+#[test]
+fn every_hw_algorithm_configures_identically_to_raw() {
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, 250);
+    let mut reference = UParc::builder(device.clone()).build().expect("build");
+    reference.reconfigure_bitstream(&bs, Mode::Raw).expect("raw");
+
+    for alg in HW_ALGS {
+        let mut sys = UParc::builder(device.clone())
+            .decompressor(alg)
+            .build()
+            .expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0)).expect("tune");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Compressed).expect("compressed");
+        assert!(r.compressed, "{alg}");
+        assert_eq!(
+            reference
+                .icap()
+                .config_memory()
+                .diff_frames(sys.icap().config_memory()),
+            0,
+            "{alg} must configure the same frames"
+        );
+    }
+}
+
+#[test]
+fn staging_footprint_follows_table1_ordering() {
+    // Better Table I ratio ⇒ smaller BRAM footprint for the same module.
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, 600);
+    let mut stored = Vec::new();
+    for alg in [Algorithm::Rle, Algorithm::Lz77, Algorithm::XMatchPro] {
+        let mut sys = UParc::builder(device.clone())
+            .decompressor(alg)
+            .build()
+            .expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0)).expect("tune");
+        let pre = sys.preload(&bs, Mode::Compressed).expect("stage");
+        stored.push((alg, pre.stored_bytes));
+    }
+    // RLE stores the most, X-MatchPRO the least (cf. Table I: 63/71.4/74.2
+    // on the calibrated workload; LZ77 and X-MatchPRO are close).
+    assert!(stored[0].1 > stored[2].1, "{stored:?}");
+    assert!(stored[0].1 > stored[1].1, "{stored:?}");
+}
+
+#[test]
+fn throughput_reflects_each_decoder_rate() {
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, 800);
+    let run = |alg: Algorithm| {
+        let mut sys = UParc::builder(device.clone())
+            .decompressor(alg)
+            .build()
+            .expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0)).expect("tune");
+        sys.reconfigure_bitstream(&bs, Mode::Compressed).expect("run")
+    };
+    // X-MatchPRO: 2 w/c at ≤126 MHz ⇒ ~1 GB/s.
+    let xmp = run(Algorithm::XMatchPro);
+    let bw = |r: &uparc_repro::core::uparc::UparcReport| {
+        r.bytes as f64 / r.transfer_time.as_secs_f64() / 1e6
+    };
+    assert!((bw(&xmp) - 1000.0).abs() < 20.0, "xmp {:.0}", bw(&xmp));
+    // FaRM-class RLE: 1 w/c at ≤200 MHz ⇒ ~800 MB/s.
+    let rle = run(Algorithm::Rle);
+    assert!((bw(&rle) - 800.0).abs() < 20.0, "rle {:.0}", bw(&rle));
+    // Bit-serial Huffman decoder: ~0.25 w/c at ≤150 MHz ⇒ ~150 MB/s.
+    let huf = run(Algorithm::Huffman);
+    assert!((bw(&huf) - 150.0).abs() < 10.0, "huffman {:.0}", bw(&huf));
+}
+
+#[test]
+fn pipeline_and_analytic_pacing_agree_on_the_paper_point() {
+    // The X-MatchPRO slot (integer 2 w/c) uses the cycle-faithful FIFO
+    // pipeline; its result must sit within warm-up distance of the
+    // steady-state bound the paper's 1.008 GB/s figure assumes.
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, 1300);
+    let mut sys = UParc::builder(device.clone()).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0)).expect("tune");
+    let r = sys.reconfigure_bitstream(&bs, Mode::Compressed).expect("run");
+    let out_words = (r.bytes / 4) as u64;
+    let f3 = r.decompressor_frequency.expect("compressed");
+    let steady = f3.time_of_cycles(out_words.div_ceil(2));
+    let ratio = r.transfer_time.as_secs_f64() / steady.as_secs_f64();
+    assert!((1.0..1.01).contains(&ratio), "ratio {ratio:.4}");
+}

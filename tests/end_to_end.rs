@@ -1,0 +1,132 @@
+//! End-to-end integration: `.bit` container → Manager preload → UReC
+//! transfer → ICAP → configuration memory, across crates.
+
+use uparc_repro::bitstream::bitfile::BitFile;
+use uparc_repro::bitstream::builder::{bytes_to_words, PartialBitstream};
+use uparc_repro::bitstream::parser::StreamInfo;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::{Device, Icap};
+use uparc_repro::sim::time::{Frequency, SimTime};
+
+fn bitstream(device: &Device, far: u32, frames: u32, seed: u64) -> PartialBitstream {
+    let payload = SynthProfile::dense().generate(device, far, frames, seed);
+    PartialBitstream::build(device, far, &payload)
+}
+
+#[test]
+fn bit_container_round_trips_through_the_whole_stack() {
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, 500, 120, 1);
+
+    // Wrap in a .bit container as a vendor tool would.
+    let file = bs.to_bitfile("e2e_module_rp0");
+    let on_disk = file.to_bytes();
+
+    // "Read the bitstream file in the external memory, parse the preamble"
+    // (§III-A1) — then push the configuration payload into an ICAP.
+    let parsed = BitFile::parse(&on_disk).expect("preamble parse");
+    assert_eq!(parsed.design_name, "e2e_module_rp0");
+    let words = bytes_to_words(&parsed.data).expect("word alignment");
+    let info = StreamInfo::scan(device.family(), &words).expect("structural scan");
+    assert_eq!(info.idcode, Some(device.idcode()));
+    assert_eq!(info.far, Some(500));
+    assert_eq!(info.frames, 120);
+
+    let mut icap = Icap::new(device);
+    icap.write_words(&words).expect("configuration");
+    assert_eq!(icap.frames_committed(), 120);
+}
+
+#[test]
+fn configuration_memory_contains_exactly_the_payload() {
+    let device = Device::xc5vsx50t();
+    let fw = device.family().frame_words();
+    let payload = SynthProfile::dense().generate(&device, 1000, 50, 2);
+    let bs = PartialBitstream::build(&device, 1000, &payload);
+
+    let mut sys = UParc::builder(device).build().expect("build");
+    sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+    for (i, frame_payload) in payload.chunks(fw).enumerate() {
+        let frame = sys
+            .icap()
+            .config_memory()
+            .read_frame(1000 + i as u32)
+            .expect("in range");
+        assert_eq!(frame, frame_payload, "frame {i}");
+    }
+    // Frames outside the partition stayed blank.
+    let untouched = sys.icap().config_memory().read_frame(999).expect("in range");
+    assert!(untouched.iter().all(|&w| w == 0));
+}
+
+#[test]
+fn repeated_swaps_accumulate_in_config_memory_and_trace() {
+    let device = Device::xc5vsx50t();
+    let mut sys = UParc::builder(device.clone()).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).expect("tune");
+    let mut total_frames = 0;
+    for seed in 0..5 {
+        let bs = bitstream(&device, 100 * seed, 80, u64::from(seed));
+        sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        sys.advance_idle(SimTime::from_us(200));
+        total_frames += 80;
+    }
+    assert_eq!(sys.icap().frames_committed(), total_frames);
+    let trace = sys.power_trace();
+    // Five reconfiguration plateaus above the manager level: each 80-frame
+    // transfer is ≈3300 words / 300 MHz ≈ 11 µs.
+    let plateau = trace.time_above(200.0);
+    assert!(
+        plateau > SimTime::from_us(50) && plateau < SimTime::from_us(60),
+        "plateaus present: {plateau}"
+    );
+    // Energy of the full trace is finite and positive.
+    assert!(trace.energy_uj() > 0.0);
+}
+
+#[test]
+fn both_paper_devices_work_end_to_end() {
+    for device in [Device::xc5vsx50t(), Device::xc6vlx240t()] {
+        let cap = device
+            .family()
+            .icap_overclock_limit()
+            .min(device.family().bram_overclock_limit());
+        let bs = bitstream(&device, 0, 100, 3);
+        let mut sys = UParc::builder(device.clone()).build().expect("build");
+        sys.set_reconfiguration_frequency(cap).expect("tune");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        assert!(r.bandwidth_mb_s() > 1000.0, "{}: {:.0} MB/s", device.name(), r.bandwidth_mb_s());
+        assert_eq!(sys.icap().frames_committed(), 100);
+    }
+}
+
+#[test]
+fn v6_cannot_reach_the_v5_headline_clock() {
+    // §IV: "362.5 MHz is not reliable" on the tested Virtex-6 samples.
+    let mut sys = UParc::builder(Device::xc6vlx240t()).build().expect("build");
+    assert!(sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).is_err());
+    assert!(sys.set_reconfiguration_frequency(Frequency::from_mhz(350.0)).is_ok());
+}
+
+#[test]
+fn preload_overlap_does_not_change_outcome() {
+    // Preloading early (prefetch) and reconfiguring later produces the
+    // same configuration result and the same transfer time.
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, 40, 150, 4);
+
+    let mut eager = UParc::builder(device.clone()).build().expect("build");
+    eager.preload(&bs, Mode::Raw).expect("preload");
+    eager.advance_idle(SimTime::from_ms(10)); // module keeps running
+    let r_eager = eager.reconfigure().expect("reconfigure");
+
+    let mut lazy = UParc::builder(device).build().expect("build");
+    let r_lazy = lazy.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+
+    assert_eq!(r_eager.transfer_time, r_lazy.transfer_time);
+    assert_eq!(
+        eager.icap().config_memory().diff_frames(lazy.icap().config_memory()),
+        0
+    );
+}

@@ -1,0 +1,170 @@
+//! Integration tests for the extension features: SEU scrubbing, sample
+//! screening, floorplanning, and the DES engine driving a reconfiguration
+//! scenario.
+
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::compress::stats;
+use uparc_repro::core::scrub::Scrubber;
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::floorplan::Floorplan;
+use uparc_repro::fpga::variation::SampleLot;
+use uparc_repro::fpga::{Device, Family};
+use uparc_repro::sim::engine::{Context, Engine, Process, ProcessId};
+use uparc_repro::sim::time::{Frequency, SimTime};
+
+#[test]
+fn scrubbing_protects_a_floorplanned_partition() {
+    let device = Device::xc5vsx50t();
+    let mut fp = Floorplan::new(device.clone());
+    let rp = fp.add_partition("protected", 800..1000).expect("fits");
+    let range = fp.partition(rp).frames();
+
+    let payload =
+        SynthProfile::dense().generate(&device, range.start, range.end - range.start, 1);
+    let bs = PartialBitstream::build(&device, range.start, &payload);
+    let mut sys = UParc::builder(device).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).expect("tune");
+    sys.reconfigure_bitstream(&bs, Mode::Raw).expect("configure");
+
+    let scrubber =
+        Scrubber::capture(&mut sys, range.start, range.end - range.start).expect("golden");
+    // Hit the partition with upsets at both ends.
+    sys.inject_upset(range.start, 0, 0).expect("seu");
+    sys.inject_upset(range.end - 1, 40, 31).expect("seu");
+    let report = scrubber.scrub(&mut sys).expect("scrub");
+    assert_eq!(report.dirty.len(), 2);
+    assert_eq!(report.repairs.len(), 2);
+    assert!(scrubber.scrub(&mut sys).expect("verify").dirty.is_empty());
+}
+
+#[test]
+fn screening_and_system_limits_agree() {
+    // The family ceilings enforced by the system are exactly the screened
+    // minima of the sample lots.
+    for family in [Family::Virtex5, Family::Virtex6] {
+        let lot = SampleLot::draw(family, 200, 9);
+        let screened = lot.screen(family.icap_overclock_limit());
+        assert_eq!(screened.passed, screened.total, "{family}");
+    }
+    // And the UPaRC builder rejects clocks above them.
+    let mut v6 = UParc::builder(Device::xc6vlx240t()).build().expect("build");
+    assert!(v6
+        .set_reconfiguration_frequency(Family::Virtex6.icap_overclock_limit())
+        .is_ok());
+    assert!(v6
+        .set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+        .is_err());
+}
+
+#[test]
+fn synthetic_profiles_have_distinct_statistics() {
+    let device = Device::xc5vsx50t();
+    let measure = |profile: &SynthProfile| {
+        let words = profile.generate_bytes(&device, 64 * 1024, 5);
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+        stats::analyze(&bytes)
+    };
+    let dense = measure(&SynthProfile::dense());
+    let sparse = measure(&SynthProfile::sparse());
+    let noise = measure(&SynthProfile::noise());
+    // Entropy ordering: noise ≫ dense > sparse.
+    assert!(noise.entropy_bits > 7.9);
+    assert!(dense.entropy_bits > sparse.entropy_bits);
+    assert!(dense.entropy_bits < 3.5);
+    // Run mass ordering: sparse blankest.
+    assert!(sparse.runs.very_long > dense.runs.very_long);
+    assert!(noise.runs.very_long < 0.01);
+}
+
+/// A requester/controller pair on the DES engine: the requester fires
+/// module-swap requests; the controller process owns a `UParc` and serves
+/// them, replying with the measured latency.
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    Swap(u32),
+    Done(SimTime),
+}
+
+struct ControllerProc {
+    sys: UParc,
+    served: Vec<SimTime>,
+    requester: Option<ProcessId>,
+}
+
+impl Process<Ev> for ControllerProc {
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Swap(seed) => {
+                let device = self.sys.device().clone();
+                let payload = SynthProfile::dense().generate(&device, 0, 200, u64::from(seed));
+                let bs = PartialBitstream::build(&device, 0, &payload);
+                let r = self.sys.reconfigure_bitstream(&bs, Mode::Raw).expect("swap");
+                let latency = r.elapsed();
+                self.served.push(latency);
+                if let Some(req) = self.requester {
+                    ctx.send_in(latency, req, Ev::Done(latency));
+                }
+            }
+            Ev::Done(_) => {}
+        }
+    }
+}
+
+struct RequesterProc {
+    controller: Option<ProcessId>,
+    remaining: u32,
+    completions: u32,
+}
+
+impl Process<Ev> for RequesterProc {
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        if let Ev::Done(_) = ev {
+            self.completions += 1;
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let ctrl = self.controller.expect("wired");
+                ctx.send_in(SimTime::from_us(500), ctrl, Ev::Swap(self.remaining));
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_drives_an_asynchronous_swap_pipeline() {
+    let mut sys = UParc::builder(Device::xc5vsx50t()).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).expect("tune");
+
+    let mut engine = Engine::new();
+    let requester = engine.spawn(Box::new(RequesterProc {
+        controller: None,
+        remaining: 4,
+        completions: 0,
+    }));
+    let controller = engine.spawn(Box::new(ControllerProc {
+        sys,
+        served: Vec::new(),
+        requester: Some(requester),
+    }));
+    // Wire the requester now that the controller's id exists.
+    let req: &mut RequesterProc = (engine.process_mut(requester) as &mut dyn std::any::Any)
+        .downcast_mut()
+        .expect("concrete type");
+    req.controller = Some(controller);
+
+    engine.schedule(SimTime::ZERO, controller, Ev::Swap(5));
+    engine.run();
+
+    // 5 swaps total: the initial one plus 4 chained by the requester.
+    let ctrl: &ControllerProc = (engine.process(controller) as &dyn std::any::Any)
+        .downcast_ref()
+        .expect("concrete type");
+    assert_eq!(ctrl.served.len(), 5);
+    assert_eq!(ctrl.sys.icap().frames_committed(), 5 * 200);
+    let req: &RequesterProc = (engine.process(requester) as &dyn std::any::Any)
+        .downcast_ref()
+        .expect("concrete type");
+    assert_eq!(req.completions, 5);
+    // The engine's clock advanced through the 500 µs gaps + swap latencies.
+    assert!(engine.now() > SimTime::from_ms(2));
+}

@@ -1,0 +1,89 @@
+//! Property-based tests on the compression substrate: exact losslessness
+//! on arbitrary inputs (a configuration bitstream tolerates no loss), and
+//! robustness of every decoder against arbitrary (corrupt) inputs.
+
+use proptest::prelude::*;
+use uparc_repro::bitstream::bitfile::BitFile;
+use uparc_repro::bitstream::bramimg::{BramImage, ModeWord};
+use uparc_repro::compress::Algorithm;
+
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        // Runs and repeats (bitstream-like).
+        proptest::collection::vec(prop_oneof![Just(0u8), 1u8..8], 0..4096),
+        // Word-structured data.
+        proptest::collection::vec(any::<u32>(), 0..512)
+            .prop_map(|ws| ws.iter().flat_map(|w| w.to_be_bytes()).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_codec_is_exactly_lossless(data in input_strategy()) {
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let packed = codec.compress(&data);
+            let unpacked = codec.decompress(&packed)
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            prop_assert_eq!(&unpacked, &data, "{} round-trip", alg);
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_arbitrary_input(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine (Ok with some output, or a typed error) —
+        // a panic or non-termination is the only failure.
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let _ = codec.decompress(&garbage);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_never_yield_wrong_data(data in proptest::collection::vec(any::<u8>(), 1..512), cut_fraction in 0.0f64..1.0) {
+        // Cutting a compressed stream must either fail or (in rare cases of
+        // aligned cuts) reproduce a prefix-consistent result — never panic.
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let packed = codec.compress(&data);
+            let cut = ((packed.len() as f64) * cut_fraction) as usize;
+            let _ = codec.decompress(&packed[..cut]);
+        }
+    }
+
+    #[test]
+    fn bitfile_container_round_trips(
+        name in "[a-zA-Z0-9_./=]{0,40}",
+        part in "[a-z0-9]{1,16}",
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let file = BitFile {
+            design_name: name,
+            part,
+            date: "2011/09/14".to_owned(),
+            time: "11:35:17".to_owned(),
+            data,
+        };
+        let parsed = BitFile::parse(&file.to_bytes()).expect("round-trip");
+        prop_assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn mode_word_round_trips(compressed in any::<bool>(), codec_id in 0u8..128, size in 0u32..(1 << 24)) {
+        let codec_id = if compressed { codec_id } else { 0 };
+        let m = ModeWord { compressed, codec_id, size_words: size };
+        prop_assert_eq!(ModeWord::decode(m.encode()).expect("round-trip"), m);
+    }
+
+    #[test]
+    fn bram_images_round_trip_payloads(payload in proptest::collection::vec(any::<u8>(), 0..1024), codec_id in 1u8..8) {
+        let img = BramImage::compressed(codec_id, &payload);
+        let (id, bytes) = img.compressed_payload().expect("round-trip");
+        prop_assert_eq!(id, codec_id);
+        prop_assert_eq!(bytes, payload);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests on the system invariants: timing laws, DCM grid
+//! legality, policy-constraint satisfaction, and trace/energy consistency.
+
+use proptest::prelude::*;
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::core::policy::{Constraint, PowerAwarePolicy};
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::fpga::dcm::DcmConstraints;
+use uparc_repro::fpga::{Device, Family};
+use uparc_repro::sim::power::calib;
+use uparc_repro::sim::time::{Frequency, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn raw_transfer_takes_exactly_words_plus_one_cycles(
+        frames in 1u32..200,
+        grid_idx in 0usize..40,
+    ) {
+        let device = Device::xc5vsx50t();
+        let policy = PowerAwarePolicy::paper_setup(device.family());
+        let grid = policy.frequency_grid();
+        let f = grid[grid_idx % grid.len()];
+        let payload = SynthProfile::dense().generate(&device, 0, frames, 7);
+        let bs = PartialBitstream::build(&device, 0, &payload);
+        let mut sys = UParc::builder(device).build().expect("build");
+        sys.set_reconfiguration_frequency(f).expect("grid point is legal");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        let cycles = bs.words().len() as u64 + 1; // + mode word
+        prop_assert_eq!(r.transfer_time, r.frequency.time_of_cycles(cycles));
+        prop_assert_eq!(r.control_overhead, SimTime::from_ns(1200));
+    }
+
+    #[test]
+    fn dcm_search_results_are_always_legal(
+        fin_mhz in 40u32..200,
+        target_mhz in 33u32..450,
+    ) {
+        let c = DcmConstraints::for_family(Family::Virtex5);
+        let fin = Frequency::from_mhz(f64::from(fin_mhz));
+        let target = Frequency::from_mhz(f64::from(target_mhz));
+        if let Some((m, d, f)) = c.best_factors(fin, target) {
+            prop_assert_eq!(c.check(fin, m, d).expect("legal"), f);
+        }
+        if let Some((m, d, f)) = c.best_factors_at_most(fin, target) {
+            prop_assert_eq!(c.check(fin, m, d).expect("legal"), f);
+            prop_assert!(f <= target);
+        }
+    }
+
+    #[test]
+    fn deadline_plans_always_meet_their_deadline(deadline_us in 150u64..5_000, kb in 1usize..260) {
+        let policy = PowerAwarePolicy::paper_setup(Family::Virtex5);
+        let bytes = kb * 1024;
+        let deadline = SimTime::from_us(deadline_us);
+        match policy.plan(Constraint::Deadline(deadline), bytes) {
+            Ok(plan) => prop_assert!(plan.predicted_time <= deadline),
+            Err(_) => {
+                // Infeasible must really be infeasible: even the fastest
+                // grid point misses it.
+                let grid = policy.frequency_grid();
+                let best = policy.predicted_time(bytes, *grid.last().unwrap());
+                prop_assert!(best > deadline);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_plans_never_exceed_their_budget(budget in 150.0f64..600.0) {
+        let policy = PowerAwarePolicy::paper_setup(Family::Virtex5);
+        match policy.plan(Constraint::PowerBudget { mw: budget }, 100 * 1024) {
+            Ok(plan) => prop_assert!(plan.predicted_power_mw <= budget),
+            Err(_) => {
+                let grid = policy.frequency_grid();
+                prop_assert!(policy.predicted_power_mw(grid[0]) > budget);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_energy_matches_report_energy(frames in 10u32..300, grid_idx in 0usize..40) {
+        let device = Device::xc5vsx50t();
+        let policy = PowerAwarePolicy::paper_setup(device.family());
+        let grid = policy.frequency_grid();
+        let f = grid[grid_idx % grid.len()];
+        let payload = SynthProfile::dense().generate(&device, 0, frames, 11);
+        let bs = PartialBitstream::build(&device, 0, &payload);
+        let mut sys = UParc::builder(device).build().expect("build");
+        sys.set_reconfiguration_frequency(f).expect("legal");
+        sys.preload(&bs, Mode::Raw).expect("preload");
+        let t0 = sys.now();
+        let r = sys.reconfigure().expect("reconfigure");
+        let t1 = sys.now();
+        let trace = sys.power_trace();
+        // Integrate the trace over the reconfiguration window and subtract
+        // the idle floor: must equal the report's above-idle energy.
+        let window = t1 - t0;
+        let mut energy = 0.0;
+        let mut t = t0;
+        while t < t1 {
+            let p = trace.power_at(t).expect("inside trace");
+            let step = SimTime::from_ns(100).min(t1 - t);
+            energy += (p - calib::V6_IDLE_MW) * step.as_secs_f64() * 1e3;
+            t += step;
+        }
+        let _ = window;
+        let rel = (energy - r.energy_uj).abs() / r.energy_uj.max(1e-9);
+        prop_assert!(rel < 0.02, "trace {energy:.2} vs report {:.2} µJ", r.energy_uj);
+    }
+
+    #[test]
+    fn compressed_and_raw_modes_configure_identically(frames in 5u32..150) {
+        let device = Device::xc5vsx50t();
+        let payload = SynthProfile::dense().generate(&device, 30, frames, 13);
+        let bs = PartialBitstream::build(&device, 30, &payload);
+        let mut raw = UParc::builder(device.clone()).build().expect("build");
+        raw.reconfigure_bitstream(&bs, Mode::Raw).expect("raw");
+        let mut comp = UParc::builder(device).build().expect("build");
+        comp.reconfigure_bitstream(&bs, Mode::Compressed).expect("compressed");
+        prop_assert_eq!(
+            raw.icap().config_memory().diff_frames(comp.icap().config_memory()),
+            0
+        );
+    }
+}
