@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --release -p uparc-bench --bin figure5`.
 
-use uparc_bench::Report;
+use uparc_bench::{sweep, Report};
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_bitstream::synth::SynthProfile;
 use uparc_core::uparc::{Mode, UParc};
@@ -26,6 +26,27 @@ fn main() {
     let device = Device::xc5vsx50t();
     let profile = SynthProfile::dense();
 
+    // Every (size, frequency) cell is an independent system: shard the
+    // whole surface across cores in one sweep.
+    let grid: Vec<(f64, f64)> = SIZES_KB
+        .iter()
+        .flat_map(|&s| FREQS_MHZ.iter().map(move |&f| (s, f)))
+        .collect();
+    println!(
+        "sweep: {} cells on {} worker(s)",
+        grid.len(),
+        sweep::worker_count(grid.len())
+    );
+    let cells = sweep::parallel_map(&grid, |&(size_kb, mhz)| {
+        let frames = ((size_kb * 1024.0) as usize / device.family().frame_bytes()) as u32;
+        let payload = profile.generate(&device, 0, frames.max(1), 7);
+        let bs = PartialBitstream::build(&device, 0, &payload);
+        let mut sys = UParc::builder(device.clone()).build().expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
+        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        (r.bandwidth_mb_s(), r.efficiency())
+    });
+
     let mut headers: Vec<String> = vec!["Size \\ MHz".to_owned()];
     headers.extend(FREQS_MHZ.iter().map(|f| format!("{f}")));
     headers.push("theor@362.5".to_owned());
@@ -36,18 +57,13 @@ fn main() {
     );
 
     let mut checks: Vec<(f64, f64)> = Vec::new(); // (size KB, efficiency @362.5)
-    for &size_kb in &SIZES_KB {
-        let frames = ((size_kb * 1024.0) as usize / device.family().frame_bytes()) as u32;
-        let payload = profile.generate(&device, 0, frames.max(1), 7);
-        let bs = PartialBitstream::build(&device, 0, &payload);
+    for (si, &size_kb) in SIZES_KB.iter().enumerate() {
         let mut row = vec![format!("{size_kb} KB")];
         let mut eff_at_max = 0.0;
-        for &mhz in &FREQS_MHZ {
-            let mut sys = UParc::builder(device.clone()).build().expect("build");
-            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
-            let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
-            row.push(format!("{:.0}", r.bandwidth_mb_s()));
-            eff_at_max = r.efficiency();
+        for (fi, _) in FREQS_MHZ.iter().enumerate() {
+            let (mb_s, eff) = cells[si * FREQS_MHZ.len() + fi];
+            row.push(format!("{mb_s:.0}"));
+            eff_at_max = eff;
         }
         row.push("1450".to_owned());
         report.row(&row);
@@ -57,16 +73,8 @@ fn main() {
 
     // Dump the full surface for plotting (size_kb, mhz, mb_s rows).
     let mut csv = String::from("size_kb,mhz,mb_s\n");
-    for &size_kb in &SIZES_KB {
-        let frames = ((size_kb * 1024.0) as usize / device.family().frame_bytes()) as u32;
-        let payload = profile.generate(&device, 0, frames.max(1), 7);
-        let bs = PartialBitstream::build(&device, 0, &payload);
-        for &mhz in &FREQS_MHZ {
-            let mut sys = UParc::builder(device.clone()).build().expect("build");
-            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
-            let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
-            csv.push_str(&format!("{size_kb},{mhz},{:.1}\n", r.bandwidth_mb_s()));
-        }
+    for (&(size_kb, mhz), &(mb_s, _)) in grid.iter().zip(&cells) {
+        csv.push_str(&format!("{size_kb},{mhz},{mb_s:.1}\n"));
     }
     std::fs::write("/tmp/uparc_fig5_surface.csv", csv).expect("write csv");
     println!("\nsurface written: /tmp/uparc_fig5_surface.csv");

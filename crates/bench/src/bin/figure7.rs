@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --release -p uparc-bench --bin figure7`.
 
-use uparc_bench::{vs_paper, Report};
+use uparc_bench::{sweep, vs_paper, Report};
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_bitstream::synth::SynthProfile;
 use uparc_core::uparc::{Mode, UParc};
@@ -39,7 +39,9 @@ fn main() {
     );
 
     let scope = Oscilloscope::ml605().with_sample_period(SimTime::from_us(2));
-    for (mhz, paper_mw) in calib::FIG7_POINTS {
+    // The four frequency points are independent systems — shard them.
+    let points: Vec<(f64, f64)> = calib::FIG7_POINTS.to_vec();
+    let runs = sweep::parallel_map(&points, |&(mhz, paper_mw)| {
         let paper_us = calib::FIG7_TIMES_US
             .iter()
             .find(|(m, _)| *m == mhz)
@@ -52,7 +54,9 @@ fn main() {
         let r = sys.reconfigure().expect("reconfigure");
         sys.advance_idle(SimTime::from_us(30));
         let trace = sys.power_trace();
-        let plateau = trace.peak_mw();
+        (mhz, paper_mw, paper_us, trace.peak_mw(), r, scope.sample(&trace))
+    });
+    for (mhz, paper_mw, paper_us, plateau, r, samples) in runs {
         let duration_us = r.transfer_time.as_us_f64();
         report.row(&[
             format!("{mhz} MHz"),
@@ -64,7 +68,6 @@ fn main() {
         ]);
 
         // Dump the oscilloscope samples for plotting.
-        let samples = scope.sample(&trace);
         let path = format!("/tmp/uparc_fig7_{mhz:.0}mhz.csv");
         let mut csv = String::from("time_us,power_mw\n");
         for (t, p) in samples {

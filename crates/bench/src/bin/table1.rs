@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p uparc-bench --bin table1`.
 
-use uparc_bench::{vs_paper, Report};
+use uparc_bench::{sweep, vs_paper, Report};
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_bitstream::synth::SynthProfile;
 use uparc_compress::{Algorithm, Ratio};
@@ -31,25 +31,35 @@ fn main() {
 
     println!("workloads: {} sizes x {} seeds, profile = dense", SIZES.len(), SEEDS.len());
 
-    for alg in Algorithm::ALL {
+    // Every (algorithm, size, seed) cell is independent: flatten the cube
+    // and shard it across cores.
+    let cube: Vec<(Algorithm, usize, u64)> = Algorithm::ALL
+        .iter()
+        .flat_map(|&alg| {
+            SIZES
+                .iter()
+                .flat_map(move |&size| SEEDS.iter().map(move |&seed| (alg, size, seed)))
+        })
+        .collect();
+    let saved = sweep::parallel_map(&cube, |&(alg, size, seed)| {
         let codec = alg.codec();
-        let mut ratios = Vec::new();
-        for &size in &SIZES {
-            for &seed in &SEEDS {
-                let frames = size / device.family().frame_bytes();
-                let payload = profile.generate(&device, 0, frames as u32, seed);
-                let bs = PartialBitstream::build(&device, 0, &payload);
-                let bytes = bs.to_bytes();
-                let packed = codec.compress(&bytes);
-                // Losslessness is asserted on every workload, every run.
-                assert_eq!(
-                    codec.decompress(&packed).expect("decompression"),
-                    bytes,
-                    "{alg} round-trip"
-                );
-                ratios.push(Ratio::new(bytes.len(), packed.len()).percent_saved());
-            }
-        }
+        let frames = size / device.family().frame_bytes();
+        let payload = profile.generate(&device, 0, frames as u32, seed);
+        let bs = PartialBitstream::build(&device, 0, &payload);
+        let bytes = bs.to_bytes();
+        let packed = codec.compress(&bytes);
+        // Losslessness is asserted on every workload, every run.
+        assert_eq!(
+            codec.decompress(&packed).expect("decompression"),
+            bytes,
+            "{alg} round-trip"
+        );
+        Ratio::new(bytes.len(), packed.len()).percent_saved()
+    });
+
+    let per_alg = SIZES.len() * SEEDS.len();
+    for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+        let ratios = &saved[ai * per_alg..(ai + 1) * per_alg];
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

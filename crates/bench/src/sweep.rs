@@ -1,0 +1,113 @@
+//! Parallel sweep runner for the experiment harnesses.
+//!
+//! The figure/table binaries evaluate grids of independent configurations
+//! (size × frequency, algorithm × workload). Each cell builds its own
+//! [`uparc_core::uparc::UParc`] and touches no shared state, so the grid
+//! shards trivially across cores. This module is a minimal std-only pool:
+//! scoped threads pull work items off an atomic index, so there are no
+//! external dependencies and no `'static` bounds on the closures.
+//!
+//! Results come back in input order regardless of which worker ran them,
+//! so harness output is deterministic and independent of the core count
+//! (including the single-core case, which degrades to a plain map).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of worker threads a sweep over `items` work items will use: the
+/// machine's available parallelism, clamped to the work count and at
+/// least 1.
+#[must_use]
+pub fn worker_count(items: usize) -> usize {
+    let cores = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    cores.min(items).max(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// `f` runs on multiple threads concurrently; items are handed out
+/// one at a time from a shared atomic cursor, so uneven cell costs
+/// (large bitstreams vs small) balance automatically.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool panics once the workers join).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = worker_count(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, R)> = chunks.drain(..).flatten().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn uneven_workloads_balance() {
+        // Cells with wildly different costs still land in order.
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(&items, |&i| {
+            let spin = if i % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k).rotate_left(1);
+            }
+            (i, acc & 1)
+        });
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+}

@@ -1,4 +1,11 @@
 //! Bit-level I/O shared by the codecs (MSB-first within each byte).
+//!
+//! Both ends are batched: [`BitWriter::write_bits`] shifts whole values
+//! into a 64-bit accumulator and spills full bytes, and
+//! [`BitReader::read_bits`] extracts up to 32 bits from one aligned
+//! 8-byte load, so neither loops per bit. The per-bit methods remain as
+//! the reference path; `proptests` below pin the two to identical
+//! streams.
 
 use crate::CodecError;
 
@@ -21,9 +28,9 @@ use crate::CodecError;
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits accumulated in `cur` (0..8).
+    /// Pending bits, right-aligned in `acc` (always < 8 between calls).
     nbits: u32,
-    cur: u8,
+    acc: u64,
 }
 
 impl BitWriter {
@@ -33,15 +40,16 @@ impl BitWriter {
         BitWriter::default()
     }
 
+    /// Creates an empty writer with room for `bytes` output bytes.
+    #[must_use]
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter { bytes: Vec::with_capacity(bytes), nbits: 0, acc: 0 }
+    }
+
     /// Appends a single bit.
+    #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.cur = (self.cur << 1) | u8::from(bit);
-        self.nbits += 1;
-        if self.nbits == 8 {
-            self.bytes.push(self.cur);
-            self.cur = 0;
-            self.nbits = 0;
-        }
+        self.write_bits(u32::from(bit), 1);
     }
 
     /// Appends the low `n` bits of `value`, MSB-first.
@@ -49,10 +57,19 @@ impl BitWriter {
     /// # Panics
     ///
     /// Panics if `n > 32`.
+    #[inline]
     pub fn write_bits(&mut self, value: u32, n: u32) {
         assert!(n <= 32, "at most 32 bits per call");
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        // `nbits < 8` on entry, so at most 39 bits are pending: the
+        // accumulator never overflows and at most 4 bytes spill per call.
+        self.acc = (self.acc << n) | (u64::from(value) & ((1u64 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
         }
     }
 
@@ -66,8 +83,7 @@ impl BitWriter {
     #[must_use]
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
-            self.cur <<= 8 - self.nbits;
-            self.bytes.push(self.cur);
+            self.bytes.push((self.acc << (8 - self.nbits)) as u8);
         }
         self.bytes
     }
@@ -89,6 +105,7 @@ impl<'a> BitReader<'a> {
     }
 
     /// Remaining bits.
+    #[inline]
     #[must_use]
     pub fn remaining(&self) -> usize {
         self.bytes.len() * 8 - self.pos
@@ -99,6 +116,7 @@ impl<'a> BitReader<'a> {
     /// # Errors
     ///
     /// [`CodecError::Truncated`] at end of input.
+    #[inline]
     pub fn read_bit(&mut self) -> Result<bool, CodecError> {
         let byte = self.bytes.get(self.pos / 8).ok_or(CodecError::Truncated)?;
         let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
@@ -110,21 +128,82 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// [`CodecError::Truncated`] if fewer than `n` bits remain.
+    /// [`CodecError::Truncated`] if fewer than `n` bits remain; the
+    /// reader position is unchanged on error.
     ///
     /// # Panics
     ///
     /// Panics if `n > 32`.
+    #[inline]
     pub fn read_bits(&mut self, n: u32) -> Result<u32, CodecError> {
         assert!(n <= 32, "at most 32 bits per call");
         if self.remaining() < n as usize {
             return Err(CodecError::Truncated);
         }
-        let mut v = 0u32;
-        for _ in 0..n {
-            v = (v << 1) | u32::from(self.read_bit()?);
+        if n == 0 {
+            return Ok(0);
         }
+        let v = self.extract(n);
+        self.pos += n as usize;
         Ok(v)
+    }
+
+    /// Returns the next `n` bits without consuming them, zero-padded past
+    /// the end of the stream (so lookup-table decoders can index a full
+    /// table width near the end of input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    #[inline]
+    #[must_use]
+    pub fn peek_bits(&self, n: u32) -> u32 {
+        assert!(n <= 32, "at most 32 bits per call");
+        if n == 0 {
+            return 0;
+        }
+        let avail = self.remaining().min(n as usize) as u32;
+        if avail == 0 {
+            return 0;
+        }
+        self.extract(avail) << (n - avail)
+    }
+
+    /// Consumes `n` bits previously inspected with [`Self::peek_bits`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than `n` bits remain; the
+    /// reader position is unchanged on error.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<(), CodecError> {
+        if self.remaining() < n as usize {
+            return Err(CodecError::Truncated);
+        }
+        self.pos += n as usize;
+        Ok(())
+    }
+
+    /// Extracts `n` in-bounds bits starting at `pos` (1..=32).
+    #[inline]
+    fn extract(&self, n: u32) -> u32 {
+        let byte = self.pos / 8;
+        let off = (self.pos % 8) as u32;
+        if self.bytes.len() - byte >= 8 {
+            // Hot path: one aligned-from-slice big-endian load covers any
+            // (offset, n ≤ 32) combination.
+            let acc = u64::from_be_bytes(self.bytes[byte..byte + 8].try_into().expect("8 bytes"));
+            ((acc << off) >> (64 - n)) as u32
+        } else {
+            // Near the end of the buffer: gather the ≤ 8 remaining bytes.
+            let mut acc = 0u64;
+            let tail = &self.bytes[byte..];
+            for &b in tail {
+                acc = (acc << 8) | u64::from(b);
+            }
+            let total = (tail.len() * 8) as u32;
+            ((acc << (64 - total + off)) >> (64 - n)) as u32
+        }
     }
 }
 
@@ -189,6 +268,53 @@ mod tests {
         r.read_bits(5).unwrap();
         assert_eq!(r.remaining(), 11);
     }
+
+    #[test]
+    fn peek_matches_read_and_pads_past_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for n in [1u32, 7, 13, 32] {
+            let peeked = r.peek_bits(n);
+            let mut probe = r.clone();
+            assert_eq!(probe.read_bits(n).unwrap(), peeked, "peek({n})");
+        }
+        r.consume(32).unwrap();
+        // 8 bits remain (3 data + 5 padding); a 16-bit peek zero-pads.
+        assert_eq!(r.remaining(), 8);
+        let padded = r.peek_bits(16);
+        assert_eq!(padded >> 8, u32::from(bytes[4]));
+        assert_eq!(padded & 0xFF, 0);
+        assert!(r.consume(16).is_err());
+        assert_eq!(r.remaining(), 8, "failed consume must not move");
+        r.consume(8).unwrap();
+        assert_eq!(r.peek_bits(32), 0, "peek at EOF is all zeros");
+    }
+
+    #[test]
+    fn unaligned_tail_reads_cross_byte_boundaries() {
+        // 9 bytes so the first extraction uses the 8-byte hot path and
+        // later ones fall into the tail-gather path.
+        let bytes = [0xA5, 0x5A, 0xFF, 0x00, 0x12, 0x34, 0x56, 0x78, 0x9A];
+        let mut fast = BitReader::new(&bytes);
+        let mut slow_pos = 0usize;
+        for n in [3u32, 11, 1, 17, 9, 25, 6] {
+            let expected = reference_bits(&bytes, &mut slow_pos, n);
+            assert_eq!(fast.read_bits(n).unwrap(), expected, "n={n}");
+        }
+    }
+
+    fn reference_bits(bytes: &[u8], pos: &mut usize, n: u32) -> u32 {
+        let mut v = 0u32;
+        for _ in 0..n {
+            let bit = (bytes[*pos / 8] >> (7 - *pos % 8)) & 1;
+            v = (v << 1) | u32::from(bit);
+            *pos += 1;
+        }
+        v
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +343,68 @@ mod proptests {
             prop_assert!(r.remaining() < 8);
             while r.remaining() > 0 {
                 prop_assert!(!r.read_bit()?);
+            }
+        }
+
+        #[test]
+        fn batched_writer_matches_per_bit_reference(
+            values in proptest::collection::vec((any::<u32>(), 1u32..33), 0..200),
+        ) {
+            // Reference: the original per-bit shift loop.
+            let mut ref_bits: Vec<bool> = Vec::new();
+            for &(v, n) in &values {
+                for i in (0..n).rev() {
+                    ref_bits.push((v >> i) & 1 == 1);
+                }
+            }
+            let mut ref_bytes = Vec::new();
+            let (mut cur, mut nbits) = (0u8, 0u32);
+            for &b in &ref_bits {
+                cur = (cur << 1) | u8::from(b);
+                nbits += 1;
+                if nbits == 8 {
+                    ref_bytes.push(cur);
+                    cur = 0;
+                    nbits = 0;
+                }
+            }
+            if nbits > 0 {
+                ref_bytes.push(cur << (8 - nbits));
+            }
+
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                w.write_bits(v, n);
+            }
+            prop_assert_eq!(w.finish(), ref_bytes);
+        }
+
+        #[test]
+        fn batched_reader_matches_per_bit_reference(
+            bytes in proptest::collection::vec(any::<u8>(), 0..64),
+            widths in proptest::collection::vec(1u32..33, 0..40),
+        ) {
+            let mut fast = BitReader::new(&bytes);
+            let mut slow = BitReader::new(&bytes);
+            for &n in &widths {
+                let f = fast.read_bits(n);
+                let s = if slow.remaining() < n as usize {
+                    Err(crate::CodecError::Truncated)
+                } else {
+                    let mut v = 0u32;
+                    for _ in 0..n {
+                        v = (v << 1) | u32::from(slow.read_bit()?);
+                    }
+                    Ok(v)
+                };
+                prop_assert_eq!(&f, &s);
+                if f.is_err() {
+                    break;
+                }
+                let pk = fast.peek_bits(8);
+                let expect = slow.clone().read_bits(8.min(slow.remaining() as u32))
+                    .unwrap_or(0) << (8 - 8.min(slow.remaining() as u32));
+                prop_assert_eq!(pk, expect);
             }
         }
     }

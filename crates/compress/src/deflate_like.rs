@@ -45,18 +45,12 @@ const DIST_EXTRA: [u32; 30] = [
 
 fn len_slot(len: u32) -> usize {
     debug_assert!((3..=258).contains(&len));
-    (0..29)
-        .rev()
-        .find(|&s| LEN_BASE[s] <= len)
-        .expect("len in range")
+    LEN_BASE.partition_point(|&b| b <= len) - 1
 }
 
 fn dist_slot(dist: u32) -> usize {
     debug_assert!((1..=32768).contains(&dist));
-    (0..30)
-        .rev()
-        .find(|&s| DIST_BASE[s] <= dist)
-        .expect("dist in range")
+    DIST_BASE.partition_point(|&b| b <= dist) - 1
 }
 
 /// Deflate-like codec ("Zip" in Table I).
@@ -109,12 +103,10 @@ impl Codec for DeflateLike {
         out.extend_from_slice(&litlen_lengths);
         out.extend_from_slice(&dist_lengths);
 
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_capacity(input.len() / 3);
         let emit = |w: &mut BitWriter, (code, len): (u64, u8)| {
             debug_assert!(len > 0, "emitting a symbol with no code");
-            for i in (0..len).rev() {
-                w.write_bit((code >> i) & 1 == 1);
-            }
+            crate::huffman::write_code(w, code, len);
         };
         for t in &tokens {
             match *t {
@@ -151,7 +143,7 @@ impl Codec for DeflateLike {
         let mut r = BitReader::new(&input[header..]);
         let mut out = Vec::with_capacity(n);
         loop {
-            let sym = litlen.decode(&mut r)?;
+            let sym = litlen.decode_fast(&mut r)?;
             if sym == EOB {
                 break;
             }
@@ -166,7 +158,7 @@ impl Codec for DeflateLike {
                 let dd = dist_dec
                     .as_ref()
                     .ok_or_else(|| CodecError::corrupt("match without distance table"))?;
-                let ds = dd.decode(&mut r)? as usize;
+                let ds = dd.decode_fast(&mut r)? as usize;
                 if ds >= 30 {
                     return Err(CodecError::corrupt("bad distance symbol"));
                 }
@@ -175,9 +167,15 @@ impl Codec for DeflateLike {
                     return Err(CodecError::corrupt("backreference before start"));
                 }
                 let start = out.len() - distance;
-                for k in 0..length {
-                    let b = out[start + k];
-                    out.push(b);
+                if length <= distance {
+                    out.extend_from_within(start..start + length);
+                } else {
+                    // Overlapping copy (run replication) must go byte-wise.
+                    out.reserve(length);
+                    for k in 0..length {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
                 }
             }
         }

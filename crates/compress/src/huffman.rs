@@ -127,6 +127,12 @@ pub fn canonical_codes(lengths: &[u8]) -> Vec<(u64, u8)> {
 
 /// Canonical Huffman decoder over arbitrary symbol alphabets (shared with
 /// the deflate-like codec).
+///
+/// Decoding has two paths: [`Self::decode`] is the bit-at-a-time
+/// reference, and [`Self::decode_fast`] resolves codes of up to
+/// [`Self::PRIMARY_BITS`] bits with a single table lookup on peeked bits,
+/// falling back to the reference scan for the rare longer codes. The two
+/// are bit-exact (see `tests/proptest_fastpath.rs`).
 #[derive(Debug, Clone)]
 pub struct CanonicalDecoder {
     max_len: u8,
@@ -136,6 +142,9 @@ pub struct CanonicalDecoder {
     count: Vec<u64>,
     /// Symbols sorted by (length, symbol).
     symbols: Vec<u32>,
+    /// Primary lookup table indexed by the next [`Self::PRIMARY_BITS`]
+    /// bits: `(symbol << 8) | code_len` for codes that fit, 0 otherwise.
+    lut: Vec<u32>,
 }
 
 impl CanonicalDecoder {
@@ -143,6 +152,11 @@ impl CanonicalDecoder {
     /// Fibonacci-skewed input of >2^33 symbols, far beyond any bitstream.
     /// Longer lengths only occur in corrupt headers.
     pub const MAX_CODE_LEN: u8 = 48;
+
+    /// Width of the primary lookup table (2^11 entries, 8 KB): covers
+    /// every code the 256-symbol byte alphabet produces in practice while
+    /// staying L1-resident.
+    pub const PRIMARY_BITS: u8 = 11;
 
     /// Builds a decoder from per-symbol code lengths.
     ///
@@ -187,7 +201,24 @@ impl CanonicalDecoder {
             base_index[l] = idx;
             idx += count[l] as usize;
         }
-        Ok(CanonicalDecoder { max_len, first_code, base_index, count, symbols })
+
+        // Primary table: every code of length ≤ PRIMARY_BITS owns the
+        // 2^(PRIMARY_BITS - len) slots sharing its prefix.
+        let pb = u32::from(Self::PRIMARY_BITS);
+        let mut lut = vec![0u32; 1 << pb];
+        for l in 1..=max_len.min(Self::PRIMARY_BITS) {
+            let lw = u32::from(l);
+            for k in 0..count[l as usize] {
+                let code = first_code[l as usize] + k;
+                let sym = symbols[base_index[l as usize] + k as usize];
+                debug_assert!(sym < 1 << 24, "symbol fits the packed entry");
+                let base = (code << (pb - lw)) as usize;
+                for slot in &mut lut[base..base + (1 << (pb - lw))] {
+                    *slot = (sym << 8) | lw;
+                }
+            }
+        }
+        Ok(CanonicalDecoder { max_len, first_code, base_index, count, symbols, lut })
     }
 
     /// Decodes one symbol from `reader`.
@@ -208,6 +239,43 @@ impl CanonicalDecoder {
         }
         Err(CodecError::corrupt("invalid huffman code"))
     }
+
+    /// Decodes one symbol via the primary lookup table (bit-exact with
+    /// [`Self::decode`]).
+    ///
+    /// Codes of up to [`Self::PRIMARY_BITS`] bits — all of them, for any
+    /// realistic length distribution — resolve with one peek and one
+    /// table load; longer codes fall back to the per-length scan.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input, [`CodecError::Corrupt`]
+    /// for a bit pattern outside the code.
+    #[inline]
+    pub fn decode_fast(&self, reader: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        let entry = self.lut[reader.peek_bits(u32::from(Self::PRIMARY_BITS)) as usize];
+        if entry != 0 {
+            // Zero padding past end-of-stream can only have selected this
+            // entry if its code length exceeds the remaining bits, which
+            // `consume` rejects — matching the reference path's Truncated.
+            reader.consume(entry & 0xFF)?;
+            return Ok(entry >> 8);
+        }
+        self.decode(reader)
+    }
+}
+
+/// Appends one canonical code (up to [`CanonicalDecoder::MAX_CODE_LEN`]
+/// bits) to `w` MSB-first, splitting it across at most two batched writes.
+#[inline]
+pub(crate) fn write_code(w: &mut BitWriter, code: u64, len: u8) {
+    let len = u32::from(len);
+    if len > 32 {
+        w.write_bits((code >> 32) as u32, len - 32);
+        w.write_bits(code as u32, 32);
+    } else {
+        w.write_bits(code as u32, len);
+    }
 }
 
 impl Codec for Huffman {
@@ -225,12 +293,10 @@ impl Codec for Huffman {
         let mut out = Vec::with_capacity(input.len() / 2 + 264);
         out.extend_from_slice(&(input.len() as u32).to_le_bytes());
         out.extend_from_slice(&lengths);
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_capacity(input.len() / 2);
         for &b in input {
             let (code, len) = codes[b as usize];
-            for i in (0..len).rev() {
-                w.write_bit((code >> i) & 1 == 1);
-            }
+            write_code(&mut w, code, len);
         }
         out.extend_from_slice(&w.finish());
         out
@@ -246,7 +312,7 @@ impl Codec for Huffman {
         let mut r = BitReader::new(&input[260..]);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            let sym = decoder.decode(&mut r)?;
+            let sym = decoder.decode_fast(&mut r)?;
             out.push(sym as u8);
         }
         Ok(out)

@@ -57,15 +57,32 @@ impl Lz77 {
 
     /// Greedy tokenisation with a hash-chain match finder. Exposed for the
     /// deflate-like codec, which entropy-codes the same token stream.
+    ///
+    /// Candidate matches are extended eight bytes per step (XOR +
+    /// `trailing_zeros`); [`Self::tokenize_reference`] runs the same
+    /// finder with byte-at-a-time extension and produces an identical
+    /// token stream (enforced by `tests/proptest_fastpath.rs`), so the
+    /// compression ratio cannot regress.
     #[must_use]
     pub fn tokenize(&self, input: &[u8]) -> Vec<Token> {
+        self.tokenize_impl(input, false)
+    }
+
+    /// Reference tokenisation: identical finder, byte-at-a-time match
+    /// extension. Exists to pin [`Self::tokenize`] in equivalence tests.
+    #[must_use]
+    pub fn tokenize_reference(&self, input: &[u8]) -> Vec<Token> {
+        self.tokenize_impl(input, true)
+    }
+
+    fn tokenize_impl(&self, input: &[u8], reference: bool) -> Vec<Token> {
         let window = self.window();
         let max_match = self.max_match();
         let mut tokens = Vec::new();
         let mut finder = MatchFinder::new(window);
         let mut i = 0usize;
         while i < input.len() {
-            let (dist, len) = finder.best_match(input, i, max_match);
+            let (dist, len) = finder.best_match(input, i, max_match, reference);
             if len >= MIN_MATCH {
                 tokens.push(Token::Match { distance: dist as u32, length: len as u32 });
                 for k in i..i + len {
@@ -135,8 +152,15 @@ impl MatchFinder {
     }
 
     /// Returns `(distance, length)` of the best match at `pos` (length 0 if
-    /// none).
-    fn best_match(&self, input: &[u8], pos: usize, max_match: usize) -> (usize, usize) {
+    /// none). `reference` selects byte-at-a-time match extension instead
+    /// of the word-level fast path; both compute the same length.
+    fn best_match(
+        &self,
+        input: &[u8],
+        pos: usize,
+        max_match: usize,
+        reference: bool,
+    ) -> (usize, usize) {
         if pos + MIN_MATCH > input.len() {
             return (0, 0);
         }
@@ -151,10 +175,15 @@ impl MatchFinder {
             if c < min_pos || c >= pos {
                 break;
             }
-            let mut l = 0usize;
-            while pos + l < limit && input[c + l] == input[pos + l] {
-                l += 1;
-            }
+            let l = if reference {
+                let mut l = 0usize;
+                while pos + l < limit && input[c + l] == input[pos + l] {
+                    l += 1;
+                }
+                l
+            } else {
+                common_prefix(input, c, pos, limit)
+            };
             if l > best_len {
                 best_len = l;
                 best_dist = pos - c;
@@ -167,6 +196,30 @@ impl MatchFinder {
         }
         (best_dist, best_len)
     }
+}
+
+/// Length of the common prefix of `input[a..]` and `input[b..limit]`
+/// (`a < b`), comparing eight bytes per step.
+#[inline]
+fn common_prefix(input: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let max = limit - b;
+    let mut l = 0usize;
+    // `a + l + 8 <= b + l + 8 <= limit` keeps both loads in bounds; for
+    // overlapping candidates (`b - a < 8`) the earlier bytes re-read here
+    // are exactly the bytes the byte-wise loop would have compared.
+    while l + 8 <= max {
+        let x = u64::from_le_bytes(input[a + l..a + l + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(input[b + l..b + l + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return l + (diff.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max && input[a + l] == input[b + l] {
+        l += 1;
+    }
+    l
 }
 
 impl Codec for Lz77 {
@@ -216,10 +269,15 @@ impl Codec for Lz77 {
                     return Err(CodecError::corrupt("match overruns output"));
                 }
                 let start = out.len() - dist;
-                // Overlapping copies are the RLE-like case (dist < len).
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if len <= dist {
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping copies are the RLE-like case (dist < len).
+                    out.reserve(len);
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
                 }
             } else {
                 out.push(r.read_bits(8)? as u8);

@@ -77,24 +77,59 @@ impl XMatchPro {
     }
 }
 
+/// The CAM dictionary. Entries are kept as little-endian-packed `u32`s so
+/// one XOR + zero-byte detection replaces the per-byte compare the CAM
+/// does in parallel in hardware.
 #[derive(Debug, Clone)]
 struct Dictionary {
-    entries: Vec<[u8; 4]>,
+    entries: Vec<u32>,
 }
 
 impl Dictionary {
     fn new(size: usize) -> Self {
-        Dictionary { entries: vec![[0; 4]; size] }
+        Dictionary { entries: vec![0; size] }
     }
 
     /// Best match: returns `(location, mask)` with the most matching bytes
     /// (ties: lowest location). `None` if no entry matches ≥2 bytes.
-    fn best_match(&self, tuple: [u8; 4]) -> Option<(usize, u8)> {
+    ///
+    /// The byte-equality mask comes from a SWAR zero-byte scan of
+    /// `x = entry ^ tuple`: in `((x & 0x7F7F7F7F) + 0x7F7F7F7F) | x`,
+    /// bit `8k+7` is set exactly when byte `k` of `x` is non-zero (the
+    /// per-byte add cannot carry across byte lanes), so its complement
+    /// masked to the sign bits marks the matching bytes. Bit-exact with
+    /// [`Self::best_match_reference`].
+    #[inline]
+    fn best_match(&self, tuple: u32) -> Option<(usize, u8)> {
         let mut best: Option<(usize, u8, u32)> = None;
-        for (loc, entry) in self.entries.iter().enumerate() {
+        for (loc, &entry) in self.entries.iter().enumerate() {
+            let diff = entry ^ tuple;
+            let z = !((diff & 0x7F7F_7F7F).wrapping_add(0x7F7F_7F7F) | diff) & 0x8080_8080;
+            let n = z.count_ones();
+            if n >= 2 && best.is_none_or(|(_, _, bn)| n > bn) {
+                let mask = (((z >> 7) & 1) | ((z >> 14) & 2) | ((z >> 21) & 4) | ((z >> 28) & 8))
+                    as u8;
+                best = Some((loc, mask, n));
+                if n == 4 {
+                    // Nothing can beat a full match, and later ties lose.
+                    break;
+                }
+            }
+        }
+        best.map(|(loc, mask, _)| (loc, mask))
+    }
+
+    /// Byte-at-a-time reference for [`Self::best_match`] (kept for the
+    /// equivalence property test below).
+    #[cfg(test)]
+    fn best_match_reference(&self, tuple: u32) -> Option<(usize, u8)> {
+        let t = tuple.to_le_bytes();
+        let mut best: Option<(usize, u8, u32)> = None;
+        for (loc, &packed) in self.entries.iter().enumerate() {
+            let entry = packed.to_le_bytes();
             let mut mask = 0u8;
             for k in 0..4 {
-                if entry[k] == tuple[k] {
+                if entry[k] == t[k] {
                     mask |= 1 << k;
                 }
             }
@@ -108,7 +143,7 @@ impl Dictionary {
 
     /// Move-to-front update: removes `from` (if `Some`) or the LRU entry,
     /// then inserts `tuple` at the front.
-    fn promote(&mut self, from: Option<usize>, tuple: [u8; 4]) {
+    fn promote(&mut self, from: Option<usize>, tuple: u32) {
         match from {
             Some(i) => {
                 self.entries.remove(i);
@@ -121,12 +156,18 @@ impl Dictionary {
     }
 }
 
-fn tuples(input: &[u8]) -> impl Iterator<Item = [u8; 4]> + '_ {
-    input.chunks(4).map(|c| {
+/// The `i`-th 32-bit tuple of `input`, zero-padded at the tail.
+#[inline]
+fn tuple_at(input: &[u8], i: usize) -> u32 {
+    let start = i * 4;
+    if let Some(chunk) = input.get(start..start + 4) {
+        u32::from_le_bytes(chunk.try_into().expect("4 bytes"))
+    } else {
         let mut t = [0u8; 4];
-        t[..c.len()].copy_from_slice(c);
-        t
-    })
+        let tail = &input[start..];
+        t[..tail.len()].copy_from_slice(tail);
+        u32::from_le_bytes(t)
+    }
 }
 
 impl Codec for XMatchPro {
@@ -137,12 +178,12 @@ impl Codec for XMatchPro {
     fn compress(&self, input: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(input.len() / 2 + 8);
         out.extend_from_slice(&(input.len() as u32).to_le_bytes());
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_capacity(input.len() / 2);
         let mut dict = Dictionary::new(self.dict_size);
-        let all: Vec<[u8; 4]> = tuples(input).collect();
+        let total = input.len().div_ceil(4);
         let mut i = 0usize;
-        while i < all.len() {
-            let tuple = all[i];
+        while i < total {
+            let tuple = tuple_at(input, i);
             match dict.best_match(tuple) {
                 Some((loc, 0b1111)) => {
                     w.write_bit(true);
@@ -151,8 +192,8 @@ impl Codec for XMatchPro {
                     // Run-length of consecutive identical tuples.
                     let mut run = 0u32;
                     while run < 255
-                        && i + 1 + (run as usize) < all.len()
-                        && all[i + 1 + run as usize] == tuple
+                        && i + 1 + (run as usize) < total
+                        && tuple_at(input, i + 1 + run as usize) == tuple
                     {
                         run += 1;
                     }
@@ -170,7 +211,7 @@ impl Codec for XMatchPro {
                         .position(|&m| m == mask)
                         .expect("mask with 2-3 bytes is in the table");
                     w.write_bits(mask_idx as u32, 4);
-                    for (k, &byte) in tuple.iter().enumerate() {
+                    for (k, &byte) in tuple.to_le_bytes().iter().enumerate() {
                         if mask & (1 << k) == 0 {
                             w.write_bits(u32::from(byte), 8);
                         }
@@ -179,7 +220,7 @@ impl Codec for XMatchPro {
                 }
                 None => {
                     w.write_bit(false);
-                    w.write_bits(u32::from_le_bytes(tuple), 32);
+                    w.write_bits(tuple, 32);
                     dict.promote(None, tuple);
                 }
             }
@@ -213,7 +254,7 @@ impl Codec for XMatchPro {
                         return Err(CodecError::corrupt("run overruns output"));
                     }
                     for _ in 0..=run {
-                        out.extend_from_slice(&tuple);
+                        out.extend_from_slice(&tuple.to_le_bytes());
                     }
                     dict.promote(Some(loc), tuple);
                     produced += 1 + run;
@@ -222,19 +263,20 @@ impl Codec for XMatchPro {
                     let mask = *PARTIAL_MASKS
                         .get(mask_idx)
                         .ok_or_else(|| CodecError::corrupt("bad mask index"))?;
-                    let mut tuple = dict.entries[loc];
-                    for (k, byte) in tuple.iter_mut().enumerate() {
+                    let mut bytes = dict.entries[loc].to_le_bytes();
+                    for (k, byte) in bytes.iter_mut().enumerate() {
                         if mask & (1 << k) == 0 {
                             *byte = r.read_bits(8)? as u8;
                         }
                     }
-                    out.extend_from_slice(&tuple);
+                    out.extend_from_slice(&bytes);
+                    let tuple = u32::from_le_bytes(bytes);
                     dict.promote(Some(loc), tuple);
                     produced += 1;
                 }
             } else {
-                let tuple = r.read_bits(32)?.to_le_bytes();
-                out.extend_from_slice(&tuple);
+                let tuple = r.read_bits(32)?;
+                out.extend_from_slice(&tuple.to_le_bytes());
                 dict.promote(None, tuple);
                 produced += 1;
             }
@@ -374,6 +416,30 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_dictionary_rejected() {
         let _ = XMatchPro::with_dictionary(20);
+    }
+
+    #[test]
+    fn swar_match_equals_reference_across_mtf_evolution() {
+        // Drive a dictionary through a realistic MTF evolution and check
+        // the SWAR scan against the byte-wise reference at every step.
+        let mut dict = Dictionary::new(16);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for step in 0..20_000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Low-entropy bytes so ≥2-byte partial matches actually occur.
+            let tuple = u32::from_le_bytes([
+                (state >> 33) as u8 & 0x7,
+                (state >> 41) as u8 & 0x7,
+                (state >> 49) as u8 & 0x7,
+                (state >> 57) as u8 & 0x7,
+            ]);
+            let fast = dict.best_match(tuple);
+            assert_eq!(fast, dict.best_match_reference(tuple), "step {step}");
+            match fast {
+                Some((loc, _)) => dict.promote(Some(loc), tuple),
+                None => dict.promote(None, tuple),
+            }
+        }
     }
 
     #[test]

@@ -180,8 +180,9 @@ mod tests {
         // The first written frame appears in configuration memory.
         let fw = ctrl.icap().config_memory().frame_words();
         let frame = ctrl.icap().config_memory().read_frame(0).unwrap();
-        // The builder's preamble is 15 words; payload follows.
-        let payload_start = 15;
+        // The builder's preamble is 14 words (dummy, sync, noop, RCRC,
+        // noop, IDCODE, WCFG, FAR, FDRI type-1 + type-2); payload follows.
+        let payload_start = 14;
         assert_eq!(frame, &expected[payload_start..payload_start + fw]);
     }
 

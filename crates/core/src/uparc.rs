@@ -590,16 +590,13 @@ impl UParc {
         Ok(())
     }
 
-    /// Streams the raw image through UReC cycle by cycle; returns CLK_2
-    /// cycles consumed.
+    /// Streams the raw image through UReC; returns CLK_2 cycles consumed.
+    /// Uses the batched burst path ([`Urec::run_burst`]), which is
+    /// cycle-exact with the per-edge loop.
     fn transfer_raw(&mut self) -> Result<u64, UparcError> {
         self.urec.start();
-        let mut cycles = 0u64;
-        while !self.urec.is_finished() {
-            self.urec.rising_edge(&mut self.bram, &mut self.icap)?;
-            cycles += 1;
-        }
-        Ok(cycles)
+        let outcome = self.urec.run_burst(&mut self.bram, &mut self.icap)?;
+        Ok(outcome.cycles)
     }
 
     /// Runs the compressed pipeline; returns (duration, CLK_3, power).
@@ -609,18 +606,14 @@ impl UParc {
         f2: Frequency,
     ) -> Result<(SimTime, Option<Frequency>, f64), UparcError> {
         let f3 = self.dyclogen.frequency(OutputClock::Decompressor, self.now)?;
-        // UReC fetches the image from BRAM, handing payload words to the
-        // decompressor FIFO.
+        // UReC fetches the image from BRAM in one burst, handing payload
+        // words to the decompressor FIFO (cycle-exact with the per-edge
+        // loop).
         self.urec.start();
-        let mut fetched = Vec::with_capacity(staged.image_words);
-        let mut fetch_cycles = 0u64;
-        while !self.urec.is_finished() {
-            let ev = self.urec.rising_edge(&mut self.bram, &mut self.icap)?;
-            fetch_cycles += 1;
-            if let crate::urec::UrecEvent::WordToDecompressor(w) = ev {
-                fetched.push(w);
-            }
-        }
+        let outcome = self.urec.run_burst(&mut self.bram, &mut self.icap)?;
+        let fetch_cycles = outcome.cycles;
+        let fetched = outcome.to_decompressor;
+        debug_assert!(fetched.len() <= staged.image_words);
         // Functional model of the hardware decompressor: decode the exact
         // BRAM contents and push the output into the ICAP.
         let mode = self.urec.mode().expect("finished transfer has a mode");

@@ -48,6 +48,17 @@ pub enum UrecEvent {
     Finished,
 }
 
+/// Outcome of a batched transfer ([`Urec::run_burst`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurstOutcome {
+    /// CLK_2 cycles consumed: one mode-word read plus one per payload word
+    /// — identical to the per-edge count.
+    pub cycles: u64,
+    /// Payload words fetched for the decompressor (compressed mode only;
+    /// empty in raw mode).
+    pub to_decompressor: Vec<u32>,
+}
+
 /// The UReC controller.
 #[derive(Debug, Clone)]
 pub struct Urec {
@@ -154,6 +165,68 @@ impl Urec {
                 Ok(event)
             }
         }
+    }
+
+    /// Runs the armed transfer to completion in batch: cycle accounting and
+    /// final state are identical to calling [`Urec::rising_edge`] in a loop
+    /// (including the state left behind by a fault), but the payload moves
+    /// as BRAM bursts into the ICAP's batched write path instead of one
+    /// word per call.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Urec::rising_edge`]; the FSM parks in `Done`
+    /// with EN deasserted.
+    pub fn run_burst(
+        &mut self,
+        bram: &mut Bram,
+        icap: &mut Icap,
+    ) -> Result<BurstOutcome, UparcError> {
+        let mut cycles = 0u64;
+        let mut to_decompressor = Vec::new();
+        if self.state == UrecState::ReadMode {
+            self.rising_edge(bram, icap)?;
+            cycles += 1;
+        }
+        if matches!(self.state, UrecState::Idle | UrecState::Done) {
+            return Ok(BurstOutcome { cycles, to_decompressor });
+        }
+        let mode = self.mode.expect("stream state implies mode");
+        let n = self.remaining as usize;
+        // Clamp to what the BRAM can serve; any shortfall reproduces the
+        // per-edge out-of-range fault after the served words.
+        let avail = n.min(bram.capacity_words().saturating_sub(self.addr));
+        if mode.compressed {
+            to_decompressor = vec![0u32; avail];
+            bram.read_burst(Port::B, self.addr, &mut to_decompressor)
+                .map_err(|e| self.fault(e.into()))?;
+            self.addr += avail;
+            self.remaining -= avail as u32;
+            cycles += avail as u64;
+        } else {
+            let before = icap.words_consumed();
+            let result = match bram.word_range(self.addr, avail) {
+                Ok(words) => icap.write_words(words),
+                Err(e) => return Err(self.fault(e.into())),
+            };
+            // The ICAP counts every word it consumed — including the one a
+            // protocol error stopped on — so its delta is exactly the
+            // per-edge read/cycle count.
+            let consumed = icap.words_consumed() - before;
+            bram.account_reads(Port::B, consumed);
+            self.addr += consumed as usize;
+            self.remaining -= consumed as u32;
+            cycles += consumed;
+            result.map_err(|e| self.fault(e.into()))?;
+        }
+        if self.remaining > 0 {
+            // The mode word claims more words than the BRAM holds; fault
+            // exactly like the per-edge read at the first bad address.
+            self.read_bram(bram)?;
+            unreachable!("read past BRAM capacity must fail");
+        }
+        self.finish();
+        Ok(BurstOutcome { cycles, to_decompressor })
     }
 
     fn read_bram(&mut self, bram: &mut Bram) -> Result<u32, UparcError> {
@@ -285,6 +358,102 @@ mod tests {
             urec.rising_edge(&mut bram, &mut icap).unwrap(),
             UrecEvent::Finished
         );
+    }
+
+    /// Runs per-edge to completion or first error, mirroring the burst API.
+    fn run_edges(
+        urec: &mut Urec,
+        bram: &mut Bram,
+        icap: &mut Icap,
+    ) -> Result<BurstOutcome, UparcError> {
+        let mut cycles = 0u64;
+        let mut to_decompressor = Vec::new();
+        while !urec.is_finished() {
+            let ev = urec.rising_edge(bram, icap)?;
+            cycles += 1;
+            if let UrecEvent::WordToDecompressor(w) = ev {
+                to_decompressor.push(w);
+            }
+        }
+        Ok(BurstOutcome { cycles, to_decompressor })
+    }
+
+    #[test]
+    fn burst_matches_per_edge_raw_transfer() {
+        let (mut bram_a, mut icap_a, _) = setup(5);
+        let (mut bram_b, mut icap_b, _) = setup(5);
+        let mut edge = Urec::new();
+        edge.start();
+        let by_edge = run_edges(&mut edge, &mut bram_a, &mut icap_a).unwrap();
+        let mut burst = Urec::new();
+        burst.start();
+        let by_burst = burst.run_burst(&mut bram_b, &mut icap_b).unwrap();
+        assert_eq!(by_edge, by_burst);
+        assert_eq!(edge.state(), burst.state());
+        assert_eq!(icap_a.words_consumed(), icap_b.words_consumed());
+        assert_eq!(icap_a.frames_committed(), icap_b.frames_committed());
+        assert_eq!(bram_a.read_count(Port::B), bram_b.read_count(Port::B));
+        assert_eq!(icap_a.config_memory().diff_frames(icap_b.config_memory()), 0);
+    }
+
+    #[test]
+    fn burst_matches_per_edge_compressed_fetch() {
+        let payload: Vec<u8> = (0..997u32).map(|i| (i % 251) as u8).collect();
+        let mk = || {
+            let mut bram = Bram::new(Family::Virtex5, 8192);
+            bram.load_image(Port::A, 0, BramImage::compressed(4, &payload).words()).unwrap();
+            (bram, Icap::new(Device::xc5vsx50t()))
+        };
+        let (mut bram_a, mut icap_a) = mk();
+        let (mut bram_b, mut icap_b) = mk();
+        let mut edge = Urec::new();
+        edge.start();
+        let by_edge = run_edges(&mut edge, &mut bram_a, &mut icap_a).unwrap();
+        let mut burst = Urec::new();
+        burst.start();
+        let by_burst = burst.run_burst(&mut bram_b, &mut icap_b).unwrap();
+        assert_eq!(by_edge, by_burst);
+        assert_eq!(bram_a.read_count(Port::B), bram_b.read_count(Port::B));
+        assert_eq!(icap_b.words_consumed(), 0, "compressed mode bypasses the ICAP");
+    }
+
+    #[test]
+    fn burst_faults_identically_on_short_bram() {
+        // Mode word claims more words than the BRAM holds.
+        let mk = || {
+            let mut bram = Bram::new(Family::Virtex5, 8);
+            bram.write_word(
+                Port::A,
+                0,
+                ModeWord { compressed: false, codec_id: 0, size_words: 100 }.encode(),
+            )
+            .unwrap();
+            (bram, Icap::new(Device::xc5vsx50t()))
+        };
+        let (mut bram_a, mut icap_a) = mk();
+        let (mut bram_b, mut icap_b) = mk();
+        let mut edge = Urec::new();
+        edge.start();
+        let err_edge = run_edges(&mut edge, &mut bram_a, &mut icap_a).unwrap_err();
+        let mut burst = Urec::new();
+        burst.start();
+        let err_burst = burst.run_burst(&mut bram_b, &mut icap_b).unwrap_err();
+        assert_eq!(format!("{err_edge}"), format!("{err_burst}"));
+        assert!(burst.is_finished() && !burst.en());
+        assert_eq!(bram_a.read_count(Port::B), bram_b.read_count(Port::B));
+        assert_eq!(icap_a.words_consumed(), icap_b.words_consumed());
+    }
+
+    #[test]
+    fn burst_on_zero_size_image_takes_one_cycle() {
+        let mut bram = Bram::new(Family::Virtex5, 4096);
+        bram.load_image(Port::A, 0, BramImage::uncompressed(&[]).words()).unwrap();
+        let mut icap = Icap::new(Device::xc5vsx50t());
+        let mut urec = Urec::new();
+        urec.start();
+        let outcome = urec.run_burst(&mut bram, &mut icap).unwrap();
+        assert_eq!(outcome, BurstOutcome { cycles: 1, to_decompressor: vec![] });
+        assert!(urec.is_finished());
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Minimal wall-clock benchmark harness with a `criterion`-compatible
+//! surface.
+//!
+//! The workspace builds in fully offline environments, so it cannot pull
+//! the real `criterion` crate from a registry. This crate implements the
+//! subset its benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`BenchmarkGroup::bench_with_input`],
+//! [`Throughput`], [`black_box`] and the `criterion_group!`/
+//! `criterion_main!` macros — measuring median wall-clock time per
+//! iteration and printing one line per benchmark. There is no statistical
+//! analysis, HTML report, or baseline comparison; for tracked numbers use
+//! the `bench_throughput` bin, which writes `BENCH_throughput.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+}
+
+/// Bytes-or-elements label for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark closure and prints its median iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let median = self.run(&mut f);
+        self.report(name, median);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let median = self.run(&mut |b: &mut Bencher| f(b, input));
+        self.report(&id.id, median);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, f: &mut dyn FnMut(&mut Bencher)) -> Duration {
+        // One untimed warm-up sample, then `sample_size` timed samples;
+        // the median absorbs scheduler noise without real statistics.
+        let mut bencher = Bencher { elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher { elapsed: Duration::ZERO };
+                f(&mut b);
+                b.elapsed
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+
+    fn report(&self, name: &str, median: Duration) {
+        let secs = median.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  {:>10.1} MB/s", n as f64 / secs / 1e6)
+            }
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!("  {:>10.1} elem/s", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        println!("  {name:<28} {:>12.3?}{rate}", median);
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures one sample: the total wall-clock time of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions under one name (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..1000u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(2).throughput(Throughput::Bytes(8));
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        group.bench_with_input(BenchmarkId::from_parameter(8), &data[..], |b, d| {
+            b.iter(|| d.iter().map(|&x| u64::from(x)).sum::<u64>())
+        });
+    }
+}

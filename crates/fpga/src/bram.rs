@@ -157,6 +157,49 @@ impl Bram {
         Ok(())
     }
 
+    /// Burst read of `words.len()` consecutive words starting at `addr`
+    /// (one read cycle per word, accounted in O(1)). This is UReC's port-B
+    /// streaming pattern: one memcpy plus a single counter bump instead of
+    /// `words.len()` bounds checks — bit- and cycle-exact with calling
+    /// [`Bram::read_word`] per address.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::BramAddressOutOfRange`] if the burst leaves the array;
+    /// no cycles are counted and `out` is untouched on error, matching a
+    /// per-word loop that checks the first failing address up front.
+    pub fn read_burst(&mut self, port: Port, addr: usize, out: &mut [u32]) -> Result<(), FpgaError> {
+        let words = self.data.len();
+        let end = addr
+            .checked_add(out.len())
+            .filter(|&end| end <= words)
+            .ok_or(FpgaError::BramAddressOutOfRange { addr: addr + out.len() - 1, words })?;
+        out.copy_from_slice(&self.data[addr..end]);
+        self.reads[port as usize] += out.len() as u64;
+        Ok(())
+    }
+
+    /// Borrowed view of a word range without cycle accounting — for
+    /// zero-copy streaming where the caller does its own burst accounting
+    /// (see [`Bram::read_burst`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::BramAddressOutOfRange`] if the range leaves the array.
+    pub fn word_range(&self, addr: usize, len: usize) -> Result<&[u32], FpgaError> {
+        let words = self.data.len();
+        addr.checked_add(len)
+            .filter(|&end| end <= words)
+            .map(|end| &self.data[addr..end])
+            .ok_or(FpgaError::BramAddressOutOfRange { addr: addr + len.saturating_sub(1), words })
+    }
+
+    /// Records `n` read cycles on `port` without touching data — the
+    /// accounting half of a zero-copy burst via [`Bram::word_range`].
+    pub fn account_reads(&mut self, port: Port, n: u64) {
+        self.reads[port as usize] += n;
+    }
+
     /// Bulk image load through a port (counts one write cycle per word).
     ///
     /// # Errors
@@ -232,6 +275,42 @@ mod tests {
             b.load_image(Port::A, 1, &[1, 2, 3, 4]),
             Err(FpgaError::BramOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn burst_read_matches_per_word_loop() {
+        let mut b = bram();
+        let image: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        b.load_image(Port::A, 24, &image).unwrap();
+        let mut per_word = b.clone();
+        let mut burst = vec![0u32; image.len()];
+        b.read_burst(Port::B, 24, &mut burst).unwrap();
+        let looped: Vec<u32> = (0..image.len())
+            .map(|i| per_word.read_word(Port::B, 24 + i).unwrap())
+            .collect();
+        assert_eq!(burst, looped);
+        assert_eq!(b.read_count(Port::B), per_word.read_count(Port::B));
+    }
+
+    #[test]
+    fn burst_read_out_of_range_counts_nothing() {
+        let mut b = Bram::new(Family::Virtex5, 16);
+        let mut out = [7u32; 3];
+        assert!(b.read_burst(Port::B, 2, &mut out).is_err());
+        assert_eq!(out, [7, 7, 7], "buffer untouched on error");
+        assert_eq!(b.read_count(Port::B), 0);
+        assert!(b.word_range(2, 3).is_err());
+        assert_eq!(b.word_range(1, 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn zero_copy_burst_accounting() {
+        let mut b = bram();
+        b.load_image(Port::A, 0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(b.word_range(0, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(b.read_count(Port::B), 0, "word_range counts no cycles");
+        b.account_reads(Port::B, 4);
+        assert_eq!(b.read_count(Port::B), 4);
     }
 
     #[test]

@@ -81,6 +81,43 @@ impl ConfigMemory {
         Ok(())
     }
 
+    /// Writes `data.len() / frame_words` consecutive whole frames starting
+    /// at `far` in one fused pass: a single bounds check, with the copy and
+    /// the ECC parity folded into one walk over the data. Equivalent to
+    /// calling [`ConfigMemory::write_frame`] per frame, but each word is
+    /// read once instead of twice.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] if any of the frames falls outside
+    /// the device; nothing is written in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of frames.
+    pub fn write_frames(&mut self, far: u32, data: &[u32]) -> Result<(), FpgaError> {
+        assert_eq!(
+            data.len() % self.frame_words,
+            0,
+            "multi-frame writes carry whole frames of {} words",
+            self.frame_words
+        );
+        let n = data.len() / self.frame_words;
+        if far as usize + n > self.frames as usize {
+            // Report the first frame address off the device.
+            let bad = if far >= self.frames { far } else { self.frames };
+            return Err(FpgaError::FrameOutOfRange { far: bad, frames: self.frames });
+        }
+        let start = far as usize * self.frame_words;
+        let dst = &mut self.data[start..start + data.len()];
+        for (k, frame) in data.chunks_exact(self.frame_words).enumerate() {
+            let d = &mut dst[k * self.frame_words..(k + 1) * self.frame_words];
+            self.parity[far as usize + k] = ecc::copy_with_parity(d, frame);
+        }
+        self.writes += n as u64;
+        Ok(())
+    }
+
     /// Flips one bit **without** updating the frame's ECC parity — the
     /// semantics of a radiation upset, which is exactly what lets
     /// [`ConfigMemory::ecc_check`] expose it.
@@ -205,6 +242,40 @@ mod tests {
         cm.corrupt_bit(5, 0, 0).unwrap();
         cm.corrupt_bit(5, 40, 31).unwrap();
         assert_eq!(cm.ecc_check(5).unwrap(), EccStatus::MultiBit);
+    }
+
+    #[test]
+    fn multi_frame_write_matches_per_frame_writes() {
+        let mut fused = tiny();
+        let mut loop_based = tiny();
+        let fw = fused.frame_words();
+        let data: Vec<u32> = (0..(3 * fw) as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        fused.write_frames(7, &data).unwrap();
+        for (k, frame) in data.chunks_exact(fw).enumerate() {
+            loop_based.write_frame(7 + k as u32, frame).unwrap();
+        }
+        assert_eq!(fused.diff_frames(&loop_based), 0);
+        assert_eq!(fused.write_count(), loop_based.write_count());
+        for far in 7..10 {
+            assert_eq!(fused.ecc_check(far).unwrap(), EccStatus::Clean);
+        }
+    }
+
+    #[test]
+    fn multi_frame_write_rejects_overhang_without_writing() {
+        let mut cm = tiny();
+        let fw = cm.frame_words();
+        let frames = cm.frames();
+        let data = vec![0xAAAA_5555u32; 2 * fw];
+        assert!(matches!(
+            cm.write_frames(frames - 1, &data),
+            Err(FpgaError::FrameOutOfRange { .. })
+        ));
+        assert_eq!(cm.write_count(), 0);
+        assert_eq!(cm.read_frame(frames - 1).unwrap(), vec![0u32; fw].as_slice());
+        // Empty writes are fine anywhere in range.
+        cm.write_frames(0, &[]).unwrap();
+        assert_eq!(cm.write_count(), 0);
     }
 
     #[test]

@@ -13,10 +13,108 @@
 //! one extra overall-parity bit distinguishes single flips (overall parity
 //! changes) from double flips (it does not).
 
+/// Per-byte-lane parity tables: `LANE[j][v]` packs, for byte value `v` in
+/// lane `j` (bits `8j..8j+8`), the XOR of `(b + 1) & 31` over the lane's
+/// set bits (bits 0..5) and the lane's popcount parity (bit 5).
+const LANE: [[u8; 256]; 4] = {
+    let mut lane = [[0u8; 256]; 4];
+    let mut j = 0;
+    while j < 4 {
+        let mut v = 0usize;
+        while v < 256 {
+            let mut low = 0u8;
+            let mut par = 0u8;
+            let mut t = 0u32;
+            while t < 8 {
+                if (v >> t) & 1 == 1 {
+                    let b = 8 * (j as u32) + t;
+                    low ^= ((b + 1) & 31) as u8;
+                    par ^= 1;
+                }
+                t += 1;
+            }
+            lane[j][v] = low | (par << 5);
+            v += 1;
+        }
+        j += 1;
+    }
+    lane
+};
+
+/// 16-bit-lane parity tables derived from [`LANE`]: `WIDE[0]` covers bits
+/// `0..16`, `WIDE[1]` bits `16..32`. Two lookups per word instead of four;
+/// the 128 KB pair stays L2-resident, which on the streaming frame-write
+/// path beats the extra byte extraction µops.
+static WIDE: [[u8; 65536]; 2] = {
+    let mut wide = [[0u8; 65536]; 2];
+    let mut v = 0usize;
+    while v < 65536 {
+        wide[0][v] = LANE[0][v & 0xFF] ^ LANE[1][v >> 8];
+        wide[1][v] = LANE[2][v & 0xFF] ^ LANE[3][v >> 8];
+        v += 1;
+    }
+    wide
+};
+
 /// Parity word of a frame: `(position parity, overall parity)` packed as
 /// `pos | (overall << 31)`.
+///
+/// Computed word-parallel: a set bit `b` of word `w` contributes
+/// `w·32 + b + 1 = (w + carry) << 5 | ((b + 1) & 31)` with `carry = 1`
+/// only for `b = 31`, so the high and low halves XOR independently. The
+/// low half and the word's popcount parity come from four byte-lane table
+/// lookups ([`LANE`], 1 KB total); the high half is `w` taken popcount
+/// times plus the `b = 31` carry fix-up. No per-set-bit loop.
 #[must_use]
 pub fn frame_parity(frame: &[u32]) -> u32 {
+    let mut pos = 0u32;
+    let mut overall = 0u32;
+    for (w, &word) in frame.iter().enumerate() {
+        let w = w as u32;
+        let packed = u32::from(
+            WIDE[0][(word & 0xFFFF) as usize] ^ WIDE[1][(word >> 16) as usize],
+        );
+        let low = packed & 31;
+        let par = packed >> 5;
+        overall ^= par;
+        // `w` XORed in once per set bit: survives iff popcount is odd.
+        // Branchless fix-up: b = 31 contributes (w + 1) << 5, not w << 5.
+        let high = (par.wrapping_neg() & w) ^ ((word >> 31).wrapping_neg() & (w ^ (w + 1)));
+        pos ^= (high << 5) | low;
+    }
+    pos | (overall << 31)
+}
+
+/// Copies `src` into `dst` while computing [`frame_parity`] of the data
+/// in the same pass — the fused fast path for multi-frame writes, where a
+/// separate copy and parity walk would read every word twice.
+///
+/// # Panics
+///
+/// Panics if `dst` and `src` differ in length.
+pub fn copy_with_parity(dst: &mut [u32], src: &[u32]) -> u32 {
+    assert_eq!(dst.len(), src.len(), "copy_with_parity length mismatch");
+    let mut pos = 0u32;
+    let mut overall = 0u32;
+    for (w, (d, &word)) in dst.iter_mut().zip(src).enumerate() {
+        *d = word;
+        let w = w as u32;
+        let packed = u32::from(
+            WIDE[0][(word & 0xFFFF) as usize] ^ WIDE[1][(word >> 16) as usize],
+        );
+        let low = packed & 31;
+        let par = packed >> 5;
+        overall ^= par;
+        let high = (par.wrapping_neg() & w) ^ ((word >> 31).wrapping_neg() & (w ^ (w + 1)));
+        pos ^= (high << 5) | low;
+    }
+    pos | (overall << 31)
+}
+
+/// Bit-at-a-time reference for [`frame_parity`] (pins the word-parallel
+/// column masks).
+#[cfg(test)]
+fn frame_parity_reference(frame: &[u32]) -> u32 {
     let mut pos = 0u32;
     let mut overall = 0u32;
     for (w, &word) in frame.iter().enumerate() {
@@ -125,6 +223,34 @@ mod tests {
             check(&f, frame_parity(&zeros)),
             EccStatus::SingleBit { word: 10, bit: 7 }
         );
+    }
+
+    #[test]
+    fn word_parallel_parity_matches_bitwise_reference() {
+        let mut x = 0x1234_5678u32;
+        let mut frame = vec![0u32; 41];
+        for trial in 0..200 {
+            for w in frame.iter_mut() {
+                x = x.wrapping_mul(0x0019_660D).wrapping_add(0x3C6E_F35F);
+                // Mix densities: sparse, dense, all-ones, top-bit cases.
+                *w = match trial % 4 {
+                    0 => x,
+                    1 => x & x.rotate_left(7),
+                    2 => x | 0x8000_0000,
+                    _ => u32::MAX,
+                };
+            }
+            assert_eq!(frame_parity(&frame), frame_parity_reference(&frame));
+        }
+    }
+
+    #[test]
+    fn fused_copy_matches_copy_then_parity() {
+        let src = frame();
+        let mut dst = vec![0u32; src.len()];
+        let p = copy_with_parity(&mut dst, &src);
+        assert_eq!(dst, src);
+        assert_eq!(p, frame_parity(&src));
     }
 
     #[test]

@@ -259,6 +259,38 @@ impl Default for ConfigCrc {
 
 const CRC32C_POLY: u32 = 0x82F6_3B78; // reflected 0x1EDC6F41
 
+/// Slicing tables: `CRC_TABLES[0]` is the classic byte table (8 shift
+/// steps); `CRC_TABLES[k][i]` applies `8·(k+1)` steps. Forty tables
+/// cover an 8-word × 5-byte FDRI block, so [`ConfigCrc::update_run`] can
+/// absorb eight payload words per iteration with independent lookups
+/// (slicing-by-40) instead of 320 sequential bit steps.
+static CRC_TABLES: [[u32; 256]; 40] = {
+    let mut tables = [[0u32; 256]; 40];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = (c & 1).wrapping_neg();
+            c = (c >> 1) ^ (CRC32C_POLY & mask);
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 40 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
 impl ConfigCrc {
     /// A freshly reset CRC (the RCRC command).
     #[must_use]
@@ -271,8 +303,20 @@ impl ConfigCrc {
         self.state = 0xFFFF_FFFF;
     }
 
-    /// Absorbs one register write.
+    /// Absorbs one register write (table-driven, one lookup per byte).
+    #[inline]
     pub fn update(&mut self, reg: ConfigRegister, word: u32) {
+        let mut s = self.state;
+        for byte in word.to_le_bytes().into_iter().chain([reg.addr() as u8]) {
+            s = (s >> 8) ^ CRC_TABLES[0][((s ^ u32::from(byte)) & 0xFF) as usize];
+        }
+        self.state = s;
+    }
+
+    /// Bit-at-a-time reference for [`Self::update`] (kept to pin the
+    /// table construction).
+    #[cfg(test)]
+    fn update_bitwise(&mut self, reg: ConfigRegister, word: u32) {
         for byte in word.to_le_bytes().into_iter().chain([reg.addr() as u8]) {
             self.state ^= u32::from(byte);
             for _ in 0..8 {
@@ -280,6 +324,54 @@ impl ConfigCrc {
                 self.state = (self.state >> 1) ^ (CRC32C_POLY & mask);
             }
         }
+    }
+
+    /// Absorbs a run of writes to the same register — the FDRI payload
+    /// case. Eight words (a 40-byte block: 8 × word bytes + register byte)
+    /// are folded per iteration with 40 independent table lookups
+    /// (slicing-by-40); only four lookups depend on the running state, so
+    /// the chain of sequential dependencies is one iteration, not one
+    /// byte. Bit-exact with calling [`Self::update`] per word.
+    #[inline]
+    pub fn update_run(&mut self, reg: ConfigRegister, words: &[u32]) {
+        let addr = reg.addr() as usize & 0xFF;
+        // The eight register bytes of a block fold into one run-constant
+        // term (tables 35, 30, 25, 20, 15, 10, 5, 0).
+        let mut addr_fold = 0u32;
+        let mut t = 0;
+        while t <= 35 {
+            addr_fold ^= CRC_TABLES[t][addr];
+            t += 5;
+        }
+        let mut s = self.state;
+        let mut chunks = words.chunks_exact(8);
+        for q in &mut chunks {
+            let mut acc = addr_fold;
+            // Words 1..7 feed state-independent lanes (tables 34 down to 1).
+            for (k, &w) in q[1..].iter().enumerate() {
+                let b = w.to_le_bytes();
+                let t = 34 - 5 * k;
+                acc ^= CRC_TABLES[t][b[0] as usize]
+                    ^ CRC_TABLES[t - 1][b[1] as usize]
+                    ^ CRC_TABLES[t - 2][b[2] as usize]
+                    ^ CRC_TABLES[t - 3][b[3] as usize];
+            }
+            let b0 = q[0].to_le_bytes();
+            s = CRC_TABLES[39][((s ^ u32::from(b0[0])) & 0xFF) as usize]
+                ^ CRC_TABLES[38][(((s >> 8) ^ u32::from(b0[1])) & 0xFF) as usize]
+                ^ CRC_TABLES[37][(((s >> 16) ^ u32::from(b0[2])) & 0xFF) as usize]
+                ^ CRC_TABLES[36][(((s >> 24) ^ u32::from(b0[3])) & 0xFF) as usize]
+                ^ acc;
+        }
+        for &word in chunks.remainder() {
+            let b = word.to_le_bytes();
+            s = CRC_TABLES[4][((s ^ u32::from(b[0])) & 0xFF) as usize]
+                ^ CRC_TABLES[3][(((s >> 8) ^ u32::from(b[1])) & 0xFF) as usize]
+                ^ CRC_TABLES[2][(((s >> 16) ^ u32::from(b[2])) & 0xFF) as usize]
+                ^ CRC_TABLES[1][(((s >> 24) ^ u32::from(b[3])) & 0xFF) as usize]
+                ^ CRC_TABLES[0][addr];
+        }
+        self.state = s;
     }
 
     /// The value a CRC-register write is compared against.
@@ -398,5 +490,42 @@ mod tests {
         a.update(ConfigRegister::Far, 42);
         b.update(ConfigRegister::Fdri, 42);
         assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn table_crc_matches_bitwise_reference() {
+        let mut table = ConfigCrc::new();
+        let mut bitwise = ConfigCrc::new();
+        let mut word = 0x9E37_79B9u32;
+        for i in 0..2000u32 {
+            word = word.wrapping_mul(0x0019_660D).wrapping_add(0x3C6E_F35F);
+            let reg = match i % 4 {
+                0 => ConfigRegister::Far,
+                1 => ConfigRegister::Fdri,
+                2 => ConfigRegister::Cmd,
+                _ => ConfigRegister::Idcode,
+            };
+            table.update(reg, word);
+            bitwise.update_bitwise(reg, word);
+            assert_eq!(table.value(), bitwise.value(), "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn crc_run_matches_per_word_updates() {
+        let words: Vec<u32> = (0..513u32).map(|i| i.wrapping_mul(0x85EB_CA6B) ^ 0xDEAD_BEEF).collect();
+        let mut run = ConfigCrc::new();
+        let mut per_word = ConfigCrc::new();
+        run.update(ConfigRegister::Far, 7);
+        per_word.update(ConfigRegister::Far, 7);
+        run.update_run(ConfigRegister::Fdri, &words);
+        for &w in &words {
+            per_word.update(ConfigRegister::Fdri, w);
+        }
+        assert_eq!(run.value(), per_word.value());
+        // Empty runs are a no-op.
+        let before = run.value();
+        run.update_run(ConfigRegister::Fdri, &[]);
+        assert_eq!(run.value(), before);
     }
 }

@@ -93,6 +93,26 @@ impl Icap {
         }
     }
 
+    /// Returns the port to its power-on state (the effect of a JPROGRAM /
+    /// global reset): desynced, CRC and counters cleared, configuration
+    /// plane zeroed. Keeps the existing allocations — unlike building a
+    /// fresh [`Icap`], no memory is reallocated.
+    pub fn reset(&mut self) {
+        self.cfg.clear();
+        self.status = IcapStatus::Desynced;
+        self.crc = ConfigCrc::new();
+        self.last_reg = None;
+        self.pending_count = 0;
+        self.pending_reg = None;
+        self.frame_buf.clear();
+        self.far = 0;
+        self.wcfg_enabled = false;
+        self.idcode_ok = false;
+        self.words = 0;
+        self.frames_committed = 0;
+        self.regs = [0; 14];
+    }
+
     /// The device this port belongs to.
     #[must_use]
     pub fn device(&self) -> &Device {
@@ -192,12 +212,130 @@ impl Icap {
 
     /// Consumes the whole `words` slice, one word per cycle.
     ///
+    /// This is the batched fast path: pre-sync dummy words are skipped with
+    /// a single scan for the sync word, and FDRI payload runs are committed
+    /// frame-at-a-time straight from the input slice (slicing-by-5 CRC, no
+    /// per-word buffering). Packet headers and non-FDRI payloads take the
+    /// exact per-word path. State evolution — including the state left
+    /// behind by the first error — is bit-exact with
+    /// [`Icap::write_words_reference`].
+    ///
     /// # Errors
     ///
     /// Propagates the first protocol error (see [`Icap::write_word`]).
     pub fn write_words(&mut self, words: &[u32]) -> Result<(), FpgaError> {
+        let mut i = 0;
+        while i < words.len() {
+            if self.status == IcapStatus::Desynced {
+                // Everything before the sync word is ignored; jump there.
+                match words[i..].iter().position(|&w| w == SYNC_WORD) {
+                    Some(k) => {
+                        self.words += (k + 1) as u64;
+                        self.status = IcapStatus::Synced;
+                        i += k + 1;
+                        continue;
+                    }
+                    None => {
+                        self.words += (words.len() - i) as u64;
+                        return Ok(());
+                    }
+                }
+            }
+            if self.pending_count > 0
+                && self.pending_reg == Some(ConfigRegister::Fdri)
+                && self.wcfg_enabled
+            {
+                let n = (self.pending_count as usize).min(words.len() - i);
+                self.write_fdri_run(&words[i..i + n])?;
+                i += n;
+                continue;
+            }
+            self.write_word(words[i])?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Per-cycle reference for [`Icap::write_words`] — one
+    /// [`Icap::write_word`] call per word. Kept for equivalence tests and
+    /// the throughput benchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first protocol error (see [`Icap::write_word`]).
+    pub fn write_words_reference(&mut self, words: &[u32]) -> Result<(), FpgaError> {
         for &w in words {
             self.write_word(w)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes an FDRI payload run (WCFG already enabled, `run.len()` not
+    /// exceeding the pending count), committing whole frames directly from
+    /// the input slice.
+    fn write_fdri_run(&mut self, run: &[u32]) -> Result<(), FpgaError> {
+        let fw = self.cfg.frame_words();
+        let mut i = 0;
+        // Top up a partially assembled frame first.
+        if !self.frame_buf.is_empty() {
+            let n = (fw - self.frame_buf.len()).min(run.len());
+            self.frame_buf.extend_from_slice(&run[..n]);
+            self.crc.update_run(ConfigRegister::Fdri, &run[..n]);
+            self.words += n as u64;
+            self.pending_count -= n as u32;
+            i = n;
+            if self.frame_buf.len() == fw {
+                // On error the full frame stays buffered and FAR is
+                // untouched — same state the per-word path leaves behind.
+                self.cfg.write_frame(self.far, &self.frame_buf)?;
+                self.frames_committed += 1;
+                self.far += 1;
+                self.frame_buf.clear();
+            }
+        }
+        // Whole frames straight from the slice, no buffering. The fully
+        // in-range prefix commits through the fused multi-frame path: one
+        // CRC run and one combined copy+parity pass over the whole block.
+        let whole = (run.len() - i) / fw;
+        let in_range = self.cfg.frames().saturating_sub(self.far) as usize;
+        let fast = whole.min(in_range);
+        if fast > 0 {
+            let block = &run[i..i + fast * fw];
+            self.crc.update_run(ConfigRegister::Fdri, block);
+            self.cfg
+                .write_frames(self.far, block)
+                .expect("prefix clamped to the device");
+            self.words += block.len() as u64;
+            self.pending_count -= block.len() as u32;
+            self.frames_committed += fast as u64;
+            self.far += fast as u32;
+            i += block.len();
+        }
+        // Any remaining whole frames run off the device: the per-frame loop
+        // reproduces the per-word error state exactly.
+        while run.len() - i >= fw {
+            let frame = &run[i..i + fw];
+            self.crc.update_run(ConfigRegister::Fdri, frame);
+            self.words += fw as u64;
+            self.pending_count -= fw as u32;
+            i += fw;
+            if let Err(e) = self.cfg.write_frame(self.far, frame) {
+                // Emulate the per-word error state: the failed frame sits
+                // fully buffered, FAR unchanged, commit count unchanged.
+                self.frame_buf.clear();
+                self.frame_buf.extend_from_slice(frame);
+                return Err(e);
+            }
+            self.frames_committed += 1;
+            self.far += 1;
+        }
+        // Leftover tail becomes the new partial frame.
+        let tail = &run[i..];
+        if !tail.is_empty() {
+            self.frame_buf.extend_from_slice(tail);
+            self.crc.update_run(ConfigRegister::Fdri, tail);
+            self.words += tail.len() as u64;
+            self.pending_count -= tail.len() as u32;
         }
         Ok(())
     }
@@ -491,5 +629,82 @@ mod tests {
         icap.write_words(&mini_stream(&dev, 0, 1)).unwrap();
         icap.write_words(&mini_stream(&dev, 40, 2)).unwrap();
         assert_eq!(icap.frames_committed(), 3);
+    }
+
+    fn assert_observably_equal(fast: &Icap, slow: &Icap) {
+        assert_eq!(fast.words_consumed(), slow.words_consumed());
+        assert_eq!(fast.frames_committed(), slow.frames_committed());
+        assert_eq!(fast.status(), slow.status());
+        assert_eq!(fast.frame_buf, slow.frame_buf);
+        assert_eq!(fast.far, slow.far);
+        assert_eq!(fast.pending_count, slow.pending_count);
+        assert_eq!(fast.crc.value(), slow.crc.value());
+    }
+
+    #[test]
+    fn reset_restores_power_on_behavior() {
+        let dev = Device::xc5vsx50t();
+        let stream = mini_stream(&dev, 4, 3);
+        let mut fresh = Icap::new(dev.clone());
+        fresh.write_words(&stream).unwrap();
+
+        let mut reused = Icap::new(dev);
+        reused.write_words(&stream).unwrap();
+        reused.reset();
+        assert_eq!(reused.status(), IcapStatus::Desynced);
+        assert_eq!(reused.words_consumed(), 0);
+        assert_eq!(reused.frames_committed(), 0);
+        reused.write_words(&stream).unwrap();
+
+        assert_observably_equal(&reused, &fresh);
+        for far in 4..7 {
+            assert_eq!(
+                reused.config_memory().read_frame(far).unwrap(),
+                fresh.config_memory().read_frame(far).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_write_matches_per_word_reference() {
+        let dev = Device::xc5vsx50t();
+        let mut corrupt = mini_stream(&dev, 10, 2);
+        let idx = corrupt.len() - 10;
+        corrupt[idx] ^= 1;
+        let variants = [
+            mini_stream(&dev, 700, 3),
+            corrupt,
+            mini_stream(&dev, dev.frames() - 1, 2), // runs off the device
+            vec![DUMMY_WORD; 16],                   // never syncs
+        ];
+        for words in &variants {
+            let mut fast = icap();
+            let mut slow = icap();
+            assert_eq!(fast.write_words(words), slow.write_words_reference(words));
+            assert_observably_equal(&fast, &slow);
+            for i in 0..3 {
+                assert_eq!(
+                    fast.config_memory().read_frame(700 + i).ok().map(<[u32]>::to_vec),
+                    slow.config_memory().read_frame(700 + i).ok().map(<[u32]>::to_vec),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_write_is_chunking_invariant() {
+        // Feeding the stream in awkward chunk sizes (splitting FDRI runs
+        // mid-frame) must leave the same state as one shot.
+        let dev = Device::xc5vsx50t();
+        let words = mini_stream(&dev, 100, 4);
+        let mut oneshot = icap();
+        oneshot.write_words(&words).unwrap();
+        for chunk in [1usize, 7, 40, 41, 97] {
+            let mut fast = icap();
+            for c in words.chunks(chunk) {
+                fast.write_words(c).unwrap();
+            }
+            assert_observably_equal(&fast, &oneshot);
+        }
     }
 }

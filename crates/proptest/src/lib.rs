@@ -1,0 +1,290 @@
+//! Minimal property-testing harness with a `proptest`-compatible surface.
+//!
+//! The workspace builds in fully offline environments, so it cannot pull
+//! the real `proptest` crate from a registry. This crate implements the
+//! subset the workspace's property tests use — the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`, [`prelude::any`], ranges,
+//! tuples, [`collection::vec`], simple `[class]{m,n}` string patterns,
+//! [`prop_oneof!`] and the `prop_assert*` macros — with deterministic
+//! seeding derived from each test's name, so failures reproduce exactly.
+//!
+//! Shrinking is intentionally not implemented: a failing case reports its
+//! case index and generated inputs instead. The workspace `Cargo.toml`
+//! renames this crate to `proptest`, so `use proptest::prelude::*`
+//! resolves here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Test-case plumbing: the error type `prop_assert*` and `?` produce.
+pub mod test_runner {
+    /// Failure of one generated test case.
+    ///
+    /// A boxed error so the `?` operator works on any `std::error::Error`
+    /// inside a `proptest!` body, exactly as with the real crate.
+    pub type TestCaseError = Box<dyn std::error::Error>;
+
+    /// Result of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic RNG driving strategy generation (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a seed (SplitMix64 state expansion).
+        #[must_use]
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)` (multiply-shift bounded sampling).
+        #[inline]
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        #[inline]
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as the deterministic seed.
+    #[must_use]
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with lengths from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + if span > 0 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common import surface (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Just, Strategy, Union};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Per-test configuration (mirrors `proptest::prelude::ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the heavier system-level
+            // properties fast while still exercising the input space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Defines property tests: each function runs its body once per generated
+/// case, with arguments drawn from the strategies after `in`.
+///
+/// Failures panic with the case index and the regenerated inputs; seeds
+/// are derived from the test name, so runs are reproducible.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prelude::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::seed_of(stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    let snapshot = rng.clone();
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let result =
+                        (move || -> $crate::test_runner::TestCaseResult { $body Ok(()) })();
+                    if let Err(e) = result {
+                        // Regenerate the inputs from the snapshot so the
+                        // failure report shows them without cloning every
+                        // case up front.
+                        let mut replay = snapshot;
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut replay);)*
+                        panic!(
+                            "proptest {} failed at case {case} (seed {seed:#x}): {e}\ninputs: {:#?}",
+                            stringify!($name),
+                            ($(&$arg,)*)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::prelude::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ).into());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            ).into());
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({}:{})", a, b, file!(), line!()
+            ).into());
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({}:{}): {}",
+                a, b, file!(), line!(), format!($($fmt)+)
+            ).into());
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!(
+                "assertion failed: both sides equal `{:?}` ({}:{})", a, file!(), line!()
+            ).into());
+        }
+    }};
+}
+
+/// Discards the current case when its inputs don't satisfy a precondition.
+///
+/// This shim treats a discarded case as a (vacuous) pass rather than
+/// drawing a replacement, which keeps the runner allocation-free.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}

@@ -1,0 +1,311 @@
+//! Value-generation strategies (mirrors `proptest::strategy`).
+//!
+//! A [`Strategy`] produces one value per test case from the deterministic
+//! [`TestRng`]. The trait is object-safe so heterogeneous strategies with
+//! the same value type can be unioned behind `Box<dyn Strategy>` (this is
+//! what `prop_oneof!` builds).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Generates values of an associated type from a deterministic RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f` (mirrors `Strategy::prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (mirrors `Strategy::boxed`).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a canonical "draw any value" strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary {
+    /// Draws one uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Any value of type `T` (mirrors `proptest::prelude::any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    #[inline]
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among several boxed strategies with one value type
+/// (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; each case picks one uniformly.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+
+    type Value = V;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        })*
+    };
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A/0, B/1);
+impl_tuple_strategy!(A/0, B/1, C/2);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+/// `&str` patterns of the form `[class]{n}` or `[class]{m,n}` produce
+/// random strings from the character class (a small subset of the real
+/// crate's regex-based string strategies — enough for identifier-like
+/// test inputs).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse_pattern(self);
+        let span = (hi - lo + 1) as u64;
+        let len = lo + rng.below(span) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (expanded character class, min len, max len).
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    fn bad(pat: &str) -> ! {
+        panic!("unsupported string pattern {pat:?}: expected [class]{{m,n}}")
+    }
+    let inner = pat.strip_prefix('[').unwrap_or_else(|| bad(pat));
+    let (class_src, rest) = inner.split_once(']').unwrap_or_else(|| bad(pat));
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| bad(pat));
+    let parse = |s: &str| -> usize { s.trim().parse().unwrap_or_else(|_| bad(pat)) };
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (parse(a), parse(b)),
+        None => {
+            let n = parse(counts);
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "empty length range in string pattern {pat:?}");
+
+    let chars: Vec<char> = class_src.chars().collect();
+    let mut class = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // `a-z` is a range unless `-` is the first or last class character.
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            assert!(a <= b, "reversed character range in pattern {pat:?}");
+            for c in a..=b {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    if class.is_empty() {
+        bad(pat);
+    }
+    (class, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,16}".generate(&mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        let mut seen_empty = false;
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9_./=]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_./=".contains(c)));
+            seen_empty |= s.is_empty();
+        }
+        assert!(seen_empty, "zero-length strings should be reachable");
+    }
+
+    #[test]
+    fn union_reaches_every_arm() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut rng = TestRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let s = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) < 19);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Self-contained deterministic PRNG with a `rand`-compatible surface.
+//!
+//! The workspace builds in fully offline environments, so it cannot pull
+//! the real `rand` crate from a registry. This crate implements the small
+//! subset of its API the workspace uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`RngExt`] sampling methods —
+//! on top of xoshiro256** seeded through SplitMix64. The workspace
+//! `Cargo.toml` renames it to `rand`, so `use rand::...` resolves here.
+//!
+//! Determinism is part of the contract: the synthetic bitstream generator
+//! ([`uparc_bitstream::synth`]) derives calibrated workloads from fixed
+//! seeds, and the experiment harnesses rely on those workloads being
+//! identical across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Named RNG types (mirrors `rand::rngs`).
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A seedable random number generator (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed via SplitMix64 state expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The default RNG: xoshiro256** (Blackman & Vigna), a small, fast
+/// generator with 256 bits of state and excellent statistical quality.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Produces the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Produces the next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw bits.
+pub trait Random {
+    /// Draws one uniformly distributed value.
+    fn random(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {
+        $(impl Random for $t {
+            #[inline]
+            fn random(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    #[inline]
+    fn random(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn random(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn random(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable as `random_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)`.
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {
+        $(impl UniformInt for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Multiply-shift (Lemire) bounded sampling; the bias over a
+                // 64-bit draw is < 2^-32 for any span this workspace uses.
+                let hi128 = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                lo.wrapping_add(hi128 as $t)
+            }
+        })*
+    };
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Sampling extension methods (mirrors the `rand::Rng`/`RngExt` surface).
+pub trait RngExt {
+    /// Draws one uniformly distributed value of type `T`.
+    fn random<T: Random>(&mut self) -> T;
+
+    /// Draws a value uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T;
+
+    /// Draws `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    #[inline]
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_are_respected_and_cover() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.random_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all range values reachable");
+        for _ in 0..1000 {
+            let v = rng.random_range(5u32..7);
+            assert!((5..7).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(3u32..3);
+    }
+
+    #[test]
+    fn byte_distribution_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 256];
+        for _ in 0..256 * 200 {
+            counts[rng.random::<u8>() as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min > 120 && *max < 300, "min {min} max {max}");
+    }
+}
