@@ -22,7 +22,8 @@ fn bench_transfer(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(kb), &bs, |b, bs| {
             b.iter(|| {
                 let mut sys = UParc::builder(device.clone()).build().expect("build");
-                sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).expect("tune");
+                sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+                    .expect("tune");
                 sys.reconfigure_bitstream(bs, Mode::Raw).expect("ok")
             });
         });
@@ -48,7 +49,11 @@ fn bench_policy(c: &mut Criterion) {
         })
     });
     group.bench_function("min-energy", |b| {
-        b.iter(|| policy.plan(Constraint::MinEnergy, 216_500).expect("feasible"))
+        b.iter(|| {
+            policy
+                .plan(Constraint::MinEnergy, 216_500)
+                .expect("feasible")
+        })
     });
     group.finish();
 }

@@ -25,7 +25,13 @@ fn main() {
     let profile = SynthProfile::dense();
     let mut report = Report::new(
         "Ablation — raw vs compressed staging across bitstream sizes",
-        &["Size", "UPaRC_i (raw)", "UPaRC_ii (compressed)", "stored", "winner"],
+        &[
+            "Size",
+            "UPaRC_i (raw)",
+            "UPaRC_ii (compressed)",
+            "stored",
+            "winner",
+        ],
     );
     for &kb in &SIZES_KB {
         let frames = (kb * 1024 / device.family().frame_bytes()) as u32;
@@ -34,7 +40,8 @@ fn main() {
 
         let raw = {
             let mut sys = UParc::builder(device.clone()).build().expect("build");
-            sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).expect("retune");
+            sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+                .expect("retune");
             sys.reconfigure_bitstream(&bs, Mode::Raw)
         };
         let comp = {

@@ -30,10 +30,17 @@ fn main() {
         let codec = XMatchPro::with_dictionary(size);
         let packed = codec.compress(&data);
         assert_eq!(codec.decompress(&packed).expect("lossless"), data);
-        let note = if size == 16 { "UPaRC/FlashCAP configuration" } else { "" };
+        let note = if size == 16 {
+            "UPaRC/FlashCAP configuration"
+        } else {
+            ""
+        };
         report.row(&[
             size.to_string(),
-            format!("{:.1}", Ratio::new(data.len(), packed.len()).percent_saved()),
+            format!(
+                "{:.1}",
+                Ratio::new(data.len(), packed.len()).percent_saved()
+            ),
             size.trailing_zeros().to_string(),
             note.to_owned(),
         ]);

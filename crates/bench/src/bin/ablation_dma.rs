@@ -40,8 +40,7 @@ fn main() {
     // Vendor-DMA generation (FaRM is its best representative).
     let mut farm = Farm::new(device.clone());
     let rf = farm.reconfigure(&bs).expect("farm");
-    let wpc_farm =
-        rf.bytes as f64 / 4.0 / (rf.elapsed.as_secs_f64() * rf.frequency.as_hz() as f64);
+    let wpc_farm = rf.bytes as f64 / 4.0 / (rf.elapsed.as_secs_f64() * rf.frequency.as_hz() as f64);
     report.row(&[
         "vendor DMA (FaRM)".to_owned(),
         format!("{:.0} MHz", rf.frequency.as_mhz()),
@@ -54,10 +53,10 @@ fn main() {
     // per-cycle streaming gain from the overclocking gain.
     for mhz in [200.0, 300.0, 362.5] {
         let mut sys = UParc::builder(device.clone()).build().expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+            .expect("retune");
         let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("uparc");
-        let wpc =
-            r.bytes as f64 / 4.0 / (r.elapsed().as_secs_f64() * r.frequency.as_hz() as f64);
+        let wpc = r.bytes as f64 / 4.0 / (r.elapsed().as_secs_f64() * r.frequency.as_hz() as f64);
         let note = match mhz {
             200.0 => "same clock as FaRM: the streaming gain alone",
             300.0 => "max guaranteed BRAM clock",

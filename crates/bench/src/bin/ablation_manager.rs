@@ -30,18 +30,28 @@ fn main() {
 
     let mut report = Report::new(
         "Ablation — manager wait strategy (216.5 KB bitstream)",
-        &["CLK_2", "active-wait E [µJ]", "event-driven E [µJ]", "flat?"],
+        &[
+            "CLK_2",
+            "active-wait E [µJ]",
+            "event-driven E [µJ]",
+            "flat?",
+        ],
     );
     let mut first_event_driven = None;
     for mhz in [50.0, 100.0, 200.0, 300.0] {
         let run = |active: bool| {
-            let cfg = ManagerConfig { active_wait: active, ..ManagerConfig::default() };
+            let cfg = ManagerConfig {
+                active_wait: active,
+                ..ManagerConfig::default()
+            };
             let mut sys = UParc::builder(device.clone())
                 .manager(cfg)
                 .build()
                 .expect("build");
-            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
-            sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure")
+            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+                .expect("retune");
+            sys.reconfigure_bitstream(&bs, Mode::Raw)
+                .expect("reconfigure")
         };
         let active = run(true);
         let event = run(false);
@@ -61,10 +71,19 @@ fn main() {
     let event = PowerAwarePolicy::new(
         Family::Virtex6,
         Frequency::from_mhz(100.0),
-        ManagerConfig { active_wait: false, ..ManagerConfig::default() },
+        ManagerConfig {
+            active_wait: false,
+            ..ManagerConfig::default()
+        },
     );
-    let fa = active.plan(Constraint::MinEnergy, bytes).expect("plan").frequency;
-    let fe = event.plan(Constraint::MinEnergy, bytes).expect("plan").frequency;
+    let fa = active
+        .plan(Constraint::MinEnergy, bytes)
+        .expect("plan")
+        .frequency;
+    let fe = event
+        .plan(Constraint::MinEnergy, bytes)
+        .expect("plan")
+        .frequency;
     println!("\nminimum-energy operating point:");
     println!("  active-wait manager:  {fa}  (run fast, finish early)");
     println!("  event-driven manager: {fe}  (energy flat; lowest peak power wins)");

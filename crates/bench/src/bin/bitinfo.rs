@@ -24,8 +24,7 @@ fn main() {
             let payload = SynthProfile::dense().generate(&device, 300, 500, 99);
             let bs = PartialBitstream::build(&device, 300, &payload);
             let path = std::env::temp_dir().join("uparc_bitinfo_demo.bit");
-            std::fs::write(&path, bs.to_bitfile("demo_rp0").to_bytes())
-                .expect("write demo file");
+            std::fs::write(&path, bs.to_bitfile("demo_rp0").to_bytes()).expect("write demo file");
             println!("(no file given — inspecting a generated demo bitstream)\n");
             (path.to_string_lossy().into_owned(), Family::Virtex5)
         }
@@ -57,19 +56,41 @@ fn main() {
     match bytes_to_words(&file.data).and_then(|w| StreamInfo::scan(family, &w)) {
         Ok(info) => {
             println!("\nstream structure ({family}):");
-            println!("  idcode:  {}", info.idcode.map_or("-".into(), |i| format!("{i:#010x}")));
-            println!("  far:     {}", info.far.map_or("-".into(), |f| f.to_string()));
-            println!("  frames:  {} ({} payload words)", info.frames, info.payload_words);
-            println!("  crc:     {}", if info.has_crc { "present" } else { "absent" });
-            println!("  desync:  {}", if info.desynced { "clean trailer" } else { "MISSING" });
+            println!(
+                "  idcode:  {}",
+                info.idcode.map_or("-".into(), |i| format!("{i:#010x}"))
+            );
+            println!(
+                "  far:     {}",
+                info.far.map_or("-".into(), |f| f.to_string())
+            );
+            println!(
+                "  frames:  {} ({} payload words)",
+                info.frames, info.payload_words
+            );
+            println!(
+                "  crc:     {}",
+                if info.has_crc { "present" } else { "absent" }
+            );
+            println!(
+                "  desync:  {}",
+                if info.desynced {
+                    "clean trailer"
+                } else {
+                    "MISSING"
+                }
+            );
         }
         Err(e) => println!("\nstream structure: unreadable ({e})"),
     }
 
     let s = stats::analyze(&file.data);
     println!("\ncontent statistics:");
-    println!("  order-0 entropy: {:.2} bits/byte (huffman bound {:.1}% saved)",
-        s.entropy_bits, s.order0_bound_percent());
+    println!(
+        "  order-0 entropy: {:.2} bits/byte (huffman bound {:.1}% saved)",
+        s.entropy_bits,
+        s.order0_bound_percent()
+    );
     println!("  zero bytes:      {:.1}%", s.zero_fraction * 100.0);
     println!("  distinct bytes:  {}", s.distinct);
     println!(

@@ -30,7 +30,13 @@ fn main() {
     // UPaRC without compression, swept over the Fig. 7 frequencies.
     let mut report = Report::new(
         "§V energy efficiency — 216.5 KB bitstream, MicroBlaze manager @100 MHz",
-        &["Controller", "Throughput", "µJ/KB", "vs paper", "gain over xps"],
+        &[
+            "Controller",
+            "Throughput",
+            "µJ/KB",
+            "vs paper",
+            "gain over xps",
+        ],
     );
     report.row(&[
         "xps_hwicap (unopt)".to_owned(),
@@ -42,8 +48,11 @@ fn main() {
 
     for mhz in [50.0, 100.0, 200.0, 300.0] {
         let mut sys = UParc::builder(device.clone()).build().expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
-        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+            .expect("retune");
+        let r = sys
+            .reconfigure_bitstream(&bs, Mode::Raw)
+            .expect("reconfigure");
         let gain = rx.uj_per_kb() / r.uj_per_kb();
         let vs = if mhz == 50.0 {
             vs_paper(r.uj_per_kb(), 0.66)

@@ -42,8 +42,11 @@ fn main() {
         let payload = profile.generate(&device, 0, frames.max(1), 7);
         let bs = PartialBitstream::build(&device, 0, &payload);
         let mut sys = UParc::builder(device.clone()).build().expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
-        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+            .expect("retune");
+        let r = sys
+            .reconfigure_bitstream(&bs, Mode::Raw)
+            .expect("reconfigure");
         (r.bandwidth_mb_s(), r.efficiency())
     });
 

@@ -35,7 +35,14 @@ fn main() {
 
     let mut report = Report::new(
         "Figure 7 — power during reconfiguration of a 216.5 KB bitstream (V6)",
-        &["CLK_2", "Power [mW]", "vs paper", "Duration [µs]", "vs paper", "Energy>idle [µJ]"],
+        &[
+            "CLK_2",
+            "Power [mW]",
+            "vs paper",
+            "Duration [µs]",
+            "vs paper",
+            "Energy>idle [µJ]",
+        ],
     );
 
     let scope = Oscilloscope::ml605().with_sample_period(SimTime::from_us(2));
@@ -48,13 +55,21 @@ fn main() {
             .expect("same grid")
             .1;
         let mut sys = UParc::builder(device.clone()).build().expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("retune");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+            .expect("retune");
         sys.preload(&bs, Mode::Raw).expect("preload");
         sys.advance_idle(SimTime::from_us(30));
         let r = sys.reconfigure().expect("reconfigure");
         sys.advance_idle(SimTime::from_us(30));
         let trace = sys.power_trace();
-        (mhz, paper_mw, paper_us, trace.peak_mw(), r, scope.sample(&trace))
+        (
+            mhz,
+            paper_mw,
+            paper_us,
+            trace.peak_mw(),
+            r,
+            scope.sample(&trace),
+        )
     });
     for (mhz, paper_mw, paper_us, plateau, r, samples) in runs {
         let duration_us = r.transfer_time.as_us_f64();

@@ -42,7 +42,13 @@ fn main() {
 
     let mut report = Report::new(
         "Global power optimization — min peak power vs makespan budget",
-        &["Makespan budget", "Peak power [mW]", "CLK_2", "Total time", "Swap energy [µJ]"],
+        &[
+            "Makespan budget",
+            "Peak power [mW]",
+            "CLK_2",
+            "Total time",
+            "Swap energy [µJ]",
+        ],
     );
     for budget_ms in [20.0, 12.0, 10.5, 9.6, 9.25] {
         let makespan = SimTime::from_secs_f64(budget_ms * 1e-3);
@@ -68,16 +74,22 @@ fn main() {
     // Validate the tightest feasible plan on the full system model
     // (best achievable is ~9.37 ms: executions + swaps at 362.5 MHz).
     let makespan = SimTime::from_us(9600);
-    let plan = opt.minimize_peak_power(&phases, makespan).expect("feasible");
+    let plan = opt
+        .minimize_peak_power(&phases, makespan)
+        .expect("feasible");
     let mut sys = UParc::builder(device.clone()).build().expect("build");
     let mut busy = SimTime::ZERO; // downtime + execution (preloads prefetch)
     for (phase, (name, point)) in phases.iter().zip(&plan.per_phase) {
-        sys.set_reconfiguration_frequency(point.frequency).expect("tune");
+        sys.set_reconfiguration_frequency(point.frequency)
+            .expect("tune");
         let frames = (phase.bitstream_bytes / device.family().frame_bytes()) as u32;
         let payload = SynthProfile::dense().generate(&device, 0, frames, 1);
         let bs = PartialBitstream::build(&device, 0, &payload);
         let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("swap");
-        assert!(r.elapsed() <= point.predicted_time + SimTime::from_us(1), "{name}");
+        assert!(
+            r.elapsed() <= point.predicted_time + SimTime::from_us(1),
+            "{name}"
+        );
         busy += r.elapsed() + phase.execution;
         sys.advance_idle(phase.execution);
     }

@@ -33,7 +33,10 @@ fn main() {
     report.print();
     let v5_min = v5.screen(Frequency::from_mhz(362.5)).min_fmax;
     let v6_min = v6.screen(Frequency::from_mhz(362.5)).min_fmax;
-    println!("\nweakest V5 sample: {:.1} MHz (all pass the 362.5 MHz point)", v5_min.as_mhz());
+    println!(
+        "\nweakest V5 sample: {:.1} MHz (all pass the 362.5 MHz point)",
+        v5_min.as_mhz()
+    );
     println!(
         "weakest V6 sample: {:.1} MHz ({:.1} MHz short of the V5 point — \"a few MHz lower\")",
         v6_min.as_mhz(),

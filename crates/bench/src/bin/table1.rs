@@ -29,7 +29,11 @@ fn main() {
         &["Algorithm", "Measured", "vs paper", "Min", "Max"],
     );
 
-    println!("workloads: {} sizes x {} seeds, profile = dense", SIZES.len(), SEEDS.len());
+    println!(
+        "workloads: {} sizes x {} seeds, profile = dense",
+        SIZES.len(),
+        SEEDS.len()
+    );
 
     // Every (algorithm, size, seed) cell is independent: flatten the cube
     // and shard it across cores.

@@ -9,8 +9,11 @@ use uparc_core::inventory;
 use uparc_fpga::family::Family;
 
 /// The paper's Table II values: (module, V5 slices, V6 slices).
-const PAPER: [(&str, u32, u32); 3] =
-    [("DyCloGen", 24, 18), ("UReC", 26, 26), ("Decompressor", 1035, 900)];
+const PAPER: [(&str, u32, u32); 3] = [
+    ("DyCloGen", 24, 18),
+    ("UReC", 26, 26),
+    ("Decompressor", 1035, 900),
+];
 
 fn main() {
     let mut report = Report::new(

@@ -51,7 +51,13 @@ fn main() {
 
     let mut report = Report::new(
         "Table III — Comparison of reconfiguration controllers",
-        &["Controller", "Bandwidth [MB/s]", "Large bitstream", "Max freq [MHz]", "workload"],
+        &[
+            "Controller",
+            "Bandwidth [MB/s]",
+            "Large bitstream",
+            "Max freq [MHz]",
+            "workload",
+        ],
     );
     for (ctrl, bytes, paper_bw) in &mut rows {
         let device = ctrl.icap().device().clone();

@@ -15,12 +15,50 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 /// Number of worker threads a sweep over `items` work items will use: the
-/// machine's available parallelism, clamped to the work count and at
-/// least 1.
+/// `UPARC_SWEEP_THREADS` environment variable if set to a positive
+/// integer (so CI and laptops can pin parallelism), otherwise the
+/// machine's available parallelism — in both cases clamped to the work
+/// count and at least 1.
 #[must_use]
 pub fn worker_count(items: usize) -> usize {
-    let cores = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let pinned = std::env::var("UPARC_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let cores = pinned
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
     cores.min(items).max(1)
+}
+
+/// Splits `items` into `n` contiguous shards whose sizes differ by at
+/// most one (earlier shards get the remainder). Empty shards are omitted,
+/// so fewer than `n` shards come back when `items` is short.
+///
+/// Sharding is purely positional — independent of core count and of
+/// `UPARC_SWEEP_THREADS` — so a grid dispatched shard-by-shard (e.g. one
+/// engine scenario per shard) is decomposed identically on every host.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn shards<T>(items: &[T], n: usize) -> Vec<&[T]> {
+    assert!(n > 0, "cannot shard into zero shards");
+    let len = items.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n.min(len));
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(&items[start..start + size]);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
 }
 
 /// Maps `f` over `items` in parallel, preserving input order.
@@ -92,6 +130,45 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn worker_count_honors_env_override() {
+        // Env vars are process-global and tests run concurrently, so this
+        // test owns the variable: set → check → clear → check. Other tests
+        // here don't read it.
+        std::env::set_var("UPARC_SWEEP_THREADS", "3");
+        assert_eq!(worker_count(10_000), 3);
+        assert_eq!(worker_count(2), 2, "still clamped to the work count");
+        std::env::set_var("UPARC_SWEEP_THREADS", "not-a-number");
+        let fallback = worker_count(10_000);
+        assert!(fallback >= 1, "garbage value falls back to autodetect");
+        std::env::set_var("UPARC_SWEEP_THREADS", "0");
+        assert!(worker_count(10_000) >= 1, "zero falls back to autodetect");
+        std::env::remove_var("UPARC_SWEEP_THREADS");
+        assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn shards_are_contiguous_and_balanced() {
+        let items: Vec<u32> = (0..10).collect();
+        let s = shards(&items, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], &[0, 1, 2, 3]);
+        assert_eq!(s[1], &[4, 5, 6]);
+        assert_eq!(s[2], &[7, 8, 9]);
+        // Rebuilding the input proves coverage without overlap.
+        let rebuilt: Vec<u32> = s.concat();
+        assert_eq!(rebuilt, items);
+
+        // More shards than items: one singleton shard per item.
+        let few = shards(&items[..2], 5);
+        assert_eq!(few.len(), 2);
+        assert!(few.iter().all(|s| s.len() == 1));
+
+        // Empty input and the n = 1 degenerate case.
+        assert!(shards(&items[..0], 4).is_empty());
+        assert_eq!(shards(&items, 1), vec![&items[..]]);
     }
 
     #[test]

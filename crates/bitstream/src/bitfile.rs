@@ -104,7 +104,13 @@ impl BitFile {
         }
         let len = u32::from_be_bytes(take(&mut input, 4)?.try_into().expect("4 bytes")) as usize;
         let data = take(&mut input, len)?.to_vec();
-        Ok(BitFile { design_name, part, date, time, data })
+        Ok(BitFile {
+            design_name,
+            part,
+            date,
+            time,
+            data,
+        })
     }
 }
 

@@ -41,9 +41,7 @@ impl ModeWord {
     pub fn encode(self) -> u32 {
         assert!(self.size_words <= MAX_SIZE_WORDS, "size field overflow");
         assert!(self.codec_id < 128, "codec id field is 7 bits");
-        (u32::from(self.compressed) << 31)
-            | (u32::from(self.codec_id) << 24)
-            | self.size_words
+        (u32::from(self.compressed) << 31) | (u32::from(self.codec_id) << 24) | self.size_words
     }
 
     /// Decodes a mode word.
@@ -60,7 +58,11 @@ impl ModeWord {
                 detail: format!("uncompressed image with codec id {codec_id}"),
             });
         }
-        Ok(ModeWord { compressed, codec_id, size_words: word & MAX_SIZE_WORDS })
+        Ok(ModeWord {
+            compressed,
+            codec_id,
+            size_words: word & MAX_SIZE_WORDS,
+        })
     }
 }
 
@@ -207,8 +209,16 @@ mod tests {
 
     #[test]
     fn mode_word_round_trips() {
-        for (c, id, size) in [(false, 0u8, 0u32), (true, 3, 12345), (true, 127, MAX_SIZE_WORDS)] {
-            let m = ModeWord { compressed: c, codec_id: id, size_words: size };
+        for (c, id, size) in [
+            (false, 0u8, 0u32),
+            (true, 3, 12345),
+            (true, 127, MAX_SIZE_WORDS),
+        ] {
+            let m = ModeWord {
+                compressed: c,
+                codec_id: id,
+                size_words: size,
+            };
             assert_eq!(ModeWord::decode(m.encode()).unwrap(), m);
         }
     }
@@ -216,7 +226,10 @@ mod tests {
     #[test]
     fn uncompressed_mode_with_codec_rejected() {
         let word = 5 << 24; // codec 5, compressed bit clear
-        assert!(matches!(ModeWord::decode(word), Err(BitstreamError::BadModeWord { .. })));
+        assert!(matches!(
+            ModeWord::decode(word),
+            Err(BitstreamError::BadModeWord { .. })
+        ));
     }
 
     #[test]
@@ -250,7 +263,10 @@ mod tests {
         let mut words = img.words().to_vec();
         words.pop(); // image now shorter than the mode word claims
         let broken = BramImage::from_words(words);
-        assert!(matches!(broken.mode(), Err(BitstreamError::BadModeWord { .. })));
+        assert!(matches!(
+            broken.mode(),
+            Err(BitstreamError::BadModeWord { .. })
+        ));
     }
 
     #[test]

@@ -33,8 +33,15 @@ impl PartialBitstream {
     #[must_use]
     pub fn build(device: &Device, far: u32, payload: &[u32]) -> Self {
         let fw = device.family().frame_words();
-        assert!(!payload.is_empty(), "payload must contain at least one frame");
-        assert_eq!(payload.len() % fw, 0, "payload must be whole frames ({fw} words)");
+        assert!(
+            !payload.is_empty(),
+            "payload must contain at least one frame"
+        );
+        assert_eq!(
+            payload.len() % fw,
+            0,
+            "payload must be whole frames ({fw} words)"
+        );
         let frame_count = (payload.len() / fw) as u32;
         assert!(
             far + frame_count <= device.frames(),
@@ -54,11 +61,26 @@ impl PartialBitstream {
         words.push(DUMMY_WORD);
         words.push(SYNC_WORD);
         words.push(NOOP);
-        reg_write(&mut words, &mut crc, ConfigRegister::Cmd, Command::Rcrc as u32);
+        reg_write(
+            &mut words,
+            &mut crc,
+            ConfigRegister::Cmd,
+            Command::Rcrc as u32,
+        );
         crc.reset();
         words.push(NOOP);
-        reg_write(&mut words, &mut crc, ConfigRegister::Idcode, device.idcode());
-        reg_write(&mut words, &mut crc, ConfigRegister::Cmd, Command::Wcfg as u32);
+        reg_write(
+            &mut words,
+            &mut crc,
+            ConfigRegister::Idcode,
+            device.idcode(),
+        );
+        reg_write(
+            &mut words,
+            &mut crc,
+            ConfigRegister::Cmd,
+            Command::Wcfg as u32,
+        );
         reg_write(&mut words, &mut crc, ConfigRegister::Far, far);
         words.push(type1(Opcode::Write, ConfigRegister::Fdri, 0));
         words.push(type2(Opcode::Write, payload.len() as u32));
@@ -68,10 +90,20 @@ impl PartialBitstream {
         }
         words.push(type1(Opcode::Write, ConfigRegister::Crc, 1));
         words.push(crc.value());
-        reg_write(&mut words, &mut crc, ConfigRegister::Cmd, Command::Desync as u32);
+        reg_write(
+            &mut words,
+            &mut crc,
+            ConfigRegister::Cmd,
+            Command::Desync as u32,
+        );
         words.push(NOOP);
 
-        PartialBitstream { words, far, frame_count, device_name: device.name() }
+        PartialBitstream {
+            words,
+            far,
+            frame_count,
+            device_name: device.name(),
+        }
     }
 
     /// The executable word stream.

@@ -33,7 +33,9 @@ impl BitstreamError {
     /// Convenience constructor for [`BitstreamError::Malformed`].
     #[must_use]
     pub fn malformed(detail: impl Into<String>) -> Self {
-        BitstreamError::Malformed { detail: detail.into() }
+        BitstreamError::Malformed {
+            detail: detail.into(),
+        }
     }
 }
 

@@ -54,8 +54,8 @@ impl StreamInfo {
         while i < words.len() && !info.desynced {
             let word = words[i];
             i += 1;
-            let packet = decode(word)
-                .map_err(|e| BitstreamError::malformed(format!("at word {i}: {e}")))?;
+            let packet =
+                decode(word).map_err(|e| BitstreamError::malformed(format!("at word {i}: {e}")))?;
             let (reg, count) = match packet {
                 None => continue, // NOOP
                 Some(Packet::Type1 { op, reg, count }) => {
@@ -81,18 +81,17 @@ impl StreamInfo {
             match reg {
                 ConfigRegister::Fdri => info.payload_words += count,
                 ConfigRegister::Idcode => info.idcode = words[i..payload_end].last().copied(),
-                ConfigRegister::Far
-                    if info.far.is_none() => {
-                        info.far = words[i..payload_end].last().copied();
-                    }
+                ConfigRegister::Far if info.far.is_none() => {
+                    info.far = words[i..payload_end].last().copied();
+                }
                 ConfigRegister::Crc => info.has_crc = true,
                 ConfigRegister::Cmd
                     if words[i..payload_end]
                         .iter()
-                        .any(|&w| Command::from_value(w) == Some(Command::Desync))
-                    => {
-                        info.desynced = true;
-                    }
+                        .any(|&w| Command::from_value(w) == Some(Command::Desync)) =>
+                {
+                    info.desynced = true;
+                }
                 _ => {}
             }
             i = payload_end;

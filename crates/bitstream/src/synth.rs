@@ -195,10 +195,7 @@ impl SynthProfile {
             }
         }
         stream.truncate(total);
-        stream
-            .chunks(frame_words)
-            .map(<[u32]>::to_vec)
-            .collect()
+        stream.chunks(frame_words).map(<[u32]>::to_vec).collect()
     }
 
     fn sparse_word(&self, rng: &mut StdRng) -> u32 {
@@ -290,8 +287,8 @@ mod tests {
         let words = p.generate_bytes(&device(), 16 * 1024, 3);
         let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
         // Count adjacent equal byte pairs — should be near 1/256.
-        let runs = bytes.windows(2).filter(|w| w[0] == w[1]).count() as f64
-            / (bytes.len() - 1) as f64;
+        let runs =
+            bytes.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (bytes.len() - 1) as f64;
         assert!(runs < 0.02, "adjacent-equal fraction {runs:.4}");
     }
 
@@ -302,7 +299,10 @@ mod tests {
         let fw = device().family().frame_words();
         let n = p.template_count as u32;
         let words = p.generate(&device(), 0, 3 * n, 9);
-        let (f0, f24) = (&words[..fw], &words[(n as usize * fw)..(n as usize + 1) * fw]);
+        let (f0, f24) = (
+            &words[..fw],
+            &words[(n as usize * fw)..(n as usize + 1) * fw],
+        );
         assert_eq!(f0, f24, "frame 0 and frame {n} share a template");
     }
 }

@@ -43,7 +43,11 @@ impl BitWriter {
     /// Creates an empty writer with room for `bytes` output bytes.
     #[must_use]
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { bytes: Vec::with_capacity(bytes), nbits: 0, acc: 0 }
+        BitWriter {
+            bytes: Vec::with_capacity(bytes),
+            nbits: 0,
+            acc: 0,
+        }
     }
 
     /// Appends a single bit.
@@ -230,7 +234,14 @@ mod tests {
     #[test]
     fn multi_bit_values_round_trip() {
         let mut w = BitWriter::new();
-        let values = [(0u32, 1u32), (7, 3), (0xABCD, 16), (1, 1), (0xFFFF_FFFF, 32), (5, 11)];
+        let values = [
+            (0u32, 1u32),
+            (7, 3),
+            (0xABCD, 16),
+            (1, 1),
+            (0xFFFF_FFFF, 32),
+            (5, 11),
+        ];
         for &(v, n) in &values {
             w.write_bits(v, n);
         }

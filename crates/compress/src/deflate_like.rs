@@ -25,8 +25,8 @@ const DIST_SYMBOLS: usize = 30;
 
 /// Length slot bases (match length 3..=258).
 const LEN_BASE: [u32; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 /// Extra bits per length slot.
 const LEN_EXTRA: [u32; 29] = [
@@ -39,8 +39,8 @@ const DIST_BASE: [u32; 30] = [
 ];
 /// Extra bits per distance slot.
 const DIST_EXTRA: [u32; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 fn len_slot(len: u32) -> usize {
@@ -69,7 +69,9 @@ impl DeflateLike {
     /// Creates the codec with the software-sized 32 KB window.
     #[must_use]
     pub fn new() -> Self {
-        DeflateLike { lz: Lz77::with_geometry(15, 8) }
+        DeflateLike {
+            lz: Lz77::with_geometry(15, 8),
+        }
     }
 }
 
@@ -196,7 +198,12 @@ mod tests {
     fn roundtrip(data: &[u8]) {
         let codec = DeflateLike::new();
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -205,8 +212,10 @@ mod tests {
         for len in 3..=258u32 {
             let s = len_slot(len);
             assert!(LEN_BASE[s] <= len);
-            assert!(len - LEN_BASE[s] < (1 << LEN_EXTRA[s]) || LEN_EXTRA[s] == 0 && len == LEN_BASE[s],
-                "len {len} slot {s}");
+            assert!(
+                len - LEN_BASE[s] < (1 << LEN_EXTRA[s]) || LEN_EXTRA[s] == 0 && len == LEN_BASE[s],
+                "len {len} slot {s}"
+            );
         }
         for dist in 1..=32768u32 {
             let s = dist_slot(dist);
@@ -255,7 +264,9 @@ mod tests {
 
     #[test]
     fn entropy_stage_beats_raw_lz77_on_skewed_literals() {
-        let data: Vec<u8> = (0..60_000u32).map(|i| if i % 7 == 0 { 1 } else { 0 }).collect();
+        let data: Vec<u8> = (0..60_000u32)
+            .map(|i| if i % 7 == 0 { 1 } else { 0 })
+            .collect();
         let zip = DeflateLike::new().compress(&data).len();
         let lz = Lz77::with_geometry(15, 8).compress(&data).len();
         assert!(zip <= lz, "zip {zip} vs lz77 {lz}");

@@ -61,7 +61,11 @@ pub fn code_lengths(freqs: &[u64]) -> Vec<u8> {
         .iter()
         .enumerate()
         .filter(|&(_, &w)| w > 0)
-        .map(|(i, &w)| Node { weight: w, order: i as u32, kind: NodeKind::Leaf(i) })
+        .map(|(i, &w)| Node {
+            weight: w,
+            order: i as u32,
+            kind: NodeKind::Leaf(i),
+        })
         .collect();
     match heap.len() {
         0 => return lengths,
@@ -218,7 +222,14 @@ impl CanonicalDecoder {
                 }
             }
         }
-        Ok(CanonicalDecoder { max_len, first_code, base_index, count, symbols, lut })
+        Ok(CanonicalDecoder {
+            max_len,
+            first_code,
+            base_index,
+            count,
+            symbols,
+            lut,
+        })
     }
 
     /// Decodes one symbol from `reader`.
@@ -333,7 +344,12 @@ mod tests {
         }
         let h = Huffman::new();
         let packed = h.compress(&data);
-        assert!(packed.len() < data.len() / 4, "{} vs {}", packed.len(), data.len());
+        assert!(
+            packed.len() < data.len() / 4,
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
         assert_eq!(h.decompress(&packed).unwrap(), data);
     }
 
@@ -390,8 +406,11 @@ mod tests {
                 if i == j || li == 0 || lj == 0 {
                     continue;
                 }
-                let (short, long, sc, lc) =
-                    if li <= lj { (li, lj, ci, cj) } else { (lj, li, cj, ci) };
+                let (short, long, sc, lc) = if li <= lj {
+                    (li, lj, ci, cj)
+                } else {
+                    (lj, li, cj, ci)
+                };
                 assert_ne!(lc >> (long - short), sc, "prefix violation {i} vs {j}");
             }
         }

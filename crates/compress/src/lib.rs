@@ -70,7 +70,9 @@ impl CodecError {
     /// Convenience constructor for [`CodecError::Corrupt`].
     #[must_use]
     pub fn corrupt(detail: impl Into<String>) -> Self {
-        CodecError::Corrupt { detail: detail.into() }
+        CodecError::Corrupt {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -195,7 +197,10 @@ impl Ratio {
     #[must_use]
     pub fn new(original: usize, compressed: usize) -> Self {
         assert!(original > 0, "ratio of empty input is undefined");
-        Ratio { original, compressed }
+        Ratio {
+            original,
+            compressed,
+        }
     }
 
     /// Percent of the original size saved (Table I's unit); negative if the
@@ -263,7 +268,9 @@ mod tests {
         for alg in Algorithm::ALL {
             let c = alg.codec();
             let packed = c.compress(&data);
-            let unpacked = c.decompress(&packed).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            let unpacked = c
+                .decompress(&packed)
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert_eq!(unpacked, data, "{alg} round-trip failed");
         }
     }

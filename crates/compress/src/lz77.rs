@@ -28,7 +28,10 @@ impl Lz77 {
     /// decompressor affords.
     #[must_use]
     pub fn hardware() -> Self {
-        Lz77 { offset_bits: 9, len_bits: 5 }
+        Lz77 {
+            offset_bits: 9,
+            len_bits: 5,
+        }
     }
 
     /// A custom geometry.
@@ -40,7 +43,10 @@ impl Lz77 {
     pub fn with_geometry(offset_bits: u32, len_bits: u32) -> Self {
         assert!((1..=24).contains(&offset_bits), "offset bits out of range");
         assert!((1..=16).contains(&len_bits), "length bits out of range");
-        Lz77 { offset_bits, len_bits }
+        Lz77 {
+            offset_bits,
+            len_bits,
+        }
     }
 
     /// Window size in bytes.
@@ -84,7 +90,10 @@ impl Lz77 {
         while i < input.len() {
             let (dist, len) = finder.best_match(input, i, max_match, reference);
             if len >= MIN_MATCH {
-                tokens.push(Token::Match { distance: dist as u32, length: len as u32 });
+                tokens.push(Token::Match {
+                    distance: dist as u32,
+                    length: len as u32,
+                });
                 for k in i..i + len {
                     finder.insert(input, k);
                 }
@@ -293,7 +302,12 @@ mod tests {
 
     fn roundtrip(codec: &Lz77, data: &[u8]) {
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -372,7 +386,10 @@ mod tests {
         w.write_bits(100, 9); // dist = 101 into empty output
         w.write_bits(0, 5);
         out.extend_from_slice(&w.finish());
-        assert!(matches!(codec.decompress(&out), Err(CodecError::Corrupt { .. })));
+        assert!(matches!(
+            codec.decompress(&out),
+            Err(CodecError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -85,7 +85,9 @@ impl Codec for Lz78 {
         while out.len() < n {
             let idx = r.read_bits(index_bits(entries.len()))?;
             if idx as usize >= entries.len() {
-                return Err(CodecError::corrupt(format!("index {idx} out of dictionary")));
+                return Err(CodecError::corrupt(format!(
+                    "index {idx} out of dictionary"
+                )));
             }
             // Materialise the phrase by walking parents.
             phrase.clear();
@@ -124,7 +126,12 @@ mod tests {
     fn roundtrip(data: &[u8]) {
         let codec = Lz78::new();
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]

@@ -32,7 +32,13 @@ struct RangeEncoder {
 
 impl RangeEncoder {
     fn new() -> Self {
-        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
     }
 
     fn shift_low(&mut self) {
@@ -104,7 +110,12 @@ impl<'a> RangeDecoder<'a> {
         if input.is_empty() {
             return Err(CodecError::Truncated);
         }
-        let mut d = RangeDecoder { code: 0, range: u32::MAX, input, pos: 1 };
+        let mut d = RangeDecoder {
+            code: 0,
+            range: u32::MAX,
+            input,
+            pos: 1,
+        };
         for _ in 0..4 {
             d.code = (d.code << 8) | u32::from(d.next_byte()?);
         }
@@ -112,7 +123,11 @@ impl<'a> RangeDecoder<'a> {
     }
 
     fn next_byte(&mut self) -> Result<u8, CodecError> {
-        let b = self.input.get(self.pos).copied().ok_or(CodecError::Truncated)?;
+        let b = self
+            .input
+            .get(self.pos)
+            .copied()
+            .ok_or(CodecError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
@@ -163,7 +178,10 @@ struct BitTree {
 
 impl BitTree {
     fn new(nbits: u32) -> Self {
-        BitTree { probs: vec![PROB_INIT; 1 << nbits], nbits }
+        BitTree {
+            probs: vec![PROB_INIT; 1 << nbits],
+            nbits,
+        }
     }
 
     fn encode(&mut self, enc: &mut RangeEncoder, value: u32) {
@@ -225,7 +243,9 @@ impl LzmaLike {
     /// Creates the codec with a 1 MB window.
     #[must_use]
     pub fn new() -> Self {
-        LzmaLike { lz: Lz77::with_geometry(20, 8) }
+        LzmaLike {
+            lz: Lz77::with_geometry(20, 8),
+        }
     }
 }
 
@@ -322,7 +342,12 @@ mod tests {
     fn roundtrip(data: &[u8]) {
         let codec = LzmaLike::new();
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -340,7 +365,9 @@ mod tests {
         let mut state = 42u64;
         let data: Vec<u8> = (0..120_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();
@@ -357,7 +384,9 @@ mod tests {
             data.extend_from_slice(&word.to_le_bytes());
         }
         let seven = LzmaLike::new().compress(&data).len();
-        let zip = crate::deflate_like::DeflateLike::new().compress(&data).len();
+        let zip = crate::deflate_like::DeflateLike::new()
+            .compress(&data)
+            .len();
         assert!(
             seven < zip,
             "7-zip-like {seven} should beat zip-like {zip} on structured data"

@@ -31,13 +31,17 @@ impl Rle {
     /// FaRM-style 32-bit-word RLE.
     #[must_use]
     pub fn new() -> Self {
-        Rle { word_oriented: true }
+        Rle {
+            word_oriented: true,
+        }
     }
 
     /// Classic byte-oriented RLE (for comparison).
     #[must_use]
     pub fn byte_oriented() -> Self {
-        Rle { word_oriented: false }
+        Rle {
+            word_oriented: false,
+        }
     }
 
     fn compress_words(input: &[u8]) -> Vec<u8> {
@@ -145,7 +149,12 @@ mod tests {
 
     fn roundtrip(codec: &Rle, data: &[u8]) {
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -230,6 +239,9 @@ mod tests {
         ));
         let byte = Rle::byte_oriented();
         assert_eq!(byte.decompress(&[5]), Err(CodecError::Truncated));
-        assert!(matches!(byte.decompress(&[0, 7]), Err(CodecError::Corrupt { .. })));
+        assert!(matches!(
+            byte.decompress(&[0, 7]),
+            Err(CodecError::Corrupt { .. })
+        ));
     }
 }

@@ -154,7 +154,13 @@ mod tests {
         let packed = codec.compress(&data);
         let achieved = (1.0 - packed.len() as f64 / data.len() as f64) * 100.0;
         let bound = stats.order0_bound_percent();
-        assert!(achieved <= bound + 0.5, "achieved {achieved:.1} vs bound {bound:.1}");
-        assert!(achieved >= bound - 13.0, "within a code-length point of the bound");
+        assert!(
+            achieved <= bound + 0.5,
+            "achieved {achieved:.1} vs bound {bound:.1}"
+        );
+        assert!(
+            achieved >= bound - 13.0,
+            "within a code-length point of the bound"
+        );
     }
 }

@@ -67,7 +67,10 @@ impl XMatchPro {
             dict_size.is_power_of_two() && (2..=128).contains(&dict_size),
             "dictionary must be a power of two in 2..=128"
         );
-        XMatchPro { dict_size, loc_bits: dict_size.trailing_zeros() }
+        XMatchPro {
+            dict_size,
+            loc_bits: dict_size.trailing_zeros(),
+        }
     }
 
     /// The configured dictionary depth.
@@ -87,7 +90,9 @@ struct Dictionary {
 
 impl Dictionary {
     fn new(size: usize) -> Self {
-        Dictionary { entries: vec![0; size] }
+        Dictionary {
+            entries: vec![0; size],
+        }
     }
 
     /// Best match: returns `(location, mask)` with the most matching bytes
@@ -107,8 +112,8 @@ impl Dictionary {
             let z = !((diff & 0x7F7F_7F7F).wrapping_add(0x7F7F_7F7F) | diff) & 0x8080_8080;
             let n = z.count_ones();
             if n >= 2 && best.is_none_or(|(_, _, bn)| n > bn) {
-                let mask = (((z >> 7) & 1) | ((z >> 14) & 2) | ((z >> 21) & 4) | ((z >> 28) & 8))
-                    as u8;
+                let mask =
+                    (((z >> 7) & 1) | ((z >> 14) & 2) | ((z >> 21) & 4) | ((z >> 28) & 8)) as u8;
                 best = Some((loc, mask, n));
                 if n == 4 {
                     // Nothing can beat a full match, and later ties lose.
@@ -189,7 +194,7 @@ impl Codec for XMatchPro {
                     w.write_bit(true);
                     w.write_bits(loc as u32, self.loc_bits);
                     w.write_bit(true); // full
-                    // Run-length of consecutive identical tuples.
+                                       // Run-length of consecutive identical tuples.
                     let mut run = 0u32;
                     while run < 255
                         && i + 1 + (run as usize) < total
@@ -293,7 +298,12 @@ mod tests {
     fn roundtrip(data: &[u8]) {
         let codec = XMatchPro::new();
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -337,7 +347,9 @@ mod tests {
     #[test]
     fn tail_bytes_survive() {
         for n in 1..=9 {
-            let data: Vec<u8> = (0..n).map(|i| (i as u8).wrapping_mul(37).wrapping_add(1)).collect();
+            let data: Vec<u8> = (0..n)
+                .map(|i| (i as u8).wrapping_mul(37).wrapping_add(1))
+                .collect();
             roundtrip(&data);
         }
     }
@@ -425,7 +437,9 @@ mod tests {
         let mut dict = Dictionary::new(16);
         let mut state = 0x1234_5678_9ABC_DEF0u64;
         for step in 0..20_000u32 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Low-entropy bytes so ≥2-byte partial matches actually occur.
             let tuple = u32::from_le_bytes([
                 (state >> 33) as u8 & 0x7,

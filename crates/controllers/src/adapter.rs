@@ -8,9 +8,7 @@
 //! [`UparcController::uparc_ii`] (preloading with compression, clocked at
 //! the 255 MHz compressed-datapath ceiling).
 
-use crate::{
-    ControllerError, ControllerSpec, LargeBitstream, ReconfigController, ReconfigReport,
-};
+use crate::{ControllerError, ControllerSpec, LargeBitstream, ReconfigController, ReconfigReport};
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_core::uparc::{Mode, UParc, COMPRESSED_MODE_MAX};
 use uparc_core::UparcError;
@@ -36,7 +34,9 @@ impl UparcController {
     /// Propagates system construction/retune failures.
     pub fn uparc_i(device: Device) -> Result<Self, UparcError> {
         let family = device.family();
-        let cap = family.icap_overclock_limit().min(family.bram_overclock_limit());
+        let cap = family
+            .icap_overclock_limit()
+            .min(family.bram_overclock_limit());
         let mut system = UParc::builder(device).build()?;
         let f = system.set_reconfiguration_frequency(cap)?;
         Ok(UparcController {
@@ -56,8 +56,7 @@ impl UparcController {
     /// Propagates system construction/retune failures.
     pub fn uparc_ii(device: Device) -> Result<Self, UparcError> {
         let mut system = UParc::builder(device).build()?;
-        let f = system
-            .set_reconfiguration_frequency(Frequency::from_mhz(COMPRESSED_MODE_MAX))?;
+        let f = system.set_reconfiguration_frequency(Frequency::from_mhz(COMPRESSED_MODE_MAX))?;
         Ok(UparcController {
             system,
             mode: Mode::Compressed,
@@ -77,10 +76,17 @@ impl UparcController {
 impl From<UparcError> for ControllerError {
     fn from(e: UparcError) -> Self {
         match e {
-            UparcError::BramCapacity { required, available }
-            | UparcError::RawTooLarge { required, available } => {
-                ControllerError::CapacityExceeded { required, available }
+            UparcError::BramCapacity {
+                required,
+                available,
             }
+            | UparcError::RawTooLarge {
+                required,
+                available,
+            } => ControllerError::CapacityExceeded {
+                required,
+                available,
+            },
             UparcError::Frequency { requested, max, .. } => {
                 ControllerError::FrequencyTooHigh { requested, max }
             }
@@ -133,7 +139,11 @@ mod tests {
         let bs = bitstream(&device, 1540); // ≈247 KB
         let mut ctrl = UparcController::uparc_i(device).unwrap();
         let r = ctrl.reconfigure(&bs).unwrap();
-        assert!((r.bandwidth_mb_s() - 1433.0).abs() < 15.0, "{:.0}", r.bandwidth_mb_s());
+        assert!(
+            (r.bandwidth_mb_s() - 1433.0).abs() < 15.0,
+            "{:.0}",
+            r.bandwidth_mb_s()
+        );
         assert_eq!(ctrl.spec().max_frequency, Frequency::from_mhz(362.5));
     }
 

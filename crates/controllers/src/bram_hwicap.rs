@@ -10,8 +10,7 @@
 
 use crate::store::BramStore;
 use crate::{
-    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController,
-    ReconfigReport,
+    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController, ReconfigReport,
 };
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_fpga::{Device, Icap};
@@ -164,9 +163,7 @@ mod tests {
         let mut ctrl = BramHwicap::new(device.clone());
         let small = ctrl.reconfigure(&bitstream(&device, 20)).unwrap();
         let large = ctrl.reconfigure(&bitstream(&device, 700)).unwrap();
-        let share = |r: &ReconfigReport| {
-            r.control_overhead.as_secs_f64() / r.elapsed.as_secs_f64()
-        };
+        let share = |r: &ReconfigReport| r.control_overhead.as_secs_f64() / r.elapsed.as_secs_f64();
         assert!(share(&small) > share(&large));
         assert_eq!(small.control_overhead, SimTime::from_us(4));
     }

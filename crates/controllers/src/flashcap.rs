@@ -9,8 +9,7 @@
 
 use crate::store::BramStore;
 use crate::{
-    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController,
-    ReconfigReport,
+    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController, ReconfigReport,
 };
 use uparc_bitstream::builder::{bytes_to_words, PartialBitstream};
 use uparc_compress::hw::HwDecompressor;
@@ -71,7 +70,9 @@ impl ReconfigController for FlashCap {
             .decompress(&packed)
             .map_err(|e| ControllerError::Compression(e.to_string()))?;
         if unpacked != raw {
-            return Err(ControllerError::Compression("x-matchpro round-trip mismatch".into()));
+            return Err(ControllerError::Compression(
+                "x-matchpro round-trip mismatch".into(),
+            ));
         }
         if !self.store.fits(packed.len()) {
             return Err(ControllerError::CapacityExceeded {

@@ -150,8 +150,14 @@ pub enum ControllerError {
 impl fmt::Display for ControllerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ControllerError::CapacityExceeded { required, available } => {
-                write!(f, "bitstream of {required} bytes exceeds {available}-byte storage")
+            ControllerError::CapacityExceeded {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "bitstream of {required} bytes exceeds {available}-byte storage"
+                )
             }
             ControllerError::FrequencyTooHigh { requested, max } => {
                 write!(f, "requested {requested} exceeds controller limit {max}")
@@ -238,7 +244,10 @@ mod tests {
 
     #[test]
     fn controller_error_display() {
-        let e = ControllerError::CapacityExceeded { required: 10, available: 5 };
+        let e = ControllerError::CapacityExceeded {
+            required: 10,
+            available: 5,
+        };
         assert!(e.to_string().contains("10"));
         let e: ControllerError = FpgaError::NotSynced.into();
         assert!(e.to_string().contains("sync"));

@@ -9,8 +9,7 @@
 
 use crate::store::Ddr2;
 use crate::{
-    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController,
-    ReconfigReport,
+    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController, ReconfigReport,
 };
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_fpga::{Device, Icap};

@@ -23,7 +23,9 @@ impl CompactFlash {
     /// The ML506-era card + SystemACE driver stack.
     #[must_use]
     pub fn ml506() -> Self {
-        CompactFlash { read_bw: 180.0 * 1024.0 }
+        CompactFlash {
+            read_bw: 180.0 * 1024.0,
+        }
     }
 
     /// Sustained read bandwidth in bytes/second.
@@ -59,7 +61,10 @@ impl Ddr2 {
     /// burst ⇒ ≈235 MB/s at 100 MHz.
     #[must_use]
     pub fn ml506_mig() -> Self {
-        Ddr2 { burst_words: 8, overhead_decicycles: 56 }
+        Ddr2 {
+            burst_words: 8,
+            overhead_decicycles: 56,
+        }
     }
 
     /// Cycles (in tenths) to fetch `words` at the bus clock.
@@ -128,7 +133,10 @@ mod tests {
         let cf = CompactFlash::ml506();
         // 216.5 KB at ~180 KB/s ≈ 1.2 s.
         let t = cf.fetch_time(216_500);
-        assert!(t > SimTime::from_ms(1100) && t < SimTime::from_ms(1300), "{t}");
+        assert!(
+            t > SimTime::from_ms(1100) && t < SimTime::from_ms(1300),
+            "{t}"
+        );
     }
 
     #[test]

@@ -15,8 +15,7 @@
 
 use crate::store::CompactFlash;
 use crate::{
-    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController,
-    ReconfigReport,
+    energy_uj, ControllerError, ControllerSpec, LargeBitstream, ReconfigController, ReconfigReport,
 };
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_fpga::{Device, Icap};
@@ -62,13 +61,19 @@ impl XpsHwicap {
     /// ≈30 µJ/KB).
     #[must_use]
     pub fn unoptimized(device: Device) -> Self {
-        XpsHwicap { cycles_per_word: 267, ..XpsHwicap::new(device) }
+        XpsHwicap {
+            cycles_per_word: 267,
+            ..XpsHwicap::new(device)
+        }
     }
 
     /// CompactFlash-resident bitstreams (≈180 KB/s, unlimited capacity).
     #[must_use]
     pub fn with_compact_flash(device: Device) -> Self {
-        XpsHwicap { source: Source::CompactFlash, ..XpsHwicap::new(device) }
+        XpsHwicap {
+            source: Source::CompactFlash,
+            ..XpsHwicap::new(device)
+        }
     }
 
     /// The driver cost per word currently modeled.
@@ -98,7 +103,9 @@ impl ReconfigController for XpsHwicap {
         self.icap.set_frequency(self.mgr_clock)?;
         self.icap.write_words(words)?;
 
-        let copy_time = self.mgr_clock.time_of_cycles(words.len() as u64 * self.cycles_per_word);
+        let copy_time = self
+            .mgr_clock
+            .time_of_cycles(words.len() as u64 * self.cycles_per_word);
         let fetch_time = match self.source {
             Source::CachedMemory => SimTime::ZERO,
             // File read and FIFO copy are serialised in the driver.
@@ -148,7 +155,11 @@ mod tests {
         let (device, bs) = bitstream(600);
         let mut ctrl = XpsHwicap::new(device);
         let r = ctrl.reconfigure(&bs).unwrap();
-        assert!((r.bandwidth_mb_s() - 14.5).abs() < 0.5, "{:.2} MB/s", r.bandwidth_mb_s());
+        assert!(
+            (r.bandwidth_mb_s() - 14.5).abs() < 0.5,
+            "{:.2} MB/s",
+            r.bandwidth_mb_s()
+        );
         assert_eq!(ctrl.icap().frames_committed(), 600);
     }
 
@@ -157,9 +168,17 @@ mod tests {
         let (device, bs) = bitstream(600);
         let mut ctrl = XpsHwicap::unoptimized(device);
         let r = ctrl.reconfigure(&bs).unwrap();
-        assert!((r.bandwidth_mb_s() - 1.5).abs() < 0.05, "{:.2} MB/s", r.bandwidth_mb_s());
+        assert!(
+            (r.bandwidth_mb_s() - 1.5).abs() < 0.05,
+            "{:.2} MB/s",
+            r.bandwidth_mb_s()
+        );
         // §V: "30 µJ/KB of bitstream".
-        assert!((r.uj_per_kb() - 30.0).abs() < 2.0, "{:.2} µJ/KB", r.uj_per_kb());
+        assert!(
+            (r.uj_per_kb() - 30.0).abs() < 2.0,
+            "{:.2} µJ/KB",
+            r.uj_per_kb()
+        );
     }
 
     #[test]

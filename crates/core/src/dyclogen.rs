@@ -46,7 +46,11 @@ impl DyCloGen {
     /// [`UparcError::Fpga`] if `fin` itself is outside the DCM range.
     pub fn new(family: Family, fin: Frequency) -> Result<Self, UparcError> {
         let mk = || Dcm::new(family, fin, 2, 2).map_err(UparcError::from);
-        Ok(DyCloGen { fin, dcms: [mk()?, mk()?, mk()?], tolerance: 0.01 })
+        Ok(DyCloGen {
+            fin,
+            dcms: [mk()?, mk()?, mk()?],
+            tolerance: 0.01,
+        })
     }
 
     /// The input reference clock.
@@ -122,7 +126,9 @@ impl DyCloGen {
     /// Earliest time at which `clock` is (or becomes) usable.
     #[must_use]
     pub fn ready_at(&self, clock: OutputClock) -> SimTime {
-        self.dcms[clock as usize].locked_at().unwrap_or(SimTime::ZERO)
+        self.dcms[clock as usize]
+            .locked_at()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -139,12 +145,19 @@ mod tests {
         let mut d = dyclogen();
         let cap = Family::Virtex5.icap_overclock_limit();
         let (f, locked) = d
-            .retune(OutputClock::Reconfiguration, Frequency::from_mhz(362.5), cap, SimTime::ZERO)
+            .retune(
+                OutputClock::Reconfiguration,
+                Frequency::from_mhz(362.5),
+                cap,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(f, Frequency::from_mhz(362.5));
         assert_eq!(locked, d.lock_time());
         // Before lock the output is unusable; after, it reads 362.5 MHz.
-        assert!(d.frequency(OutputClock::Reconfiguration, SimTime::ZERO).is_err());
+        assert!(d
+            .frequency(OutputClock::Reconfiguration, SimTime::ZERO)
+            .is_err());
         assert_eq!(
             d.frequency(OutputClock::Reconfiguration, locked).unwrap(),
             Frequency::from_mhz(362.5)
@@ -155,15 +168,21 @@ mod tests {
     fn clocks_are_independent() {
         let mut d = dyclogen();
         let cap = Frequency::from_mhz(450.0);
-        d.retune(OutputClock::Reconfiguration, Frequency::from_mhz(300.0), cap, SimTime::ZERO)
-            .unwrap();
+        d.retune(
+            OutputClock::Reconfiguration,
+            Frequency::from_mhz(300.0),
+            cap,
+            SimTime::ZERO,
+        )
+        .unwrap();
         // CLK_1 and CLK_3 stay locked at their old frequency.
         assert_eq!(
             d.frequency(OutputClock::Preload, SimTime::ZERO).unwrap(),
             Frequency::from_mhz(100.0)
         );
         assert_eq!(
-            d.frequency(OutputClock::Decompressor, SimTime::ZERO).unwrap(),
+            d.frequency(OutputClock::Decompressor, SimTime::ZERO)
+                .unwrap(),
             Frequency::from_mhz(100.0)
         );
     }
@@ -189,7 +208,12 @@ mod tests {
         let mut now = SimTime::ZERO;
         for mhz in [50.0, 126.0, 200.0, 255.0, 300.0, 362.5] {
             let (f, locked) = d
-                .retune(OutputClock::Decompressor, Frequency::from_mhz(mhz), cap, now)
+                .retune(
+                    OutputClock::Decompressor,
+                    Frequency::from_mhz(mhz),
+                    cap,
+                    now,
+                )
                 .unwrap();
             assert!(f <= Frequency::from_mhz(mhz));
             assert!(f.as_mhz() >= mhz * 0.99, "{mhz}: achieved {f}");
@@ -203,10 +227,20 @@ mod tests {
         let cap = Frequency::from_mhz(450.0);
         let t0 = SimTime::from_us(100);
         let (_, l1) = d
-            .retune(OutputClock::Reconfiguration, Frequency::from_mhz(200.0), cap, t0)
+            .retune(
+                OutputClock::Reconfiguration,
+                Frequency::from_mhz(200.0),
+                cap,
+                t0,
+            )
             .unwrap();
         let (_, l2) = d
-            .retune(OutputClock::Reconfiguration, Frequency::from_mhz(200.0), cap, l1)
+            .retune(
+                OutputClock::Reconfiguration,
+                Frequency::from_mhz(200.0),
+                cap,
+                l1,
+            )
             .unwrap();
         assert_eq!(l2, l1, "no relock when the factors are unchanged");
     }

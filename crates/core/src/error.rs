@@ -68,16 +68,26 @@ pub enum UparcError {
 impl std::fmt::Display for UparcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            UparcError::BramCapacity { required, available } => write!(
+            UparcError::BramCapacity {
+                required,
+                available,
+            } => write!(
                 f,
                 "bitstream needs {required} bytes of staging, bram has {available}"
             ),
-            UparcError::RawTooLarge { required, available } => write!(
+            UparcError::RawTooLarge {
+                required,
+                available,
+            } => write!(
                 f,
                 "raw bitstream of {required} bytes exceeds {available}-byte bram (use compression)"
             ),
             UparcError::NothingPreloaded => write!(f, "no bitstream preloaded"),
-            UparcError::Frequency { requested, max, limited_by } => {
+            UparcError::Frequency {
+                requested,
+                max,
+                limited_by,
+            } => {
                 write!(f, "{requested} exceeds {limited_by} ceiling {max}")
             }
             UparcError::Unsynthesisable { target } => {
@@ -86,7 +96,10 @@ impl std::fmt::Display for UparcError {
             UparcError::DeadlineInfeasible { deadline, best } => {
                 write!(f, "deadline {deadline} infeasible; best achievable {best}")
             }
-            UparcError::BudgetInfeasible { budget_mw, floor_mw } => {
+            UparcError::BudgetInfeasible {
+                budget_mw,
+                floor_mw,
+            } => {
                 write!(f, "power budget {budget_mw} mW below floor {floor_mw} mW")
             }
             UparcError::NoHardwareDecompressor { algorithm } => {

@@ -55,16 +55,14 @@ mod tests {
 
     #[test]
     fn table2_reproduces_paper_numbers() {
-        assert_eq!(table2(Family::Virtex5), vec![
-            ("DyCloGen", 24),
-            ("UReC", 26),
-            ("Decompressor", 1035),
-        ]);
-        assert_eq!(table2(Family::Virtex6), vec![
-            ("DyCloGen", 18),
-            ("UReC", 26),
-            ("Decompressor", 900),
-        ]);
+        assert_eq!(
+            table2(Family::Virtex5),
+            vec![("DyCloGen", 24), ("UReC", 26), ("Decompressor", 1035),]
+        );
+        assert_eq!(
+            table2(Family::Virtex6),
+            vec![("DyCloGen", 18), ("UReC", 26), ("Decompressor", 900),]
+        );
     }
 
     #[test]

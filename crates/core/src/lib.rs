@@ -30,6 +30,8 @@
 //!   FIFO pipeline across the CLK_2/CLK_3 domains.
 //! * [`schedule`] — a prefetch scheduler that overlaps preloading with idle
 //!   time (\[13\]-style), hiding preload latency from module downtime.
+//! * [`cache`] — a byte-budgeted LRU cache of decompressed bitstreams, so
+//!   repeated compressed-mode swaps skip host-side redecompression.
 //! * [`scrub`] — SEU scrubbing by readback + fast partial reconfiguration
 //!   (the fault-tolerance motivation of §I).
 //! * [`inventory`] — the primitive inventories behind Table II's slice
@@ -58,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod decompressor;
 pub mod dyclogen;
 pub mod error;
@@ -71,5 +74,6 @@ pub mod scrub;
 pub mod uparc;
 pub mod urec;
 
+pub use cache::{CacheStats, DecompCache};
 pub use error::UparcError;
 pub use uparc::UParc;

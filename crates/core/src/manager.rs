@@ -92,8 +92,8 @@ impl Manager {
             });
         }
         bram.load_image(Port::A, 0, words)?;
-        let cycles = self.cfg.preamble_parse_cycles
-            + words.len() as u64 * self.cfg.preload_cycles_per_word;
+        let cycles =
+            self.cfg.preamble_parse_cycles + words.len() as u64 * self.cfg.preload_cycles_per_word;
         Ok(self.cfg.clock.time_of_cycles(cycles))
     }
 
@@ -104,11 +104,7 @@ impl Manager {
     /// # Errors
     ///
     /// Container/word-alignment errors, or [`UparcError::BramCapacity`].
-    pub fn preload_bitfile(
-        &self,
-        bram: &mut Bram,
-        file: &BitFile,
-    ) -> Result<SimTime, UparcError> {
+    pub fn preload_bitfile(&self, bram: &mut Bram, file: &BitFile) -> Result<SimTime, UparcError> {
         let words = bytes_to_words(&file.data)?;
         let image = BramImage::uncompressed(&words);
         self.preload(bram, &image)
@@ -117,7 +113,9 @@ impl Manager {
     /// Constant control overhead around one reconfiguration.
     #[must_use]
     pub fn control_overhead(&self) -> SimTime {
-        self.cfg.clock.time_of_cycles(self.cfg.control_overhead_cycles)
+        self.cfg
+            .clock
+            .time_of_cycles(self.cfg.control_overhead_cycles)
     }
 
     /// Manager power above idle while controlling/launching, mW.

@@ -38,7 +38,11 @@ impl AppPhase {
     /// Creates a phase.
     #[must_use]
     pub fn new(name: &str, bitstream_bytes: usize, execution: SimTime) -> Self {
-        AppPhase { name: name.to_owned(), bitstream_bytes, execution }
+        AppPhase {
+            name: name.to_owned(),
+            bitstream_bytes,
+            execution,
+        }
     }
 }
 
@@ -98,7 +102,12 @@ impl GlobalOptimizer {
             peak = peak.max(plan.predicted_power_mw);
             per_phase.push((p.name.clone(), plan));
         }
-        Some(GlobalPlan { per_phase, peak_power_mw: peak, total_time, total_energy_uj: total_energy })
+        Some(GlobalPlan {
+            per_phase,
+            peak_power_mw: peak,
+            total_time,
+            total_energy_uj: total_energy,
+        })
     }
 
     /// Minimises the peak reconfiguration power subject to
@@ -144,7 +153,10 @@ impl GlobalOptimizer {
             let best = self
                 .plan_under_cap(phases, f64::INFINITY)
                 .expect("unbounded cap always realisable");
-            UparcError::DeadlineInfeasible { deadline: makespan, best: best.total_time }
+            UparcError::DeadlineInfeasible {
+                deadline: makespan,
+                best: best.total_time,
+            }
         })
     }
 
@@ -254,13 +266,18 @@ mod tests {
     #[test]
     fn min_energy_runs_fast_with_active_wait_slow_without() {
         let active = optimizer();
-        let plan = active.minimize_energy(&phases(), SimTime::from_ms(20)).unwrap();
+        let plan = active
+            .minimize_energy(&phases(), SimTime::from_ms(20))
+            .unwrap();
         assert_eq!(plan.per_phase[0].1.frequency, Frequency::from_mhz(362.5));
 
         let event_driven = GlobalOptimizer::new(PowerAwarePolicy::new(
             Family::Virtex5,
             Frequency::from_mhz(100.0),
-            ManagerConfig { active_wait: false, ..ManagerConfig::default() },
+            ManagerConfig {
+                active_wait: false,
+                ..ManagerConfig::default()
+            },
         ));
         let plan = event_driven
             .minimize_energy(&phases(), SimTime::from_ms(20))
@@ -272,7 +289,9 @@ mod tests {
     #[test]
     fn per_phase_times_and_energies_sum_up() {
         let opt = optimizer();
-        let plan = opt.minimize_peak_power(&phases(), SimTime::from_ms(10)).unwrap();
+        let plan = opt
+            .minimize_peak_power(&phases(), SimTime::from_ms(10))
+            .unwrap();
         let time: SimTime = plan
             .per_phase
             .iter()
@@ -280,7 +299,11 @@ mod tests {
             .sum::<SimTime>()
             + phases().iter().map(|p| p.execution).sum::<SimTime>();
         assert_eq!(time, plan.total_time);
-        let energy: f64 = plan.per_phase.iter().map(|(_, p)| p.predicted_energy_uj).sum();
+        let energy: f64 = plan
+            .per_phase
+            .iter()
+            .map(|(_, p)| p.predicted_energy_uj)
+            .sum();
         assert!((energy - plan.total_energy_uj).abs() < 1e-9);
     }
 }

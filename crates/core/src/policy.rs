@@ -63,7 +63,11 @@ impl PowerAwarePolicy {
     /// manager behaviour.
     #[must_use]
     pub fn new(family: Family, fin: Frequency, manager: ManagerConfig) -> Self {
-        PowerAwarePolicy { family, fin, manager }
+        PowerAwarePolicy {
+            family,
+            fin,
+            manager,
+        }
     }
 
     /// The paper's setup: 100 MHz reference, actively-waiting MicroBlaze.
@@ -99,7 +103,10 @@ impl PowerAwarePolicy {
     /// Predicted Start→Finish latency for `bytes` of raw bitstream at `f`.
     #[must_use]
     pub fn predicted_time(&self, bytes: usize, f: Frequency) -> SimTime {
-        let control = self.manager.clock.time_of_cycles(self.manager.control_overhead_cycles);
+        let control = self
+            .manager
+            .clock
+            .time_of_cycles(self.manager.control_overhead_cycles);
         // Mode word + one word per cycle.
         let words = (bytes as u64).div_ceil(4) + 1;
         control + f.time_of_cycles(words)
@@ -119,7 +126,10 @@ impl PowerAwarePolicy {
     /// Predicted above-idle energy for `bytes` at `f`, µJ.
     #[must_use]
     pub fn predicted_energy_uj(&self, bytes: usize, f: Frequency) -> f64 {
-        let control = self.manager.clock.time_of_cycles(self.manager.control_overhead_cycles);
+        let control = self
+            .manager
+            .clock
+            .time_of_cycles(self.manager.control_overhead_cycles);
         let words = (bytes as u64).div_ceil(4) + 1;
         let transfer = f.time_of_cycles(words);
         calib::MANAGER_ACTIVE_WAIT_MW * control.as_secs_f64() * 1e3
@@ -209,24 +219,45 @@ mod tests {
         let p = policy();
         // 216.5 KB at ~90 MHz takes ≈598 µs; a 600 µs deadline must pick
         // the slowest sufficient grid point, nothing faster than 100 MHz.
-        let plan = p.plan(Constraint::Deadline(SimTime::from_us(600)), BYTES).unwrap();
-        assert!(plan.frequency >= Frequency::from_mhz(90.0), "{}", plan.frequency);
-        assert!(plan.frequency <= Frequency::from_mhz(100.0), "{}", plan.frequency);
+        let plan = p
+            .plan(Constraint::Deadline(SimTime::from_us(600)), BYTES)
+            .unwrap();
+        assert!(
+            plan.frequency >= Frequency::from_mhz(90.0),
+            "{}",
+            plan.frequency
+        );
+        assert!(
+            plan.frequency <= Frequency::from_mhz(100.0),
+            "{}",
+            plan.frequency
+        );
         assert!(plan.predicted_time <= SimTime::from_us(600));
         // A tight 200 µs deadline needs ≥ ~272 MHz.
-        let plan = p.plan(Constraint::Deadline(SimTime::from_us(200)), BYTES).unwrap();
-        assert!(plan.frequency >= Frequency::from_mhz(272.0), "{}", plan.frequency);
+        let plan = p
+            .plan(Constraint::Deadline(SimTime::from_us(200)), BYTES)
+            .unwrap();
+        assert!(
+            plan.frequency >= Frequency::from_mhz(272.0),
+            "{}",
+            plan.frequency
+        );
         assert!(plan.predicted_time <= SimTime::from_us(200));
     }
 
     #[test]
     fn infeasible_deadline_reports_best_achievable() {
         let p = policy();
-        let err = p.plan(Constraint::Deadline(SimTime::from_us(100)), BYTES).unwrap_err();
+        let err = p
+            .plan(Constraint::Deadline(SimTime::from_us(100)), BYTES)
+            .unwrap_err();
         match err {
             UparcError::DeadlineInfeasible { best, .. } => {
                 // Best is ≈ 216.5 KB / 1.45 GB/s + 1.2 µs ≈ 154 µs.
-                assert!(best > SimTime::from_us(150) && best < SimTime::from_us(160), "{best}");
+                assert!(
+                    best > SimTime::from_us(150) && best < SimTime::from_us(160),
+                    "{best}"
+                );
             }
             other => panic!("unexpected error {other}"),
         }
@@ -237,7 +268,9 @@ mod tests {
         let p = policy();
         // Fig. 7: 259 mW at 100 MHz, 394 mW at 200 MHz. A 260 mW budget
         // must select ≈100 MHz, not more.
-        let plan = p.plan(Constraint::PowerBudget { mw: 260.0 }, BYTES).unwrap();
+        let plan = p
+            .plan(Constraint::PowerBudget { mw: 260.0 }, BYTES)
+            .unwrap();
         assert!(plan.frequency <= Frequency::from_mhz(106.0));
         assert!(plan.frequency >= Frequency::from_mhz(100.0));
         assert!(plan.predicted_power_mw <= 260.0);
@@ -246,7 +279,9 @@ mod tests {
     #[test]
     fn impossible_budget_reports_floor() {
         let p = policy();
-        let err = p.plan(Constraint::PowerBudget { mw: 100.0 }, BYTES).unwrap_err();
+        let err = p
+            .plan(Constraint::PowerBudget { mw: 100.0 }, BYTES)
+            .unwrap_err();
         assert!(matches!(err, UparcError::BudgetInfeasible { .. }));
     }
 
@@ -262,7 +297,10 @@ mod tests {
         let event_driven = PowerAwarePolicy::new(
             Family::Virtex5,
             Frequency::from_mhz(100.0),
-            ManagerConfig { active_wait: false, ..ManagerConfig::default() },
+            ManagerConfig {
+                active_wait: false,
+                ..ManagerConfig::default()
+            },
         );
         let plan = event_driven.plan(Constraint::MinEnergy, BYTES).unwrap();
         let grid = event_driven.frequency_grid();

@@ -8,6 +8,7 @@
 //! downtime) versus a prefetch schedule that overlaps the *next* task's
 //! preload with the *current* task's execution.
 
+use crate::cache::CacheStats;
 use crate::error::UparcError;
 use crate::uparc::{Mode, PreloadReport, UParc, UparcReport};
 use uparc_bitstream::builder::PartialBitstream;
@@ -30,7 +31,12 @@ impl ReconfigTask {
     /// Creates a task.
     #[must_use]
     pub fn new(name: &str, bitstream: PartialBitstream, mode: Mode, execution: SimTime) -> Self {
-        ReconfigTask { name: name.to_owned(), bitstream, mode, execution }
+        ReconfigTask {
+            name: name.to_owned(),
+            bitstream,
+            mode,
+            execution,
+        }
     }
 }
 
@@ -57,6 +63,9 @@ pub struct ScheduleReport {
     pub total_downtime: SimTime,
     /// Simulated end time of the schedule.
     pub makespan: SimTime,
+    /// Decompressed-bitstream cache activity during this schedule (all
+    /// zeros for raw-mode tasks or a disabled cache).
+    pub cache: CacheStats,
 }
 
 /// Scheduling strategy for a task list.
@@ -87,6 +96,7 @@ pub fn run_schedule(
 ) -> Result<ScheduleReport, UparcError> {
     let mut outcomes = Vec::with_capacity(tasks.len());
     let mut total_downtime = SimTime::ZERO;
+    let cache_before = uparc.decomp_cache_stats();
     match strategy {
         Strategy::OnDemand => {
             for task in tasks {
@@ -140,7 +150,12 @@ pub fn run_schedule(
             }
         }
     }
-    Ok(ScheduleReport { tasks: outcomes, total_downtime, makespan: uparc.now() })
+    Ok(ScheduleReport {
+        tasks: outcomes,
+        total_downtime,
+        makespan: uparc.now(),
+        cache: uparc.decomp_cache_stats() - cache_before,
+    })
 }
 
 #[cfg(test)]
@@ -158,7 +173,8 @@ mod tests {
 
     fn system() -> UParc {
         let mut sys = UParc::builder(Device::xc5vsx50t()).build().unwrap();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0))
+            .unwrap();
         sys
     }
 
@@ -214,6 +230,38 @@ mod tests {
         let report = run_schedule(&mut sys, &short, Strategy::Prefetch).unwrap();
         let second = &report.tasks[1];
         assert!(second.downtime > second.reconfiguration.elapsed());
+    }
+
+    #[test]
+    fn repeated_compressed_swaps_hit_the_decompression_cache() {
+        let device = Device::xc5vsx50t();
+        // Compressed mode caps CLK_2 at 255 MHz — build a slower system
+        // than the raw-mode helper above.
+        let mut sys = UParc::builder(device.clone()).build().unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .unwrap();
+        // A 3-module working set swapped for 3 rounds: every payload after
+        // the first round is already cached.
+        let mut list = Vec::new();
+        for round in 0..3 {
+            for (name, seed) in [("fir", 1u64), ("fft", 2), ("viterbi", 3)] {
+                let payload = SynthProfile::dense().generate(&device, 0, 300, seed);
+                let bs = PartialBitstream::build(&device, 0, &payload);
+                let exec = SimTime::from_us(2000 + round); // distinct names irrelevant
+                list.push(ReconfigTask::new(name, bs, Mode::Compressed, exec));
+            }
+        }
+        let report = run_schedule(&mut sys, &list, Strategy::OnDemand).unwrap();
+        assert_eq!(report.tasks.len(), 9);
+        // 3 distinct payloads miss once each (first preload); every later
+        // preload probe and every reconfigure transfer hits.
+        assert_eq!(report.cache.misses, 3, "{:?}", report.cache);
+        assert!(report.cache.hits >= 12, "{:?}", report.cache);
+        assert!(report.cache.hit_rate() > 0.8);
+        // Raw-mode schedules never touch the cache.
+        let mut raw_sys = system();
+        let raw = run_schedule(&mut raw_sys, &tasks(&device), Strategy::Prefetch).unwrap();
+        assert_eq!(raw.cache, CacheStats::default());
     }
 
     #[test]

@@ -95,11 +95,7 @@ impl Scrubber {
         for range in contiguous_ranges(&dirty) {
             let start = (range.start - self.far) as usize * self.frame_words;
             let end = (range.end - self.far) as usize * self.frame_words;
-            let bs = PartialBitstream::build(
-                uparc.device(),
-                range.start,
-                &self.golden[start..end],
-            );
+            let bs = PartialBitstream::build(uparc.device(), range.start, &self.golden[start..end]);
             repairs.push(uparc.reconfigure_bitstream(&bs, Mode::Auto)?);
         }
         if !repairs.is_empty() {
@@ -111,7 +107,12 @@ impl Scrubber {
                 ));
             }
         }
-        Ok(ScrubReport { scanned: self.frames, dirty, scan_time, repairs })
+        Ok(ScrubReport {
+            scanned: self.frames,
+            dirty,
+            scan_time,
+            repairs,
+        })
     }
 }
 
@@ -235,7 +236,8 @@ mod tests {
         let payload = SynthProfile::dense().generate(&device, 400, 200, 5);
         let bs = PartialBitstream::build(&device, 400, &payload);
         let mut sys = UParc::builder(device).build().unwrap();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+            .unwrap();
         sys.reconfigure_bitstream(&bs, Mode::Raw).unwrap();
         let scrubber = Scrubber::capture(&mut sys, 400, 200).unwrap();
         (sys, scrubber)
@@ -259,7 +261,7 @@ mod tests {
         assert_eq!(report.dirty, vec![450]);
         assert_eq!(report.repairs.len(), 1);
         assert_eq!(report.repairs[0].bytes, 41 * 4 + 76); // 1 frame + 19-word overhead
-        // A second pass is clean.
+                                                          // A second pass is clean.
         let clean = scrubber.scrub(&mut sys).unwrap();
         assert!(clean.dirty.is_empty());
     }
@@ -282,7 +284,8 @@ mod tests {
         // The paper's point: faster reconfiguration = shorter outage.
         let run = |mhz: f64| {
             let (mut sys, scrubber) = configured_system();
-            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).unwrap();
+            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+                .unwrap();
             for far in 420..470 {
                 sys.inject_upset(far, 3, 3).unwrap();
             }
@@ -334,6 +337,9 @@ mod tests {
     fn contiguous_ranges_groups_correctly() {
         assert_eq!(contiguous_ranges(&[]), Vec::<Range<u32>>::new());
         assert_eq!(contiguous_ranges(&[5]), vec![5..6]);
-        assert_eq!(contiguous_ranges(&[1, 2, 3, 7, 9, 10]), vec![1..4, 7..8, 9..11]);
+        assert_eq!(
+            contiguous_ranges(&[1, 2, 3, 7, 9, 10]),
+            vec![1..4, 7..8, 9..11]
+        );
     }
 }

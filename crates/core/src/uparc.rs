@@ -17,11 +17,13 @@
 //! the paper's Fig. 7 (see [`uparc_sim::power::calib`]), which is how the
 //! Figure 7 harness regenerates the measured curves.
 
+use crate::cache::{CacheKey, CacheStats, DecompCache};
 use crate::decompressor::DecompressorSlot;
 use crate::dyclogen::{DyCloGen, OutputClock};
 use crate::error::UparcError;
 use crate::manager::{Manager, ManagerConfig};
 use crate::urec::Urec;
+use std::sync::Arc;
 use uparc_bitstream::bramimg::BramImage;
 use uparc_bitstream::builder::{bytes_to_words, PartialBitstream};
 use uparc_bitstream::synth::SynthProfile;
@@ -158,6 +160,7 @@ pub struct UParcBuilder {
     fin: Frequency,
     manager: ManagerConfig,
     algorithm: Algorithm,
+    cache_bytes: usize,
 }
 
 impl UParcBuilder {
@@ -171,6 +174,7 @@ impl UParcBuilder {
             fin: Frequency::from_mhz(100.0),
             manager: ManagerConfig::default(),
             algorithm: Algorithm::XMatchPro,
+            cache_bytes: 32 * 1024 * 1024,
         }
     }
 
@@ -202,6 +206,15 @@ impl UParcBuilder {
         self
     }
 
+    /// Overrides the byte budget of the host-side decompressed-bitstream
+    /// cache (default 32 MiB; 0 disables it). The cache only skips
+    /// repeated host-side decompression — simulated timing is unaffected.
+    #[must_use]
+    pub fn decompressed_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Errors
@@ -210,7 +223,9 @@ impl UParcBuilder {
     /// or DCM range errors for an exotic reference clock.
     pub fn build(self) -> Result<UParc, UparcError> {
         let slot = DecompressorSlot::for_algorithm(self.algorithm).ok_or_else(|| {
-            UparcError::NoHardwareDecompressor { algorithm: self.algorithm.to_string() }
+            UparcError::NoHardwareDecompressor {
+                algorithm: self.algorithm.to_string(),
+            }
         })?;
         let family = self.device.family();
         let mut dyclogen = DyCloGen::new(family, self.fin)?;
@@ -236,6 +251,7 @@ impl UParcBuilder {
             staged: None,
             now: SimTime::ZERO,
             trace,
+            decomp_cache: DecompCache::new(self.cache_bytes),
         })
     }
 }
@@ -253,6 +269,7 @@ pub struct UParc {
     staged: Option<Staged>,
     now: SimTime,
     trace: PowerTrace,
+    decomp_cache: DecompCache,
 }
 
 impl UParc {
@@ -284,6 +301,13 @@ impl UParc {
     #[must_use]
     pub fn bram(&self) -> &Bram {
         &self.bram
+    }
+
+    /// Hit/miss/eviction counters of the host-side decompressed-bitstream
+    /// cache (cumulative since construction).
+    #[must_use]
+    pub fn decomp_cache_stats(&self) -> CacheStats {
+        self.decomp_cache.stats()
     }
 
     /// The decompressor slot.
@@ -396,11 +420,21 @@ impl UParc {
             let codec = self.slot.codec();
             let raw = bs.to_bytes();
             let packed = codec.compress(&raw);
-            let unpacked = codec
-                .decompress(&packed)
-                .map_err(|e| UparcError::Compression(e.to_string()))?;
-            if unpacked != raw {
-                return Err(UparcError::Compression("staging round-trip mismatch".into()));
+            // Round-trip verification of the staged image. The codecs are
+            // deterministic and lossless, so a compressed payload already
+            // verified (and cached) once needs no second decompression —
+            // equal packed bytes imply equal raw bytes.
+            let key = CacheKey::of(codec_id(self.slot.algorithm()), &packed);
+            if self.decomp_cache.get(&key).is_none() {
+                let unpacked = codec
+                    .decompress(&packed)
+                    .map_err(|e| UparcError::Compression(e.to_string()))?;
+                if unpacked != raw {
+                    return Err(UparcError::Compression(
+                        "staging round-trip mismatch".into(),
+                    ));
+                }
+                self.decomp_cache.insert(key, Arc::new(unpacked));
             }
             BramImage::compressed(codec_id(self.slot.algorithm()), &packed)
         } else {
@@ -449,7 +483,9 @@ impl UParc {
         if ready > self.now {
             self.advance_idle(ready - self.now);
         }
-        let f2 = self.dyclogen.frequency(OutputClock::Reconfiguration, self.now)?;
+        let f2 = self
+            .dyclogen
+            .frequency(OutputClock::Reconfiguration, self.now)?;
         if staged.compressed && f2.as_mhz() > COMPRESSED_MODE_MAX {
             return Err(UparcError::Frequency {
                 requested: f2,
@@ -526,7 +562,9 @@ impl UParc {
     /// plus any preload/reconfigure failure.
     pub fn swap_decompressor(&mut self, algorithm: Algorithm) -> Result<SwapReport, UparcError> {
         let new_slot = DecompressorSlot::for_algorithm(algorithm).ok_or_else(|| {
-            UparcError::NoHardwareDecompressor { algorithm: algorithm.to_string() }
+            UparcError::NoHardwareDecompressor {
+                algorithm: algorithm.to_string(),
+            }
         })?;
         // The decompressor partition sits at the top of the frame space;
         // its size follows from its slice count (~2 frames per slice).
@@ -549,7 +587,11 @@ impl UParc {
                 .retune(OutputClock::Decompressor, cap, cap, self.now)?;
             f
         };
-        Ok(SwapReport { algorithm, reconfiguration, clk3 })
+        Ok(SwapReport {
+            algorithm,
+            reconfiguration,
+            clk3,
+        })
     }
 
     /// Reads back `frames` frames starting at `far` through the ICAP's
@@ -564,7 +606,9 @@ impl UParc {
         if ready > self.now {
             self.advance_idle(ready - self.now);
         }
-        let f2 = self.dyclogen.frequency(OutputClock::Reconfiguration, self.now)?;
+        let f2 = self
+            .dyclogen
+            .frequency(OutputClock::Reconfiguration, self.now)?;
         let words = self.icap.readback(far, frames)?;
         let duration = f2.time_of_cycles(words.len() as u64 + 2);
         // Readback keeps the path active like a (reverse) transfer.
@@ -605,7 +649,9 @@ impl UParc {
         staged: &Staged,
         f2: Frequency,
     ) -> Result<(SimTime, Option<Frequency>, f64), UparcError> {
-        let f3 = self.dyclogen.frequency(OutputClock::Decompressor, self.now)?;
+        let f3 = self
+            .dyclogen
+            .frequency(OutputClock::Decompressor, self.now)?;
         // UReC fetches the image from BRAM in one burst, handing payload
         // words to the decompressor FIFO (cycle-exact with the per-edge
         // loop).
@@ -623,11 +669,23 @@ impl UParc {
         let image = BramImage::from_words(image_words);
         let (id, payload) = image.compressed_payload()?;
         debug_assert_eq!(id, codec_id(self.slot.algorithm()));
-        let raw = self
-            .slot
-            .codec()
-            .decompress(&payload)
-            .map_err(|e| UparcError::Compression(e.to_string()))?;
+        // Host-side fast path: a payload already decompressed (and
+        // verified at staging) is served from the cache; the simulated
+        // pipeline timing below is computed identically either way.
+        let key = CacheKey::of(id, &payload);
+        let raw = match self.decomp_cache.get(&key) {
+            Some(cached) => cached,
+            None => {
+                let raw = Arc::new(
+                    self.slot
+                        .codec()
+                        .decompress(&payload)
+                        .map_err(|e| UparcError::Compression(e.to_string()))?,
+                );
+                self.decomp_cache.insert(key, Arc::clone(&raw));
+                raw
+            }
+        };
         let words = bytes_to_words(&raw)?;
         self.icap.write_words(&words)?;
 
@@ -706,7 +764,8 @@ mod tests {
         let device = Device::xc5vsx50t();
         let bs = bitstream(&device, 247 * 1024 / 164, 1); // ≈247 KB
         let mut sys = uparc();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+            .unwrap();
         let r = sys.reconfigure_bitstream(&bs, Mode::Raw).unwrap();
         assert!(!r.compressed);
         assert!(
@@ -723,7 +782,8 @@ mod tests {
         let device = Device::xc5vsx50t();
         let bs = bitstream(&device, 41, 2); // 41 frames ≈ 6.57 KB
         let mut sys = uparc();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+            .unwrap();
         let r = sys.reconfigure_bitstream(&bs, Mode::Raw).unwrap();
         assert!(
             (r.efficiency() - 0.788).abs() < 0.03,
@@ -737,7 +797,8 @@ mod tests {
         let device = Device::xc5vsx50t();
         let bs = bitstream(&device, 1300, 3); // ~213 KB
         let mut sys = uparc();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0))
+            .unwrap();
         let r = sys.reconfigure_bitstream(&bs, Mode::Compressed).unwrap();
         assert!(r.compressed);
         // The DCM grid from the 100 MHz reference reaches 125 MHz under
@@ -750,15 +811,55 @@ mod tests {
     }
 
     #[test]
+    fn decompression_cache_preserves_reports_and_counts_hits() {
+        let device = Device::xc5vsx50t();
+        let bs = bitstream(&device, 400, 11);
+        let mut cached = uparc();
+        cached
+            .set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .unwrap();
+        let mut uncached = UParc::builder(device)
+            .decompressed_cache_bytes(0)
+            .build()
+            .unwrap();
+        uncached
+            .set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .unwrap();
+        for round in 0..3 {
+            let a = cached.reconfigure_bitstream(&bs, Mode::Compressed).unwrap();
+            let b = uncached
+                .reconfigure_bitstream(&bs, Mode::Compressed)
+                .unwrap();
+            // Cache hits skip host work only; simulated results match the
+            // uncached system exactly, round after round.
+            assert_eq!(a.elapsed(), b.elapsed(), "round {round}");
+            assert_eq!(a.bytes, b.bytes, "round {round}");
+            assert_eq!(a.transfer_time, b.transfer_time, "round {round}");
+        }
+        let stats = cached.decomp_cache_stats();
+        // Round 1: preload misses, reconfigure hits. Rounds 2-3: both hit.
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 5, "{stats:?}");
+        assert_eq!(
+            uncached.decomp_cache_stats(),
+            crate::cache::CacheStats::default()
+        );
+    }
+
+    #[test]
     fn compressed_mode_rejects_clocks_beyond_255() {
         let device = Device::xc5vsx50t();
         let bs = bitstream(&device, 200, 4);
         let mut sys = uparc();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+            .unwrap();
         sys.preload(&bs, Mode::Compressed).unwrap();
         assert!(matches!(
             sys.reconfigure(),
-            Err(UparcError::Frequency { limited_by: "compressed datapath", .. })
+            Err(UparcError::Frequency {
+                limited_by: "compressed datapath",
+                ..
+            })
         ));
     }
 
@@ -790,7 +891,10 @@ mod tests {
     #[test]
     fn reconfigure_without_preload_rejected() {
         let mut sys = uparc();
-        assert!(matches!(sys.reconfigure(), Err(UparcError::NothingPreloaded)));
+        assert!(matches!(
+            sys.reconfigure(),
+            Err(UparcError::NothingPreloaded)
+        ));
     }
 
     #[test]
@@ -801,8 +905,12 @@ mod tests {
         let mut raw_sys = uparc();
         raw_sys.reconfigure_bitstream(&bs, Mode::Raw).unwrap();
         let mut comp_sys = uparc();
-        comp_sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0)).unwrap();
-        comp_sys.reconfigure_bitstream(&bs, Mode::Compressed).unwrap();
+        comp_sys
+            .set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .unwrap();
+        comp_sys
+            .reconfigure_bitstream(&bs, Mode::Compressed)
+            .unwrap();
         assert_eq!(
             raw_sys
                 .icap()
@@ -818,7 +926,8 @@ mod tests {
         let device = Device::xc5vsx50t();
         let bs = bitstream(&device, 1000, 9);
         let mut sys = uparc();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0))
+            .unwrap();
         sys.preload(&bs, Mode::Raw).unwrap();
         sys.advance_idle(SimTime::from_us(50));
         let r = sys.reconfigure().unwrap();
@@ -840,7 +949,8 @@ mod tests {
         let bs = bitstream(&device, 1000, 10);
         let run = |mhz: f64| {
             let mut sys = uparc();
-            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).unwrap();
+            sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+                .unwrap();
             sys.reconfigure_bitstream(&bs, Mode::Raw).unwrap()
         };
         let r100 = run(100.0);
@@ -861,7 +971,8 @@ mod tests {
         let mut sys = uparc();
         sys.preload(&bs, Mode::Raw).unwrap();
         let before = sys.now();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0))
+            .unwrap();
         let r = sys.reconfigure().unwrap();
         // The reconfiguration could not start before the DCM relocked.
         assert!(r.started_at >= before + sys.dyclogen().lock_time());
@@ -871,11 +982,15 @@ mod tests {
     fn swap_decompressor_changes_slot_and_clk3() {
         let _device = Device::xc5vsx50t();
         let mut sys = uparc();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .unwrap();
         let swap = sys.swap_decompressor(Algorithm::Rle).unwrap();
         assert_eq!(sys.decompressor().algorithm(), Algorithm::Rle);
         assert_eq!(swap.clk3, Frequency::from_mhz(200.0)); // FaRM RLE max
-        assert!(swap.reconfiguration.bytes > 100_000, "the slot is a big module");
+        assert!(
+            swap.reconfiguration.bytes > 100_000,
+            "the slot is a big module"
+        );
         // Software-only algorithms cannot occupy the slot.
         assert!(matches!(
             sys.swap_decompressor(Algorithm::SevenZip),
@@ -891,9 +1006,14 @@ mod tests {
         let device = Device::xc5vsx50t();
         let bs = bitstream(&device, 1352, 12); // ≈216.5 KB
         let mut sys = uparc();
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(50.0)).unwrap();
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(50.0))
+            .unwrap();
         let r = sys.reconfigure_bitstream(&bs, Mode::Raw).unwrap();
         assert!(r.uj_per_kb() < 1.0, "{:.3} µJ/KB", r.uj_per_kb());
-        assert!(30.0 / r.uj_per_kb() > 35.0, "ratio {:.1}", 30.0 / r.uj_per_kb());
+        assert!(
+            30.0 / r.uj_per_kb() > 35.0,
+            "ratio {:.1}",
+            30.0 / r.uj_per_kb()
+        );
     }
 }

@@ -80,7 +80,13 @@ impl Urec {
     /// A controller in the Idle state.
     #[must_use]
     pub fn new() -> Self {
-        Urec { state: UrecState::Idle, addr: 0, mode: None, remaining: 0, en: false }
+        Urec {
+            state: UrecState::Idle,
+            addr: 0,
+            mode: None,
+            remaining: 0,
+            en: false,
+        }
     }
 
     /// Current FSM state.
@@ -189,7 +195,10 @@ impl Urec {
             cycles += 1;
         }
         if matches!(self.state, UrecState::Idle | UrecState::Done) {
-            return Ok(BurstOutcome { cycles, to_decompressor });
+            return Ok(BurstOutcome {
+                cycles,
+                to_decompressor,
+            });
         }
         let mode = self.mode.expect("stream state implies mode");
         let n = self.remaining as usize;
@@ -226,7 +235,10 @@ impl Urec {
             unreachable!("read past BRAM capacity must fail");
         }
         self.finish();
-        Ok(BurstOutcome { cycles, to_decompressor })
+        Ok(BurstOutcome {
+            cycles,
+            to_decompressor,
+        })
     }
 
     fn read_bram(&mut self, bram: &mut Bram) -> Result<u32, UparcError> {
@@ -316,12 +328,18 @@ mod tests {
     fn idle_and_done_edges_are_noops() {
         let (mut bram, mut icap, _) = setup(1);
         let mut urec = Urec::new();
-        assert_eq!(urec.rising_edge(&mut bram, &mut icap).unwrap(), UrecEvent::None);
+        assert_eq!(
+            urec.rising_edge(&mut bram, &mut icap).unwrap(),
+            UrecEvent::None
+        );
         urec.start();
         while !urec.is_finished() {
             urec.rising_edge(&mut bram, &mut icap).unwrap();
         }
-        assert_eq!(urec.rising_edge(&mut bram, &mut icap).unwrap(), UrecEvent::None);
+        assert_eq!(
+            urec.rising_edge(&mut bram, &mut icap).unwrap(),
+            UrecEvent::None
+        );
     }
 
     #[test]
@@ -375,7 +393,10 @@ mod tests {
                 to_decompressor.push(w);
             }
         }
-        Ok(BurstOutcome { cycles, to_decompressor })
+        Ok(BurstOutcome {
+            cycles,
+            to_decompressor,
+        })
     }
 
     #[test]
@@ -393,7 +414,10 @@ mod tests {
         assert_eq!(icap_a.words_consumed(), icap_b.words_consumed());
         assert_eq!(icap_a.frames_committed(), icap_b.frames_committed());
         assert_eq!(bram_a.read_count(Port::B), bram_b.read_count(Port::B));
-        assert_eq!(icap_a.config_memory().diff_frames(icap_b.config_memory()), 0);
+        assert_eq!(
+            icap_a.config_memory().diff_frames(icap_b.config_memory()),
+            0
+        );
     }
 
     #[test]
@@ -401,7 +425,8 @@ mod tests {
         let payload: Vec<u8> = (0..997u32).map(|i| (i % 251) as u8).collect();
         let mk = || {
             let mut bram = Bram::new(Family::Virtex5, 8192);
-            bram.load_image(Port::A, 0, BramImage::compressed(4, &payload).words()).unwrap();
+            bram.load_image(Port::A, 0, BramImage::compressed(4, &payload).words())
+                .unwrap();
             (bram, Icap::new(Device::xc5vsx50t()))
         };
         let (mut bram_a, mut icap_a) = mk();
@@ -414,7 +439,11 @@ mod tests {
         let by_burst = burst.run_burst(&mut bram_b, &mut icap_b).unwrap();
         assert_eq!(by_edge, by_burst);
         assert_eq!(bram_a.read_count(Port::B), bram_b.read_count(Port::B));
-        assert_eq!(icap_b.words_consumed(), 0, "compressed mode bypasses the ICAP");
+        assert_eq!(
+            icap_b.words_consumed(),
+            0,
+            "compressed mode bypasses the ICAP"
+        );
     }
 
     #[test]
@@ -425,7 +454,12 @@ mod tests {
             bram.write_word(
                 Port::A,
                 0,
-                ModeWord { compressed: false, codec_id: 0, size_words: 100 }.encode(),
+                ModeWord {
+                    compressed: false,
+                    codec_id: 0,
+                    size_words: 100,
+                }
+                .encode(),
             )
             .unwrap();
             (bram, Icap::new(Device::xc5vsx50t()))
@@ -447,12 +481,19 @@ mod tests {
     #[test]
     fn burst_on_zero_size_image_takes_one_cycle() {
         let mut bram = Bram::new(Family::Virtex5, 4096);
-        bram.load_image(Port::A, 0, BramImage::uncompressed(&[]).words()).unwrap();
+        bram.load_image(Port::A, 0, BramImage::uncompressed(&[]).words())
+            .unwrap();
         let mut icap = Icap::new(Device::xc5vsx50t());
         let mut urec = Urec::new();
         urec.start();
         let outcome = urec.run_burst(&mut bram, &mut icap).unwrap();
-        assert_eq!(outcome, BurstOutcome { cycles: 1, to_decompressor: vec![] });
+        assert_eq!(
+            outcome,
+            BurstOutcome {
+                cycles: 1,
+                to_decompressor: vec![]
+            }
+        );
         assert!(urec.is_finished());
     }
 
@@ -461,8 +502,17 @@ mod tests {
         // BRAM too small: address runs off the end mid-transfer.
         let mut bram = Bram::new(Family::Virtex5, 8);
         // Mode word claims 100 words.
-        bram.write_word(Port::A, 0, ModeWord { compressed: false, codec_id: 0, size_words: 100 }.encode())
-            .unwrap();
+        bram.write_word(
+            Port::A,
+            0,
+            ModeWord {
+                compressed: false,
+                codec_id: 0,
+                size_words: 100,
+            }
+            .encode(),
+        )
+        .unwrap();
         let mut icap = Icap::new(Device::xc5vsx50t());
         let mut urec = Urec::new();
         urec.start();

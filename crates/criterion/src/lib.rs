@@ -57,7 +57,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered from the benchmark's parameter value.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -108,11 +110,15 @@ impl BenchmarkGroup {
     fn run(&self, f: &mut dyn FnMut(&mut Bencher)) -> Duration {
         // One untimed warm-up sample, then `sample_size` timed samples;
         // the median absorbs scheduler noise without real statistics.
-        let mut bencher = Bencher { elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
         f(&mut bencher);
         let mut samples: Vec<Duration> = (0..self.sample_size)
             .map(|_| {
-                let mut b = Bencher { elapsed: Duration::ZERO };
+                let mut b = Bencher {
+                    elapsed: Duration::ZERO,
+                };
                 f(&mut b);
                 b.elapsed
             })

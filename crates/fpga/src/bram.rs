@@ -115,7 +115,11 @@ impl Bram {
     /// # Errors
     ///
     /// [`FpgaError::FrequencyTooHigh`] beyond the overclock ceiling.
-    pub fn set_port_frequency(&mut self, port: Port, freq: Frequency) -> Result<FrequencyRegime, FpgaError> {
+    pub fn set_port_frequency(
+        &mut self,
+        port: Port,
+        freq: Frequency,
+    ) -> Result<FrequencyRegime, FpgaError> {
         let regime = self.classify_frequency(freq)?;
         self.clocks[port as usize] = freq;
         Ok(regime)
@@ -136,7 +140,10 @@ impl Bram {
         let w = *self
             .data
             .get(addr)
-            .ok_or(FpgaError::BramAddressOutOfRange { addr, words: self.data.len() })?;
+            .ok_or(FpgaError::BramAddressOutOfRange {
+                addr,
+                words: self.data.len(),
+            })?;
         self.reads[port as usize] += 1;
         Ok(w)
     }
@@ -168,12 +175,20 @@ impl Bram {
     /// [`FpgaError::BramAddressOutOfRange`] if the burst leaves the array;
     /// no cycles are counted and `out` is untouched on error, matching a
     /// per-word loop that checks the first failing address up front.
-    pub fn read_burst(&mut self, port: Port, addr: usize, out: &mut [u32]) -> Result<(), FpgaError> {
+    pub fn read_burst(
+        &mut self,
+        port: Port,
+        addr: usize,
+        out: &mut [u32],
+    ) -> Result<(), FpgaError> {
         let words = self.data.len();
         let end = addr
             .checked_add(out.len())
             .filter(|&end| end <= words)
-            .ok_or(FpgaError::BramAddressOutOfRange { addr: addr + out.len() - 1, words })?;
+            .ok_or(FpgaError::BramAddressOutOfRange {
+                addr: addr + out.len() - 1,
+                words,
+            })?;
         out.copy_from_slice(&self.data[addr..end]);
         self.reads[port as usize] += out.len() as u64;
         Ok(())
@@ -191,7 +206,10 @@ impl Bram {
         addr.checked_add(len)
             .filter(|&end| end <= words)
             .map(|end| &self.data[addr..end])
-            .ok_or(FpgaError::BramAddressOutOfRange { addr: addr + len.saturating_sub(1), words })
+            .ok_or(FpgaError::BramAddressOutOfRange {
+                addr: addr + len.saturating_sub(1),
+                words,
+            })
     }
 
     /// Records `n` read cycles on `port` without touching data — the
@@ -317,22 +335,28 @@ mod tests {
     fn frequency_regimes_match_paper() {
         let mut b = bram();
         assert_eq!(
-            b.set_port_frequency(Port::B, Frequency::from_mhz(300.0)).unwrap(),
+            b.set_port_frequency(Port::B, Frequency::from_mhz(300.0))
+                .unwrap(),
             FrequencyRegime::Guaranteed
         );
         // UReC drives the read port beyond the 300 MHz guarantee (§III-B).
         assert_eq!(
-            b.set_port_frequency(Port::B, Frequency::from_mhz(362.5)).unwrap(),
+            b.set_port_frequency(Port::B, Frequency::from_mhz(362.5))
+                .unwrap(),
             FrequencyRegime::Overclocked
         );
-        assert!(b.set_port_frequency(Port::B, Frequency::from_mhz(400.0)).is_err());
+        assert!(b
+            .set_port_frequency(Port::B, Frequency::from_mhz(400.0))
+            .is_err());
     }
 
     #[test]
     fn independent_port_clocks() {
         let mut b = bram();
-        b.set_port_frequency(Port::A, Frequency::from_mhz(100.0)).unwrap();
-        b.set_port_frequency(Port::B, Frequency::from_mhz(362.5)).unwrap();
+        b.set_port_frequency(Port::A, Frequency::from_mhz(100.0))
+            .unwrap();
+        b.set_port_frequency(Port::B, Frequency::from_mhz(362.5))
+            .unwrap();
         assert_eq!(b.port_frequency(Port::A), Frequency::from_mhz(100.0));
         assert_eq!(b.port_frequency(Port::B), Frequency::from_mhz(362.5));
     }

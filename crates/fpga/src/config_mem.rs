@@ -72,7 +72,10 @@ impl ConfigMemory {
             self.frame_words
         );
         if far >= self.frames {
-            return Err(FpgaError::FrameOutOfRange { far, frames: self.frames });
+            return Err(FpgaError::FrameOutOfRange {
+                far,
+                frames: self.frames,
+            });
         }
         let start = far as usize * self.frame_words;
         self.data[start..start + self.frame_words].copy_from_slice(frame);
@@ -106,7 +109,10 @@ impl ConfigMemory {
         if far as usize + n > self.frames as usize {
             // Report the first frame address off the device.
             let bad = if far >= self.frames { far } else { self.frames };
-            return Err(FpgaError::FrameOutOfRange { far: bad, frames: self.frames });
+            return Err(FpgaError::FrameOutOfRange {
+                far: bad,
+                frames: self.frames,
+            });
         }
         let start = far as usize * self.frame_words;
         let dst = &mut self.data[start..start + data.len()];
@@ -131,7 +137,10 @@ impl ConfigMemory {
     /// Panics if `word` or `bit` exceed the frame geometry.
     pub fn corrupt_bit(&mut self, far: u32, word: usize, bit: u32) -> Result<(), FpgaError> {
         if far >= self.frames {
-            return Err(FpgaError::FrameOutOfRange { far, frames: self.frames });
+            return Err(FpgaError::FrameOutOfRange {
+                far,
+                frames: self.frames,
+            });
         }
         assert!(word < self.frame_words, "word index outside frame");
         assert!(bit < 32, "bit index out of range");
@@ -156,7 +165,10 @@ impl ConfigMemory {
     /// [`FpgaError::FrameOutOfRange`] if `far` is outside the device.
     pub fn read_frame(&self, far: u32) -> Result<&[u32], FpgaError> {
         if far >= self.frames {
-            return Err(FpgaError::FrameOutOfRange { far, frames: self.frames });
+            return Err(FpgaError::FrameOutOfRange {
+                far,
+                frames: self.frames,
+            });
         }
         let start = far as usize * self.frame_words;
         Ok(&self.data[start..start + self.frame_words])
@@ -234,7 +246,10 @@ mod tests {
         cm.write_frame(5, &frame).unwrap();
         assert_eq!(cm.ecc_check(5).unwrap(), EccStatus::Clean);
         cm.corrupt_bit(5, 12, 3).unwrap();
-        assert_eq!(cm.ecc_check(5).unwrap(), EccStatus::SingleBit { word: 12, bit: 3 });
+        assert_eq!(
+            cm.ecc_check(5).unwrap(),
+            EccStatus::SingleBit { word: 12, bit: 3 }
+        );
         // A legitimate rewrite re-syncs the parity.
         cm.write_frame(5, &frame).unwrap();
         assert_eq!(cm.ecc_check(5).unwrap(), EccStatus::Clean);
@@ -249,7 +264,9 @@ mod tests {
         let mut fused = tiny();
         let mut loop_based = tiny();
         let fw = fused.frame_words();
-        let data: Vec<u32> = (0..(3 * fw) as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let data: Vec<u32> = (0..(3 * fw) as u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect();
         fused.write_frames(7, &data).unwrap();
         for (k, frame) in data.chunks_exact(fw).enumerate() {
             loop_based.write_frame(7 + k as u32, frame).unwrap();
@@ -272,7 +289,10 @@ mod tests {
             Err(FpgaError::FrameOutOfRange { .. })
         ));
         assert_eq!(cm.write_count(), 0);
-        assert_eq!(cm.read_frame(frames - 1).unwrap(), vec![0u32; fw].as_slice());
+        assert_eq!(
+            cm.read_frame(frames - 1).unwrap(),
+            vec![0u32; fw].as_slice()
+        );
         // Empty writes are fine anywhere in range.
         cm.write_frames(0, &[]).unwrap();
         assert_eq!(cm.write_count(), 0);

@@ -70,10 +70,7 @@ impl DcmConstraints {
         let fout = fin.scaled(m, d);
         if fout < self.fout_min || fout > self.fout_max {
             return Err(FpgaError::DcmOutOfRange {
-                reason: format!(
-                    "fout {fout} outside [{}, {}]",
-                    self.fout_min, self.fout_max
-                ),
+                reason: format!("fout {fout} outside [{}, {}]", self.fout_min, self.fout_max),
             });
         }
         Ok(fout)
@@ -84,15 +81,13 @@ impl DcmConstraints {
     ///
     /// Returns `None` when no legal combination exists for this input clock.
     #[must_use]
-    pub fn best_factors(
-        &self,
-        fin: Frequency,
-        target: Frequency,
-    ) -> Option<(u32, u32, Frequency)> {
+    pub fn best_factors(&self, fin: Frequency, target: Frequency) -> Option<(u32, u32, Frequency)> {
         let mut best: Option<(u64, u32, u32, Frequency)> = None;
         for m in self.m_range.clone() {
             for d in self.d_range.clone() {
-                let Ok(fout) = self.check(fin, m, d) else { continue };
+                let Ok(fout) = self.check(fin, m, d) else {
+                    continue;
+                };
                 let err = fout.as_hz().abs_diff(target.as_hz());
                 let better = match &best {
                     None => true,
@@ -122,7 +117,9 @@ impl DcmConstraints {
         let mut best: Option<(Frequency, u32, u32)> = None;
         for m in self.m_range.clone() {
             for d in self.d_range.clone() {
-                let Ok(fout) = self.check(fin, m, d) else { continue };
+                let Ok(fout) = self.check(fin, m, d) else {
+                    continue;
+                };
                 if fout > cap {
                     continue;
                 }
@@ -343,7 +340,10 @@ mod tests {
             // Away from the edge of the legal range the rich M/D grid gets
             // within 2% of the cap (near fout_min the grid is sparser).
             if cap_mhz >= 50.0 {
-                assert!(f.as_hz() as f64 >= cap.as_hz() as f64 * 0.98, "cap {cap}: got {f}");
+                assert!(
+                    f.as_hz() as f64 >= cap.as_hz() as f64 * 0.98,
+                    "cap {cap}: got {f}"
+                );
             }
         }
     }
@@ -380,7 +380,10 @@ mod tests {
         // But M = 40 is out of the factor range entirely.
         assert!(dcm.drp_write(DRP_ADDR_M, 39, SimTime::ZERO).is_err());
         assert_eq!(dcm.factors(), (29, 8));
-        assert!(dcm.is_locked(SimTime::ZERO), "failed write must not drop lock");
+        assert!(
+            dcm.is_locked(SimTime::ZERO),
+            "failed write must not drop lock"
+        );
     }
 
     #[test]

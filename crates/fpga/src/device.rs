@@ -58,7 +58,11 @@ impl Device {
             name: "XC5VSX50T",
             family: Family::Virtex5,
             idcode: 0x02E9_E093,
-            geometry: Geometry { rows: 6, majors: 58, minors: 44 },
+            geometry: Geometry {
+                rows: 6,
+                majors: 58,
+                minors: 44,
+            },
             slices: 8160,
             bram36_blocks: 132,
         }
@@ -72,7 +76,11 @@ impl Device {
             name: "XC6VLX240T",
             family: Family::Virtex6,
             idcode: 0x0424_A093,
-            geometry: Geometry { rows: 12, majors: 74, minors: 32 },
+            geometry: Geometry {
+                rows: 12,
+                majors: 74,
+                minors: 32,
+            },
             slices: 37_680,
             bram36_blocks: 416,
         }
@@ -85,7 +93,11 @@ impl Device {
             name: "XC4VFX60",
             family: Family::Virtex4,
             idcode: 0x0232_2093,
-            geometry: Geometry { rows: 8, majors: 52, minors: 22 },
+            geometry: Geometry {
+                rows: 8,
+                majors: 52,
+                minors: 22,
+            },
             slices: 25_280,
             bram36_blocks: 232,
         }
@@ -101,7 +113,14 @@ impl Device {
         slices: u32,
         bram36_blocks: u32,
     ) -> Self {
-        Device { name, family, idcode, geometry, slices, bram36_blocks }
+        Device {
+            name,
+            family,
+            idcode,
+            geometry,
+            slices,
+            bram36_blocks,
+        }
     }
 
     /// Part number.
@@ -195,7 +214,11 @@ mod tests {
 
     #[test]
     fn geometry_frames_multiplies_out() {
-        let g = Geometry { rows: 2, majors: 3, minors: 5 };
+        let g = Geometry {
+            rows: 2,
+            majors: 3,
+            minors: 5,
+        };
         assert_eq!(g.frames(), 30);
         assert_eq!(Device::xc5vsx50t().frames(), 6 * 58 * 44);
     }

@@ -71,9 +71,7 @@ pub fn frame_parity(frame: &[u32]) -> u32 {
     let mut overall = 0u32;
     for (w, &word) in frame.iter().enumerate() {
         let w = w as u32;
-        let packed = u32::from(
-            WIDE[0][(word & 0xFFFF) as usize] ^ WIDE[1][(word >> 16) as usize],
-        );
+        let packed = u32::from(WIDE[0][(word & 0xFFFF) as usize] ^ WIDE[1][(word >> 16) as usize]);
         let low = packed & 31;
         let par = packed >> 5;
         overall ^= par;
@@ -99,9 +97,7 @@ pub fn copy_with_parity(dst: &mut [u32], src: &[u32]) -> u32 {
     for (w, (d, &word)) in dst.iter_mut().zip(src).enumerate() {
         *d = word;
         let w = w as u32;
-        let packed = u32::from(
-            WIDE[0][(word & 0xFFFF) as usize] ^ WIDE[1][(word >> 16) as usize],
-        );
+        let packed = u32::from(WIDE[0][(word & 0xFFFF) as usize] ^ WIDE[1][(word >> 16) as usize]);
         let low = packed & 31;
         let par = packed >> 5;
         overall ^= par;
@@ -171,7 +167,9 @@ mod tests {
     use super::*;
 
     fn frame() -> Vec<u32> {
-        (0..41u32).map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0x5A5A).collect()
+        (0..41u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0x5A5A)
+            .collect()
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl std::fmt::Display for FpgaError {
             FpgaError::FrequencyTooHigh { requested, max } => {
                 write!(f, "requested {requested} exceeds maximum {max}")
             }
-            FpgaError::BramOverflow { capacity, requested } => write!(
+            FpgaError::BramOverflow {
+                capacity,
+                requested,
+            } => write!(
                 f,
                 "data of {requested} bytes does not fit in {capacity}-byte bram"
             ),
@@ -122,7 +125,10 @@ impl std::fmt::Display for FpgaError {
             FpgaError::DcmNotLocked => write!(f, "dcm output used before lock"),
             FpgaError::TruncatedStream => write!(f, "configuration stream truncated"),
             FpgaError::PartitionOverlap { new, existing } => {
-                write!(f, "partition {new:?} overlaps existing partition {existing:?}")
+                write!(
+                    f,
+                    "partition {new:?} overlaps existing partition {existing:?}"
+                )
             }
         }
     }
@@ -136,7 +142,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = FpgaError::WrongDevice { expected: 0x0286_E093, got: 0x0424_A093 };
+        let e = FpgaError::WrongDevice {
+            expected: 0x0286_E093,
+            got: 0x0424_A093,
+        };
         let s = e.to_string();
         assert!(s.contains("0x0424a093"));
         assert!(s.contains("0x0286e093"));

@@ -69,7 +69,10 @@ impl FrameAddress {
     /// [`FpgaError::FrameOutOfRange`] past the device.
     pub fn from_flat(geometry: Geometry, flat: u32) -> Result<Self, FpgaError> {
         if flat >= geometry.frames() {
-            return Err(FpgaError::FrameOutOfRange { far: flat, frames: geometry.frames() });
+            return Err(FpgaError::FrameOutOfRange {
+                far: flat,
+                frames: geometry.frames(),
+            });
         }
         let minors = geometry.minors;
         let majors = geometry.majors;
@@ -82,7 +85,13 @@ impl FrameAddress {
         } else {
             (true, global_row - top_rows)
         };
-        Ok(FrameAddress { block: BlockType::Interconnect, bottom, row, major, minor })
+        Ok(FrameAddress {
+            block: BlockType::Interconnect,
+            bottom,
+            row,
+            major,
+            minor,
+        })
     }
 
     /// The flat frame index of this address in `geometry`.
@@ -92,7 +101,11 @@ impl FrameAddress {
     /// [`FpgaError::FrameOutOfRange`] if a field exceeds the geometry.
     pub fn to_flat(self, geometry: Geometry) -> Result<u32, FpgaError> {
         let top_rows = geometry.rows.div_ceil(2);
-        let global_row = if self.bottom { top_rows + self.row } else { self.row };
+        let global_row = if self.bottom {
+            top_rows + self.row
+        } else {
+            self.row
+        };
         if global_row >= geometry.rows
             || self.major >= geometry.majors
             || self.minor >= geometry.minors
@@ -133,8 +146,8 @@ impl FrameAddress {
         if word >> 24 != 0 {
             return Err(FpgaError::MalformedPacket { word });
         }
-        let block = BlockType::from_bits((word >> 21) & 0x7)
-            .ok_or(FpgaError::MalformedPacket { word })?;
+        let block =
+            BlockType::from_bits((word >> 21) & 0x7).ok_or(FpgaError::MalformedPacket { word })?;
         Ok(FrameAddress {
             block,
             bottom: (word >> 20) & 1 == 1,

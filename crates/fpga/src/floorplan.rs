@@ -26,7 +26,10 @@ impl Floorplan {
     /// An empty floorplan for `device`.
     #[must_use]
     pub fn new(device: Device) -> Self {
-        Floorplan { device, partitions: Vec::new() }
+        Floorplan {
+            device,
+            partitions: Vec::new(),
+        }
     }
 
     /// The floorplanned device.
@@ -67,7 +70,8 @@ impl Floorplan {
                 });
             }
         }
-        self.partitions.push(Partition::new(&self.device, name, frames));
+        self.partitions
+            .push(Partition::new(&self.device, name, frames));
         Ok(PartitionId(self.partitions.len() - 1))
     }
 
@@ -183,8 +187,10 @@ mod tests {
         assert_eq!(fp.place(300), Some(large));
         assert_eq!(fp.place(5000), None);
         // Occupy the small one: a 150-frame module now lands in the large.
-        fp.partition_mut(small).begin_reconfiguration("m", SimTime::ZERO);
-        fp.partition_mut(small).finish_reconfiguration(SimTime::from_us(1));
+        fp.partition_mut(small)
+            .begin_reconfiguration("m", SimTime::ZERO);
+        fp.partition_mut(small)
+            .finish_reconfiguration(SimTime::from_us(1));
         assert_eq!(fp.place(150), Some(large));
     }
 }

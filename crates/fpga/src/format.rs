@@ -196,7 +196,10 @@ const fn op_bits(op: Opcode) -> u32 {
 /// Panics if `count` exceeds [`TYPE1_MAX_COUNT`].
 #[must_use]
 pub fn type1(op: Opcode, reg: ConfigRegister, count: u32) -> u32 {
-    assert!(count <= TYPE1_MAX_COUNT, "type-1 payload too large: {count}");
+    assert!(
+        count <= TYPE1_MAX_COUNT,
+        "type-1 payload too large: {count}"
+    );
     (0b001 << 29) | (op_bits(op) << 27) | (reg.addr() << 13) | count
 }
 
@@ -208,7 +211,10 @@ pub fn type1(op: Opcode, reg: ConfigRegister, count: u32) -> u32 {
 /// Panics if `count` exceeds [`TYPE2_MAX_COUNT`].
 #[must_use]
 pub fn type2(op: Opcode, count: u32) -> u32 {
-    assert!(count <= TYPE2_MAX_COUNT, "type-2 payload too large: {count}");
+    assert!(
+        count <= TYPE2_MAX_COUNT,
+        "type-2 payload too large: {count}"
+    );
     (0b010 << 29) | (op_bits(op) << 27) | count
 }
 
@@ -233,9 +239,16 @@ pub fn decode(word: u32) -> Result<Option<Packet>, crate::error::FpgaError> {
             let addr = (word >> 13) & 0x3FFF;
             let reg = ConfigRegister::from_addr(addr)
                 .ok_or(crate::error::FpgaError::UnknownRegister { addr })?;
-            Ok(Some(Packet::Type1 { op, reg, count: word & TYPE1_MAX_COUNT }))
+            Ok(Some(Packet::Type1 {
+                op,
+                reg,
+                count: word & TYPE1_MAX_COUNT,
+            }))
         }
-        0b010 => Ok(Some(Packet::Type2 { op, count: word & TYPE2_MAX_COUNT })),
+        0b010 => Ok(Some(Packet::Type2 {
+            op,
+            count: word & TYPE2_MAX_COUNT,
+        })),
         _ => Err(crate::error::FpgaError::MalformedPacket { word }),
     }
 }
@@ -390,12 +403,20 @@ mod tests {
         let hdr = type1(Opcode::Write, ConfigRegister::Fdri, 0);
         assert_eq!(
             decode(hdr).unwrap(),
-            Some(Packet::Type1 { op: Opcode::Write, reg: ConfigRegister::Fdri, count: 0 })
+            Some(Packet::Type1 {
+                op: Opcode::Write,
+                reg: ConfigRegister::Fdri,
+                count: 0
+            })
         );
         let hdr = type1(Opcode::Write, ConfigRegister::Cmd, 1);
         assert_eq!(
             decode(hdr).unwrap(),
-            Some(Packet::Type1 { op: Opcode::Write, reg: ConfigRegister::Cmd, count: 1 })
+            Some(Packet::Type1 {
+                op: Opcode::Write,
+                reg: ConfigRegister::Cmd,
+                count: 1
+            })
         );
     }
 
@@ -405,7 +426,10 @@ mod tests {
         let hdr = type2(Opcode::Write, 626_000);
         assert_eq!(
             decode(hdr).unwrap(),
-            Some(Packet::Type2 { op: Opcode::Write, count: 626_000 })
+            Some(Packet::Type2 {
+                op: Opcode::Write,
+                count: 626_000
+            })
         );
     }
 
@@ -513,7 +537,9 @@ mod tests {
 
     #[test]
     fn crc_run_matches_per_word_updates() {
-        let words: Vec<u32> = (0..513u32).map(|i| i.wrapping_mul(0x85EB_CA6B) ^ 0xDEAD_BEEF).collect();
+        let words: Vec<u32> = (0..513u32)
+            .map(|i| i.wrapping_mul(0x85EB_CA6B) ^ 0xDEAD_BEEF)
+            .collect();
         let mut run = ConfigCrc::new();
         let mut per_word = ConfigCrc::new();
         run.update(ConfigRegister::Far, 7);

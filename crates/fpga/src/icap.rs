@@ -15,9 +15,7 @@
 use crate::config_mem::ConfigMemory;
 use crate::device::Device;
 use crate::error::FpgaError;
-use crate::format::{
-    decode, Command, ConfigCrc, ConfigRegister, Opcode, Packet, SYNC_WORD,
-};
+use crate::format::{decode, Command, ConfigCrc, ConfigRegister, Opcode, Packet, SYNC_WORD};
 use uparc_sim::time::{Frequency, SimTime};
 
 /// Result of pushing one word: whether the stream reached DESYNC (end of a
@@ -134,7 +132,10 @@ impl Icap {
     pub fn set_frequency(&mut self, freq: Frequency) -> Result<(), FpgaError> {
         let max = self.device.family().icap_overclock_limit();
         if freq > max {
-            return Err(FpgaError::FrequencyTooHigh { requested: freq, max });
+            return Err(FpgaError::FrequencyTooHigh {
+                requested: freq,
+                max,
+            });
         }
         self.freq = freq;
         Ok(())
@@ -361,7 +362,9 @@ impl Icap {
             return Ok(());
         }
         if self.pending_count > 0 {
-            let reg = self.pending_reg.expect("pending payload implies a register");
+            let reg = self
+                .pending_reg
+                .expect("pending payload implies a register");
             self.pending_count -= 1;
             return self.register_write(reg, word);
         }
@@ -381,9 +384,7 @@ impl Icap {
                 }
             }
             Some(Packet::Type2 { op, count }) => {
-                let reg = self
-                    .last_reg
-                    .ok_or(FpgaError::MalformedPacket { word })?;
+                let reg = self.last_reg.ok_or(FpgaError::MalformedPacket { word })?;
                 if matches!(op, Opcode::Write) {
                     self.pending_reg = Some(reg);
                     self.pending_count = count;
@@ -431,8 +432,8 @@ impl Icap {
                 Ok(())
             }
             ConfigRegister::Cmd => {
-                let cmd = Command::from_value(word)
-                    .ok_or(FpgaError::UnknownCommand { value: word })?;
+                let cmd =
+                    Command::from_value(word).ok_or(FpgaError::UnknownCommand { value: word })?;
                 match cmd {
                     Command::Rcrc => self.crc.reset(),
                     Command::Wcfg => self.wcfg_enabled = true,
@@ -455,7 +456,10 @@ impl Icap {
             ConfigRegister::Crc => {
                 let computed = self.crc.value();
                 if word != computed {
-                    return Err(FpgaError::CrcMismatch { computed, expected: word });
+                    return Err(FpgaError::CrcMismatch {
+                        computed,
+                        expected: word,
+                    });
                 }
                 Ok(())
             }
@@ -527,7 +531,8 @@ mod tests {
     #[test]
     fn data_before_sync_is_ignored() {
         let mut icap = icap();
-        icap.write_words(&[DUMMY_WORD, 0x1234_5678, DUMMY_WORD]).unwrap();
+        icap.write_words(&[DUMMY_WORD, 0x1234_5678, DUMMY_WORD])
+            .unwrap();
         assert_eq!(icap.status(), IcapStatus::Desynced);
         icap.write_word(SYNC_WORD).unwrap();
         assert_eq!(icap.status(), IcapStatus::Synced);
@@ -558,7 +563,8 @@ mod tests {
     fn fdri_without_wcfg_rejected() {
         let mut icap = icap();
         icap.write_word(SYNC_WORD).unwrap();
-        icap.write_word(type1(Opcode::Write, ConfigRegister::Fdri, 1)).unwrap();
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Fdri, 1))
+            .unwrap();
         assert!(icap.write_word(0xDEAD_BEEF).is_err());
     }
 
@@ -585,11 +591,13 @@ mod tests {
             icap.write_word(type1(Opcode::Write, reg, 1)).unwrap();
             icap.write_word(val).unwrap();
         }
-        icap.write_word(type1(Opcode::Write, ConfigRegister::Fdri, 5)).unwrap();
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Fdri, 5))
+            .unwrap();
         for i in 0..5 {
             icap.write_word(i).unwrap(); // 5 of 41 words: partial frame
         }
-        icap.write_word(type1(Opcode::Write, ConfigRegister::Cmd, 1)).unwrap();
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Cmd, 1))
+            .unwrap();
         let err = icap.write_word(Command::Desync as u32).unwrap_err();
         assert_eq!(err, FpgaError::TruncatedStream);
     }
@@ -684,8 +692,14 @@ mod tests {
             assert_observably_equal(&fast, &slow);
             for i in 0..3 {
                 assert_eq!(
-                    fast.config_memory().read_frame(700 + i).ok().map(<[u32]>::to_vec),
-                    slow.config_memory().read_frame(700 + i).ok().map(<[u32]>::to_vec),
+                    fast.config_memory()
+                        .read_frame(700 + i)
+                        .ok()
+                        .map(<[u32]>::to_vec),
+                    slow.config_memory()
+                        .read_frame(700 + i)
+                        .ok()
+                        .map(<[u32]>::to_vec),
                 );
             }
         }

@@ -117,7 +117,10 @@ impl Partition {
             "partition {} is already reconfiguring",
             self.name
         );
-        self.state = PartitionState::Reconfiguring { module: module.to_owned(), since: at };
+        self.state = PartitionState::Reconfiguring {
+            module: module.to_owned(),
+            since: at,
+        };
     }
 
     /// Completes the in-flight reconfiguration; the new module is active.

@@ -30,7 +30,12 @@ impl PrimitiveInventory {
     /// Creates a LUT/FF-only inventory.
     #[must_use]
     pub const fn logic(luts: u32, ffs: u32) -> Self {
-        PrimitiveInventory { luts, ffs, bram36: 0, dsp: 0 }
+        PrimitiveInventory {
+            luts,
+            ffs,
+            bram36: 0,
+            dsp: 0,
+        }
     }
 
     /// Component-wise sum of two inventories.
@@ -68,7 +73,10 @@ impl AreaEstimator {
     /// Creates an estimator with the default packing efficiency.
     #[must_use]
     pub fn new(family: Family) -> Self {
-        AreaEstimator { family, packing_efficiency: DEFAULT_PACKING_EFFICIENCY }
+        AreaEstimator {
+            family,
+            packing_efficiency: DEFAULT_PACKING_EFFICIENCY,
+        }
     }
 
     /// Overrides the packing efficiency.
@@ -78,7 +86,10 @@ impl AreaEstimator {
     /// Panics unless `0 < eff <= 1`.
     #[must_use]
     pub fn with_packing_efficiency(mut self, eff: f64) -> Self {
-        assert!(eff > 0.0 && eff <= 1.0, "packing efficiency must be in (0, 1]");
+        assert!(
+            eff > 0.0 && eff <= 1.0,
+            "packing efficiency must be in (0, 1]"
+        );
         self.packing_efficiency = eff;
         self
     }
@@ -173,15 +184,38 @@ mod tests {
 
     #[test]
     fn inventory_plus_sums_fields() {
-        let a = PrimitiveInventory { luts: 1, ffs: 2, bram36: 3, dsp: 4 };
-        let b = PrimitiveInventory { luts: 10, ffs: 20, bram36: 30, dsp: 40 };
+        let a = PrimitiveInventory {
+            luts: 1,
+            ffs: 2,
+            bram36: 3,
+            dsp: 4,
+        };
+        let b = PrimitiveInventory {
+            luts: 10,
+            ffs: 20,
+            bram36: 30,
+            dsp: 40,
+        };
         let c = a.plus(b);
-        assert_eq!(c, PrimitiveInventory { luts: 11, ffs: 22, bram36: 33, dsp: 44 });
+        assert_eq!(
+            c,
+            PrimitiveInventory {
+                luts: 11,
+                ffs: 22,
+                bram36: 33,
+                dsp: 44
+            }
+        );
     }
 
     #[test]
     fn utilization_ratio() {
-        let u = Utilization { slices: 2040, total_slices: 8160, bram36: 64, total_bram36: 132 };
+        let u = Utilization {
+            slices: 2040,
+            total_slices: 8160,
+            bram36: 64,
+            total_bram36: 132,
+        };
         assert!((u.slice_ratio() - 0.25).abs() < 1e-12);
     }
 

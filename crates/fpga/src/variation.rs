@@ -66,7 +66,10 @@ impl SampleLot {
                     / 2.0;
                 let margin = g.abs() * 0.02; // σ ≈ 1% of nominal
                 let fmax = nominal * (1.0 + margin);
-                DeviceSample { id, icap_fmax: Frequency::from_hz(fmax as u64) }
+                DeviceSample {
+                    id,
+                    icap_fmax: Frequency::from_hz(fmax as u64),
+                }
             })
             .collect();
         SampleLot { family, samples }
@@ -88,12 +91,7 @@ impl SampleLot {
     #[must_use]
     pub fn screen(&self, f: Frequency) -> ScreeningReport {
         let passed = self.samples.iter().filter(|s| s.passes_at(f)).count() as u32;
-        let min_fmax = self
-            .samples
-            .iter()
-            .map(|s| s.icap_fmax)
-            .min()
-            .unwrap_or(f);
+        let min_fmax = self.samples.iter().map(|s| s.icap_fmax).min().unwrap_or(f);
         ScreeningReport {
             frequency: f,
             total: self.samples.len() as u32,
@@ -151,7 +149,10 @@ mod tests {
         assert_eq!(a_few_lower.passed, a_few_lower.total);
         // "A few MHz": the V6 shortfall is single-digit MHz, not tens.
         let shortfall = 362.5 - at_v5_point.min_fmax.as_mhz();
-        assert!(shortfall > 0.0 && shortfall < 10.0, "shortfall {shortfall:.1} MHz");
+        assert!(
+            shortfall > 0.0 && shortfall < 10.0,
+            "shortfall {shortfall:.1} MHz"
+        );
     }
 
     #[test]
@@ -169,7 +170,11 @@ mod tests {
         let nominal = Family::Virtex5.icap_overclock_limit();
         for s in lot.samples() {
             assert!(s.icap_fmax >= nominal);
-            assert!(s.icap_fmax.as_mhz() < nominal.as_mhz() * 1.03, "{}", s.icap_fmax);
+            assert!(
+                s.icap_fmax.as_mhz() < nominal.as_mhz() * 1.03,
+                "{}",
+                s.icap_fmax
+            );
         }
     }
 

@@ -47,7 +47,9 @@ pub mod test_runner {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            TestRng { s: [next(), next(), next(), next()] }
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
         }
 
         /// Next 64 random bits.
@@ -112,7 +114,10 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -125,7 +130,10 @@ pub mod collection {
 
     /// Vectors of `element` values with lengths from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -133,7 +141,12 @@ pub mod collection {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let span = (self.size.hi - self.size.lo) as u64;
-            let len = self.size.lo + if span > 0 { rng.below(span) as usize } else { 0 };
+            let len = self.size.lo
+                + if span > 0 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
@@ -143,7 +156,9 @@ pub mod collection {
 pub mod prelude {
     pub use crate::strategy::{any, Any, Just, Strategy, Union};
     pub use crate::test_runner::{TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Per-test configuration (mirrors `proptest::prelude::ProptestConfig`).
     #[derive(Debug, Clone)]
@@ -262,8 +277,12 @@ macro_rules! prop_assert_ne {
         let (a, b) = (&$a, &$b);
         if *a == *b {
             return Err(format!(
-                "assertion failed: both sides equal `{:?}` ({}:{})", a, file!(), line!()
-            ).into());
+                "assertion failed: both sides equal `{:?}` ({}:{})",
+                a,
+                file!(),
+                line!()
+            )
+            .into());
         }
     }};
 }

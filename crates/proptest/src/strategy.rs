@@ -137,7 +137,10 @@ impl<V> Union<V> {
     /// A union over `options`; each case picks one uniformly.
     #[must_use]
     pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
         Union { options }
     }
 }
@@ -188,11 +191,11 @@ macro_rules! impl_tuple_strategy {
         }
     };
 }
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 /// `&str` patterns of the form `[class]{n}` or `[class]{m,n}` produce
 /// random strings from the character class (a small subset of the real
@@ -277,13 +280,17 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-z0-9]{1,16}".generate(&mut rng);
             assert!((1..=16).contains(&s.len()));
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
         let mut seen_empty = false;
         for _ in 0..200 {
             let s = "[a-zA-Z0-9_./=]{0,40}".generate(&mut rng);
             assert!(s.len() <= 40);
-            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_./=".contains(c)));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_./=".contains(c)));
             seen_empty |= s.is_empty();
         }
         assert!(seen_empty, "zero-length strings should be reachable");
@@ -291,7 +298,11 @@ mod tests {
 
     #[test]
     fn union_reaches_every_arm() {
-        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
         let mut rng = TestRng::seed_from_u64(3);
         let mut seen = [false; 4];
         for _ in 0..100 {

@@ -1,0 +1,56 @@
+//! Micro-benchmark for the calendar queue, mirroring the `event_queue`
+//! workload in `bench_throughput` (schedule 200k pseudo-random events,
+//! drain them all) plus an interleaved schedule/pop variant. Useful for
+//! tuning the bucket-geometry constants without running the full bench.
+//!
+//! Run with `cargo run --release -p uparc-sim --example queue_micro`.
+
+use std::time::Instant;
+use uparc_sim::queue::EventQueue;
+use uparc_sim::time::SimTime;
+
+fn main() {
+    let events = 200_000u64;
+    let reps = 7;
+
+    let mut bulk = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut q = EventQueue::new();
+        for i in 0..events {
+            let at = SimTime::from_ns((i * 7919) % (events * 3));
+            q.schedule(at, i);
+        }
+        let mut popped = 0u64;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, events);
+        bulk = bulk.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "bulk schedule+drain: {:.1} Mops/s ({:.2} ms/pass)",
+        2.0 * events as f64 / bulk / 1e6,
+        bulk * 1e3
+    );
+
+    // Interleaved: keep ~1k events pending while streaming through.
+    let mut inter = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_ns(i * 31), i);
+        }
+        for i in 0..events {
+            let (at, _) = q.pop().expect("pending");
+            q.schedule(at + SimTime::from_ns(1 + (i * 7919) % 30_000), i);
+        }
+        inter = inter.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "interleaved steady-state: {:.1} Mops/s ({:.2} ms/pass)",
+        2.0 * events as f64 / inter / 1e6,
+        inter * 1e3
+    );
+}

@@ -14,9 +14,12 @@
 //! * [`clock`] — runtime-retunable clock domains ([`clock::ClockDomain`])
 //!   and multi-rate edge merging ([`clock::MultiClock`]), the substrate for
 //!   dynamic frequency scaling (DyCloGen in the paper).
-//! * [`queue`] — a deterministic discrete-event queue ([`queue::EventQueue`]).
+//! * [`queue`] — a deterministic discrete-event queue ([`queue::EventQueue`]),
+//!   a calendar-queue/timer-wheel hybrid with O(1) amortised operations,
+//!   batch scheduling and whole-instant draining.
 //! * [`engine`] — a process-based discrete-event kernel on top of it
-//!   ([`engine::Engine`]), for asynchronous system-level scenarios.
+//!   ([`engine::Engine`]) with a slab process table and batched
+//!   same-instant dispatch, for asynchronous system-level scenarios.
 //! * [`power`] — component-based power model (static + `mW/MHz` dynamic
 //!   contributions with clock gating), plus the calibration constants fitted
 //!   to the paper's Figure 7 in [`power::calib`].

@@ -45,13 +45,21 @@ pub mod calib {
 
     /// The four measured operating points of Fig. 7:
     /// `(reconfiguration frequency in MHz, total core power in mW)`.
-    pub const FIG7_POINTS: [(f64, f64); 4] =
-        [(50.0, 183.0), (100.0, 259.0), (200.0, 394.0), (300.0, 453.0)];
+    pub const FIG7_POINTS: [(f64, f64); 4] = [
+        (50.0, 183.0),
+        (100.0, 259.0),
+        (200.0, 394.0),
+        (300.0, 453.0),
+    ];
 
     /// Reconfiguration times of the 216.5 KB bitstream reported in §V, per
     /// Fig. 7 frequency: `(MHz, microseconds)`.
-    pub const FIG7_TIMES_US: [(f64, f64); 4] =
-        [(50.0, 1100.0), (100.0, 550.0), (200.0, 270.0), (300.0, 180.0)];
+    pub const FIG7_TIMES_US: [(f64, f64); 4] = [
+        (50.0, 1100.0),
+        (100.0, 550.0),
+        (200.0, 270.0),
+        (300.0, 180.0),
+    ];
 }
 
 /// Identifier of a component registered in a [`PowerModel`].
@@ -70,8 +78,7 @@ struct Component {
 impl Component {
     fn power_mw(&self) -> f64 {
         let dynamic = if self.active {
-            self.freq
-                .map_or(0.0, |f| self.dyn_mw_per_mhz * f.as_mhz())
+            self.freq.map_or(0.0, |f| self.dyn_mw_per_mhz * f.as_mhz())
         } else {
             0.0
         };
@@ -234,7 +241,8 @@ impl fmt::Display for PowerModel {
                 c.static_mw,
                 c.dyn_mw_per_mhz,
                 if c.active { "active" } else { "gated" },
-                c.freq.map_or_else(|| "unclocked".to_owned(), |x| x.to_string()),
+                c.freq
+                    .map_or_else(|| "unclocked".to_owned(), |x| x.to_string()),
             )?;
         }
         Ok(())
@@ -335,7 +343,10 @@ mod tests {
         let mut m = PowerModel::new();
         let c = m.add_component("x", 10.0, 2.0);
         m.set_frequency(c, Frequency::from_mhz(100.0));
-        assert!((m.total_mw() - 10.0).abs() < 1e-12, "inactive => static only");
+        assert!(
+            (m.total_mw() - 10.0).abs() < 1e-12,
+            "inactive => static only"
+        );
         m.set_active(c, true);
         assert!((m.total_mw() - 210.0).abs() < 1e-12);
         m.set_active(c, false);

@@ -72,8 +72,16 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let syy: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinearFit { slope, intercept, r2 })
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 /// Result of [`linear_fit`].
@@ -128,10 +136,19 @@ mod tests {
     #[test]
     fn linear_fit_recovers_fig7_calibration() {
         // The exact fit used for the power calibration in DESIGN.md §3.
-        let pts = [(50.0, 183.0), (100.0, 259.0), (200.0, 394.0), (300.0, 453.0)];
+        let pts = [
+            (50.0, 183.0),
+            (100.0, 259.0),
+            (200.0, 394.0),
+            (300.0, 453.0),
+        ];
         let fit = linear_fit(&pts).unwrap();
         assert!((fit.slope - 1.0925).abs() < 1e-3, "slope {}", fit.slope);
-        assert!((fit.intercept - 144.7).abs() < 0.5, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 144.7).abs() < 0.5,
+            "intercept {}",
+            fit.intercept
+        );
         assert!(fit.r2 > 0.95, "r2 {}", fit.r2);
     }
 

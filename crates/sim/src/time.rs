@@ -164,11 +164,7 @@ impl SimTime {
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
 }
 
@@ -198,11 +194,7 @@ impl SubAssign for SimTime {
 impl Mul<u64> for SimTime {
     type Output = SimTime;
     fn mul(self, rhs: u64) -> SimTime {
-        SimTime(
-            self.0
-                .checked_mul(rhs)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.checked_mul(rhs).expect("simulation time overflow"))
     }
 }
 
@@ -335,7 +327,10 @@ impl Frequency {
     pub fn scaled(self, m: u32, d: u32) -> Frequency {
         assert!(d > 0, "division factor must be non-zero");
         let hz = (self.0 as u128 * m as u128 + (d as u128 / 2)) / d as u128;
-        assert!(hz > 0 && hz <= u64::MAX as u128, "scaled frequency out of range");
+        assert!(
+            hz > 0 && hz <= u64::MAX as u128,
+            "scaled frequency out of range"
+        );
         Frequency::from_hz(hz as u64)
     }
 }
@@ -367,7 +362,10 @@ impl Bandwidth {
     /// Panics if `elapsed` is zero.
     #[must_use]
     pub fn from_transfer(bytes: u64, elapsed: SimTime) -> Self {
-        assert!(!elapsed.is_zero(), "cannot compute bandwidth over zero time");
+        assert!(
+            !elapsed.is_zero(),
+            "cannot compute bandwidth over zero time"
+        );
         Bandwidth(bytes as f64 / elapsed.as_secs_f64())
     }
 
@@ -516,11 +514,7 @@ mod tests {
     #[test]
     fn bandwidth_theoretical_icap_numbers() {
         // Theoretical ICAP bandwidth = 4 bytes x f. Check the paper's rows.
-        let cases = [
-            (100.0, 400.0),
-            (200.0, 800.0),
-            (362.5, 1450.0),
-        ];
+        let cases = [(100.0, 400.0), (200.0, 800.0), (362.5, 1450.0)];
         for (mhz, mbs) in cases {
             let f = Frequency::from_mhz(mhz);
             let t = f.time_of_cycles(1_000_000);

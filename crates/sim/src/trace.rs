@@ -299,8 +299,7 @@ mod tests {
     #[test]
     fn energy_matches_hand_computation() {
         let tr = fig7_like_trace();
-        let expected =
-            (53.0 * 10.0 + 145.0 * 2.0 + 453.0 * 180.0 + 53.0 * 58.0) * 1e-6 * 1e3;
+        let expected = (53.0 * 10.0 + 145.0 * 2.0 + 453.0 * 180.0 + 53.0 * 58.0) * 1e-6 * 1e3;
         assert!((tr.energy_uj() - expected).abs() < 1e-9);
     }
 
@@ -361,7 +360,10 @@ mod tests {
         assert!(!samples.is_empty());
         for (t, p) in samples {
             let ideal = tr.power_at(t).unwrap();
-            assert!((p - ideal).abs() < 1e-9, "sample at {t} off: {p} vs {ideal}");
+            assert!(
+                (p - ideal).abs() < 1e-9,
+                "sample at {t} off: {p} vs {ideal}"
+            );
         }
     }
 

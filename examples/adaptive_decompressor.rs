@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         swap.algorithm,
         swap.reconfiguration.elapsed(),
         swap.reconfiguration.bytes as f64 / 1024.0,
-        if swap.reconfiguration.compressed { "compressed" } else { "raw" },
+        if swap.reconfiguration.compressed {
+            "compressed"
+        } else {
+            "raw"
+        },
     );
     println!("CLK_3 retuned to {} (the RLE decoder's ceiling)", swap.clk3);
 

@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "  {:<8} preload {:>10} ({}), swap {:>9}, downtime {:>10}",
                 t.name,
                 t.preload.duration.to_string(),
-                if t.preload.compressed { "compressed" } else { "raw" },
+                if t.preload.compressed {
+                    "compressed"
+                } else {
+                    "raw"
+                },
                 t.reconfiguration.elapsed().to_string(),
                 t.downtime.to_string(),
             );

@@ -24,8 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy = PowerAwarePolicy::paper_setup(device.family());
 
     let scenarios = [
-        ("frame gap: swap within 600 µs", Constraint::Deadline(SimTime::from_us(600))),
-        ("battery saver: stay under 300 mW", Constraint::PowerBudget { mw: 300.0 }),
+        (
+            "frame gap: swap within 600 µs",
+            Constraint::Deadline(SimTime::from_us(600)),
+        ),
+        (
+            "battery saver: stay under 300 mW",
+            Constraint::PowerBudget { mw: 300.0 },
+        ),
         ("minimum energy", Constraint::MinEnergy),
         ("panic swap: as fast as possible", Constraint::MaxThroughput),
     ];
@@ -39,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{label}");
         println!(
             "  plan: CLK_2 = {} -> predicted {} at {:.0} mW, {:.0} µJ",
-            plan.frequency,
-            plan.predicted_time,
-            plan.predicted_power_mw,
-            plan.predicted_energy_uj
+            plan.frequency, plan.predicted_time, plan.predicted_power_mw, plan.predicted_energy_uj
         );
         println!(
             "  run : {} at {:.0} MB/s, {:.0} µJ above idle",
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Infeasible constraints are reported, not silently violated.
-    match policy.plan(Constraint::Deadline(SimTime::from_us(50)), bitstream.size_bytes()) {
+    match policy.plan(
+        Constraint::Deadline(SimTime::from_us(50)),
+        bitstream.size_bytes(),
+    ) {
         Err(e) => println!("infeasible 50 µs deadline correctly rejected: {e}"),
         Ok(_) => unreachable!("216.5 KB cannot move in 50 µs"),
     }

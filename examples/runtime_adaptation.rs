@@ -26,8 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let phases: [(&str, Constraint, u64); 4] = [
         ("nominal", Constraint::Deadline(SimTime::from_ms(1)), 1),
-        ("thermal alarm (≤250 mW)", Constraint::PowerBudget { mw: 250.0 }, 2),
-        ("real-time window (≤250 µs)", Constraint::Deadline(SimTime::from_us(250)), 3),
+        (
+            "thermal alarm (≤250 mW)",
+            Constraint::PowerBudget { mw: 250.0 },
+            2,
+        ),
+        (
+            "real-time window (≤250 µs)",
+            Constraint::Deadline(SimTime::from_us(250)),
+            3,
+        ),
         ("battery critical", Constraint::MinEnergy, 4),
     ];
 
@@ -51,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace = uparc.power_trace();
-    println!("\ntimeline: {} total, peak power {:.0} mW, total energy {:.2} mJ",
+    println!(
+        "\ntimeline: {} total, peak power {:.0} mW, total energy {:.2} mJ",
         trace.end().expect("finished"),
         trace.peak_mw(),
         trace.energy_uj() / 1000.0,

@@ -63,7 +63,8 @@ fn uparc_is_tens_of_times_more_energy_efficient_than_xps() {
     let mut xps = XpsHwicap::unoptimized(device.clone());
     let rx = xps.reconfigure(&bs).expect("xps");
     let mut sys = UParc::builder(device).build().expect("build");
-    sys.set_reconfiguration_frequency(Frequency::from_mhz(50.0)).expect("tune");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(50.0))
+        .expect("tune");
     let ru = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("uparc");
     let ratio = rx.uj_per_kb() / ru.uj_per_kb();
     assert!(
@@ -80,8 +81,11 @@ fn effective_bandwidth_is_monotone_in_frequency_and_size() {
     for mhz in [50.0, 100.0, 200.0, 300.0, 362.5] {
         let bs = bitstream(&device, 49 * 1024, 3);
         let mut sys = UParc::builder(device.clone()).build().expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz)).expect("tune");
-        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+            .expect("tune");
+        let r = sys
+            .reconfigure_bitstream(&bs, Mode::Raw)
+            .expect("reconfigure");
         assert!(r.bandwidth_mb_s() > last_bw, "{mhz} MHz");
         last_bw = r.bandwidth_mb_s();
     }
@@ -89,8 +93,11 @@ fn effective_bandwidth_is_monotone_in_frequency_and_size() {
     for kb in [6usize, 12, 49, 156, 247] {
         let bs = bitstream(&device, kb * 1024, 4);
         let mut sys = UParc::builder(device.clone()).build().expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).expect("tune");
-        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+            .expect("tune");
+        let r = sys
+            .reconfigure_bitstream(&bs, Mode::Raw)
+            .expect("reconfigure");
         assert!(r.efficiency() > last_eff, "{kb} KB");
         last_eff = r.efficiency();
     }
@@ -118,11 +125,15 @@ fn compressed_capacity_reaches_the_992_kb_claim() {
     let device = Device::xc5vsx50t();
     let bs = bitstream(&device, 992 * 1024, 6);
     let mut sys = UParc::builder(device.clone()).build().expect("build");
-    sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0)).expect("tune");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0))
+        .expect("tune");
     let pre = sys.preload(&bs, Mode::Compressed).expect("fits compressed");
     assert!(pre.stored_bytes <= 256 * 1024);
     let full = device.full_bitstream_bytes() as f64;
-    assert!(bs.size_bytes() as f64 / full > 0.40, "more than 40% of the device");
+    assert!(
+        bs.size_bytes() as f64 / full > 0.40,
+        "more than 40% of the device"
+    );
     let r = sys.reconfigure().expect("reconfigure");
     assert!(r.bandwidth_mb_s() > 900.0);
 }

@@ -15,23 +15,32 @@ fn bitstream(device: &Device, frames: u32) -> PartialBitstream {
 }
 
 /// The algorithms with streaming hardware decoders.
-const HW_ALGS: [Algorithm; 4] =
-    [Algorithm::XMatchPro, Algorithm::Rle, Algorithm::Lz77, Algorithm::Huffman];
+const HW_ALGS: [Algorithm; 4] = [
+    Algorithm::XMatchPro,
+    Algorithm::Rle,
+    Algorithm::Lz77,
+    Algorithm::Huffman,
+];
 
 #[test]
 fn every_hw_algorithm_configures_identically_to_raw() {
     let device = Device::xc5vsx50t();
     let bs = bitstream(&device, 250);
     let mut reference = UParc::builder(device.clone()).build().expect("build");
-    reference.reconfigure_bitstream(&bs, Mode::Raw).expect("raw");
+    reference
+        .reconfigure_bitstream(&bs, Mode::Raw)
+        .expect("raw");
 
     for alg in HW_ALGS {
         let mut sys = UParc::builder(device.clone())
             .decompressor(alg)
             .build()
             .expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0)).expect("tune");
-        let r = sys.reconfigure_bitstream(&bs, Mode::Compressed).expect("compressed");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .expect("tune");
+        let r = sys
+            .reconfigure_bitstream(&bs, Mode::Compressed)
+            .expect("compressed");
         assert!(r.compressed, "{alg}");
         assert_eq!(
             reference
@@ -55,7 +64,8 @@ fn staging_footprint_follows_table1_ordering() {
             .decompressor(alg)
             .build()
             .expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0)).expect("tune");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .expect("tune");
         let pre = sys.preload(&bs, Mode::Compressed).expect("stage");
         stored.push((alg, pre.stored_bytes));
     }
@@ -74,8 +84,10 @@ fn throughput_reflects_each_decoder_rate() {
             .decompressor(alg)
             .build()
             .expect("build");
-        sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0)).expect("tune");
-        sys.reconfigure_bitstream(&bs, Mode::Compressed).expect("run")
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0))
+            .expect("tune");
+        sys.reconfigure_bitstream(&bs, Mode::Compressed)
+            .expect("run")
     };
     // X-MatchPRO: 2 w/c at ≤126 MHz ⇒ ~1 GB/s.
     let xmp = run(Algorithm::XMatchPro);
@@ -99,8 +111,11 @@ fn pipeline_and_analytic_pacing_agree_on_the_paper_point() {
     let device = Device::xc5vsx50t();
     let bs = bitstream(&device, 1300);
     let mut sys = UParc::builder(device.clone()).build().expect("build");
-    sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0)).expect("tune");
-    let r = sys.reconfigure_bitstream(&bs, Mode::Compressed).expect("run");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(255.0))
+        .expect("tune");
+    let r = sys
+        .reconfigure_bitstream(&bs, Mode::Compressed)
+        .expect("run");
     let out_words = (r.bytes / 4) as u64;
     let f3 = r.decompressor_frequency.expect("compressed");
     let steady = f3.time_of_cycles(out_words.div_ceil(2));

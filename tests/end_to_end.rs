@@ -46,7 +46,8 @@ fn configuration_memory_contains_exactly_the_payload() {
     let bs = PartialBitstream::build(&device, 1000, &payload);
 
     let mut sys = UParc::builder(device).build().expect("build");
-    sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+    sys.reconfigure_bitstream(&bs, Mode::Raw)
+        .expect("reconfigure");
     for (i, frame_payload) in payload.chunks(fw).enumerate() {
         let frame = sys
             .icap()
@@ -56,7 +57,11 @@ fn configuration_memory_contains_exactly_the_payload() {
         assert_eq!(frame, frame_payload, "frame {i}");
     }
     // Frames outside the partition stayed blank.
-    let untouched = sys.icap().config_memory().read_frame(999).expect("in range");
+    let untouched = sys
+        .icap()
+        .config_memory()
+        .read_frame(999)
+        .expect("in range");
     assert!(untouched.iter().all(|&w| w == 0));
 }
 
@@ -64,11 +69,13 @@ fn configuration_memory_contains_exactly_the_payload() {
 fn repeated_swaps_accumulate_in_config_memory_and_trace() {
     let device = Device::xc5vsx50t();
     let mut sys = UParc::builder(device.clone()).build().expect("build");
-    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).expect("tune");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0))
+        .expect("tune");
     let mut total_frames = 0;
     for seed in 0..5 {
         let bs = bitstream(&device, 100 * seed, 80, u64::from(seed));
-        sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+        sys.reconfigure_bitstream(&bs, Mode::Raw)
+            .expect("reconfigure");
         sys.advance_idle(SimTime::from_us(200));
         total_frames += 80;
     }
@@ -95,8 +102,15 @@ fn both_paper_devices_work_end_to_end() {
         let bs = bitstream(&device, 0, 100, 3);
         let mut sys = UParc::builder(device.clone()).build().expect("build");
         sys.set_reconfiguration_frequency(cap).expect("tune");
-        let r = sys.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
-        assert!(r.bandwidth_mb_s() > 1000.0, "{}: {:.0} MB/s", device.name(), r.bandwidth_mb_s());
+        let r = sys
+            .reconfigure_bitstream(&bs, Mode::Raw)
+            .expect("reconfigure");
+        assert!(
+            r.bandwidth_mb_s() > 1000.0,
+            "{}: {:.0} MB/s",
+            device.name(),
+            r.bandwidth_mb_s()
+        );
         assert_eq!(sys.icap().frames_committed(), 100);
     }
 }
@@ -105,8 +119,12 @@ fn both_paper_devices_work_end_to_end() {
 fn v6_cannot_reach_the_v5_headline_clock() {
     // §IV: "362.5 MHz is not reliable" on the tested Virtex-6 samples.
     let mut sys = UParc::builder(Device::xc6vlx240t()).build().expect("build");
-    assert!(sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).is_err());
-    assert!(sys.set_reconfiguration_frequency(Frequency::from_mhz(350.0)).is_ok());
+    assert!(sys
+        .set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+        .is_err());
+    assert!(sys
+        .set_reconfiguration_frequency(Frequency::from_mhz(350.0))
+        .is_ok());
 }
 
 #[test]
@@ -122,11 +140,16 @@ fn preload_overlap_does_not_change_outcome() {
     let r_eager = eager.reconfigure().expect("reconfigure");
 
     let mut lazy = UParc::builder(device).build().expect("build");
-    let r_lazy = lazy.reconfigure_bitstream(&bs, Mode::Raw).expect("reconfigure");
+    let r_lazy = lazy
+        .reconfigure_bitstream(&bs, Mode::Raw)
+        .expect("reconfigure");
 
     assert_eq!(r_eager.transfer_time, r_lazy.transfer_time);
     assert_eq!(
-        eager.icap().config_memory().diff_frames(lazy.icap().config_memory()),
+        eager
+            .icap()
+            .config_memory()
+            .diff_frames(lazy.icap().config_memory()),
         0
     );
 }

@@ -20,12 +20,13 @@ fn scrubbing_protects_a_floorplanned_partition() {
     let rp = fp.add_partition("protected", 800..1000).expect("fits");
     let range = fp.partition(rp).frames();
 
-    let payload =
-        SynthProfile::dense().generate(&device, range.start, range.end - range.start, 1);
+    let payload = SynthProfile::dense().generate(&device, range.start, range.end - range.start, 1);
     let bs = PartialBitstream::build(&device, range.start, &payload);
     let mut sys = UParc::builder(device).build().expect("build");
-    sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5)).expect("tune");
-    sys.reconfigure_bitstream(&bs, Mode::Raw).expect("configure");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+        .expect("tune");
+    sys.reconfigure_bitstream(&bs, Mode::Raw)
+        .expect("configure");
 
     let scrubber =
         Scrubber::capture(&mut sys, range.start, range.end - range.start).expect("golden");
@@ -99,7 +100,10 @@ impl Process<Ev> for ControllerProc {
                 let device = self.sys.device().clone();
                 let payload = SynthProfile::dense().generate(&device, 0, 200, u64::from(seed));
                 let bs = PartialBitstream::build(&device, 0, &payload);
-                let r = self.sys.reconfigure_bitstream(&bs, Mode::Raw).expect("swap");
+                let r = self
+                    .sys
+                    .reconfigure_bitstream(&bs, Mode::Raw)
+                    .expect("swap");
                 let latency = r.elapsed();
                 self.served.push(latency);
                 if let Some(req) = self.requester {
@@ -133,7 +137,8 @@ impl Process<Ev> for RequesterProc {
 #[test]
 fn engine_drives_an_asynchronous_swap_pipeline() {
     let mut sys = UParc::builder(Device::xc5vsx50t()).build().expect("build");
-    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).expect("tune");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0))
+        .expect("tune");
 
     let mut engine = Engine::new();
     let requester = engine.spawn(Box::new(RequesterProc {

@@ -86,7 +86,12 @@ fn inconsistent_mode_word_is_rejected() {
     let img = BramImage::uncompressed(&stream);
     let mut words = img.words().to_vec();
     // Tamper with the size field: claims more words than present.
-    words[0] = ModeWord { compressed: false, codec_id: 0, size_words: 1000 }.encode();
+    words[0] = ModeWord {
+        compressed: false,
+        codec_id: 0,
+        size_words: 1000,
+    }
+    .encode();
     let broken = BramImage::from_words(words);
     assert!(broken.mode().is_err());
 }
@@ -100,14 +105,20 @@ fn capacity_violations_are_typed_not_truncated() {
     let bs = bitstream(&device, 7000, 3);
     let mut sys = UParc::builder(device).build().expect("build");
     match sys.preload(&bs, Mode::Auto) {
-        Err(UparcError::BramCapacity { required, available }) => {
+        Err(UparcError::BramCapacity {
+            required,
+            available,
+        }) => {
             assert!(required > available);
         }
         Err(other) => panic!("unexpected error {other}"),
         Ok(pre) => panic!("must not fit, stored {}", pre.stored_bytes),
     }
     // And nothing is staged afterwards.
-    assert!(matches!(sys.reconfigure(), Err(UparcError::NothingPreloaded)));
+    assert!(matches!(
+        sys.reconfigure(),
+        Err(UparcError::NothingPreloaded)
+    ));
 }
 
 #[test]
@@ -126,11 +137,15 @@ fn clock_ceilings_are_enforced_per_component() {
     ));
     // And the compressed datapath rejects >255 MHz at reconfigure time.
     let bs = bitstream(sys.device(), 100, 4).clone();
-    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0)).expect("legal raw clock");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(300.0))
+        .expect("legal raw clock");
     sys.preload(&bs, Mode::Compressed).expect("stages fine");
     assert!(matches!(
         sys.reconfigure(),
-        Err(UparcError::Frequency { limited_by: "compressed datapath", .. })
+        Err(UparcError::Frequency {
+            limited_by: "compressed datapath",
+            ..
+        })
     ));
 }
 

@@ -56,7 +56,11 @@ fn stream(dev: &Device, far: u32, payload: &[u32]) -> Vec<u32> {
 /// Asserts the two ports ended in the same externally observable state.
 fn assert_same_state(fast: &Icap, slow: &Icap) {
     assert_eq!(fast.words_consumed(), slow.words_consumed(), "word counter");
-    assert_eq!(fast.frames_committed(), slow.frames_committed(), "frame counter");
+    assert_eq!(
+        fast.frames_committed(),
+        slow.frames_committed(),
+        "frame counter"
+    );
     assert_eq!(fast.status(), slow.status(), "port status");
     assert_eq!(
         fast.config_memory().diff_frames(slow.config_memory()),
@@ -90,7 +94,11 @@ fn icap_stream_strategy() -> impl Strategy<Value = Vec<u32>> {
     )
         .prop_map(move |(far, frames, pool, mutation, r)| {
             let payload = &pool[..(frames * fw).min(pool.len()) / fw * fw];
-            let far = if mutation == 3 { device_frames - 1 } else { far };
+            let far = if mutation == 3 {
+                device_frames - 1
+            } else {
+                far
+            };
             let mut s = stream(&dev, far, payload);
             match mutation {
                 1 => {
