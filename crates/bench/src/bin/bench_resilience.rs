@@ -1,0 +1,621 @@
+//! Seeded resilience campaign: writes `BENCH_resilience.json` at the
+//! repository root with detection/recovery coverage, completion rate and
+//! MTTR (mean time to repair) for the recovery ladder, over a
+//! fault-rate × policy grid plus a per-class single-fault table and a FaRM
+//! no-recovery baseline.
+//!
+//! Everything in the JSON derives from the *simulated* system — fault
+//! plans are expanded from seeds, times are simulated times — so the same
+//! invocation always produces a byte-identical report (the `--smoke` flag
+//! shrinks the grid, not the determinism).
+//!
+//! Run with `cargo run --release -p uparc-bench --bin bench_resilience`;
+//! pass `--smoke` for the seconds-scale CI variant. The binary *fails*
+//! (non-zero exit) if the full policy leaves any recoverable-by-design
+//! fault unrecovered — that is the CI gate.
+
+use std::fmt::Write as _;
+
+use uparc_bench::sweep;
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_controllers::farm::Farm;
+use uparc_controllers::ReconfigController;
+use uparc_core::recovery::RecoveryPolicy;
+use uparc_core::uparc::{Mode, UParc};
+use uparc_core::UparcError;
+use uparc_fpga::Device;
+use uparc_sim::fault::{FaultInjector, FaultKind, FaultPlan, FaultRates, FaultSpace};
+use uparc_sim::time::{Frequency, SimTime};
+
+/// The protected partition every scenario reconfigures.
+const FAR: u32 = 300;
+const FRAMES: u32 = 40;
+
+/// splitmix64 step, for deriving per-seed fault coordinates.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The three policies of the campaign. The healing policies get extra
+/// attempt headroom over the library defaults: at fault rate 3 a single
+/// round can see several stall aborts plus a CRC failure back to back.
+fn policies() -> Vec<(&'static str, RecoveryPolicy)> {
+    vec![
+        ("none", RecoveryPolicy::none()),
+        (
+            "retry",
+            RecoveryPolicy {
+                max_attempts: 10,
+                ..RecoveryPolicy::retry_only()
+            },
+        ),
+        (
+            "full",
+            RecoveryPolicy {
+                max_attempts: 10,
+                ..RecoveryPolicy::default()
+            },
+        ),
+    ]
+}
+
+/// Fault classes of the single-fault table. Every class except `none` is
+/// recoverable by design under the full policy.
+const CLASSES: &[&str] = &[
+    "none",
+    "config_seu",
+    "parity_seu",
+    "staged_flip_raw",
+    "staged_flip_compressed",
+    "crc_transient_overclock",
+    "transfer_stall",
+    "retune_lock",
+];
+
+fn system(device: &Device, mhz: f64) -> UParc {
+    let mut sys = UParc::builder(device.clone()).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+        .expect("retune");
+    // Let the DCM lock so clean runs carry no relock wait.
+    sys.advance_idle(SimTime::from_ms(1));
+    sys
+}
+
+fn bitstream(device: &Device, seed: u64) -> PartialBitstream {
+    let payload = SynthProfile::dense().generate(device, FAR, FRAMES, seed);
+    PartialBitstream::build(device, FAR, &payload)
+}
+
+struct SingleRow {
+    class: &'static str,
+    policy: &'static str,
+    seed: u64,
+    ok: bool,
+    error: String,
+    attempts: u32,
+    actions: Vec<&'static str>,
+    extra_time_us: f64,
+    extra_energy_uj: f64,
+    applied: usize,
+    detected: usize,
+    recovered: usize,
+}
+
+/// Runs one (class, policy, seed) scenario with exactly one injected
+/// fault (or none, for the `none` class).
+fn single_fault_cell(
+    class: &'static str,
+    policy_name: &'static str,
+    policy: &RecoveryPolicy,
+    seed: u64,
+) -> SingleRow {
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, seed);
+    let compressed = class == "staged_flip_compressed";
+    let mode = if compressed {
+        Mode::Compressed
+    } else {
+        Mode::Raw
+    };
+    // The compressed datapath caps CLK_2 at 255 MHz; CRC transients need
+    // the overclocked regime, everything else runs at the headline clock.
+    let mhz = if compressed { 200.0 } else { 362.5 };
+    let mut rng = seed ^ 0x05EE_D0FF_A017_u64;
+    let r = splitmix64(&mut rng);
+
+    // SEUs must strike *after* the partition is written to be observable;
+    // a dry no-fault run pins the (deterministic) end-of-transfer instant.
+    let strike_at = if matches!(class, "config_seu" | "parity_seu") {
+        let mut dry = system(&device, mhz);
+        let rec = RecoveryPolicy::none()
+            .reconfigure(&mut dry, &bs, mode)
+            .expect("dry run is fault-free");
+        rec.report.started_at + rec.report.control_overhead + rec.report.transfer_time
+    } else {
+        SimTime::ZERO
+    };
+
+    let mut sys = system(&device, if class == "retune_lock" { 300.0 } else { mhz });
+    let now = sys.now();
+    let mut inj = FaultInjector::empty();
+    match class {
+        "none" => {}
+        "config_seu" => inj.schedule(
+            strike_at,
+            FaultKind::ConfigSeu {
+                frame: FAR + (r as u32) % FRAMES,
+                word: ((r >> 32) as u32) % 41,
+                bit: ((r >> 58) & 31) as u8,
+            },
+        ),
+        "parity_seu" => inj.schedule(
+            strike_at,
+            FaultKind::ParitySeu {
+                frame: FAR + (r as u32) % FRAMES,
+                bit: ((r >> 58) & 31) as u8,
+            },
+        ),
+        "staged_flip_raw" | "staged_flip_compressed" => inj.schedule(
+            now,
+            FaultKind::StagedFlip {
+                word: r as u32,
+                bit: ((r >> 58) & 31) as u8,
+            },
+        ),
+        "crc_transient_overclock" => inj.schedule(now, FaultKind::CrcTransient),
+        "transfer_stall" => inj.schedule(
+            now,
+            FaultKind::TransferStall {
+                cycles: 450_000, // ~1.24 ms at 362.5 MHz: past the 1 ms watchdog
+            },
+        ),
+        "retune_lock" => inj.schedule(now, FaultKind::RetuneLockFailure),
+        _ => unreachable!("unknown class"),
+    }
+    sys.attach_fault_injector(inj);
+    if class == "retune_lock" {
+        // The armed failure fires on this factor-changing retune: the DRP
+        // writes land but LOCKED never asserts.
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+            .expect("retune request is legal");
+    }
+
+    let outcome = policy.reconfigure(&mut sys, &bs, mode);
+    let log = sys.detach_fault_injector().expect("attached above");
+    let log = log.log();
+    let (applied, detected, recovered) = (
+        log.len(),
+        log.iter().filter(|f| f.detected).count(),
+        log.iter().filter(|f| f.recovered).count(),
+    );
+    match outcome {
+        Ok(rec) => SingleRow {
+            class,
+            policy: policy_name,
+            seed,
+            ok: true,
+            error: String::new(),
+            attempts: rec.attempts,
+            actions: rec.actions.iter().map(|a| a.label()).collect(),
+            extra_time_us: rec.extra_time.as_secs_f64() * 1e6,
+            extra_energy_uj: rec.extra_energy_uj,
+            applied,
+            detected,
+            recovered,
+        },
+        Err(e) => SingleRow {
+            class,
+            policy: policy_name,
+            seed,
+            ok: false,
+            error: error_label(&e).to_string(),
+            attempts: 0,
+            actions: Vec::new(),
+            extra_time_us: 0.0,
+            extra_energy_uj: 0.0,
+            applied,
+            detected,
+            recovered,
+        },
+    }
+}
+
+/// Stable short name for a propagated error (JSON field).
+fn error_label(e: &UparcError) -> &'static str {
+    match e {
+        UparcError::WatchdogTimeout { .. } => "watchdog_timeout",
+        UparcError::Fpga(_) => "fpga",
+        UparcError::Bitstream(_) => "bitstream",
+        UparcError::Compression(_) => "compression",
+        UparcError::Frequency { .. } => "frequency",
+        _ => "other",
+    }
+}
+
+struct CampaignRow {
+    rate: u32,
+    policy: &'static str,
+    seed: u64,
+    rounds: u32,
+    rounds_ok: u32,
+    healed_rounds: u32,
+    attempts: u32,
+    applied: usize,
+    detected: usize,
+    recovered: usize,
+    pending_left: usize,
+    mttr_us: f64,
+    extra_energy_uj: f64,
+}
+
+/// Runs one seeded campaign cell: a generated fault plan against a short
+/// schedule of reconfigurations (raw overclocked, compressed, raw again).
+fn campaign_cell(
+    rate: u32,
+    policy_name: &'static str,
+    policy: &RecoveryPolicy,
+    seed: u64,
+) -> CampaignRow {
+    let device = Device::xc5vsx50t();
+    let mut sys = system(&device, 362.5);
+    let space = FaultSpace {
+        frame_base: FAR,
+        frames: FRAMES,
+        frame_words: 41,
+        staged_words: FRAMES * 41 + 20,
+    };
+    let rates = FaultRates {
+        config_seu: rate,
+        parity_seu: rate,
+        staged_flip: rate,
+        transfer_stall: rate,
+        crc_transient: rate,
+        retune_lock_failure: rate,
+    };
+    let plan = FaultPlan::generate(seed, &space, &rates, SimTime::from_ms(3));
+    sys.attach_fault_injector(FaultInjector::new(&plan));
+
+    let rounds: [(f64, Mode); 3] = [
+        (362.5, Mode::Raw),
+        (200.0, Mode::Compressed),
+        (362.5, Mode::Raw),
+    ];
+    let mut rounds_ok = 0u32;
+    let mut healed_rounds = 0u32;
+    let mut attempts = 0u32;
+    let mut mttr_sum = 0.0f64;
+    let mut extra_energy = 0.0f64;
+    for (i, &(mhz, mode)) in rounds.iter().enumerate() {
+        let bs = bitstream(&device, seed.wrapping_add(i as u64));
+        // A retune per round exercises armed lock failures; errors here are
+        // fault-induced (arming consumed the fault) and end the round.
+        if sys
+            .set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+            .is_err()
+        {
+            continue;
+        }
+        match policy.reconfigure(&mut sys, &bs, mode) {
+            Ok(rec) => {
+                rounds_ok += 1;
+                attempts += rec.attempts;
+                extra_energy += rec.extra_energy_uj;
+                if rec.healed() {
+                    healed_rounds += 1;
+                    mttr_sum += rec.extra_time.as_secs_f64() * 1e6;
+                }
+            }
+            Err(_) => {
+                attempts += policy.max_attempts;
+            }
+        }
+        sys.advance_idle(SimTime::from_us(500));
+    }
+    let inj = sys.detach_fault_injector().expect("attached above");
+    let (applied, detected, recovered) = (
+        inj.log().len(),
+        inj.log().iter().filter(|f| f.detected).count(),
+        inj.log().iter().filter(|f| f.recovered).count(),
+    );
+    CampaignRow {
+        rate,
+        policy: policy_name,
+        seed,
+        rounds: rounds.len() as u32,
+        rounds_ok,
+        healed_rounds,
+        attempts,
+        applied,
+        detected,
+        recovered,
+        pending_left: inj.remaining(),
+        mttr_us: if healed_rounds > 0 {
+            mttr_sum / f64::from(healed_rounds)
+        } else {
+            0.0
+        },
+        extra_energy_uj: extra_energy,
+    }
+}
+
+struct FarmRow {
+    class: &'static str,
+    ok: bool,
+    applied: usize,
+    recovered: usize,
+}
+
+/// The no-recovery baseline: the same single faults against FaRM.
+fn farm_cell(class: &'static str, seed: u64) -> FarmRow {
+    let device = Device::xc5vsx50t();
+    let bs = bitstream(&device, seed);
+    let mut ctrl = Farm::new(device);
+    let mut inj = FaultInjector::empty();
+    match class {
+        "staged_flip_raw" => inj.schedule(
+            SimTime::ZERO,
+            FaultKind::StagedFlip {
+                word: seed as u32,
+                bit: (seed % 32) as u8,
+            },
+        ),
+        "crc_transient" => inj.schedule(SimTime::ZERO, FaultKind::CrcTransient),
+        _ => unreachable!("unknown farm class"),
+    }
+    ctrl.attach_fault_injector(inj);
+    let ok = ctrl.reconfigure(&bs).is_ok();
+    let inj = ctrl.detach_fault_injector().expect("attached above");
+    FarmRow {
+        class,
+        ok,
+        applied: inj.log().len(),
+        recovered: inj.log().iter().filter(|f| f.recovered).count(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seeds_per_cell: u64 = if smoke { 2 } else { 6 };
+    let policies = policies();
+
+    // ---- Per-class single-fault table --------------------------------
+    let mut single_cells: Vec<(&'static str, &'static str, RecoveryPolicy, u64)> = Vec::new();
+    for &class in CLASSES {
+        for (pname, policy) in &policies {
+            for s in 0..seeds_per_cell {
+                single_cells.push((class, pname, policy.clone(), 1000 + s));
+            }
+        }
+    }
+    let single_rows = sweep::parallel_map(&single_cells, |(class, pname, policy, seed)| {
+        single_fault_cell(class, pname, policy, *seed)
+    });
+
+    // ---- Fault-rate × policy campaign grid ---------------------------
+    let rates: &[u32] = &[0, 1, 3];
+    let mut campaign_cells: Vec<(u32, &'static str, RecoveryPolicy, u64)> = Vec::new();
+    for &rate in rates {
+        for (pname, policy) in &policies {
+            for s in 0..seeds_per_cell {
+                campaign_cells.push((rate, pname, policy.clone(), 7000 + s));
+            }
+        }
+    }
+    let campaign_rows = sweep::parallel_map(&campaign_cells, |(rate, pname, policy, seed)| {
+        campaign_cell(*rate, pname, policy, *seed)
+    });
+
+    // ---- FaRM baseline ------------------------------------------------
+    let farm_rows: Vec<FarmRow> = ["staged_flip_raw", "crc_transient"]
+        .iter()
+        .map(|&c| farm_cell(c, 1001))
+        .collect();
+
+    // ---- Acceptance gates (always on, smoke included) ----------------
+    // 1. The full policy recovers every recoverable-by-design single
+    //    fault, with nonzero-but-bounded overhead.
+    for row in single_rows.iter().filter(|r| r.policy == "full") {
+        assert!(
+            row.ok,
+            "full policy failed recoverable class {} (seed {}): {}",
+            row.class, row.seed, row.error
+        );
+        if row.class == "none" {
+            assert_eq!(row.attempts, 1, "clean run retried");
+        } else {
+            assert!(
+                !row.actions.is_empty(),
+                "class {} healed with no recorded action",
+                row.class
+            );
+            assert!(
+                row.extra_time_us > 0.0 && row.extra_time_us < 50_000.0,
+                "class {} recovery overhead {} us out of bounds",
+                row.class,
+                row.extra_time_us
+            );
+            assert!(
+                row.recovered > 0,
+                "class {} fault not marked recovered",
+                row.class
+            );
+        }
+    }
+    // 2. The baseline policy does nothing: a clean run has zero overhead.
+    for row in single_rows
+        .iter()
+        .filter(|r| r.policy == "none" && r.class == "none")
+    {
+        assert!(row.ok && row.extra_time_us == 0.0 && row.extra_energy_uj < 1e-9);
+    }
+    // 3. Full-policy campaigns complete every round — no
+    //    unrecovered-but-recoverable fault at any rate (the CI gate).
+    for row in campaign_rows.iter().filter(|r| r.policy == "full") {
+        assert_eq!(
+            row.rounds_ok, row.rounds,
+            "full policy left rounds unrecovered at rate {} seed {}",
+            row.rate, row.seed
+        );
+    }
+    // 4. FaRM has no recovery: injected faults fail the call.
+    for row in &farm_rows {
+        assert!(!row.ok, "farm baseline unexpectedly absorbed {}", row.class);
+        assert_eq!(row.recovered, 0);
+    }
+
+    // ---- Console summary ---------------------------------------------
+    for (pname, _) in &policies {
+        let rows: Vec<&SingleRow> = single_rows
+            .iter()
+            .filter(|r| r.policy == *pname && r.class != "none")
+            .collect();
+        let ok = rows.iter().filter(|r| r.ok).count();
+        println!("single-fault [{pname:>5}]: {ok}/{} recovered", rows.len());
+    }
+    for &rate in rates {
+        for (pname, _) in &policies {
+            let rows: Vec<&CampaignRow> = campaign_rows
+                .iter()
+                .filter(|r| r.rate == rate && r.policy == *pname)
+                .collect();
+            let total_rounds: u32 = rows.iter().map(|r| r.rounds).sum();
+            let ok_rounds: u32 = rows.iter().map(|r| r.rounds_ok).sum();
+            let applied: usize = rows.iter().map(|r| r.applied).sum();
+            let detected: usize = rows.iter().map(|r| r.detected).sum();
+            println!(
+                "campaign rate {rate} [{pname:>5}]: {ok_rounds}/{total_rounds} rounds ok, \
+                 {detected}/{applied} faults detected"
+            );
+        }
+    }
+
+    // ---- JSON report --------------------------------------------------
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"schema\": \"uparc-bench-resilience-v1\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"seeds_per_cell\": {seeds_per_cell},");
+    let _ = writeln!(
+        j,
+        "  \"partition\": {{\"far\": {FAR}, \"frames\": {FRAMES}}},"
+    );
+
+    let _ = writeln!(j, "  \"single_fault\": [");
+    for (i, r) in single_rows.iter().enumerate() {
+        let comma = if i + 1 < single_rows.len() { "," } else { "" };
+        let actions = r
+            .actions
+            .iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            j,
+            "    {{\"class\": \"{}\", \"policy\": \"{}\", \"seed\": {}, \"ok\": {}, \
+             \"error\": \"{}\", \"attempts\": {}, \"actions\": [{actions}], \
+             \"extra_time_us\": {:.3}, \"extra_energy_uj\": {:.3}, \
+             \"faults_applied\": {}, \"detected\": {}, \"recovered\": {}}}{comma}",
+            json_escape(r.class),
+            r.policy,
+            r.seed,
+            r.ok,
+            json_escape(&r.error),
+            r.attempts,
+            r.extra_time_us,
+            r.extra_energy_uj,
+            r.applied,
+            r.detected,
+            r.recovered,
+        );
+    }
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"campaign\": [");
+    for (i, r) in campaign_rows.iter().enumerate() {
+        let comma = if i + 1 < campaign_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"rate\": {}, \"policy\": \"{}\", \"seed\": {}, \"rounds\": {}, \
+             \"rounds_ok\": {}, \"healed_rounds\": {}, \"attempts\": {}, \
+             \"faults_applied\": {}, \"detected\": {}, \"recovered\": {}, \
+             \"pending_left\": {}, \"mttr_us\": {:.3}, \"extra_energy_uj\": {:.3}}}{comma}",
+            r.rate,
+            r.policy,
+            r.seed,
+            r.rounds,
+            r.rounds_ok,
+            r.healed_rounds,
+            r.attempts,
+            r.applied,
+            r.detected,
+            r.recovered,
+            r.pending_left,
+            r.mttr_us,
+            r.extra_energy_uj,
+        );
+    }
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"aggregates\": [");
+    let mut agg_lines = Vec::new();
+    for &rate in rates {
+        for (pname, _) in &policies {
+            let rows: Vec<&CampaignRow> = campaign_rows
+                .iter()
+                .filter(|r| r.rate == rate && r.policy == *pname)
+                .collect();
+            let total_rounds: u32 = rows.iter().map(|r| r.rounds).sum();
+            let ok_rounds: u32 = rows.iter().map(|r| r.rounds_ok).sum();
+            let applied: usize = rows.iter().map(|r| r.applied).sum();
+            let detected: usize = rows.iter().map(|r| r.detected).sum();
+            let recovered: usize = rows.iter().map(|r| r.recovered).sum();
+            let healed: u32 = rows.iter().map(|r| r.healed_rounds).sum();
+            let mttr_us = if healed > 0 {
+                rows.iter()
+                    .map(|r| r.mttr_us * f64::from(r.healed_rounds))
+                    .sum::<f64>()
+                    / f64::from(healed)
+            } else {
+                0.0
+            };
+            agg_lines.push(format!(
+                "    {{\"rate\": {rate}, \"policy\": \"{pname}\", \
+                 \"completion_rate\": {:.4}, \"detection_coverage\": {:.4}, \
+                 \"recovery_coverage\": {:.4}, \"mttr_us\": {mttr_us:.3}}}",
+                f64::from(ok_rounds) / f64::from(total_rounds.max(1)),
+                detected as f64 / (applied.max(1)) as f64,
+                recovered as f64 / (detected.max(1)) as f64,
+            ));
+        }
+    }
+    let _ = writeln!(j, "{}", agg_lines.join(",\n"));
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"farm_baseline\": [");
+    for (i, r) in farm_rows.iter().enumerate() {
+        let comma = if i + 1 < farm_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"class\": \"{}\", \"ok\": {}, \"faults_applied\": {}, \
+             \"recovered\": {}}}{comma}",
+            json_escape(r.class),
+            r.ok,
+            r.applied,
+            r.recovered,
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    j.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
+    std::fs::write(path, &j).expect("write BENCH_resilience.json");
+    println!("report written: {path}");
+}

@@ -19,12 +19,33 @@ use std::thread;
 /// integer (so CI and laptops can pin parallelism), otherwise the
 /// machine's available parallelism — in both cases clamped to the work
 /// count and at least 1.
+///
+/// A present-but-invalid `UPARC_SWEEP_THREADS` (empty, zero, garbage, or
+/// non-unicode) still falls back to autodetection so a typo never breaks a
+/// run, but the fallback is *loud*: a warning goes to stderr instead of
+/// the variable being silently ignored.
 #[must_use]
 pub fn worker_count(items: usize) -> usize {
-    let pinned = std::env::var("UPARC_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0);
+    let pinned = match std::env::var("UPARC_SWEEP_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "warning: UPARC_SWEEP_THREADS={v:?} is not a positive integer; \
+                     falling back to autodetected parallelism"
+                );
+                None
+            }
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            eprintln!(
+                "warning: UPARC_SWEEP_THREADS={raw:?} is not valid unicode; \
+                 falling back to autodetected parallelism"
+            );
+            None
+        }
+    };
     let cores = pinned
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
     cores.min(items).max(1)

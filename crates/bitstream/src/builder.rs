@@ -130,6 +130,15 @@ impl PartialBitstream {
         self.frame_count
     }
 
+    /// The FDRI frame data carried by this bitstream (`frame_count` frames
+    /// of the device's frame words), without the command preamble and
+    /// trailer. This is the golden copy a repair path needs to rebuild a
+    /// single-frame bitstream from.
+    #[must_use]
+    pub fn payload(&self) -> &[u32] {
+        &self.words[14..self.words.len() - 5]
+    }
+
     /// Total size in bytes (the number the paper's bandwidth figures use).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
@@ -210,6 +219,14 @@ mod tests {
         let overhead100 = bs100.words().len() - 100 * fw;
         assert_eq!(overhead1, overhead100, "overhead is size-independent");
         assert!(overhead1 < 32, "overhead {overhead1} words");
+    }
+
+    #[test]
+    fn payload_accessor_returns_exactly_the_frame_data() {
+        let device = Device::xc5vsx50t();
+        let data = payload(&device, 3, 0xCAFE_F00D);
+        let bs = PartialBitstream::build(&device, 50, &data);
+        assert_eq!(bs.payload(), &data[..]);
     }
 
     #[test]

@@ -17,8 +17,9 @@ use uparc_compress::rle::Rle;
 use uparc_compress::Codec;
 use uparc_core::cache::{CacheKey, CacheStats, DecompCache};
 use uparc_fpga::{Device, Icap};
+use uparc_sim::fault::{FaultInjector, FaultKind};
 use uparc_sim::power::calib;
-use uparc_sim::time::Frequency;
+use uparc_sim::time::{Frequency, SimTime};
 
 /// FaRM data-path coefficient, mW/MHz.
 const FARM_PATH_MW_PER_MHZ: f64 = 1.35;
@@ -32,6 +33,7 @@ pub struct Farm {
     compression: bool,
     setup_cycles: u64,
     cache: DecompCache,
+    injector: Option<FaultInjector>,
 }
 
 impl Farm {
@@ -46,6 +48,7 @@ impl Farm {
             compression: false,
             setup_cycles: 240,
             cache: DecompCache::new(0),
+            injector: None,
         }
     }
 
@@ -77,6 +80,21 @@ impl Farm {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Attaches a fault injector. FaRM has no simulated clock of its own,
+    /// so *every* scheduled fault it understands (staged-stream flips,
+    /// transient CRC glitches) fires on the next `reconfigure` call; faults
+    /// it has no hardware for are left pending. FaRM has no recovery layer
+    /// either — this is the unprotected baseline a resilience campaign
+    /// compares the UPaRC policy against.
+    pub fn attach_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Detaches the injector, returning it (with its applied-fault log).
+    pub fn detach_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.injector.take()
     }
 }
 
@@ -120,7 +138,25 @@ impl ReconfigController for Farm {
                 available: self.store.capacity_bytes(),
             });
         }
-        let words = bytes_to_words(&raw).expect("builder output is word-aligned");
+        let mut words = bytes_to_words(&raw).expect("builder output is word-aligned");
+        if let Some(injector) = self.injector.as_mut() {
+            let flips =
+                injector.take_all_due(SimTime::MAX, |k| matches!(k, FaultKind::StagedFlip { .. }));
+            for kind in flips {
+                if let FaultKind::StagedFlip { word, bit } = kind {
+                    // Fold into the FDRI payload (indices 14..len-5), as a
+                    // flip on real staged data would land.
+                    let idx = 14 + word as usize % words.len().saturating_sub(19).max(1);
+                    words[idx] ^= 1 << (u32::from(bit) % 32);
+                }
+            }
+            if injector
+                .take_due(SimTime::MAX, |k| matches!(k, FaultKind::CrcTransient))
+                .is_some()
+            {
+                self.icap.arm_transient_crc();
+            }
+        }
         self.icap.set_frequency(self.clock)?;
         self.icap.write_words(&words)?;
 
@@ -222,6 +258,25 @@ mod tests {
         let stats = cached.cache_stats();
         assert_eq!(stats.misses, 1, "{stats:?}");
         assert_eq!(stats.hits, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn injected_staged_flip_fails_without_recovery() {
+        let device = Device::xc5vsx50t();
+        let bs = bitstream(&device, 40);
+        let mut ctrl = Farm::new(device);
+        let mut inj = FaultInjector::empty();
+        inj.schedule(SimTime::ZERO, FaultKind::StagedFlip { word: 17, bit: 5 });
+        ctrl.attach_fault_injector(inj);
+        // The baseline has no healing: the corrupted stream errors out and
+        // a bare retry (fault consumed) succeeds.
+        assert!(matches!(
+            ctrl.reconfigure(&bs),
+            Err(ControllerError::Fpga(_))
+        ));
+        let log = ctrl.detach_fault_injector().unwrap();
+        assert_eq!(log.log().len(), 1);
+        assert!(!log.log()[0].recovered);
     }
 
     #[test]

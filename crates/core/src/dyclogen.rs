@@ -108,8 +108,8 @@ impl DyCloGen {
         if rel_err > self.tolerance {
             return Err(UparcError::Unsynthesisable { target });
         }
-        if dcm.factors() == (m, d) {
-            // Already tuned: no relock needed.
+        if dcm.factors() == (m, d) && !dcm.lock_failed() {
+            // Already tuned and locked: no relock needed.
             return Ok((achieved, now));
         }
         dcm.retune(m, d, now)?;
@@ -129,6 +129,19 @@ impl DyCloGen {
         self.dcms[clock as usize]
             .locked_at()
             .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Arms a lock failure on `clock`: the next retune completes its DRP
+    /// writes but the DCM never asserts LOCKED (fault injection).
+    pub fn arm_lock_failure(&mut self, clock: OutputClock) {
+        self.dcms[clock as usize].arm_lock_failure();
+    }
+
+    /// Whether `clock`'s DCM is in a failed-lock state (cleared by the next
+    /// successful retune).
+    #[must_use]
+    pub fn lock_failed(&self, clock: OutputClock) -> bool {
+        self.dcms[clock as usize].lock_failed()
     }
 }
 

@@ -57,6 +57,14 @@ pub enum UparcError {
         /// Name of the algorithm.
         algorithm: String,
     },
+    /// The transfer watchdog expired: a burst stalled longer than the
+    /// configured limit, and the controller aborted the transfer.
+    WatchdogTimeout {
+        /// The configured watchdog limit.
+        limit: SimTime,
+        /// How long the bus would have stalled.
+        stall: SimTime,
+    },
     /// Underlying FPGA primitive error.
     Fpga(FpgaError),
     /// Bitstream container/stream error.
@@ -104,6 +112,12 @@ impl std::fmt::Display for UparcError {
             }
             UparcError::NoHardwareDecompressor { algorithm } => {
                 write!(f, "no streaming hardware decompressor for {algorithm}")
+            }
+            UparcError::WatchdogTimeout { limit, stall } => {
+                write!(
+                    f,
+                    "transfer stalled {stall}, watchdog aborted after {limit}"
+                )
             }
             UparcError::Fpga(e) => write!(f, "fpga error: {e}"),
             UparcError::Bitstream(e) => write!(f, "bitstream error: {e}"),

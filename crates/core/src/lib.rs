@@ -34,6 +34,9 @@
 //!   repeated compressed-mode swaps skip host-side redecompression.
 //! * [`scrub`] — SEU scrubbing by readback + fast partial reconfiguration
 //!   (the fault-tolerance motivation of §I).
+//! * [`recovery`] — the self-healing layer: bounded retry with a
+//!   degradation ladder (restage, retune retry, mode fallback, frequency
+//!   fallback, watchdog abort, scrub-and-repair) around `reconfigure`.
 //! * [`inventory`] — the primitive inventories behind Table II's slice
 //!   counts.
 //!
@@ -69,6 +72,7 @@ pub mod manager;
 pub mod optimize;
 pub mod pipeline;
 pub mod policy;
+pub mod recovery;
 pub mod schedule;
 pub mod scrub;
 pub mod uparc;
@@ -76,4 +80,5 @@ pub mod urec;
 
 pub use cache::{CacheStats, DecompCache};
 pub use error::UparcError;
+pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryReport};
 pub use uparc::UParc;

@@ -30,6 +30,7 @@ use uparc_bitstream::synth::SynthProfile;
 use uparc_compress::Algorithm;
 use uparc_fpga::bram::{Bram, Port};
 use uparc_fpga::{Device, Icap};
+use uparc_sim::fault::{FaultInjector, FaultKind};
 use uparc_sim::power::calib;
 use uparc_sim::time::{Frequency, SimTime};
 use uparc_sim::trace::PowerTrace;
@@ -60,6 +61,24 @@ struct Staged {
     raw_bytes: usize,
     /// Total image length in words.
     image_words: usize,
+}
+
+/// Maps a fault-plan `StagedFlip` word index onto a BRAM address that is
+/// guaranteed to corrupt the *data* of the staged image, not its framing.
+///
+/// A raw image stages the full configuration stream behind the mode word, so
+/// flips are folded into the FDRI payload region (addresses 15..len-5): a
+/// flip on the sync word or IDCODE would surface as `WrongDevice` /
+/// `NotSynced`, which the recovery ladder rightly treats as unrecoverable
+/// and which no real SEU on staged *data* produces. A compressed image is
+/// opaque payload throughout, so any address past the mode word qualifies.
+fn staged_flip_addr(staged: &Staged, word: u32) -> usize {
+    let word = word as usize;
+    if staged.compressed {
+        1 + word % (staged.image_words.saturating_sub(1)).max(1)
+    } else {
+        15 + word % (staged.image_words.saturating_sub(20)).max(1)
+    }
 }
 
 /// Report of a preload operation.
@@ -101,6 +120,9 @@ pub struct UparcReport {
     pub control_overhead: SimTime,
     /// Burst transfer duration.
     pub transfer_time: SimTime,
+    /// Injected bus-stall time included in `transfer_time` (zero unless a
+    /// fault campaign stalled the burst).
+    pub stall: SimTime,
     /// Energy above idle, µJ.
     pub energy_uj: f64,
     /// System time at "Start".
@@ -252,6 +274,9 @@ impl UParcBuilder {
             now: SimTime::ZERO,
             trace,
             decomp_cache: DecompCache::new(self.cache_bytes),
+            injector: None,
+            watchdog: None,
+            clk2_target: None,
         })
     }
 }
@@ -270,6 +295,15 @@ pub struct UParc {
     now: SimTime,
     trace: PowerTrace,
     decomp_cache: DecompCache,
+    /// Attached fault injector (resilience campaigns); `None` = fault-free.
+    injector: Option<FaultInjector>,
+    /// Transfer watchdog limit in simulated time: a bus stall exceeding it
+    /// aborts the transfer with [`UparcError::WatchdogTimeout`].
+    watchdog: Option<SimTime>,
+    /// Last CLK_2 target requested through
+    /// [`UParc::set_reconfiguration_frequency`] — what a recovery layer
+    /// re-requests after a lock failure.
+    clk2_target: Option<Frequency>,
 }
 
 impl UParc {
@@ -328,10 +362,84 @@ impl UParc {
         &self.dyclogen
     }
 
+    /// Attaches a fault injector; scheduled faults are applied at operation
+    /// boundaries from now on. Replaces any previous injector.
+    pub fn attach_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Removes and returns the attached fault injector.
+    pub fn detach_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.injector.take()
+    }
+
+    /// The attached fault injector, if any.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Mutable access to the attached fault injector (recovery layers mark
+    /// the log's `detected`/`recovered` flags through this).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.injector.as_mut()
+    }
+
+    /// Sets (or clears) the transfer watchdog: a bus stall longer than
+    /// `limit` of simulated time aborts the reconfiguration with
+    /// [`UparcError::WatchdogTimeout`] instead of waiting it out.
+    pub fn set_transfer_watchdog(&mut self, limit: Option<SimTime>) {
+        self.watchdog = limit;
+    }
+
+    /// The current transfer watchdog limit.
+    #[must_use]
+    pub fn transfer_watchdog(&self) -> Option<SimTime> {
+        self.watchdog
+    }
+
+    /// The last CLK_2 target requested through
+    /// [`UParc::set_reconfiguration_frequency`].
+    #[must_use]
+    pub fn reconfiguration_target(&self) -> Option<Frequency> {
+        self.clk2_target
+    }
+
+    /// Applies all due ambient faults (configuration-plane SEUs). Called at
+    /// operation boundaries; radiation takes no simulated time.
+    fn apply_ambient_faults(&mut self) {
+        let Some(injector) = self.injector.as_mut() else {
+            return;
+        };
+        let due = injector.take_all_due(self.now, |k| {
+            matches!(k, FaultKind::ConfigSeu { .. } | FaultKind::ParitySeu { .. })
+        });
+        let frames = self.icap.config_memory().frames().max(1);
+        let frame_words = self.icap.config_memory().frame_words().max(1);
+        for kind in due {
+            match kind {
+                FaultKind::ConfigSeu { frame, word, bit } => {
+                    let _ = self.icap.inject_upset(
+                        frame % frames,
+                        word as usize % frame_words,
+                        u32::from(bit) % 32,
+                    );
+                }
+                FaultKind::ParitySeu { frame, bit } => {
+                    let _ = self
+                        .icap
+                        .inject_parity_upset(frame % frames, u32::from(bit) % 32);
+                }
+                _ => unreachable!("filtered to ambient kinds"),
+            }
+        }
+    }
+
     /// Lets simulated idle time pass (power stays at the idle floor).
     pub fn advance_idle(&mut self, dt: SimTime) {
         self.trace.push(self.now, calib::V6_IDLE_MW);
         self.now += dt;
+        self.apply_ambient_faults();
     }
 
     /// Snapshot of the power trace up to `now` (the oscilloscope view).
@@ -361,9 +469,20 @@ impl UParc {
         let cap = family
             .icap_overclock_limit()
             .min(family.bram_overclock_limit());
+        if let Some(injector) = self.injector.as_mut() {
+            // A due lock-failure fault arms the CLK_2 DCM: the retune below
+            // completes its DRP writes but LOCKED never asserts.
+            if injector
+                .take_due(self.now, |k| matches!(k, FaultKind::RetuneLockFailure))
+                .is_some()
+            {
+                self.dyclogen.arm_lock_failure(OutputClock::Reconfiguration);
+            }
+        }
         let (f, _) = self
             .dyclogen
             .retune(OutputClock::Reconfiguration, target, cap, self.now)?;
+        self.clk2_target = Some(target);
         Ok(f)
     }
 
@@ -400,6 +519,7 @@ impl UParc {
         bs: &PartialBitstream,
         mode: Mode,
     ) -> Result<PreloadReport, UparcError> {
+        self.apply_ambient_faults();
         let raw_bytes = bs.size_bytes();
         let capacity = self.bram.capacity_bytes();
         let raw_image_bytes = raw_bytes + 4; // + mode word
@@ -475,6 +595,7 @@ impl UParc {
     /// compressed datapath, or ICAP protocol errors.
     pub fn reconfigure(&mut self) -> Result<UparcReport, UparcError> {
         let staged = self.staged.clone().ok_or(UparcError::NothingPreloaded)?;
+        self.apply_ambient_faults();
         // Wait out any pending DCM relock (frequency adaptation latency).
         let ready = self
             .dyclogen
@@ -496,6 +617,34 @@ impl UParc {
         self.icap.set_frequency(f2)?;
         self.bram.set_port_frequency(Port::B, f2)?;
 
+        // Transfer-window faults: staged-stream flips land in the BRAM,
+        // a transient CRC glitch arms only in the marginal overclocked
+        // regime (§IV), and a bus stall stretches the burst.
+        let mut stall = SimTime::ZERO;
+        if let Some(injector) = self.injector.as_mut() {
+            let overclocked = f2 > self.device.family().bram_guaranteed_frequency();
+            let now = self.now;
+            let flips = injector.take_all_due(now, |k| matches!(k, FaultKind::StagedFlip { .. }));
+            if overclocked
+                && injector
+                    .take_due(now, |k| matches!(k, FaultKind::CrcTransient))
+                    .is_some()
+            {
+                self.icap.arm_transient_crc();
+            }
+            if let Some(FaultKind::TransferStall { cycles }) =
+                injector.take_due(now, |k| matches!(k, FaultKind::TransferStall { .. }))
+            {
+                stall = f2.time_of_cycles(u64::from(cycles));
+            }
+            for kind in flips {
+                if let FaultKind::StagedFlip { word, bit } = kind {
+                    let addr = staged_flip_addr(&staged, word);
+                    let _ = self.bram.corrupt_bit(addr, u32::from(bit) % 32);
+                }
+            }
+        }
+
         let started_at = self.now;
         // Manager control burst (the pre-zero peak in Fig. 7).
         let control = self.manager.control_overhead();
@@ -505,21 +654,49 @@ impl UParc {
         );
         self.now += control;
 
+        // Watchdog: a stall beyond the limit means the bus is dead — abort
+        // after `limit` of active waiting instead of sitting out the stall.
+        if let Some(limit) = self.watchdog {
+            if stall > limit {
+                self.trace
+                    .push(self.now, calib::V6_IDLE_MW + self.manager.wait_power_mw());
+                self.now += limit;
+                self.trace.push(self.now, calib::V6_IDLE_MW);
+                self.icap.abort();
+                return Err(UparcError::WatchdogTimeout { limit, stall });
+            }
+        }
+
         // Burst transfer.
-        let (transfer, decomp_freq, transfer_power) = if staged.compressed {
-            self.transfer_compressed(&staged, f2)?
+        let result = if staged.compressed {
+            self.transfer_compressed(&staged, f2)
         } else {
-            let cycles = self.transfer_raw()?;
-            let t = f2.time_of_cycles(cycles);
-            let p = calib::V6_IDLE_MW
-                + self.manager.wait_power_mw()
-                + calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz();
-            (t, None, p)
+            self.transfer_raw().map(|cycles| {
+                let t = f2.time_of_cycles(cycles);
+                let p = calib::V6_IDLE_MW
+                    + self.manager.wait_power_mw()
+                    + calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz();
+                (t, None, p)
+            })
         };
+        let (mut transfer, decomp_freq, transfer_power) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                // A failed transfer leaves the port mid-stream: close the
+                // power step and clear the parser state so a retry starts
+                // from a clean protocol state (committed frames stay).
+                self.trace.push(self.now, calib::V6_IDLE_MW);
+                self.icap.abort();
+                return Err(e);
+            }
+        };
+        // The stall stretches the burst; the path stays clocked throughout.
+        transfer += stall;
         self.trace.push(self.now, transfer_power);
         self.now += transfer;
         // Finish: EN deasserts, clocks gate, power falls to idle.
         self.trace.push(self.now, calib::V6_IDLE_MW);
+        self.apply_ambient_faults();
 
         let energy = (self.manager.control_power_mw()) * control.as_secs_f64() * 1e3
             + (transfer_power - calib::V6_IDLE_MW) * transfer.as_secs_f64() * 1e3;
@@ -531,6 +708,7 @@ impl UParc {
             decompressor_frequency: decomp_freq,
             control_overhead: control,
             transfer_time: transfer,
+            stall,
             energy_uj: energy,
             started_at,
         })
@@ -602,6 +780,7 @@ impl UParc {
     ///
     /// Frame-range or clock errors.
     pub fn readback(&mut self, far: u32, frames: u32) -> Result<Vec<u32>, UparcError> {
+        self.apply_ambient_faults();
         let ready = self.dyclogen.ready_at(OutputClock::Reconfiguration);
         if ready > self.now {
             self.advance_idle(ready - self.now);

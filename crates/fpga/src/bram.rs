@@ -238,6 +238,29 @@ impl Bram {
         }
     }
 
+    /// Flips one bit of the stored word at `addr` — an SEU in the BRAM
+    /// contents. The staging store carries no ECC of its own, so the
+    /// corruption is only found downstream (config CRC, decoder error), not
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::BramAddressOutOfRange`] for `addr` past the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not below 32.
+    pub fn corrupt_bit(&mut self, addr: usize, bit: u32) -> Result<(), FpgaError> {
+        assert!(bit < 32, "bit index out of range");
+        let words = self.data.len();
+        let slot = self
+            .data
+            .get_mut(addr)
+            .ok_or(FpgaError::BramAddressOutOfRange { addr, words })?;
+        *slot ^= 1 << bit;
+        Ok(())
+    }
+
     /// Read cycles performed on a port.
     #[must_use]
     pub fn read_count(&self, port: Port) -> u64 {

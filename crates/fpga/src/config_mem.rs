@@ -148,6 +148,31 @@ impl ConfigMemory {
         Ok(())
     }
 
+    /// Flips one bit of the *stored ECC parity word* of a frame, leaving
+    /// the data intact — an upset in the check word itself. SECDED treats
+    /// this as a detected-but-uncorrectable mismatch
+    /// ([`EccStatus::MultiBit`]), so a scrubber falls back to golden repair
+    /// instead of "correcting" a healthy frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] if `far` is outside the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not below 32.
+    pub fn corrupt_parity_bit(&mut self, far: u32, bit: u32) -> Result<(), FpgaError> {
+        if far >= self.frames {
+            return Err(FpgaError::FrameOutOfRange {
+                far,
+                frames: self.frames,
+            });
+        }
+        assert!(bit < 32, "bit index out of range");
+        self.parity[far as usize] ^= 1 << bit;
+        Ok(())
+    }
+
     /// ECC syndrome check of one frame (the FRAME_ECC primitive).
     ///
     /// # Errors

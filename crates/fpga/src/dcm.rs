@@ -58,20 +58,23 @@ impl DcmConstraints {
     /// outside this tile's ranges.
     pub fn check(&self, fin: Frequency, m: u32, d: u32) -> Result<Frequency, FpgaError> {
         if !self.m_range.contains(&m) {
-            return Err(FpgaError::DcmOutOfRange {
-                reason: format!("m={m} outside {:?}", self.m_range),
-            });
+            return Err(FpgaError::dcm_out_of_range(format!(
+                "m={m} outside {:?}",
+                self.m_range
+            )));
         }
         if !self.d_range.contains(&d) {
-            return Err(FpgaError::DcmOutOfRange {
-                reason: format!("d={d} outside {:?}", self.d_range),
-            });
+            return Err(FpgaError::dcm_out_of_range(format!(
+                "d={d} outside {:?}",
+                self.d_range
+            )));
         }
         let fout = fin.scaled(m, d);
         if fout < self.fout_min || fout > self.fout_max {
-            return Err(FpgaError::DcmOutOfRange {
-                reason: format!("fout {fout} outside [{}, {}]", self.fout_min, self.fout_max),
-            });
+            return Err(FpgaError::dcm_out_of_range(format!(
+                "fout {fout} outside [{}, {}]",
+                self.fout_min, self.fout_max
+            )));
         }
         Ok(fout)
     }
@@ -170,6 +173,10 @@ pub struct Dcm {
     /// Time at which the current factors (re-)lock; `None` = locked since
     /// before time tracking (initial configuration).
     locked_at: Option<SimTime>,
+    /// Armed fault: the *next* retune fails to assert LOCKED.
+    lock_glitch: bool,
+    /// The most recent retune failed to lock; cleared by a further retune.
+    lock_failed: bool,
 }
 
 impl Dcm {
@@ -191,6 +198,8 @@ impl Dcm {
             d,
             lock_time: Self::DEFAULT_LOCK_TIME,
             locked_at: None,
+            lock_glitch: false,
+            lock_failed: false,
         })
     }
 
@@ -229,7 +238,20 @@ impl Dcm {
     /// Whether the output is locked at `now`.
     #[must_use]
     pub fn is_locked(&self, now: SimTime) -> bool {
-        self.locked_at.is_none_or(|t| now >= t)
+        !self.lock_failed && self.locked_at.is_none_or(|t| now >= t)
+    }
+
+    /// Arms a fault: the next [`Dcm::retune`] completes its DRP writes but
+    /// LOCKED never asserts. A further retune relocks normally — the
+    /// recovery a runtime controller is expected to perform.
+    pub fn arm_lock_failure(&mut self) {
+        self.lock_glitch = true;
+    }
+
+    /// Whether the most recent retune failed to lock.
+    #[must_use]
+    pub fn lock_failed(&self) -> bool {
+        self.lock_failed
     }
 
     /// Writes a DRP register at simulation time `now`. Factor registers hold
@@ -249,24 +271,26 @@ impl Dcm {
         match addr {
             DRP_ADDR_M => {
                 if !self.constraints.m_range.contains(&v) {
-                    return Err(FpgaError::DcmOutOfRange {
-                        reason: format!("m={v} outside {:?}", self.constraints.m_range),
-                    });
+                    return Err(FpgaError::dcm_out_of_range(format!(
+                        "m={v} outside {:?}",
+                        self.constraints.m_range
+                    )));
                 }
                 self.m = v;
             }
             DRP_ADDR_D => {
                 if !self.constraints.d_range.contains(&v) {
-                    return Err(FpgaError::DcmOutOfRange {
-                        reason: format!("d={v} outside {:?}", self.constraints.d_range),
-                    });
+                    return Err(FpgaError::dcm_out_of_range(format!(
+                        "d={v} outside {:?}",
+                        self.constraints.d_range
+                    )));
                 }
                 self.d = v;
             }
             _ => {
-                return Err(FpgaError::DcmOutOfRange {
-                    reason: format!("unknown drp address {addr:#x}"),
-                })
+                return Err(FpgaError::dcm_out_of_range(format!(
+                    "unknown drp address {addr:#x}"
+                )))
             }
         }
         self.locked_at = Some(now + self.lock_time);
@@ -284,6 +308,10 @@ impl Dcm {
         let fout = self.constraints.check(self.fin, m, d)?;
         self.drp_write(DRP_ADDR_M, (m - 1) as u16, now)?;
         self.drp_write(DRP_ADDR_D, (d - 1) as u16, now)?;
+        // An armed lock glitch is consumed by exactly one retune: the DRP
+        // writes land but LOCKED never asserts until the tile is retuned
+        // again.
+        self.lock_failed = std::mem::take(&mut self.lock_glitch);
         Ok(fout)
     }
 
@@ -417,6 +445,23 @@ mod tests {
     fn unknown_drp_address_rejected() {
         let mut dcm = Dcm::new(Family::Virtex5, Frequency::from_mhz(100.0), 2, 2).unwrap();
         assert!(dcm.drp_write(0x99, 0, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn armed_lock_failure_holds_until_the_next_retune() {
+        let mut dcm = Dcm::new(Family::Virtex6, Frequency::from_mhz(100.0), 2, 2).unwrap();
+        dcm.arm_lock_failure();
+        dcm.retune(3, 1, SimTime::ZERO).unwrap();
+        assert!(dcm.lock_failed());
+        // Even far past the nominal relock time, LOCKED never asserts.
+        let late = SimTime::from_ms(10);
+        assert!(!dcm.is_locked(late));
+        assert!(matches!(dcm.output(late), Err(FpgaError::DcmNotLocked)));
+        // A second retune (same factors) recovers normally.
+        dcm.retune(3, 1, late).unwrap();
+        assert!(!dcm.lock_failed());
+        let relocked = late + dcm.lock_time();
+        assert_eq!(dcm.output(relocked).unwrap(), Frequency::from_mhz(300.0));
     }
 
     #[test]

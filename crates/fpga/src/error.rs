@@ -2,6 +2,35 @@
 
 use uparc_sim::time::Frequency;
 
+/// The specific DCM synthesis constraint that was violated.
+///
+/// Carried as the [`std::error::Error::source`] of
+/// [`FpgaError::DcmOutOfRange`], so callers that walk error chains see the
+/// constraint itself rather than a flattened string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DcmConstraintError {
+    /// Human-readable description of the violated constraint.
+    pub reason: String,
+}
+
+impl DcmConstraintError {
+    /// Creates a constraint error from its description.
+    #[must_use]
+    pub fn new(reason: impl Into<String>) -> Self {
+        DcmConstraintError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DcmConstraintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for DcmConstraintError {}
+
 /// Errors raised by the FPGA substrate models.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -68,8 +97,9 @@ pub enum FpgaError {
     },
     /// DCM multiply/divide factors or output frequency out of legal range.
     DcmOutOfRange {
-        /// Human-readable description of the violated constraint.
-        reason: String,
+        /// The violated constraint — also exposed through
+        /// [`std::error::Error::source`].
+        violation: DcmConstraintError,
     },
     /// The DCM output was used before lock was (re-)acquired.
     DcmNotLocked,
@@ -121,7 +151,9 @@ impl std::fmt::Display for FpgaError {
             FpgaError::UnknownCommand { value } => {
                 write!(f, "unknown configuration command {value:#x}")
             }
-            FpgaError::DcmOutOfRange { reason } => write!(f, "dcm constraint violated: {reason}"),
+            FpgaError::DcmOutOfRange { violation } => {
+                write!(f, "dcm constraint violated: {violation}")
+            }
             FpgaError::DcmNotLocked => write!(f, "dcm output used before lock"),
             FpgaError::TruncatedStream => write!(f, "configuration stream truncated"),
             FpgaError::PartitionOverlap { new, existing } => {
@@ -134,7 +166,24 @@ impl std::fmt::Display for FpgaError {
     }
 }
 
-impl std::error::Error for FpgaError {}
+impl FpgaError {
+    /// Convenience constructor for [`FpgaError::DcmOutOfRange`].
+    #[must_use]
+    pub fn dcm_out_of_range(reason: impl Into<String>) -> Self {
+        FpgaError::DcmOutOfRange {
+            violation: DcmConstraintError::new(reason),
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FpgaError::DcmOutOfRange { violation } => Some(violation),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -160,5 +209,17 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FpgaError>();
+    }
+
+    #[test]
+    fn dcm_out_of_range_exposes_a_source_chain() {
+        use std::error::Error as _;
+        let e = FpgaError::dcm_out_of_range("m=99 outside 2..=32");
+        let src = e.source().expect("DcmOutOfRange carries a source");
+        assert_eq!(src.to_string(), "m=99 outside 2..=32");
+        assert!(e.to_string().starts_with("dcm constraint violated:"));
+        // Leaf variants stay sourceless.
+        assert!(FpgaError::DcmNotLocked.source().is_none());
+        assert!(FpgaError::NotSynced.source().is_none());
     }
 }

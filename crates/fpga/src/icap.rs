@@ -62,6 +62,9 @@ pub struct Icap {
     frames_committed: u64,
     /// Simple register file for the registers the model stores verbatim.
     regs: [u32; 14],
+    /// Armed fault: the next CRC comparison latches a corrupted checksum
+    /// even if the stream arrived intact (marginal overclocked timing).
+    crc_glitch: bool,
 }
 
 impl Icap {
@@ -88,6 +91,7 @@ impl Icap {
             words: 0,
             frames_committed: 0,
             regs: [0; 14],
+            crc_glitch: false,
         }
     }
 
@@ -109,6 +113,27 @@ impl Icap {
         self.words = 0;
         self.frames_committed = 0;
         self.regs = [0; 14];
+        self.crc_glitch = false;
+    }
+
+    /// Aborts an in-flight configuration stream: desyncs the port and
+    /// clears all *parser* state — CRC, partial frame, pending payload —
+    /// while keeping the configuration plane and the cycle counters intact.
+    ///
+    /// This is what a controller does after a mid-stream error before
+    /// retrying: already-committed frames stay committed (they were
+    /// CRC-clean when written), and the next stream starts from a clean
+    /// protocol state. Contrast with [`Icap::reset`], which zeroes the
+    /// whole configuration plane.
+    pub fn abort(&mut self) {
+        self.status = IcapStatus::Desynced;
+        self.crc = ConfigCrc::new();
+        self.last_reg = None;
+        self.pending_count = 0;
+        self.pending_reg = None;
+        self.frame_buf.clear();
+        self.wcfg_enabled = false;
+        self.idcode_ok = false;
     }
 
     /// The device this port belongs to.
@@ -209,6 +234,29 @@ impl Icap {
         // Radiation flips the bit but does not update the frame's ECC
         // parity — that asymmetry is what the syndrome check detects.
         self.cfg.corrupt_bit(far, word_idx, bit)
+    }
+
+    /// Injects an upset into the stored ECC *parity word* of frame `far`
+    /// (the check bits themselves take the hit, not the data).
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FrameOutOfRange`] for an address outside the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not below 32.
+    pub fn inject_parity_upset(&mut self, far: u32, bit: u32) -> Result<(), FpgaError> {
+        self.cfg.corrupt_parity_bit(far, bit)
+    }
+
+    /// Arms a transient CRC fault: the next CRC register comparison latches
+    /// a corrupted checksum and reports [`FpgaError::CrcMismatch`] even if
+    /// the stream arrived intact — the marginal-timing failure mode of the
+    /// overclocked operating points (§IV). The fault is consumed by one
+    /// comparison; a retry at the same or a safer clock succeeds.
+    pub fn arm_transient_crc(&mut self) {
+        self.crc_glitch = true;
     }
 
     /// Consumes the whole `words` slice, one word per cycle.
@@ -454,7 +502,12 @@ impl Icap {
                 Ok(())
             }
             ConfigRegister::Crc => {
-                let computed = self.crc.value();
+                let mut computed = self.crc.value();
+                if std::mem::take(&mut self.crc_glitch) {
+                    // Marginal timing corrupts the latched checksum; one
+                    // flipped bit is enough to fail the comparison.
+                    computed ^= 1;
+                }
                 if word != computed {
                     return Err(FpgaError::CrcMismatch {
                         computed,
@@ -671,6 +724,65 @@ mod tests {
                 fresh.config_memory().read_frame(far).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn armed_crc_glitch_fails_one_clean_stream_then_clears() {
+        let dev = Device::xc5vsx50t();
+        let stream = mini_stream(&dev, 30, 2);
+        let mut icap = icap();
+        icap.arm_transient_crc();
+        let err = icap.write_words(&stream).unwrap_err();
+        assert!(matches!(err, FpgaError::CrcMismatch { .. }), "{err}");
+        // The glitch is consumed: a straight retry succeeds.
+        icap.abort();
+        icap.write_words(&stream).unwrap();
+        assert!(icap.frames_committed() >= 2);
+    }
+
+    #[test]
+    fn abort_clears_parser_state_but_keeps_committed_frames() {
+        let dev = Device::xc5vsx50t();
+        let mut icap = icap();
+        icap.write_words(&mini_stream(&dev, 4, 3)).unwrap();
+        let words_before = icap.words_consumed();
+        // Leave the port mid-stream: synced, WCFG on, partial frame buffered.
+        icap.write_word(SYNC_WORD).unwrap();
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Cmd, 1))
+            .unwrap();
+        icap.write_word(Command::Wcfg as u32).unwrap();
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Far, 1))
+            .unwrap();
+        icap.write_word(50).unwrap();
+        icap.write_word(type1(Opcode::Write, ConfigRegister::Fdri, 3))
+            .unwrap();
+        for i in 0..3 {
+            icap.write_word(i).unwrap();
+        }
+        icap.abort();
+        assert_eq!(icap.status(), IcapStatus::Desynced);
+        // Committed frames and the cumulative cycle count survive.
+        assert_eq!(icap.frames_committed(), 3);
+        assert!(icap.words_consumed() > words_before);
+        let frame = icap.config_memory().read_frame(5).unwrap();
+        assert!(frame.iter().all(|&w| w == 5));
+        // And a fresh stream parses cleanly afterwards.
+        icap.write_words(&mini_stream(&dev, 40, 1)).unwrap();
+        assert_eq!(icap.frames_committed(), 4);
+    }
+
+    #[test]
+    fn parity_upset_is_flagged_as_uncorrectable() {
+        use crate::ecc::EccStatus;
+        let dev = Device::xc5vsx50t();
+        let mut icap = icap();
+        icap.write_words(&mini_stream(&dev, 8, 1)).unwrap();
+        assert_eq!(icap.config_memory().ecc_check(8).unwrap(), EccStatus::Clean);
+        icap.inject_parity_upset(8, 13).unwrap();
+        assert_eq!(
+            icap.config_memory().ecc_check(8).unwrap(),
+            EccStatus::MultiBit
+        );
     }
 
     #[test]

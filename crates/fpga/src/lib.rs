@@ -63,6 +63,6 @@ pub use bram::Bram;
 pub use config_mem::ConfigMemory;
 pub use dcm::Dcm;
 pub use device::Device;
-pub use error::FpgaError;
+pub use error::{DcmConstraintError, FpgaError};
 pub use family::Family;
 pub use icap::Icap;

@@ -285,6 +285,19 @@ macro_rules! prop_assert_ne {
             .into());
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!(
+                "assertion failed: both sides equal `{:?}` ({}:{}): {}",
+                a,
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )
+            .into());
+        }
+    }};
 }
 
 /// Discards the current case when its inputs don't satisfy a precondition.

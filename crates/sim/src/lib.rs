@@ -23,6 +23,10 @@
 //! * [`power`] — component-based power model (static + `mW/MHz` dynamic
 //!   contributions with clock gating), plus the calibration constants fitted
 //!   to the paper's Figure 7 in [`power::calib`].
+//! * [`fault`] — seeded deterministic fault plans ([`fault::FaultPlan`]) and
+//!   the [`fault::FaultInjector`] that dispenses SEUs, staged-stream flips,
+//!   transfer stalls, transient CRC corruptions and DCM lock failures for
+//!   resilience campaigns.
 //! * [`trace`] — step-wise power traces with exact energy integration and an
 //!   oscilloscope/shunt-resistor front-end model ([`trace::Oscilloscope`]).
 //! * [`stats`] — small statistics helpers used by the benchmark harnesses.
@@ -52,6 +56,7 @@
 
 pub mod clock;
 pub mod engine;
+pub mod fault;
 pub mod power;
 pub mod queue;
 pub mod stats;
@@ -59,6 +64,7 @@ pub mod time;
 pub mod trace;
 
 pub use clock::{ClockDomain, ClockId, MultiClock};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRates, FaultRecord, FaultSpace};
 pub use power::{ComponentId, PowerModel};
 pub use queue::EventQueue;
 pub use time::{Frequency, SimTime};

@@ -115,6 +115,33 @@ impl PowerTrace {
         e * 1e3 // mW·s = mJ → µJ
     }
 
+    /// Energy above a `floor_mw` baseline within the window `[from, to]`,
+    /// in microjoules: `∫ max(0, p(t) − floor) dt`.
+    ///
+    /// This is the "extra energy" extraction a recovery layer needs: with
+    /// `floor_mw` at the idle level, the integral isolates what the active
+    /// phases inside the window actually cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished or `from > to`.
+    #[must_use]
+    pub fn energy_above_uj(&self, floor_mw: f64, from: SimTime, to: SimTime) -> f64 {
+        let end = self.end.expect("finish the trace before integrating");
+        assert!(from <= to, "energy window is reversed");
+        let clip = |t: SimTime| t.clamp(from, to.min(end));
+        let mut e = 0.0;
+        for w in self.steps.windows(2) {
+            let (t0, p) = w[0];
+            let (t1, _) = w[1];
+            e += (p - floor_mw).max(0.0) * (clip(t1) - clip(t0)).as_secs_f64();
+        }
+        if let Some(&(t_last, p_last)) = self.steps.last() {
+            e += (p_last - floor_mw).max(0.0) * (clip(end) - clip(t_last)).as_secs_f64();
+        }
+        e * 1e3 // mW·s = mJ → µJ
+    }
+
     /// Peak power level in mW.
     #[must_use]
     pub fn peak_mw(&self) -> f64 {
@@ -311,6 +338,24 @@ mod tests {
         assert_eq!(tr.power_at(SimTime::from_us(100)), Some(453.0));
         assert_eq!(tr.power_at(SimTime::from_us(200)), Some(53.0));
         assert_eq!(tr.power_at(SimTime::from_us(251)), None);
+    }
+
+    #[test]
+    fn energy_above_integrates_only_the_window_excess() {
+        let tr = fig7_like_trace();
+        // Window covering everything, floor at idle: only the excess over
+        // 53 mW counts.
+        let expected = ((145.0 - 53.0) * 2.0 + (453.0 - 53.0) * 180.0) * 1e-6 * 1e3;
+        let full = tr.energy_above_uj(53.0, SimTime::ZERO, SimTime::from_us(250));
+        assert!((full - expected).abs() < 1e-9, "{full} vs {expected}");
+        // A window clipped to half the reconfiguration plateau.
+        let half = tr.energy_above_uj(53.0, SimTime::from_us(12), SimTime::from_us(102));
+        assert!((half - (453.0 - 53.0) * 90.0 * 1e-6 * 1e3).abs() < 1e-9);
+        // Floor above the peak: nothing left.
+        assert_eq!(
+            tr.energy_above_uj(1e6, SimTime::ZERO, SimTime::from_us(250)),
+            0.0
+        );
     }
 
     #[test]

@@ -8,10 +8,12 @@ use uparc_repro::bitstream::synth::SynthProfile;
 use uparc_repro::compress::Algorithm;
 use uparc_repro::controllers::farm::Farm;
 use uparc_repro::controllers::{ControllerError, ReconfigController};
+use uparc_repro::core::scrub::Scrubber;
 use uparc_repro::core::uparc::{Mode, UParc};
 use uparc_repro::core::UparcError;
 use uparc_repro::fpga::{Device, FpgaError, Icap};
-use uparc_repro::sim::time::Frequency;
+use uparc_repro::sim::fault::{FaultInjector, FaultKind};
+use uparc_repro::sim::time::{Frequency, SimTime};
 
 fn bitstream(device: &Device, frames: u32, seed: u64) -> PartialBitstream {
     let payload = SynthProfile::dense().generate(device, 0, frames, seed);
@@ -147,6 +149,61 @@ fn clock_ceilings_are_enforced_per_component() {
             ..
         })
     ));
+}
+
+#[test]
+fn upsets_struck_mid_schedule_are_scrubbed_back_bit_identical() {
+    // End-to-end self-healing: a live partition is protected by a golden
+    // Scrubber while the system keeps reconfiguring *another* partition.
+    // Seeded SEUs strike the live partition between those operations
+    // (radiation does not wait for idle); a scrub pass must find every
+    // upset frame and restore a bit-identical readback.
+    let device = Device::xc5vsx50t();
+    let mut sys = UParc::builder(device).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+        .expect("retune");
+    sys.advance_idle(SimTime::from_ms(1)); // let the DCM lock
+
+    // Configure and capture the live partition at frames 400..480.
+    let live_payload = SynthProfile::dense().generate(sys.device(), 400, 80, 21);
+    let live = PartialBitstream::build(sys.device(), 400, &live_payload);
+    sys.reconfigure_bitstream(&live, Mode::Raw).expect("live");
+    let golden = Scrubber::capture(&mut sys, 400, 80).expect("capture");
+    let pristine = sys.readback(400, 80).expect("readback");
+
+    // Schedule the upsets: three SEUs (two in one frame — beyond SECDED
+    // correction, so the golden copy is genuinely needed) spread across
+    // the next millisecond of operation.
+    let mut inj = FaultInjector::empty();
+    let t = sys.now();
+    for (dt_us, frame, word, bit) in [(50, 410, 7, 3), (250, 410, 20, 30), (600, 455, 0, 0)] {
+        inj.schedule(
+            t + SimTime::from_us(dt_us),
+            FaultKind::ConfigSeu { frame, word, bit },
+        );
+    }
+    sys.attach_fault_injector(inj);
+
+    // The "schedule": keep swapping an unrelated partition while the
+    // upsets land at operation boundaries in between.
+    for seed in 0..4 {
+        let bs = bitstream(sys.device(), 40, 30 + seed);
+        sys.reconfigure_bitstream(&bs, Mode::Raw).expect("swap");
+        sys.advance_idle(SimTime::from_us(300));
+    }
+    let inj = sys.fault_injector().expect("attached");
+    assert_eq!(inj.remaining(), 0, "all upsets struck during the schedule");
+    assert_eq!(inj.log().len(), 3);
+
+    // The live partition is corrupt now — and one scrub pass heals it.
+    assert_ne!(sys.readback(400, 80).expect("readback"), pristine);
+    let report = golden.scrub(&mut sys).expect("scrub");
+    assert_eq!(report.dirty, vec![410, 455]);
+    assert_eq!(report.repairs.len(), 2, "one repair per dirty range");
+    let healed = sys.readback(400, 80).expect("readback");
+    assert_eq!(healed, pristine, "bit-identical restore");
+    // A second pass confirms the repair took.
+    assert!(golden.scrub(&mut sys).expect("rescrub").dirty.is_empty());
 }
 
 #[test]

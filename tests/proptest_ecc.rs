@@ -1,0 +1,145 @@
+//! Property-based tests of the frame-ECC SECDED edge cases.
+//!
+//! The scrubbing story leans on exact ECC semantics: a single-bit upset
+//! must be *located* (correctable in place), while any double-bit upset —
+//! including flips straddling the byte/16-bit table lanes of the
+//! word-parallel syndrome kernel, and flips of the stored parity word
+//! itself — must come back detected-but-uncorrectable, never silently
+//! clean and never miscorrected to a wrong location.
+
+use proptest::prelude::*;
+use uparc_repro::fpga::ecc::{check, copy_with_parity, frame_parity, EccStatus};
+
+/// Frames of 1..=64 words (the real V5 frame is 41 words; odd sizes
+/// exercise the `word < frame.len()` guard in `check`).
+fn frame_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u32>(), 41..42),
+        proptest::collection::vec(any::<u32>(), 1..64),
+        // Sparse, bitstream-like frames: mostly zero words.
+        proptest::collection::vec(prop_oneof![Just(0u32), any::<u32>()], 1..64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn clean_frames_check_clean(frame in frame_strategy()) {
+        let p = frame_parity(&frame);
+        prop_assert_eq!(check(&frame, p), EccStatus::Clean);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_located_exactly(
+        frame in frame_strategy(),
+        pick in any::<u32>(),
+    ) {
+        let golden = frame_parity(&frame);
+        let bits = frame.len() as u32 * 32;
+        let index = pick % bits;
+        let (word, bit) = ((index / 32) as usize, index % 32);
+        let mut upset = frame;
+        upset[word] ^= 1 << bit;
+        prop_assert_eq!(
+            check(&upset, golden),
+            EccStatus::SingleBit { word, bit },
+            "flip at {}:{}", word, bit
+        );
+    }
+
+    #[test]
+    fn any_distinct_double_flip_is_multibit(
+        frame in frame_strategy(),
+        pick in any::<u32>(),
+        offset in any::<u32>(),
+    ) {
+        let golden = frame_parity(&frame);
+        let bits = frame.len() as u32 * 32;
+        prop_assume!(bits >= 2);
+        let i1 = pick % bits;
+        let i2 = (i1 + 1 + offset % (bits - 1)) % bits;
+        prop_assert_ne!(i1, i2);
+        let mut upset = frame;
+        upset[(i1 / 32) as usize] ^= 1 << (i1 % 32);
+        upset[(i2 / 32) as usize] ^= 1 << (i2 % 32);
+        prop_assert_eq!(
+            check(&upset, golden),
+            EccStatus::MultiBit,
+            "double flip at {} and {}", i1, i2
+        );
+    }
+
+    #[test]
+    fn lane_straddling_double_flips_are_multibit(
+        frame in proptest::collection::vec(any::<u32>(), 2..64),
+        word_pick in any::<u32>(),
+        boundary in 0u32..4,
+    ) {
+        // Adjacent-bit pairs across the syndrome kernel's table-lane
+        // boundaries: byte lanes (7|8, 23|24), the 16-bit WIDE lanes
+        // (15|16), and the word boundary (31 of w | 0 of w+1) whose
+        // carry fix-up is the trickiest path in the kernel.
+        let golden = frame_parity(&frame);
+        let mut upset = frame;
+        let w = (word_pick as usize) % (upset.len() - 1);
+        match boundary {
+            0 => { upset[w] ^= 1 << 7;  upset[w] ^= 1 << 8; }
+            1 => { upset[w] ^= 1 << 15; upset[w] ^= 1 << 16; }
+            2 => { upset[w] ^= 1 << 23; upset[w] ^= 1 << 24; }
+            _ => { upset[w] ^= 1 << 31; upset[w + 1] ^= 1; }
+        }
+        prop_assert_eq!(
+            check(&upset, golden),
+            EccStatus::MultiBit,
+            "boundary pair {} at word {}", boundary, w
+        );
+    }
+
+    #[test]
+    fn parity_word_flips_are_detected_not_correctable(
+        frame in frame_strategy(),
+        pbit in 0u32..32,
+    ) {
+        // An SEU in the *stored parity* leaves the data intact: the
+        // syndrome must flag the frame (so a scrubber rewrites it) but a
+        // lone parity-bit delta never forms a valid single-bit signature.
+        let golden = frame_parity(&frame);
+        let struck = golden ^ (1 << pbit);
+        prop_assert_eq!(
+            check(&frame, struck),
+            EccStatus::MultiBit,
+            "parity flip at bit {}", pbit
+        );
+    }
+
+    #[test]
+    fn simultaneous_data_and_parity_flips_never_pass_clean(
+        frame in frame_strategy(),
+        pick in any::<u32>(),
+        pbit in 0u32..32,
+    ) {
+        // The nastiest aliasing candidate: one data flip plus one stored-
+        // parity flip. Locating it correctly is not guaranteed (SECDED's
+        // limit), but it must never read back as Clean.
+        let golden = frame_parity(&frame);
+        let bits = frame.len() as u32 * 32;
+        let index = pick % bits;
+        let mut upset = frame;
+        upset[(index / 32) as usize] ^= 1 << (index % 32);
+        prop_assert_ne!(
+            check(&upset, golden ^ (1 << pbit)),
+            EccStatus::Clean,
+            "data flip {} + parity flip {}", index, pbit
+        );
+    }
+
+    #[test]
+    fn copy_with_parity_agrees_with_frame_parity(frame in frame_strategy()) {
+        let mut dst = vec![0u32; frame.len()];
+        let p = copy_with_parity(&mut dst, &frame);
+        prop_assert_eq!(&dst, &frame, "copy is exact");
+        prop_assert_eq!(p, frame_parity(&frame), "fused parity matches");
+        prop_assert_eq!(check(&dst, p), EccStatus::Clean);
+    }
+}

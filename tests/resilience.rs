@@ -1,0 +1,331 @@
+//! End-to-end resilience tests: deterministic fault campaigns and the
+//! self-healing recovery ladder, exercised through the public crate API.
+//!
+//! Every scenario is seeded and reproducible — the same seed yields the
+//! same fault plan, the same injector log and the same recovery report —
+//! and each ladder rung is driven by the fault class designed to trigger
+//! it (mode fallback by compressed-staging corruption, frequency fallback
+//! by a transient CRC at an overclocked point, retune retry by a DCM lock
+//! failure, watchdog abort by a long bus stall, scrub repair by an SEU
+//! landing after the partition was written).
+
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::core::recovery::{RecoveryAction, RecoveryPolicy};
+use uparc_repro::core::uparc::{Mode, UParc};
+use uparc_repro::core::UparcError;
+use uparc_repro::fpga::{Device, FpgaError};
+use uparc_repro::sim::fault::{FaultInjector, FaultKind, FaultPlan, FaultRates, FaultSpace};
+use uparc_repro::sim::time::{Frequency, SimTime};
+
+const FAR: u32 = 300;
+const FRAMES: u32 = 60;
+
+fn bitstream(device: &Device, seed: u64) -> PartialBitstream {
+    let payload = SynthProfile::dense().generate(device, FAR, FRAMES, seed);
+    PartialBitstream::build(device, FAR, &payload)
+}
+
+/// A settled system: frequency set and the DCM locked, so clean runs carry
+/// no relock wait and fault strike times are easy to reason about.
+fn system(mhz: f64) -> UParc {
+    let device = Device::xc5vsx50t();
+    let mut sys = UParc::builder(device).build().expect("build");
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(mhz))
+        .expect("retune");
+    sys.advance_idle(SimTime::from_ms(1));
+    sys
+}
+
+fn space() -> FaultSpace {
+    FaultSpace {
+        frame_base: FAR,
+        frames: FRAMES,
+        frame_words: 41,
+        staged_words: FRAMES * 41 + 20,
+    }
+}
+
+#[test]
+fn fault_plans_are_reproducible_from_the_seed() {
+    let rates = FaultRates {
+        config_seu: 3,
+        parity_seu: 2,
+        staged_flip: 3,
+        transfer_stall: 1,
+        crc_transient: 2,
+        retune_lock_failure: 1,
+    };
+    let horizon = SimTime::from_ms(5);
+    let a = FaultPlan::generate(0xDEAD_BEEF, &space(), &rates, horizon);
+    let b = FaultPlan::generate(0xDEAD_BEEF, &space(), &rates, horizon);
+    assert_eq!(a.faults(), b.faults(), "same seed, same plan");
+    assert_eq!(a.faults().len() as u32, rates.total());
+    // Times ascend and stay inside the horizon; coordinates stay in space.
+    for w in a.faults().windows(2) {
+        assert!(w[0].at <= w[1].at);
+    }
+    for f in a.faults() {
+        assert!(f.at <= horizon);
+        if let FaultKind::ConfigSeu { frame, word, bit } = f.kind {
+            assert!((FAR..FAR + FRAMES).contains(&frame));
+            assert!(word < 41);
+            assert!(bit < 32);
+        }
+    }
+    let c = FaultPlan::generate(0xDEAD_BEF0, &space(), &rates, horizon);
+    assert_ne!(a.faults(), c.faults(), "different seed, different plan");
+}
+
+#[test]
+fn recovery_outcomes_are_reproducible_for_a_seed() {
+    let rates = FaultRates {
+        config_seu: 1,
+        parity_seu: 0,
+        staged_flip: 1,
+        transfer_stall: 0,
+        crc_transient: 1,
+        retune_lock_failure: 0,
+    };
+    let run = || {
+        let mut sys = system(362.5);
+        let bs = bitstream(sys.device(), 42);
+        let plan = FaultPlan::generate(1234, &space(), &rates, SimTime::from_ms(2));
+        sys.attach_fault_injector(FaultInjector::new(&plan));
+        let rec = RecoveryPolicy::default()
+            .reconfigure(&mut sys, &bs, Mode::Raw)
+            .expect("full policy heals the single-fault plan");
+        let log = sys.detach_fault_injector().unwrap().log().to_vec();
+        (rec, log)
+    };
+    let (rec_a, log_a) = run();
+    let (rec_b, log_b) = run();
+    assert_eq!(log_a, log_b, "same seed, same applied-fault log");
+    assert_eq!(rec_a.attempts, rec_b.attempts);
+    assert_eq!(rec_a.actions, rec_b.actions);
+    assert_eq!(rec_a.extra_time, rec_b.extra_time);
+    assert_eq!(rec_a.report.elapsed(), rec_b.report.elapsed());
+    assert!(
+        (rec_a.extra_energy_uj - rec_b.extra_energy_uj).abs() < 1e-12,
+        "{} vs {}",
+        rec_a.extra_energy_uj,
+        rec_b.extra_energy_uj
+    );
+}
+
+#[test]
+fn mode_fallback_heals_compressed_staging_corruption() {
+    let mut sys = system(200.0);
+    let bs = bitstream(sys.device(), 7);
+    let mut inj = FaultInjector::empty();
+    inj.schedule(sys.now(), FaultKind::StagedFlip { word: 901, bit: 13 });
+    sys.attach_fault_injector(inj);
+    let rec = RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs, Mode::Compressed)
+        .expect("heals by falling back to raw staging");
+    assert!(rec.attempts > 1);
+    assert!(rec
+        .actions
+        .iter()
+        .any(|a| matches!(a, RecoveryAction::ModeFallback)));
+    assert!(!rec.preload.compressed, "final staging is raw");
+    let log = sys.detach_fault_injector().unwrap();
+    assert!(log.log().iter().all(|r| r.detected && r.recovered));
+    // The partition carries the intended payload despite the fault.
+    let read = sys.readback(FAR, FRAMES).unwrap();
+    assert_eq!(read, bs.payload());
+}
+
+#[test]
+fn frequency_fallback_drops_overclock_on_transient_crc() {
+    let mut sys = system(362.5);
+    let bs = bitstream(sys.device(), 8);
+    let mut inj = FaultInjector::empty();
+    inj.schedule(sys.now(), FaultKind::CrcTransient);
+    sys.attach_fault_injector(inj);
+    let rec = RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs, Mode::Raw)
+        .expect("heals by dropping to the guaranteed frequency");
+    let guaranteed = sys.device().family().bram_guaranteed_frequency();
+    let fb = rec
+        .actions
+        .iter()
+        .find_map(|a| match a {
+            RecoveryAction::FrequencyFallback { from, to } => Some((*from, *to)),
+            _ => None,
+        })
+        .expect("frequency fallback taken");
+    assert_eq!(fb.0, Frequency::from_mhz(362.5));
+    assert_eq!(fb.1, guaranteed);
+    assert!(
+        rec.report.frequency <= guaranteed,
+        "final run at {}",
+        rec.report.frequency
+    );
+    assert!(rec.extra_time > SimTime::ZERO);
+    assert!(rec.extra_energy_uj > 0.0);
+}
+
+#[test]
+fn retune_retry_clears_a_dcm_lock_failure() {
+    // Start at 300 MHz so the retune to 362.5 changes the M/D factors —
+    // the armed lock failure fires on that factor change.
+    let mut sys = system(300.0);
+    let bs = bitstream(sys.device(), 9);
+    let mut inj = FaultInjector::empty();
+    inj.schedule(sys.now(), FaultKind::RetuneLockFailure);
+    sys.attach_fault_injector(inj);
+    sys.set_reconfiguration_frequency(Frequency::from_mhz(362.5))
+        .expect("DRP writes land even though LOCKED never asserts");
+    let rec = RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs, Mode::Raw)
+        .expect("heals by re-programming the DCM");
+    assert!(rec.attempts > 1);
+    assert!(rec.actions.iter().any(|a| matches!(
+        a,
+        RecoveryAction::RetuneRetry { target } if *target == Frequency::from_mhz(362.5)
+    )));
+    let log = sys.detach_fault_injector().unwrap();
+    assert_eq!(log.log().len(), 1);
+    assert!(log.log()[0].detected && log.log()[0].recovered);
+}
+
+#[test]
+fn watchdog_aborts_a_stalled_burst_and_retries() {
+    let mut sys = system(362.5);
+    let bs = bitstream(sys.device(), 10);
+    let mut inj = FaultInjector::empty();
+    // 450 000 cycles at 362.5 MHz ≈ 1.24 ms — beyond the 1 ms watchdog.
+    inj.schedule(sys.now(), FaultKind::TransferStall { cycles: 450_000 });
+    sys.attach_fault_injector(inj);
+    let rec = RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs, Mode::Raw)
+        .expect("aborted attempt retries clean");
+    assert_eq!(rec.attempts, 2);
+    assert!(rec.actions.iter().any(|a| matches!(
+        a,
+        RecoveryAction::WatchdogAbort { limit } if *limit == SimTime::from_ms(1)
+    )));
+    // The abort is bounded: the failed attempt costs at most the watchdog
+    // limit plus the clean attempt itself.
+    assert!(rec.extra_time < SimTime::from_ms(2), "{}", rec.extra_time);
+    let log = sys.detach_fault_injector().unwrap();
+    assert!(log.log().iter().all(|r| r.detected && r.recovered));
+}
+
+#[test]
+fn short_stalls_ride_through_without_retry() {
+    let mut sys = system(362.5);
+    let bs = bitstream(sys.device(), 11);
+    let mut inj = FaultInjector::empty();
+    // 2 000 cycles ≈ 5.5 µs — well under the watchdog: the burst just
+    // takes longer, no abort, no retry.
+    inj.schedule(sys.now(), FaultKind::TransferStall { cycles: 2_000 });
+    sys.attach_fault_injector(inj);
+    let rec = RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs, Mode::Raw)
+        .expect("a short stall is not an error");
+    assert_eq!(rec.attempts, 1);
+    assert!(rec.report.stall > SimTime::ZERO, "stall is reported");
+    assert!(!rec
+        .actions
+        .iter()
+        .any(|a| matches!(a, RecoveryAction::WatchdogAbort { .. })));
+}
+
+#[test]
+fn config_seu_mid_transfer_is_scrubbed_during_verify() {
+    // A dry fault-free run pins the deterministic end-of-transfer instant;
+    // an SEU due then lands after the frames were written but before the
+    // post-success ECC verification scans them.
+    let strike_at = {
+        let mut dry = system(362.5);
+        let bs = bitstream(dry.device(), 12);
+        let rec = RecoveryPolicy::none()
+            .reconfigure(&mut dry, &bs, Mode::Raw)
+            .expect("dry run is fault-free");
+        rec.report.started_at + rec.report.control_overhead + rec.report.transfer_time
+    };
+    let mut sys = system(362.5);
+    let bs = bitstream(sys.device(), 12);
+    let mut inj = FaultInjector::empty();
+    inj.schedule(
+        strike_at,
+        FaultKind::ConfigSeu {
+            frame: FAR + 17,
+            word: 5,
+            bit: 29,
+        },
+    );
+    sys.attach_fault_injector(inj);
+    let rec = RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs, Mode::Raw)
+        .expect("verify pass scrubs the upset");
+    assert!(rec.actions.iter().any(|a| matches!(
+        a,
+        RecoveryAction::ScrubRepair { corrected } if *corrected == 1
+    )));
+    let log = sys.detach_fault_injector().unwrap();
+    assert!(log.log().iter().all(|r| r.detected && r.recovered));
+    // The partition ends bit-identical to the intended payload.
+    let read = sys.readback(FAR, FRAMES).unwrap();
+    assert_eq!(read, bs.payload());
+}
+
+#[test]
+fn unrecoverable_capacity_errors_propagate_unchanged() {
+    let mut sys = system(362.5);
+    // ~1.1 MB raw: beyond even compressed staging in the 256 KB BRAM.
+    let payload = SynthProfile::dense().generate(sys.device(), 0, 7000, 3);
+    let huge = PartialBitstream::build(sys.device(), 0, &payload);
+    let err = RecoveryPolicy::default()
+        .reconfigure(&mut sys, &huge, Mode::Auto)
+        .unwrap_err();
+    assert!(matches!(err, UparcError::BramCapacity { .. }), "{err}");
+}
+
+#[test]
+fn retry_only_policy_exhausts_attempts_on_persistent_crc() {
+    // Without the frequency-fallback rung, a CRC failure re-armed on every
+    // attempt keeps failing until the attempts budget runs out.
+    let mut sys = system(362.5);
+    let bs = bitstream(sys.device(), 13);
+    let mut inj = FaultInjector::empty();
+    for _ in 0..8 {
+        inj.schedule(sys.now(), FaultKind::CrcTransient);
+    }
+    sys.attach_fault_injector(inj);
+    let policy = RecoveryPolicy {
+        max_attempts: 3,
+        ..RecoveryPolicy::retry_only()
+    };
+    let err = policy.reconfigure(&mut sys, &bs, Mode::Raw).unwrap_err();
+    assert!(matches!(
+        err,
+        UparcError::Fpga(FpgaError::CrcMismatch { .. })
+    ));
+    let log = sys.detach_fault_injector().unwrap();
+    assert_eq!(log.log().len(), 3, "one transient consumed per attempt");
+    assert!(log.log().iter().all(|r| r.detected && !r.recovered));
+}
+
+#[test]
+fn the_watchdog_setting_is_restored_after_the_call() {
+    let mut sys = system(362.5);
+    let bs = bitstream(sys.device(), 14);
+    assert_eq!(sys.transfer_watchdog(), None);
+    RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs, Mode::Raw)
+        .unwrap();
+    assert_eq!(
+        sys.transfer_watchdog(),
+        None,
+        "policy watchdog does not leak"
+    );
+    sys.set_transfer_watchdog(Some(SimTime::from_us(700)));
+    let bs2 = bitstream(sys.device(), 15);
+    RecoveryPolicy::default()
+        .reconfigure(&mut sys, &bs2, Mode::Raw)
+        .unwrap();
+    assert_eq!(sys.transfer_watchdog(), Some(SimTime::from_us(700)));
+}
