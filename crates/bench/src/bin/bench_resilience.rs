@@ -14,8 +14,7 @@
 //! (non-zero exit) if the full policy leaves any recoverable-by-design
 //! fault unrecovered — that is the CI gate.
 
-use std::fmt::Write as _;
-
+use uparc_bench::report::{JsonReport, Obj, Value};
 use uparc_bench::sweep;
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_bitstream::synth::SynthProfile;
@@ -378,10 +377,6 @@ fn farm_cell(class: &'static str, seed: u64) -> FarmRow {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let seeds_per_cell: u64 = if smoke { 2 } else { 6 };
@@ -499,73 +494,7 @@ fn main() {
     }
 
     // ---- JSON report --------------------------------------------------
-    let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"schema\": \"uparc-bench-resilience-v1\",");
-    let _ = writeln!(j, "  \"smoke\": {smoke},");
-    let _ = writeln!(j, "  \"seeds_per_cell\": {seeds_per_cell},");
-    let _ = writeln!(
-        j,
-        "  \"partition\": {{\"far\": {FAR}, \"frames\": {FRAMES}}},"
-    );
-
-    let _ = writeln!(j, "  \"single_fault\": [");
-    for (i, r) in single_rows.iter().enumerate() {
-        let comma = if i + 1 < single_rows.len() { "," } else { "" };
-        let actions = r
-            .actions
-            .iter()
-            .map(|a| format!("\"{a}\""))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let _ = writeln!(
-            j,
-            "    {{\"class\": \"{}\", \"policy\": \"{}\", \"seed\": {}, \"ok\": {}, \
-             \"error\": \"{}\", \"attempts\": {}, \"actions\": [{actions}], \
-             \"extra_time_us\": {:.3}, \"extra_energy_uj\": {:.3}, \
-             \"faults_applied\": {}, \"detected\": {}, \"recovered\": {}}}{comma}",
-            json_escape(r.class),
-            r.policy,
-            r.seed,
-            r.ok,
-            json_escape(&r.error),
-            r.attempts,
-            r.extra_time_us,
-            r.extra_energy_uj,
-            r.applied,
-            r.detected,
-            r.recovered,
-        );
-    }
-    let _ = writeln!(j, "  ],");
-
-    let _ = writeln!(j, "  \"campaign\": [");
-    for (i, r) in campaign_rows.iter().enumerate() {
-        let comma = if i + 1 < campaign_rows.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{\"rate\": {}, \"policy\": \"{}\", \"seed\": {}, \"rounds\": {}, \
-             \"rounds_ok\": {}, \"healed_rounds\": {}, \"attempts\": {}, \
-             \"faults_applied\": {}, \"detected\": {}, \"recovered\": {}, \
-             \"pending_left\": {}, \"mttr_us\": {:.3}, \"extra_energy_uj\": {:.3}}}{comma}",
-            r.rate,
-            r.policy,
-            r.seed,
-            r.rounds,
-            r.rounds_ok,
-            r.healed_rounds,
-            r.attempts,
-            r.applied,
-            r.detected,
-            r.recovered,
-            r.pending_left,
-            r.mttr_us,
-            r.extra_energy_uj,
-        );
-    }
-    let _ = writeln!(j, "  ],");
-
-    let _ = writeln!(j, "  \"aggregates\": [");
-    let mut agg_lines = Vec::new();
+    let mut aggregates: Vec<Value> = Vec::new();
     for &rate in rates {
         for (pname, _) in &policies {
             let rows: Vec<&CampaignRow> = campaign_rows
@@ -586,36 +515,100 @@ fn main() {
             } else {
                 0.0
             };
-            agg_lines.push(format!(
-                "    {{\"rate\": {rate}, \"policy\": \"{pname}\", \
-                 \"completion_rate\": {:.4}, \"detection_coverage\": {:.4}, \
-                 \"recovery_coverage\": {:.4}, \"mttr_us\": {mttr_us:.3}}}",
-                f64::from(ok_rounds) / f64::from(total_rounds.max(1)),
-                detected as f64 / (applied.max(1)) as f64,
-                recovered as f64 / (detected.max(1)) as f64,
-            ));
+            aggregates.push(
+                Obj::new()
+                    .field("rate", rate)
+                    .field("policy", *pname)
+                    .field(
+                        "completion_rate",
+                        Value::fixed(f64::from(ok_rounds) / f64::from(total_rounds.max(1)), 4),
+                    )
+                    .field(
+                        "detection_coverage",
+                        Value::fixed(detected as f64 / (applied.max(1)) as f64, 4),
+                    )
+                    .field(
+                        "recovery_coverage",
+                        Value::fixed(recovered as f64 / (detected.max(1)) as f64, 4),
+                    )
+                    .field("mttr_us", Value::fixed(mttr_us, 3))
+                    .into(),
+            );
         }
     }
-    let _ = writeln!(j, "{}", agg_lines.join(",\n"));
-    let _ = writeln!(j, "  ],");
 
-    let _ = writeln!(j, "  \"farm_baseline\": [");
-    for (i, r) in farm_rows.iter().enumerate() {
-        let comma = if i + 1 < farm_rows.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{\"class\": \"{}\", \"ok\": {}, \"faults_applied\": {}, \
-             \"recovered\": {}}}{comma}",
-            json_escape(r.class),
-            r.ok,
-            r.applied,
-            r.recovered,
+    let report = JsonReport::new("uparc-bench-resilience", 2)
+        .field("smoke", smoke)
+        .field("seeds_per_cell", seeds_per_cell)
+        .field(
+            "partition",
+            Obj::new().field("far", FAR).field("frames", FRAMES),
+        )
+        .field(
+            "single_fault",
+            single_rows
+                .iter()
+                .map(|r| {
+                    Obj::new()
+                        .field("class", r.class)
+                        .field("policy", r.policy)
+                        .field("seed", r.seed)
+                        .field("ok", r.ok)
+                        .field("error", r.error.as_str())
+                        .field("attempts", r.attempts)
+                        .field(
+                            "actions",
+                            r.actions.iter().map(|&a| a.into()).collect::<Vec<Value>>(),
+                        )
+                        .field("extra_time_us", Value::fixed(r.extra_time_us, 3))
+                        .field("extra_energy_uj", Value::fixed(r.extra_energy_uj, 3))
+                        .field("faults_applied", r.applied)
+                        .field("detected", r.detected)
+                        .field("recovered", r.recovered)
+                        .into()
+                })
+                .collect::<Vec<Value>>(),
+        )
+        .field(
+            "campaign",
+            campaign_rows
+                .iter()
+                .map(|r| {
+                    Obj::new()
+                        .field("rate", r.rate)
+                        .field("policy", r.policy)
+                        .field("seed", r.seed)
+                        .field("rounds", r.rounds)
+                        .field("rounds_ok", r.rounds_ok)
+                        .field("healed_rounds", r.healed_rounds)
+                        .field("attempts", r.attempts)
+                        .field("faults_applied", r.applied)
+                        .field("detected", r.detected)
+                        .field("recovered", r.recovered)
+                        .field("pending_left", r.pending_left)
+                        .field("mttr_us", Value::fixed(r.mttr_us, 3))
+                        .field("extra_energy_uj", Value::fixed(r.extra_energy_uj, 3))
+                        .into()
+                })
+                .collect::<Vec<Value>>(),
+        )
+        .field("aggregates", aggregates)
+        .field(
+            "farm_baseline",
+            farm_rows
+                .iter()
+                .map(|r| {
+                    Obj::new()
+                        .field("class", r.class)
+                        .field("ok", r.ok)
+                        .field("faults_applied", r.applied)
+                        .field("recovered", r.recovered)
+                        .into()
+                })
+                .collect::<Vec<Value>>(),
         );
-    }
-    let _ = writeln!(j, "  ]");
-    j.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
-    std::fs::write(path, &j).expect("write BENCH_resilience.json");
+    report.write(path).expect("write BENCH_resilience.json");
     println!("report written: {path}");
 }

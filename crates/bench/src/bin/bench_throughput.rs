@@ -11,9 +11,9 @@
 //! repetitions — same JSON shape).
 
 use std::any::Any;
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use uparc_bench::report::{JsonReport, Obj, Value};
 use uparc_bench::sweep;
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_bitstream::synth::SynthProfile;
@@ -102,10 +102,6 @@ fn best_of<F: FnMut()>(reps: usize, items: u64, mut f: F) -> Measured {
         secs = secs.min(t.elapsed().as_secs_f64());
     }
     Measured { secs, items }
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
@@ -369,89 +365,94 @@ fn main() {
     );
 
     // ---- JSON report --------------------------------------------------
-    let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"schema\": \"uparc-bench-throughput-v2\",");
-    let _ = writeln!(j, "  \"smoke\": {smoke},");
-    let _ = writeln!(j, "  \"icap\": {{");
-    let _ = writeln!(j, "    \"stream_words\": {n_words},");
-    let _ = writeln!(
-        j,
-        "    \"per_cycle_words_per_sec\": {:.0},",
-        per_cycle.per_sec()
-    );
-    let _ = writeln!(
-        j,
-        "    \"batched_words_per_sec\": {:.0},",
-        batched.per_sec()
-    );
-    let _ = writeln!(j, "    \"batched_speedup\": {speedup:.2}");
-    let _ = writeln!(j, "  }},");
-    let _ = writeln!(j, "  \"codecs\": [");
-    for (i, (name, enc, dec, saved)) in codec_rows.iter().enumerate() {
-        let comma = if i + 1 < codec_rows.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{\"name\": \"{}\", \"input_bytes\": {}, \
-             \"encode_bytes_per_sec\": {:.0}, \"decode_bytes_per_sec\": {:.0}, \
-             \"percent_saved\": {saved:.2}}}{comma}",
-            json_escape(name),
-            raw.len(),
-            enc.per_sec(),
-            dec.per_sec(),
-        );
-    }
-    let _ = writeln!(j, "  ],");
-    let _ = writeln!(j, "  \"pipeline\": {{");
-    let _ = writeln!(j, "    \"stream_words\": {e2e_words},");
-    let _ = writeln!(
-        j,
-        "    \"raw_mode_words_per_sec\": {:.0},",
-        pipeline.per_sec()
-    );
-    let _ = writeln!(
-        j,
-        "    \"compressed_mode_words_per_sec\": {:.0}",
-        pipeline_compressed.per_sec()
-    );
-    let _ = writeln!(j, "  }},");
     let queue_speedup = queue.per_sec() / QUEUE_BASELINE_OPS_PER_SEC;
-    let _ = writeln!(j, "  \"event_queue\": {{");
-    let _ = writeln!(j, "    \"events\": {events},");
-    let _ = writeln!(j, "    \"ops_per_sec\": {:.0},", queue.per_sec());
-    let _ = writeln!(
-        j,
-        "    \"baseline_ops_per_sec\": {QUEUE_BASELINE_OPS_PER_SEC:.0},"
-    );
-    let _ = writeln!(j, "    \"speedup_vs_baseline\": {queue_speedup:.2}");
-    let _ = writeln!(j, "  }},");
-    let _ = writeln!(j, "  \"kernel\": {{");
-    let _ = writeln!(j, "    \"engine\": {{");
-    let _ = writeln!(j, "      \"processes\": {relays},");
-    let _ = writeln!(j, "      \"events\": {engine_events},");
-    let _ = writeln!(j, "      \"events_per_sec\": {:.0}", engine_m.per_sec());
-    let _ = writeln!(j, "    }},");
-    let _ = writeln!(j, "    \"scenario_grid\": {{");
-    let _ = writeln!(j, "      \"cells\": {},", grid.len());
-    let _ = writeln!(j, "      \"shards\": {},", grid_shards.len());
-    let _ = writeln!(j, "      \"events\": {grid_expected},");
-    let _ = writeln!(j, "      \"wall_secs\": {:.6},", scenario.secs);
-    let _ = writeln!(j, "      \"events_per_sec\": {:.0}", scenario.per_sec());
-    let _ = writeln!(j, "    }},");
-    let _ = writeln!(j, "    \"cache\": {{");
-    let _ = writeln!(j, "      \"swaps\": {},", cache_tasks.len());
-    let _ = writeln!(j, "      \"hits\": {},", cache_run.hits);
-    let _ = writeln!(j, "      \"misses\": {},", cache_run.misses);
-    let _ = writeln!(j, "      \"evictions\": {},", cache_run.evictions);
-    let _ = writeln!(j, "      \"hit_rate\": {:.4},", cache_run.hit_rate());
-    let _ = writeln!(j, "      \"cached_secs\": {:.6},", cached.secs);
-    let _ = writeln!(j, "      \"uncached_secs\": {:.6},", uncached.secs);
-    let _ = writeln!(j, "      \"host_speedup\": {cache_speedup:.2}");
-    let _ = writeln!(j, "    }}");
-    let _ = writeln!(j, "  }}");
-    j.push_str("}\n");
+    let report = JsonReport::new("uparc-bench-throughput", 3)
+        .field("smoke", smoke)
+        .field(
+            "icap",
+            Obj::new()
+                .field("stream_words", n_words)
+                .field(
+                    "per_cycle_words_per_sec",
+                    Value::fixed(per_cycle.per_sec(), 0),
+                )
+                .field("batched_words_per_sec", Value::fixed(batched.per_sec(), 0))
+                .field("batched_speedup", Value::fixed(speedup, 2)),
+        )
+        .field(
+            "codecs",
+            codec_rows
+                .iter()
+                .map(|(name, enc, dec, saved)| {
+                    Obj::new()
+                        .field("name", name.as_str())
+                        .field("input_bytes", raw.len())
+                        .field("encode_bytes_per_sec", Value::fixed(enc.per_sec(), 0))
+                        .field("decode_bytes_per_sec", Value::fixed(dec.per_sec(), 0))
+                        .field("percent_saved", Value::fixed(*saved, 2))
+                        .into()
+                })
+                .collect::<Vec<Value>>(),
+        )
+        .field(
+            "pipeline",
+            Obj::new()
+                .field("stream_words", e2e_words)
+                .field(
+                    "raw_mode_words_per_sec",
+                    Value::fixed(pipeline.per_sec(), 0),
+                )
+                .field(
+                    "compressed_mode_words_per_sec",
+                    Value::fixed(pipeline_compressed.per_sec(), 0),
+                ),
+        )
+        .field(
+            "event_queue",
+            Obj::new()
+                .field("events", events)
+                .field("ops_per_sec", Value::fixed(queue.per_sec(), 0))
+                .field(
+                    "baseline_ops_per_sec",
+                    Value::fixed(QUEUE_BASELINE_OPS_PER_SEC, 0),
+                )
+                .field("speedup_vs_baseline", Value::fixed(queue_speedup, 2)),
+        )
+        .field(
+            "kernel",
+            Obj::new()
+                .field(
+                    "engine",
+                    Obj::new()
+                        .field("processes", relays)
+                        .field("events", engine_events)
+                        .field("events_per_sec", Value::fixed(engine_m.per_sec(), 0)),
+                )
+                .field(
+                    "scenario_grid",
+                    Obj::new()
+                        .field("cells", grid.len())
+                        .field("shards", grid_shards.len())
+                        .field("events", grid_expected)
+                        .field("wall_secs", Value::fixed(scenario.secs, 6))
+                        .field("events_per_sec", Value::fixed(scenario.per_sec(), 0)),
+                )
+                .field(
+                    "cache",
+                    Obj::new()
+                        .field("swaps", cache_tasks.len())
+                        .field("hits", cache_run.hits)
+                        .field("misses", cache_run.misses)
+                        .field("evictions", cache_run.evictions)
+                        .field("hit_rate", Value::fixed(cache_run.hit_rate(), 4))
+                        .field("cached_secs", Value::fixed(cached.secs, 6))
+                        .field("uncached_secs", Value::fixed(uncached.secs, 6))
+                        .field("host_speedup", Value::fixed(cache_speedup, 2)),
+                ),
+        );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-    std::fs::write(path, &j).expect("write BENCH_throughput.json");
+    report.write(path).expect("write BENCH_throughput.json");
     println!("report written: {path}");
 
     // Acceptance gates (full-size workloads only): the batched ICAP path

@@ -52,6 +52,13 @@ pub enum UparcError {
         /// The minimum achievable power in mW.
         floor_mw: f64,
     },
+    /// An energy budget is below the best achievable per-request energy.
+    EnergyBudgetInfeasible {
+        /// The requested budget in µJ.
+        budget_uj: f64,
+        /// The minimum achievable energy in µJ.
+        floor_uj: f64,
+    },
     /// No streaming hardware decompressor exists for the algorithm.
     NoHardwareDecompressor {
         /// Name of the algorithm.
@@ -109,6 +116,12 @@ impl std::fmt::Display for UparcError {
                 floor_mw,
             } => {
                 write!(f, "power budget {budget_mw} mW below floor {floor_mw} mW")
+            }
+            UparcError::EnergyBudgetInfeasible {
+                budget_uj,
+                floor_uj,
+            } => {
+                write!(f, "energy budget {budget_uj} uJ below floor {floor_uj} uJ")
             }
             UparcError::NoHardwareDecompressor { algorithm } => {
                 write!(f, "no streaming hardware decompressor for {algorithm}")

@@ -50,6 +50,28 @@ pub struct FrequencyPlan {
     pub predicted_energy_uj: f64,
 }
 
+/// A multi-constraint operating-point query for [`PowerAwarePolicy::plan_constrained`].
+///
+/// Online schedulers (the `uparc-serve` admission/dispatch layer) pick an
+/// operating point under *several* constraints at once: a hardware or
+/// datapath frequency ceiling, the request's remaining deadline, the
+/// residual chip-level power budget, and an optional per-request energy
+/// budget. `None` leaves a dimension unconstrained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanQuery {
+    /// Raw bitstream size in bytes.
+    pub bytes: usize,
+    /// Hard frequency ceiling (e.g. 255 MHz for the compressed datapath).
+    pub max_frequency: Option<Frequency>,
+    /// Remaining time until the request's deadline.
+    pub deadline: Option<SimTime>,
+    /// Total-power cap in mW (idle included, same convention as
+    /// [`Constraint::PowerBudget`]).
+    pub power_cap_mw: Option<f64>,
+    /// Per-request above-idle energy budget in µJ.
+    pub energy_budget_uj: Option<f64>,
+}
+
 /// The frequency-selection policy for UPaRC_i (raw staging).
 #[derive(Debug, Clone)]
 pub struct PowerAwarePolicy {
@@ -189,6 +211,80 @@ impl PowerAwarePolicy {
             }
         }
     }
+
+    /// Selects an operating point under *all* the constraints of `q` at
+    /// once. The selection rule is power-aware (§V): among the admissible
+    /// grid points, prefer the **slowest clock that still meets the
+    /// deadline** (lowest power); when no admissible point meets the
+    /// deadline — or no deadline is given — return the **fastest**
+    /// admissible point (best effort; the caller decides whether a
+    /// predicted miss is dispatched or deferred).
+    ///
+    /// # Errors
+    ///
+    /// * [`UparcError::BudgetInfeasible`] — `power_cap_mw` is below every
+    ///   grid point (the floor reported is the cheapest point after the
+    ///   frequency filter).
+    /// * [`UparcError::EnergyBudgetInfeasible`] — `energy_budget_uj` is
+    ///   below the minimum achievable energy for this size.
+    /// * [`UparcError::Frequency`] — `max_frequency` is below the whole
+    ///   grid (no synthesisable point under the ceiling).
+    pub fn plan_constrained(&self, q: &PlanQuery) -> Result<FrequencyPlan, UparcError> {
+        let grid = self.frequency_grid();
+        let ceiling: Vec<Frequency> = match q.max_frequency {
+            Some(max) => grid.iter().copied().filter(|&f| f <= max).collect(),
+            None => grid,
+        };
+        let Some(&floor_f) = ceiling.first() else {
+            return Err(UparcError::Frequency {
+                requested: q.max_frequency.expect("unfiltered grid is never empty"),
+                max: q.max_frequency.expect("checked above"),
+                limited_by: "dcm grid",
+            });
+        };
+        let powered: Vec<Frequency> = match q.power_cap_mw {
+            Some(cap) => ceiling
+                .iter()
+                .copied()
+                .filter(|&f| self.predicted_power_mw(f) <= cap)
+                .collect(),
+            None => ceiling,
+        };
+        if powered.is_empty() {
+            return Err(UparcError::BudgetInfeasible {
+                budget_mw: q.power_cap_mw.expect("emptied by the power filter"),
+                floor_mw: self.predicted_power_mw(floor_f),
+            });
+        }
+        let admissible: Vec<Frequency> = match q.energy_budget_uj {
+            Some(budget) => powered
+                .iter()
+                .copied()
+                .filter(|&f| self.predicted_energy_uj(q.bytes, f) <= budget)
+                .collect(),
+            None => powered.clone(),
+        };
+        if admissible.is_empty() {
+            let floor_uj = powered
+                .iter()
+                .map(|&f| self.predicted_energy_uj(q.bytes, f))
+                .fold(f64::INFINITY, f64::min);
+            return Err(UparcError::EnergyBudgetInfeasible {
+                budget_uj: q.energy_budget_uj.expect("emptied by the energy filter"),
+                floor_uj,
+            });
+        }
+        let chosen = q
+            .deadline
+            .and_then(|d| {
+                admissible
+                    .iter()
+                    .copied()
+                    .find(|&f| self.predicted_time(q.bytes, f) <= d)
+            })
+            .unwrap_or_else(|| *admissible.last().expect("checked non-empty"));
+        Ok(self.plan_at(q.bytes, chosen))
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +409,79 @@ mod tests {
         assert_eq!(plan.frequency, Frequency::from_mhz(362.5));
         // ≈154 µs for 216.5 KB.
         assert!(plan.predicted_time < SimTime::from_us(160));
+    }
+
+    #[test]
+    fn constrained_plan_honours_every_dimension() {
+        let p = policy();
+        // Deadline only: same answer as Constraint::Deadline.
+        let q = PlanQuery {
+            bytes: BYTES,
+            deadline: Some(SimTime::from_us(600)),
+            ..PlanQuery::default()
+        };
+        let plan = p.plan_constrained(&q).unwrap();
+        let reference = p
+            .plan(Constraint::Deadline(SimTime::from_us(600)), BYTES)
+            .unwrap();
+        assert_eq!(plan.frequency, reference.frequency);
+
+        // A frequency ceiling caps the best-effort (no-deadline) answer.
+        let q = PlanQuery {
+            bytes: BYTES,
+            max_frequency: Some(Frequency::from_mhz(255.0)),
+            ..PlanQuery::default()
+        };
+        let plan = p.plan_constrained(&q).unwrap();
+        assert!(plan.frequency <= Frequency::from_mhz(255.0));
+
+        // A power cap excludes fast points even when the deadline wants
+        // them: 260 mW admits ≈100 MHz at most (Fig. 7).
+        let q = PlanQuery {
+            bytes: BYTES,
+            deadline: Some(SimTime::from_us(200)),
+            power_cap_mw: Some(260.0),
+            ..PlanQuery::default()
+        };
+        let plan = p.plan_constrained(&q).unwrap();
+        assert!(plan.predicted_power_mw <= 260.0);
+        assert!(plan.frequency <= Frequency::from_mhz(106.0));
+    }
+
+    #[test]
+    fn constrained_plan_reports_typed_infeasibility() {
+        let p = policy();
+        let q = PlanQuery {
+            bytes: BYTES,
+            power_cap_mw: Some(100.0),
+            ..PlanQuery::default()
+        };
+        assert!(matches!(
+            p.plan_constrained(&q),
+            Err(UparcError::BudgetInfeasible { .. })
+        ));
+
+        let q = PlanQuery {
+            bytes: BYTES,
+            energy_budget_uj: Some(1.0),
+            ..PlanQuery::default()
+        };
+        match p.plan_constrained(&q) {
+            Err(UparcError::EnergyBudgetInfeasible { floor_uj, .. }) => {
+                assert!(floor_uj > 1.0, "{floor_uj}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let q = PlanQuery {
+            bytes: BYTES,
+            max_frequency: Some(Frequency::from_mhz(1.0)),
+            ..PlanQuery::default()
+        };
+        assert!(matches!(
+            p.plan_constrained(&q),
+            Err(UparcError::Frequency { .. })
+        ));
     }
 
     #[test]

@@ -206,6 +206,7 @@ fn is_unrecoverable(e: &UparcError) -> bool {
             | UparcError::Unsynthesisable { .. }
             | UparcError::DeadlineInfeasible { .. }
             | UparcError::BudgetInfeasible { .. }
+            | UparcError::EnergyBudgetInfeasible { .. }
             | UparcError::NoHardwareDecompressor { .. }
             | UparcError::Fpga(FpgaError::WrongDevice { .. })
     )

@@ -117,6 +117,23 @@ impl Floorplan {
         self.partitions.iter().map(Partition::frame_count).sum()
     }
 
+    /// The partition whose frame window fully contains a bitstream
+    /// starting at frame `far` and spanning `frames` frames, if any.
+    ///
+    /// A bitstream that straddles a partition boundary (or lands between
+    /// partitions) has no containing partition — admission layers use
+    /// `None` to reject such requests before they reach the controller.
+    #[must_use]
+    pub fn containing(&self, far: u32, frames: u32) -> Option<PartitionId> {
+        let end = far.checked_add(frames)?;
+        self.iter()
+            .find(|(_, p)| {
+                let w = p.frames();
+                w.start <= far && end <= w.end
+            })
+            .map(|(id, _)| id)
+    }
+
     /// Picks the smallest *empty* partition that fits a module of
     /// `frames_needed` frames (best-fit placement).
     #[must_use]
@@ -176,6 +193,23 @@ mod tests {
             fp.add_partition("big", 0..frames + 1),
             Err(FpgaError::FrameOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn containing_maps_frame_windows_to_partitions() {
+        let mut fp = plan();
+        let a = fp.add_partition("rp0", 100..500).unwrap();
+        let b = fp.add_partition("rp1", 500..800).unwrap();
+        assert_eq!(fp.containing(100, 400), Some(a));
+        assert_eq!(fp.containing(200, 100), Some(a));
+        assert_eq!(fp.containing(500, 300), Some(b));
+        // Straddles the rp0/rp1 boundary.
+        assert_eq!(fp.containing(400, 200), None);
+        // Outside any partition.
+        assert_eq!(fp.containing(0, 50), None);
+        assert_eq!(fp.containing(900, 10), None);
+        // Overflow-safe.
+        assert_eq!(fp.containing(u32::MAX, 2), None);
     }
 
     #[test]

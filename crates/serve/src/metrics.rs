@@ -1,0 +1,234 @@
+//! Per-request records and run-level summaries.
+
+use uparc_sim::stats;
+use uparc_sim::time::{Frequency, SimTime};
+
+use crate::request::{AdmissionError, RegionId, RequestId};
+
+/// One successfully served request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Request id.
+    pub id: RequestId,
+    /// Region it reconfigured.
+    pub region: RegionId,
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// When it left the queue and started dispatch.
+    pub dispatched: SimTime,
+    /// When the reconfiguration finished.
+    pub finished: SimTime,
+    /// Its absolute deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// Whether it finished after its deadline.
+    pub missed: bool,
+    /// Reconfiguration clock (CLK_2) the scheduler chose.
+    pub frequency: Frequency,
+    /// Whether the compressed datapath served it.
+    pub compressed: bool,
+    /// Total energy spent, recovery overhead included, in microjoules.
+    pub energy_uj: f64,
+    /// Reconfiguration attempts the recovery layer needed.
+    pub attempts: u32,
+    /// Whether recovery had to intervene.
+    pub healed: bool,
+}
+
+impl Completion {
+    /// Arrival-to-finish latency.
+    #[must_use]
+    pub fn latency(&self) -> SimTime {
+        self.finished.saturating_sub(self.arrival)
+    }
+}
+
+/// One rejected request.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Request id.
+    pub id: RequestId,
+    /// When admission rejected it.
+    pub at: SimTime,
+    /// Why.
+    pub reason: AdmissionError,
+}
+
+/// One request that was admitted but whose dispatch ultimately failed
+/// even after recovery.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Request id.
+    pub id: RequestId,
+    /// When the dispatch gave up.
+    pub at: SimTime,
+    /// The controller error, stringified.
+    pub error: String,
+}
+
+/// Total reconfiguration-path power at one scheduling instant.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Summed draw of all active lanes plus static idle, in milliwatts.
+    pub total_mw: f64,
+}
+
+/// Everything one service run produced.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Served requests, in completion order.
+    pub completions: Vec<Completion>,
+    /// Rejected requests, in rejection order.
+    pub rejections: Vec<Rejection>,
+    /// Admitted requests whose dispatch failed terminally.
+    pub failures: Vec<Failure>,
+    /// Power envelope, one sample per scheduling instant.
+    pub power: Vec<PowerSample>,
+    /// Scheduling instants where total draw exceeded the cap.
+    pub cap_violations: u64,
+    /// Requests still queued when the run drained.
+    pub unserved: usize,
+    /// Time of the last event in the run.
+    pub makespan: SimTime,
+}
+
+impl ServiceMetrics {
+    /// Condenses the run into headline numbers.
+    #[must_use]
+    pub fn summary(&self) -> ServiceSummary {
+        let completed = self.completions.len();
+        let mut latencies_us: Vec<f64> = self
+            .completions
+            .iter()
+            .map(|c| c.latency().as_us_f64())
+            .collect();
+        latencies_us.sort_by(f64::total_cmp);
+        let misses = self.completions.iter().filter(|c| c.missed).count();
+        let with_deadline = self
+            .completions
+            .iter()
+            .filter(|c| c.deadline.is_some())
+            .count();
+        let energy: f64 = self.completions.iter().map(|c| c.energy_uj).sum();
+        let span = self.makespan.as_secs_f64();
+        ServiceSummary {
+            completed,
+            rejected: self.rejections.len(),
+            failed: self.failures.len(),
+            throughput_rps: if span > 0.0 {
+                completed as f64 / span
+            } else {
+                0.0
+            },
+            p50_latency_us: stats::percentile(&latencies_us, 50.0).unwrap_or(0.0),
+            p95_latency_us: stats::percentile(&latencies_us, 95.0).unwrap_or(0.0),
+            p99_latency_us: stats::percentile(&latencies_us, 99.0).unwrap_or(0.0),
+            deadline_misses: misses,
+            deadline_miss_rate: if with_deadline > 0 {
+                misses as f64 / with_deadline as f64
+            } else {
+                0.0
+            },
+            mean_energy_uj: if completed > 0 {
+                energy / completed as f64
+            } else {
+                0.0
+            },
+            peak_power_mw: self.power.iter().map(|s| s.total_mw).fold(0.0, f64::max),
+            cap_violations: self.cap_violations,
+        }
+    }
+}
+
+/// Headline numbers of one service run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSummary {
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests rejected at admission.
+    pub rejected: usize,
+    /// Admitted requests that failed terminally.
+    pub failed: usize,
+    /// Completions per second of makespan.
+    pub throughput_rps: f64,
+    /// Median arrival-to-finish latency in microseconds.
+    pub p50_latency_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_latency_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Completions that finished after their deadline.
+    pub deadline_misses: usize,
+    /// Misses over completions that carried a deadline.
+    pub deadline_miss_rate: f64,
+    /// Mean energy per completed request in microjoules.
+    pub mean_energy_uj: f64,
+    /// Highest sampled total draw in milliwatts.
+    pub peak_power_mw: f64,
+    /// Scheduling instants above the power cap.
+    pub cap_violations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uparc_sim::time::Frequency;
+
+    fn completion(id: u64, arrival_us: u64, finish_us: u64, missed: bool) -> Completion {
+        Completion {
+            id: RequestId(id),
+            region: RegionId(0),
+            arrival: SimTime::from_us(arrival_us),
+            dispatched: SimTime::from_us(arrival_us),
+            finished: SimTime::from_us(finish_us),
+            deadline: Some(SimTime::from_us(finish_us + 1)),
+            missed,
+            frequency: Frequency::from_mhz(100.0),
+            compressed: false,
+            energy_uj: 100.0,
+            attempts: 1,
+            healed: false,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_latency_and_misses() {
+        let m = ServiceMetrics {
+            completions: vec![
+                completion(0, 0, 100, false),
+                completion(1, 0, 200, true),
+                completion(2, 0, 300, false),
+            ],
+            power: vec![
+                PowerSample {
+                    at: SimTime::ZERO,
+                    total_mw: 120.0,
+                },
+                PowerSample {
+                    at: SimTime::from_us(5),
+                    total_mw: 450.0,
+                },
+            ],
+            makespan: SimTime::from_us(300),
+            ..ServiceMetrics::default()
+        };
+        let s = m.summary();
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.deadline_misses, 1);
+        assert!((s.deadline_miss_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.p50_latency_us - 200.0).abs() < 1e-9);
+        assert!((s.peak_power_mw - 450.0).abs() < 1e-12);
+        assert!((s.mean_energy_uj - 100.0).abs() < 1e-12);
+        assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn empty_run_summarises_to_zeroes() {
+        let s = ServiceMetrics::default().summary();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.deadline_miss_rate, 0.0);
+        assert_eq!(s.throughput_rps, 0.0);
+        assert_eq!(s.p99_latency_us, 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Typed reconfiguration requests and admission errors.
+//!
+//! A [`ReconfigRequest`] is the unit of work the service accepts: which
+//! bitstream to load, into which region, by when, how important it is,
+//! and (optionally) how much energy it may spend. Admission either
+//! enqueues the request or rejects it with a typed
+//! [`AdmissionError`] — the service never panics on bad input.
+
+use std::fmt;
+
+use uparc_sim::time::SimTime;
+
+/// Monotonically increasing identifier assigned by the workload source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Identifier of a registered partial bitstream in the [`crate::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitstreamId(pub u32);
+
+impl fmt::Display for BitstreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bs#{}", self.0)
+    }
+}
+
+/// Index of a reconfigurable region, in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub usize);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rp{}", self.0)
+    }
+}
+
+/// Request priority; only breaks ties between equal deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work, scheduled last among deadline ties.
+    Low,
+    /// Default priority.
+    #[default]
+    Normal,
+    /// Latency-critical work, scheduled first among deadline ties.
+    High,
+}
+
+/// One reconfiguration request submitted to the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigRequest {
+    /// Caller-assigned identifier, unique within a run.
+    pub id: RequestId,
+    /// Which registered bitstream to load.
+    pub bitstream: BitstreamId,
+    /// Which region the caller expects it to land in. Must match the
+    /// region the catalog derived from the bitstream's frame window.
+    pub region: RegionId,
+    /// Absolute arrival time of the request.
+    pub arrival: SimTime,
+    /// Absolute completion deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// Tie-break priority.
+    pub priority: Priority,
+    /// Optional per-request energy budget in microjoules.
+    pub energy_budget_uj: Option<f64>,
+}
+
+/// Why the admission layer refused a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionError {
+    /// The bitstream id is not registered in the catalog.
+    UnknownBitstream {
+        /// The unregistered id.
+        id: BitstreamId,
+    },
+    /// The region id does not exist in the floorplan.
+    UnknownRegion {
+        /// The unknown region.
+        region: RegionId,
+    },
+    /// The bitstream is registered for a different region than requested.
+    RegionMismatch {
+        /// Region named in the request.
+        requested: RegionId,
+        /// Region the catalog mapped the bitstream to.
+        actual: RegionId,
+    },
+    /// The target region's run queue is at capacity.
+    QueueFull {
+        /// Region whose queue overflowed.
+        region: RegionId,
+        /// Configured per-region queue capacity.
+        capacity: usize,
+    },
+    /// The deadline cannot be met even if the request dispatched
+    /// immediately at the fastest admissible operating point.
+    DeadlineInfeasible {
+        /// Requested absolute deadline.
+        deadline: SimTime,
+        /// Earliest possible absolute completion time.
+        earliest_finish: SimTime,
+    },
+    /// No operating point fits under the configured power cap even with
+    /// the region's lane otherwise idle.
+    PowerInfeasible {
+        /// Configured cap in milliwatts.
+        cap_mw: f64,
+        /// Cheapest achievable draw in milliwatts.
+        floor_mw: f64,
+    },
+    /// No operating point fits the request's energy budget.
+    EnergyInfeasible {
+        /// Requested budget in microjoules.
+        budget_uj: f64,
+        /// Cheapest achievable energy in microjoules.
+        floor_uj: f64,
+    },
+}
+
+impl AdmissionError {
+    /// Stable short label for metrics bucketing.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionError::UnknownBitstream { .. } => "unknown-bitstream",
+            AdmissionError::UnknownRegion { .. } => "unknown-region",
+            AdmissionError::RegionMismatch { .. } => "region-mismatch",
+            AdmissionError::QueueFull { .. } => "queue-full",
+            AdmissionError::DeadlineInfeasible { .. } => "deadline-infeasible",
+            AdmissionError::PowerInfeasible { .. } => "power-infeasible",
+            AdmissionError::EnergyInfeasible { .. } => "energy-infeasible",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::UnknownBitstream { id } => {
+                write!(f, "{id} is not registered in the catalog")
+            }
+            AdmissionError::UnknownRegion { region } => {
+                write!(f, "{region} does not exist in the floorplan")
+            }
+            AdmissionError::RegionMismatch { requested, actual } => {
+                write!(
+                    f,
+                    "bitstream belongs to {actual}, not requested {requested}"
+                )
+            }
+            AdmissionError::QueueFull { region, capacity } => {
+                write!(f, "{region} queue full (capacity {capacity})")
+            }
+            AdmissionError::DeadlineInfeasible {
+                deadline,
+                earliest_finish,
+            } => write!(
+                f,
+                "deadline {:.1}us unreachable; earliest finish {:.1}us",
+                deadline.as_us_f64(),
+                earliest_finish.as_us_f64()
+            ),
+            AdmissionError::PowerInfeasible { cap_mw, floor_mw } => write!(
+                f,
+                "power cap {cap_mw:.1}mW below cheapest operating point {floor_mw:.1}mW"
+            ),
+            AdmissionError::EnergyInfeasible {
+                budget_uj,
+                floor_uj,
+            } => write!(
+                f,
+                "energy budget {budget_uj:.2}uJ below cheapest plan {floor_uj:.2}uJ"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn admission_error_labels_are_stable() {
+        let e = AdmissionError::QueueFull {
+            region: RegionId(2),
+            capacity: 8,
+        };
+        assert_eq!(e.label(), "queue-full");
+        assert!(e.to_string().contains("rp2"));
+        let e = AdmissionError::DeadlineInfeasible {
+            deadline: SimTime::from_us(10),
+            earliest_finish: SimTime::from_us(25),
+        };
+        assert!(e.to_string().contains("10.0us"));
+        assert!(e.to_string().contains("25.0us"));
+    }
+}

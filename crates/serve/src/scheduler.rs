@@ -1,0 +1,159 @@
+//! Scheduling policies and candidate ordering.
+//!
+//! The service keeps one run queue per region; whenever a region's
+//! controller lane goes idle, the policy decides which queued request to
+//! try next. Ordering is the whole policy — feasibility (does an
+//! operating point exist under the current power headroom?) is checked
+//! by the service per candidate, in the order produced here.
+
+use std::collections::VecDeque;
+
+use uparc_sim::time::SimTime;
+
+use crate::request::{Priority, RequestId};
+
+/// Which request a freed lane picks next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// Strict arrival order. Never reorders; a request that cannot
+    /// dispatch (e.g. no operating point under the cap) blocks its
+    /// region's queue until conditions change.
+    #[default]
+    Fifo,
+    /// Earliest absolute deadline first; requests whose deadline is
+    /// already unreachable are deferred behind every still-feasible one
+    /// so they cannot drag feasible work into lateness. Ties break on
+    /// priority (high first), then arrival order.
+    EarliestDeadlineFirst,
+    /// Deadline-ordered like EDF, but a candidate that does not fit the
+    /// current power headroom is skipped instead of blocking, letting
+    /// later (cheaper) requests backfill the budget.
+    PowerGreedy,
+}
+
+impl Policy {
+    /// All policies, in reporting order.
+    pub const ALL: [Policy; 3] = [
+        Policy::Fifo,
+        Policy::EarliestDeadlineFirst,
+        Policy::PowerGreedy,
+    ];
+
+    /// Stable label for reports and JSON keys.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::EarliestDeadlineFirst => "edf",
+            Policy::PowerGreedy => "power-greedy",
+        }
+    }
+}
+
+/// A queued request, reduced to what ordering needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Queued {
+    /// Index into the service's request slice.
+    pub req: usize,
+    /// Request id (final tie-break: arrival order).
+    pub id: RequestId,
+    /// Absolute deadline, [`SimTime::MAX`] when none.
+    pub deadline: SimTime,
+    /// Tie-break priority.
+    pub priority: Priority,
+}
+
+/// Returns queue positions in the order the policy wants them tried.
+///
+/// `Fifo` yields only the head — by definition nothing may overtake it.
+/// `EarliestDeadlineFirst` yields only its single best pick: if that
+/// pick cannot dispatch, EDF waits (it reorders, it does not skip).
+/// `PowerGreedy` yields the full queue in EDF order so the service can
+/// fall through to the first candidate that fits the power headroom.
+pub(crate) fn candidate_order(
+    policy: Policy,
+    queue: &VecDeque<Queued>,
+    now: SimTime,
+) -> Vec<usize> {
+    if queue.is_empty() {
+        return Vec::new();
+    }
+    match policy {
+        Policy::Fifo => vec![0],
+        Policy::EarliestDeadlineFirst | Policy::PowerGreedy => {
+            let mut order: Vec<usize> = (0..queue.len()).collect();
+            order.sort_by_key(|&i| {
+                let q = &queue[i];
+                // A deadline already in the past is hopeless; schedule it
+                // after all still-feasible requests (it will run — and be
+                // counted missed — but must not make others late too).
+                let hopeless = q.deadline < now;
+                (hopeless, q.deadline, std::cmp::Reverse(q.priority), q.id)
+            });
+            if policy == Policy::EarliestDeadlineFirst {
+                order.truncate(1);
+            }
+            order
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(req: usize, deadline_us: Option<u64>, priority: Priority) -> Queued {
+        Queued {
+            req,
+            id: RequestId(req as u64),
+            deadline: deadline_us.map_or(SimTime::MAX, SimTime::from_us),
+            priority,
+        }
+    }
+
+    #[test]
+    fn fifo_only_offers_the_head() {
+        let queue: VecDeque<Queued> = [
+            q(0, Some(900), Priority::Low),
+            q(1, Some(10), Priority::High),
+        ]
+        .into();
+        assert_eq!(candidate_order(Policy::Fifo, &queue, SimTime::ZERO), [0]);
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline_then_priority() {
+        let queue: VecDeque<Queued> = [
+            q(0, Some(500), Priority::Normal),
+            q(1, Some(100), Priority::Low),
+            q(2, Some(100), Priority::High),
+            q(3, None, Priority::High),
+        ]
+        .into();
+        let order = candidate_order(Policy::EarliestDeadlineFirst, &queue, SimTime::ZERO);
+        assert_eq!(order, [2], "deadline 100us + High wins");
+    }
+
+    #[test]
+    fn power_greedy_orders_whole_queue() {
+        let queue: VecDeque<Queued> = [
+            q(0, Some(500), Priority::Normal),
+            q(1, Some(100), Priority::Low),
+            q(2, None, Priority::Normal),
+        ]
+        .into();
+        let order = candidate_order(Policy::PowerGreedy, &queue, SimTime::ZERO);
+        assert_eq!(order, [1, 0, 2]);
+    }
+
+    #[test]
+    fn hopeless_deadlines_defer_behind_feasible_work() {
+        let queue: VecDeque<Queued> = [
+            q(0, Some(10), Priority::High), // already past at now=50us
+            q(1, Some(900), Priority::Low),
+        ]
+        .into();
+        let order = candidate_order(Policy::PowerGreedy, &queue, SimTime::from_us(50));
+        assert_eq!(order, [1, 0]);
+    }
+}

@@ -1,0 +1,597 @@
+//! The reconfiguration service: admission, per-region dispatch, and the
+//! power-budgeted event loop.
+//!
+//! One [`Service::run`] executes one request trace to completion on the
+//! `uparc-sim` event engine. Each region gets its own [`UParc`]
+//! controller lane and run queue; arrivals pass the admission checks or
+//! are rejected with a typed [`AdmissionError`], and every time a lane
+//! frees up the configured [`Policy`] picks the next request. Operating
+//! points come from [`PowerAwarePolicy::plan_constrained`], so
+//! [`Policy::PowerGreedy`] can hold the summed draw of concurrent
+//! reconfigurations under a chip-level cap, and every dispatch goes
+//! through the self-healing [`RecoveryPolicy`].
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+use uparc_core::manager::ManagerConfig;
+use uparc_core::policy::{PlanQuery, PowerAwarePolicy};
+use uparc_core::recovery::RecoveryPolicy;
+use uparc_core::uparc::COMPRESSED_MODE_MAX;
+use uparc_core::{UParc, UparcError};
+use uparc_sim::engine::{Context, Engine, Process};
+use uparc_sim::power::calib;
+use uparc_sim::time::{Frequency, SimTime};
+
+use crate::catalog::Catalog;
+use crate::metrics::{Completion, Failure, PowerSample, Rejection, ServiceMetrics};
+use crate::request::{AdmissionError, BitstreamId, ReconfigRequest, RegionId};
+use crate::scheduler::{candidate_order, Policy, Queued};
+
+/// Safety margin on estimated service times: the analytic transfer model
+/// ignores pipeline fill and stall cycles, so admission pads it before
+/// promising a deadline is reachable.
+const ESTIMATE_MARGIN: f64 = 1.05;
+
+/// Tolerance when checking sampled draw against the cap (floating-point
+/// sums of per-lane draws).
+const CAP_EPSILON_MW: f64 = 1e-9;
+
+/// Tunables of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Dispatch policy.
+    pub policy: Policy,
+    /// Chip-level cap on the summed reconfiguration-path draw, in
+    /// milliwatts. Only [`Policy::PowerGreedy`] schedules against it,
+    /// but violations are counted under every policy. Default: no cap.
+    pub power_cap_mw: f64,
+    /// Per-region run-queue capacity; arrivals beyond it are rejected
+    /// with [`AdmissionError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Recovery policy wrapped around every dispatch.
+    pub recovery: RecoveryPolicy,
+    /// Host-side decompressed-bitstream cache per lane, in bytes.
+    pub decompressed_cache_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            policy: Policy::Fifo,
+            power_cap_mw: f64::INFINITY,
+            queue_capacity: 32,
+            recovery: RecoveryPolicy::default(),
+            decompressed_cache_bytes: 32 * 1024 * 1024,
+        }
+    }
+}
+
+/// Per-bitstream scheduling facts, calibrated by one dry-run dispatch
+/// on a scratch controller (deterministic, so the calibration is exact
+/// for a fault-free dispatch).
+#[derive(Debug, Clone, Copy)]
+struct Est {
+    /// Best-case dispatch-to-finish time with the lane idle (measured at
+    /// the fastest admissible clock), margin included.
+    service_fastest: SimTime,
+    /// CLK_2 ceiling imposed by the datapath (compressed mode).
+    ceiling: Option<Frequency>,
+    /// Extra steady draw of the decompressor during the transfer, mW.
+    extra_draw_mw: f64,
+}
+
+/// The reconfiguration service for one catalog.
+#[derive(Debug, Clone)]
+pub struct Service {
+    catalog: Catalog,
+    config: ServiceConfig,
+    planner: PowerAwarePolicy,
+    manager: ManagerConfig,
+}
+
+impl Service {
+    /// Creates a service over `catalog` with the paper's controller
+    /// setup (100 MHz reference, actively-waiting manager).
+    #[must_use]
+    pub fn new(catalog: Catalog, config: ServiceConfig) -> Self {
+        let planner = PowerAwarePolicy::paper_setup(catalog.device().family());
+        Service {
+            catalog,
+            config,
+            planner,
+            manager: ManagerConfig::default(),
+        }
+    }
+
+    /// The catalog this service dispatches from.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The operating-point planner.
+    #[must_use]
+    pub fn planner(&self) -> &PowerAwarePolicy {
+        &self.planner
+    }
+
+    /// Builds one controller lane with the catalog's staging setup.
+    fn build_lane(&self) -> UParc {
+        UParc::builder(self.catalog.device().clone())
+            .bram_bytes(self.catalog.bram_bytes())
+            .decompressor(self.catalog.algorithm())
+            .decompressed_cache_bytes(self.config.decompressed_cache_bytes)
+            .build()
+            .expect("catalog algorithm has a hardware decompressor")
+    }
+
+    /// Measures a full fault-free dispatch of `id` at CLK_2 `f` on a
+    /// scratch controller: retune + preload + transfer + the recovery
+    /// layer's verification, exactly as a lane would run it.
+    fn measure_dispatch(&self, id: BitstreamId, f: Frequency) -> SimTime {
+        let entry = self.catalog.entry(id).expect("measure of unknown id");
+        let mut scratch = self.build_lane();
+        scratch
+            .set_reconfiguration_frequency(f)
+            .expect("grid frequency is synthesizable");
+        self.config
+            .recovery
+            .reconfigure(&mut scratch, entry.bitstream(), entry.mode())
+            .expect("fault-free dispatch on a scratch lane");
+        scratch.now()
+    }
+
+    /// Runs one request trace to completion and returns its metrics.
+    ///
+    /// The run is fully deterministic in `(catalog, config, requests)`:
+    /// same inputs, identical metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a controller lane cannot be built (no hardware
+    /// decompressor for the catalog's algorithm).
+    #[must_use]
+    pub fn run(&self, requests: &[ReconfigRequest]) -> ServiceMetrics {
+        let lanes: Vec<UParc> = (0..self.catalog.region_count())
+            .map(|_| self.build_lane())
+            .collect();
+        let grid = self.planner.frequency_grid();
+        let ests: BTreeMap<BitstreamId, Est> = self
+            .catalog
+            .ids()
+            .into_iter()
+            .map(|id| {
+                let entry = self.catalog.entry(id).expect("id from catalog");
+                let ceiling = entry
+                    .compressed()
+                    .then(|| Frequency::from_mhz(COMPRESSED_MODE_MAX));
+                let fastest = grid
+                    .iter()
+                    .copied()
+                    .rfind(|&f| ceiling.is_none_or(|c| f <= c))
+                    .expect("frequency grid is never empty");
+                let measured = self.measure_dispatch(id, fastest);
+                let extra_draw_mw = if entry.compressed() {
+                    calib::DECOMPRESSOR_MW_PER_MHZ * self.manager.clock.as_mhz()
+                } else {
+                    0.0
+                };
+                let est = Est {
+                    service_fastest: SimTime::from_secs_f64(
+                        measured.as_secs_f64() * ESTIMATE_MARGIN,
+                    ),
+                    ceiling,
+                    extra_draw_mw,
+                };
+                (id, est)
+            })
+            .collect();
+        let region_count = self.catalog.region_count();
+        let mut engine: Engine<Ev> = Engine::new();
+        let proc = ServeProcess {
+            requests: requests.to_vec(),
+            catalog: self.catalog.clone(),
+            planner: self.planner.clone(),
+            ests,
+            lanes,
+            queues: vec![VecDeque::new(); region_count],
+            busy: vec![None; region_count],
+            policy: self.config.policy,
+            cap_mw: self.config.power_cap_mw,
+            queue_capacity: self.config.queue_capacity,
+            recovery: self.config.recovery.clone(),
+            metrics: ServiceMetrics::default(),
+        };
+        let id = engine.spawn(Box::new(proc));
+        for (i, r) in requests.iter().enumerate() {
+            engine.schedule(r.arrival, id, Ev::Arrive(i));
+        }
+        engine.run();
+        let makespan = engine.now();
+        let boxed: Box<dyn Any> = engine.despawn(id);
+        let proc = boxed
+            .downcast::<ServeProcess>()
+            .expect("despawned the process we spawned");
+        let mut metrics = proc.metrics;
+        metrics.makespan = makespan;
+        metrics.unserved = proc.queues.iter().map(VecDeque::len).sum();
+        metrics
+    }
+}
+
+/// Events of the service process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Request `i` of the trace arrives.
+    Arrive(usize),
+    /// Lane `lane` finished its dispatch.
+    Done { lane: usize },
+}
+
+/// The single event-engine process driving all lanes.
+struct ServeProcess {
+    requests: Vec<ReconfigRequest>,
+    catalog: Catalog,
+    planner: PowerAwarePolicy,
+    ests: BTreeMap<BitstreamId, Est>,
+    lanes: Vec<UParc>,
+    queues: Vec<VecDeque<Queued>>,
+    /// Per-lane draw above static idle while busy, in milliwatts.
+    busy: Vec<Option<f64>>,
+    policy: Policy,
+    cap_mw: f64,
+    queue_capacity: usize,
+    recovery: RecoveryPolicy,
+    metrics: ServiceMetrics,
+}
+
+impl Process<Ev> for ServeProcess {
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        match event {
+            Ev::Arrive(i) => {
+                let now = ctx.now();
+                match self.admit(i, now) {
+                    Ok(queued) => self.queues[self.requests[i].region.0].push_back(queued),
+                    Err(reason) => self.metrics.rejections.push(Rejection {
+                        id: self.requests[i].id,
+                        at: now,
+                        reason,
+                    }),
+                }
+            }
+            Ev::Done { lane } => {
+                self.busy[lane] = None;
+                self.sample_power(ctx.now());
+            }
+        }
+        self.dispatch_idle_lanes(ctx);
+    }
+}
+
+impl ServeProcess {
+    /// Runs the admission checks for request `i` arriving at `now`.
+    fn admit(&self, i: usize, now: SimTime) -> Result<Queued, AdmissionError> {
+        let req = &self.requests[i];
+        let entry = self
+            .catalog
+            .entry(req.bitstream)
+            .ok_or(AdmissionError::UnknownBitstream { id: req.bitstream })?;
+        if req.region.0 >= self.queues.len() {
+            return Err(AdmissionError::UnknownRegion { region: req.region });
+        }
+        if entry.region() != req.region {
+            return Err(AdmissionError::RegionMismatch {
+                requested: req.region,
+                actual: entry.region(),
+            });
+        }
+        if self.queues[req.region.0].len() >= self.queue_capacity {
+            return Err(AdmissionError::QueueFull {
+                region: req.region,
+                capacity: self.queue_capacity,
+            });
+        }
+        let est = self.ests[&req.bitstream];
+        // Hopeless deadlines are rejected for every policy identically,
+        // so policy comparisons run on the same admitted set.
+        if let Some(deadline) = req.deadline {
+            let earliest_finish = now + est.service_fastest;
+            if deadline < earliest_finish {
+                return Err(AdmissionError::DeadlineInfeasible {
+                    deadline,
+                    earliest_finish,
+                });
+            }
+        }
+        if let Some(budget) = req.energy_budget_uj {
+            let q = PlanQuery {
+                bytes: entry.raw_bytes(),
+                max_frequency: est.ceiling,
+                energy_budget_uj: Some(budget),
+                ..PlanQuery::default()
+            };
+            if let Err(UparcError::EnergyBudgetInfeasible { floor_uj, .. }) =
+                self.planner.plan_constrained(&q)
+            {
+                return Err(AdmissionError::EnergyInfeasible {
+                    budget_uj: budget,
+                    floor_uj,
+                });
+            }
+        }
+        // PowerGreedy never dispatches above the cap, so a request that
+        // cannot fit even with every other lane idle would starve in the
+        // queue forever — reject it up front instead.
+        if self.policy == Policy::PowerGreedy && self.cap_mw.is_finite() {
+            let q = PlanQuery {
+                bytes: entry.raw_bytes(),
+                max_frequency: est.ceiling,
+                power_cap_mw: Some(self.cap_mw - est.extra_draw_mw),
+                ..PlanQuery::default()
+            };
+            if let Err(UparcError::BudgetInfeasible { floor_mw, .. }) =
+                self.planner.plan_constrained(&q)
+            {
+                return Err(AdmissionError::PowerInfeasible {
+                    cap_mw: self.cap_mw,
+                    floor_mw: floor_mw + est.extra_draw_mw,
+                });
+            }
+        }
+        Ok(Queued {
+            req: i,
+            id: req.id,
+            deadline: req.deadline.unwrap_or(SimTime::MAX),
+            priority: req.priority,
+        })
+    }
+
+    /// Offers every idle lane its queue, in region order.
+    fn dispatch_idle_lanes(&mut self, ctx: &mut Context<'_, Ev>) {
+        for lane in 0..self.lanes.len() {
+            if self.busy[lane].is_some() || self.queues[lane].is_empty() {
+                continue;
+            }
+            let now = ctx.now();
+            let order = candidate_order(self.policy, &self.queues[lane], now);
+            for pos in order {
+                if let Some(plan) = self.plan_for(lane, pos) {
+                    self.dispatch(ctx, lane, pos, plan);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Tries to find an operating point for queue position `pos` of
+    /// `lane` under the current power headroom.
+    fn plan_for(&self, lane: usize, pos: usize) -> Option<uparc_core::policy::FrequencyPlan> {
+        let queued = self.queues[lane][pos];
+        let req = &self.requests[queued.req];
+        let entry = self.catalog.entry(req.bitstream).expect("admitted request");
+        let est = self.ests[&req.bitstream];
+        let mut q = PlanQuery {
+            bytes: entry.raw_bytes(),
+            max_frequency: est.ceiling,
+            energy_budget_uj: req.energy_budget_uj,
+            ..PlanQuery::default()
+        };
+        // Greedy in the literal sense: each dispatch takes the fastest
+        // operating point the residual power budget allows. Stretching
+        // jobs toward their deadlines would save energy per request but
+        // starves the queue under load.
+        if self.policy == Policy::PowerGreedy && self.cap_mw.is_finite() {
+            let others: f64 = self.busy.iter().flatten().sum();
+            q.power_cap_mw = Some(self.cap_mw - others - est.extra_draw_mw);
+        }
+        self.planner.plan_constrained(&q).ok()
+    }
+
+    /// Dispatches queue position `pos` of `lane` at the planned
+    /// operating point.
+    fn dispatch(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        lane: usize,
+        pos: usize,
+        plan: uparc_core::policy::FrequencyPlan,
+    ) {
+        let now = ctx.now();
+        let queued = self.queues[lane]
+            .remove(pos)
+            .expect("position from candidate_order");
+        let req = self.requests[queued.req];
+        let entry = self
+            .catalog
+            .entry(req.bitstream)
+            .expect("admitted request")
+            .clone();
+        let est = self.ests[&req.bitstream];
+        let uparc = &mut self.lanes[lane];
+        uparc.advance_idle(now.saturating_sub(uparc.now()));
+        let outcome = match uparc.set_reconfiguration_frequency(plan.frequency) {
+            Ok(_) => self
+                .recovery
+                .reconfigure(uparc, entry.bitstream(), entry.mode()),
+            Err(e) => Err(e),
+        };
+        let finished = uparc.now();
+        let wait = finished.saturating_sub(now);
+        match outcome {
+            Ok(rr) => {
+                let missed = req.deadline.is_some_and(|d| finished > d);
+                self.metrics.completions.push(Completion {
+                    id: req.id,
+                    region: RegionId(lane),
+                    arrival: req.arrival,
+                    dispatched: now,
+                    finished,
+                    deadline: req.deadline,
+                    missed,
+                    frequency: rr.report.frequency,
+                    compressed: rr.report.compressed,
+                    energy_uj: rr.report.energy_uj + rr.extra_energy_uj,
+                    attempts: rr.attempts,
+                    healed: rr.healed(),
+                });
+            }
+            Err(e) => {
+                self.metrics.failures.push(Failure {
+                    id: req.id,
+                    at: finished,
+                    error: e.to_string(),
+                });
+            }
+        }
+        self.busy[lane] = Some(plan.predicted_power_mw - calib::V6_IDLE_MW + est.extra_draw_mw);
+        self.sample_power(now);
+        ctx.send_in(wait, ctx.self_id(), Ev::Done { lane });
+    }
+
+    /// Records the summed draw at a scheduling instant and counts cap
+    /// violations. Static idle is chip-level, so it is counted once.
+    fn sample_power(&mut self, at: SimTime) {
+        let total_mw = calib::V6_IDLE_MW + self.busy.iter().flatten().sum::<f64>();
+        self.metrics.power.push(PowerSample { at, total_mw });
+        if total_mw > self.cap_mw + CAP_EPSILON_MW {
+            self.metrics.cap_violations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Priority, ReconfigRequest, RequestId};
+    use crate::workload::{ArrivalPattern, WorkloadSpec};
+    use uparc_bitstream::builder::PartialBitstream;
+    use uparc_bitstream::synth::SynthProfile;
+    use uparc_fpga::Device;
+
+    fn two_region_catalog() -> Catalog {
+        let device = Device::xc5vsx50t();
+        let mut cat = Catalog::new(device);
+        cat.add_region("rp0", 100..160).unwrap();
+        cat.add_region("rp1", 200..260).unwrap();
+        for (id, far, frames) in [(1u32, 100, 40), (2, 110, 25), (3, 200, 50)] {
+            let payload = SynthProfile::dense().generate(cat.device(), far, frames, u64::from(id));
+            let bs = PartialBitstream::build(cat.device(), far, &payload);
+            cat.register(BitstreamId(id), bs).unwrap();
+        }
+        cat
+    }
+
+    fn spec(requests: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            requests,
+            mean_gap: SimTime::from_us(150),
+            pattern: ArrivalPattern::Uniform,
+            deadline_slack_us: Some((200, 2_000)),
+            energy_budget_uj: None,
+        }
+    }
+
+    #[test]
+    fn fifo_serves_a_trace_to_completion() {
+        let catalog = two_region_catalog();
+        let service = Service::new(catalog, ServiceConfig::default());
+        let reqs = spec(20).generate(5, service.catalog());
+        let m = service.run(&reqs);
+        assert_eq!(
+            m.completions.len() + m.rejections.len() + m.failures.len(),
+            20
+        );
+        assert_eq!(m.unserved, 0, "open queue must drain");
+        assert!(m.makespan >= reqs.last().unwrap().arrival);
+        for c in &m.completions {
+            assert!(c.dispatched >= c.arrival);
+            assert!(c.finished > c.dispatched);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let catalog = two_region_catalog();
+        for policy in Policy::ALL {
+            let service = Service::new(
+                catalog.clone(),
+                ServiceConfig {
+                    policy,
+                    power_cap_mw: 600.0,
+                    ..ServiceConfig::default()
+                },
+            );
+            let reqs = spec(30).generate(11, service.catalog());
+            let a = service.run(&reqs).summary();
+            let b = service.run(&reqs).summary();
+            assert_eq!(a, b, "policy {} must be deterministic", policy.label());
+        }
+    }
+
+    #[test]
+    fn power_greedy_respects_the_cap() {
+        let catalog = two_region_catalog();
+        // Tight enough that two concurrent full-speed transfers don't
+        // fit, loose enough that one always does.
+        let cap = 520.0;
+        let service = Service::new(
+            catalog,
+            ServiceConfig {
+                policy: Policy::PowerGreedy,
+                power_cap_mw: cap,
+                ..ServiceConfig::default()
+            },
+        );
+        // Bursty arrivals force concurrent demand on both regions.
+        let spec = WorkloadSpec {
+            requests: 40,
+            mean_gap: SimTime::from_us(60),
+            pattern: ArrivalPattern::Bursty { burst: 8 },
+            ..WorkloadSpec::default()
+        };
+        let reqs = spec.generate(3, service.catalog());
+        let m = service.run(&reqs);
+        assert_eq!(m.cap_violations, 0);
+        for s in &m.power {
+            assert!(
+                s.total_mw <= cap + CAP_EPSILON_MW,
+                "draw {} above cap at {:?}",
+                s.total_mw,
+                s.at
+            );
+        }
+        assert!(!m.completions.is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_reject_with_typed_errors() {
+        let catalog = two_region_catalog();
+        let service = Service::new(catalog, ServiceConfig::default());
+        let mk = |arrival_us: u64, id: u32, region: usize| ReconfigRequest {
+            id: RequestId(arrival_us),
+            bitstream: BitstreamId(id),
+            region: RegionId(region),
+            arrival: SimTime::from_us(arrival_us),
+            deadline: None,
+            priority: Priority::Normal,
+            energy_budget_uj: None,
+        };
+        let reqs = vec![
+            mk(0, 99, 0), // unknown bitstream
+            mk(1, 1, 1),  // wrong region
+            mk(2, 2, 0),  // fine
+        ];
+        let m = service.run(&reqs);
+        assert_eq!(m.completions.len(), 1);
+        assert_eq!(m.rejections.len(), 2);
+        assert_eq!(m.rejections[0].reason.label(), "unknown-bitstream");
+        assert_eq!(m.rejections[1].reason.label(), "region-mismatch");
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`controllers`] — the five Table III baselines + the UPaRC adapter.
 //! * [`core`] — UPaRC itself: UReC, DyCloGen, Manager, policies, scrubbing,
 //!   the global optimizer.
+//! * [`serve`] — the multi-tenant reconfiguration service: typed
+//!   admission, power-budgeted per-region scheduling, workload generator.
 //!
 //! # Example
 //!
@@ -46,4 +48,5 @@ pub use uparc_compress as compress;
 pub use uparc_controllers as controllers;
 pub use uparc_core as core;
 pub use uparc_fpga as fpga;
+pub use uparc_serve as serve;
 pub use uparc_sim as sim;

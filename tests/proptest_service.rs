@@ -1,0 +1,127 @@
+//! Property-based tests of the `uparc-serve` scheduler.
+//!
+//! Two system-level invariants over arbitrary seeds and configurations:
+//! a service run is a pure function of its inputs (bit-identical metrics
+//! across repeated runs), and `PowerGreedy` never schedules the summed
+//! reconfiguration draw above the configured cap.
+
+use proptest::prelude::*;
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::fpga::Device;
+use uparc_repro::serve::catalog::Catalog;
+use uparc_repro::serve::request::BitstreamId;
+use uparc_repro::serve::scheduler::Policy;
+use uparc_repro::serve::service::{Service, ServiceConfig};
+use uparc_repro::serve::workload::{ArrivalPattern, WorkloadSpec};
+use uparc_repro::sim::time::SimTime;
+
+fn two_region_catalog() -> Catalog {
+    let device = Device::xc5vsx50t();
+    let mut catalog = Catalog::new(device);
+    catalog.add_region("rp0", 100..300).unwrap();
+    catalog.add_region("rp1", 1000..1200).unwrap();
+    for (id, far, frames) in [(1u32, 100, 80), (2, 150, 40), (3, 1000, 60)] {
+        let payload = SynthProfile::dense().generate(catalog.device(), far, frames, u64::from(id));
+        let bs = PartialBitstream::build(catalog.device(), far, &payload);
+        catalog.register(BitstreamId(id), bs).unwrap();
+    }
+    catalog
+}
+
+fn pattern_strategy() -> impl Strategy<Value = ArrivalPattern> {
+    prop_oneof![
+        Just(ArrivalPattern::Uniform),
+        (2usize..6).prop_map(|burst| ArrivalPattern::Bursty { burst }),
+        (500u64..4_000).prop_map(|us| ArrivalPattern::Diurnal {
+            period: SimTime::from_us(us),
+        }),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fifo),
+        Just(Policy::EarliestDeadlineFirst),
+        Just(Policy::PowerGreedy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same catalog, same config, same trace: byte-identical outcome,
+    /// for every policy and arrival pattern.
+    #[test]
+    fn service_runs_are_deterministic(
+        seed in 0u64..1_000_000,
+        pattern in pattern_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let catalog = two_region_catalog();
+        let service = Service::new(catalog, ServiceConfig {
+            policy,
+            power_cap_mw: 800.0,
+            ..ServiceConfig::default()
+        });
+        let spec = WorkloadSpec {
+            requests: 16,
+            mean_gap: SimTime::from_us(150),
+            pattern,
+            deadline_slack_us: Some((300, 4_000)),
+            energy_budget_uj: None,
+        };
+        let requests = spec.generate(seed, service.catalog());
+        let a = service.run(&requests);
+        let b = service.run(&requests);
+        prop_assert_eq!(a.summary(), b.summary());
+        prop_assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.finished, y.finished);
+            prop_assert_eq!(x.frequency, y.frequency);
+            prop_assert!((x.energy_uj - y.energy_uj).abs() < 1e-12);
+        }
+        prop_assert_eq!(a.power.len(), b.power.len());
+        prop_assert_eq!(a.cap_violations, b.cap_violations);
+    }
+
+    /// Under `PowerGreedy` the sampled total draw never exceeds the cap,
+    /// at any scheduling instant, for any seed and any feasible cap.
+    #[test]
+    fn power_greedy_never_exceeds_the_cap(
+        seed in 0u64..1_000_000,
+        cap_mw in 300.0f64..1_100.0,
+        pattern in pattern_strategy(),
+    ) {
+        let catalog = two_region_catalog();
+        let service = Service::new(catalog, ServiceConfig {
+            policy: Policy::PowerGreedy,
+            power_cap_mw: cap_mw,
+            ..ServiceConfig::default()
+        });
+        let spec = WorkloadSpec {
+            requests: 16,
+            mean_gap: SimTime::from_us(80),
+            pattern,
+            deadline_slack_us: None,
+            energy_budget_uj: None,
+        };
+        let requests = spec.generate(seed, service.catalog());
+        let m = service.run(&requests);
+        prop_assert_eq!(m.cap_violations, 0);
+        for s in &m.power {
+            prop_assert!(
+                s.total_mw <= cap_mw + 1e-9,
+                "draw {} mW above the {} mW cap at {:?}",
+                s.total_mw, cap_mw, s.at
+            );
+        }
+        // The queue still drains: every admitted request is resolved.
+        prop_assert_eq!(m.unserved, 0);
+        prop_assert_eq!(
+            m.completions.len() + m.rejections.len() + m.failures.len(),
+            requests.len()
+        );
+    }
+}
