@@ -10,9 +10,12 @@
 //! shrinks the grid, not the determinism).
 //!
 //! Run with `cargo run --release -p uparc-bench --bin bench_resilience`;
-//! pass `--smoke` for the seconds-scale CI variant. The binary *fails*
-//! (non-zero exit) if the full policy leaves any recoverable-by-design
-//! fault unrecovered — that is the CI gate.
+//! pass `--smoke` for the seconds-scale CI variant, and `--trace <path>`
+//! to additionally rerun the hardest campaign cell observed and write its
+//! Chrome-trace JSON (recovery rungs show as instants on the lane
+//! timeline). The binary *fails* (non-zero exit) if the full policy
+//! leaves any recoverable-by-design fault unrecovered — that is the CI
+//! gate.
 
 use uparc_bench::report::{JsonReport, Obj, Value};
 use uparc_bench::sweep;
@@ -254,14 +257,18 @@ struct CampaignRow {
 
 /// Runs one seeded campaign cell: a generated fault plan against a short
 /// schedule of reconfigurations (raw overclocked, compressed, raw again).
+/// `obs` is a null handle on the grid; the `--trace` run passes a
+/// recording one.
 fn campaign_cell(
     rate: u32,
     policy_name: &'static str,
     policy: &RecoveryPolicy,
     seed: u64,
+    obs: &uparc_core::obs::Obs,
 ) -> CampaignRow {
     let device = Device::xc5vsx50t();
     let mut sys = system(&device, 362.5);
+    sys.set_observer(obs.clone());
     let space = FaultSpace {
         frame_base: FAR,
         frames: FRAMES,
@@ -377,8 +384,56 @@ fn farm_cell(class: &'static str, seed: u64) -> FarmRow {
     }
 }
 
+/// Reruns the hardest campaign cell (rate 3, full policy) with a
+/// recording observer and writes the Chrome-trace JSON to `path`; the
+/// export is parsed back with the in-repo JSON parser before the file is
+/// accepted, and the flamegraph-style summary is printed.
+fn write_trace(path: &str) {
+    use std::sync::Arc;
+    use uparc_core::obs::{Obs, TraceRecorder};
+
+    let recorder = Arc::new(TraceRecorder::new());
+    let obs = Obs::recording(Arc::clone(&recorder));
+    let policy = RecoveryPolicy {
+        max_attempts: 10,
+        ..RecoveryPolicy::default()
+    };
+    let row = campaign_cell(3, "full", &policy, 7000, &obs);
+    assert_eq!(row.rounds_ok, row.rounds, "traced cell left rounds broken");
+
+    let trace = recorder.chrome_trace(Some(obs.metrics()));
+    let parsed = uparc_sim::obs::json::parse(&trace)
+        .unwrap_or_else(|e| panic!("trace export is not valid JSON: {e}"));
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("trace has a traceEvents array");
+    assert!(!events.is_empty(), "traced campaign produced no events");
+
+    std::fs::write(path, &trace).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "trace written: {path} ({} events, {} bytes)",
+        events.len(),
+        trace.len()
+    );
+    println!("--- flame summary (rate-3 full-policy campaign) ---");
+    print!("{}", recorder.flame_summary());
+}
+
+/// Returns the value following `flag` on the command line, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace_path = arg_value("--trace");
     let seeds_per_cell: u64 = if smoke { 2 } else { 6 };
     let policies = policies();
 
@@ -406,7 +461,7 @@ fn main() {
         }
     }
     let campaign_rows = sweep::parallel_map(&campaign_cells, |(rate, pname, policy, seed)| {
-        campaign_cell(*rate, pname, policy, *seed)
+        campaign_cell(*rate, pname, policy, *seed, &uparc_core::obs::Obs::null())
     });
 
     // ---- FaRM baseline ------------------------------------------------
@@ -607,6 +662,10 @@ fn main() {
                 })
                 .collect::<Vec<Value>>(),
         );
+
+    if let Some(trace) = trace_path {
+        write_trace(&trace);
+    }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
     report.write(path).expect("write BENCH_resilience.json");

@@ -9,6 +9,11 @@
 //!
 //! Run with `cargo run --release --bin bench_service`; pass `--smoke`
 //! for a seconds-scale CI variant (smaller trace, same assertions).
+//! Pass `--trace <path>` to additionally run one fully observed
+//! power-greedy cell and write its Chrome-trace JSON (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>); a flamegraph-style
+//! summary of the same run is printed to stdout. The written trace is
+//! parsed back with the in-repo JSON parser before the file is accepted.
 //!
 //! Acceptance gates (asserted in every mode):
 //! * `PowerGreedy` produces zero cap violations on every capped cell;
@@ -188,8 +193,66 @@ fn render_report(
     (report.render(), cells)
 }
 
+/// Runs one fully observed power-greedy cell, writes its Chrome-trace
+/// JSON to `path`, and prints the flamegraph-style summary. The export is
+/// validated by parsing it back with the in-repo JSON parser and checking
+/// the trace actually carries events.
+fn write_trace(catalog: &Catalog, smoke: bool, path: &str) {
+    use std::sync::Arc;
+    use uparc_serve::obs::{Obs, TraceRecorder};
+
+    let recorder = Arc::new(TraceRecorder::new());
+    let obs = Obs::recording(Arc::clone(&recorder));
+    let service = Service::new(
+        catalog.clone(),
+        ServiceConfig {
+            policy: Policy::PowerGreedy,
+            power_cap_mw: 700.0,
+            obs: obs.clone(),
+            ..ServiceConfig::default()
+        },
+    );
+    let requests = grid_spec(smoke).generate(SEED, service.catalog());
+    let summary = service.run(&requests).summary();
+
+    let trace = recorder.chrome_trace(Some(obs.metrics()));
+    let parsed = uparc_sim::obs::json::parse(&trace)
+        .unwrap_or_else(|e| panic!("trace export is not valid JSON: {e}"));
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("trace has a traceEvents array");
+    assert!(
+        events.len() > summary.completed,
+        "trace carries fewer events ({}) than completed requests ({})",
+        events.len(),
+        summary.completed
+    );
+
+    std::fs::write(path, &trace).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "trace written: {path} ({} events, {} bytes)",
+        events.len(),
+        trace.len()
+    );
+    println!("--- flame summary (observed power-greedy cell) ---");
+    print!("{}", recorder.flame_summary());
+}
+
+/// Returns the value following `flag` on the command line, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace_path = arg_value("--trace");
     let catalog = build_catalog();
 
     let (rendered, cells) = render_report(&catalog, smoke);
@@ -247,6 +310,10 @@ fn main() {
     }
     let (rerendered, _) = render_report(&catalog, smoke);
     assert_eq!(rendered, rerendered, "same-seed rerun changed the report");
+
+    if let Some(trace) = trace_path {
+        write_trace(&catalog, smoke, &trace);
+    }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(path, &rendered).expect("write BENCH_service.json");

@@ -142,6 +142,58 @@ fn main() {
         fast_secs = fast_secs.min(t.elapsed().as_secs_f64());
         assert_eq!(fast_icap.frames_committed(), u64::from(frames));
     }
+
+    // ---- Observability overhead on the batched hot path --------------
+    // A second pair of ports parses the same stream: one with the default
+    // no-op NullRecorder, one with a *recording* observer (which does
+    // strictly more work, so this delta upper-bounds the NullRecorder
+    // cost the ISSUE gates at <= 2%). Wall-clock deltas between
+    // near-identical memory-bound passes are noise-bound on a shared
+    // host — even best-of floors drift by several percent — so each
+    // sample is the obs/null ratio of two *adjacent* passes (a ~ms window
+    // sees the same interference), order alternates to cancel position
+    // bias, and the median ratio over all pairs discards the outliers.
+    let mut null_icap = Icap::new(device.clone());
+    let mut obs_icap = Icap::new(device.clone());
+    let obs_recorder = std::sync::Arc::new(uparc_sim::obs::TraceRecorder::new());
+    let obs_handle = uparc_sim::obs::Obs::recording(std::sync::Arc::clone(&obs_recorder));
+    obs_icap.set_observer(obs_handle.clone());
+    let overhead_passes = if smoke { 40 } else { 200 };
+    let time_pass = |icap: &mut Icap| {
+        icap.reset();
+        let t = Instant::now();
+        icap.write_words(words).expect("overhead parse");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(icap.frames_committed(), u64::from(frames));
+        secs
+    };
+    let mut ratios = Vec::with_capacity(overhead_passes);
+    let mut obs_best = f64::INFINITY;
+    for i in 0..overhead_passes {
+        let (null_pass, obs_pass) = if i % 2 == 0 {
+            let n = time_pass(&mut null_icap);
+            let o = time_pass(&mut obs_icap);
+            (n, o)
+        } else {
+            let o = time_pass(&mut obs_icap);
+            let n = time_pass(&mut null_icap);
+            (n, o)
+        };
+        obs_best = obs_best.min(obs_pass);
+        ratios.push(obs_pass / null_pass);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = ratios[ratios.len() / 2];
+    // The observed port really counted: one burst per pass, every word.
+    let obs_counters = obs_handle.metrics().snapshot().counters;
+    assert_eq!(
+        obs_counters.get("icap.bursts"),
+        Some(&(overhead_passes as u64))
+    );
+    assert_eq!(
+        obs_counters.get("icap.words"),
+        Some(&(n_words * overhead_passes as u64))
+    );
     let per_cycle = Measured {
         secs: ref_secs,
         items: n_words,
@@ -151,11 +203,17 @@ fn main() {
         items: n_words,
     };
     let speedup = batched.per_sec() / per_cycle.per_sec();
+    // Relative cost of observing the batched path; NullRecorder (the
+    // default) does strictly less work than the recording observer timed
+    // here, so this bounds its overhead too. Negative = lost in noise.
+    let obs_overhead = median_ratio - 1.0;
     println!(
-        "icap: {} words; per-cycle {:.1} Mwords/s, batched {:.1} Mwords/s ({speedup:.1}x)",
+        "icap: {} words; per-cycle {:.1} Mwords/s, batched {:.1} Mwords/s ({speedup:.1}x), \
+         obs overhead {:.2}%",
         n_words,
         per_cycle.per_sec() / 1e6,
         batched.per_sec() / 1e6,
+        obs_overhead * 100.0,
     );
 
     // ---- Codecs: encode + decode on a dense partial bitstream --------
@@ -377,7 +435,12 @@ fn main() {
                     Value::fixed(per_cycle.per_sec(), 0),
                 )
                 .field("batched_words_per_sec", Value::fixed(batched.per_sec(), 0))
-                .field("batched_speedup", Value::fixed(speedup, 2)),
+                .field("batched_speedup", Value::fixed(speedup, 2))
+                .field(
+                    "observed_words_per_sec",
+                    Value::fixed(n_words as f64 / obs_best, 0),
+                )
+                .field("obs_overhead", Value::fixed(obs_overhead, 4)),
         )
         .field(
             "codecs",
@@ -462,6 +525,12 @@ fn main() {
         assert!(
             speedup >= 5.0,
             "batched ICAP speedup {speedup:.2}x is below the 5x floor"
+        );
+        assert!(
+            obs_overhead <= 0.02,
+            "observing the batched ICAP path costs {:.2}% (> 2% budget); \
+             the NullRecorder default must stay cheaper still",
+            obs_overhead * 100.0
         );
         assert!(
             queue_speedup >= 3.0,

@@ -14,6 +14,7 @@
 use crate::error::UparcError;
 use uparc_fpga::dcm::{Dcm, DcmConstraints};
 use uparc_fpga::family::Family;
+use uparc_sim::obs::{EventKind, Obs};
 use uparc_sim::time::{Frequency, SimTime};
 
 /// The three output clocks of Fig. 2.
@@ -27,6 +28,19 @@ pub enum OutputClock {
     Decompressor,
 }
 
+impl OutputClock {
+    /// Stable short name (`"clk1"`/`"clk2"`/`"clk3"`, the paper's Fig. 2
+    /// labels), used in trace events.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OutputClock::Preload => "clk1",
+            OutputClock::Reconfiguration => "clk2",
+            OutputClock::Decompressor => "clk3",
+        }
+    }
+}
+
 /// The dynamic clock generator: three DCM synthesis outputs from one input
 /// reference.
 #[derive(Debug, Clone)]
@@ -35,6 +49,8 @@ pub struct DyCloGen {
     dcms: [Dcm; 3],
     /// How close (relative) a synthesised frequency must get to its target.
     tolerance: f64,
+    /// Observability handle: emits a `DcmRelock` span per actual relock.
+    obs: Obs,
 }
 
 impl DyCloGen {
@@ -50,7 +66,15 @@ impl DyCloGen {
             fin,
             dcms: [mk()?, mk()?, mk()?],
             tolerance: 0.01,
+            obs: Obs::null(),
         })
+    }
+
+    /// Attaches an observability handle; each actual relock then emits a
+    /// `DcmRelock` span (DRP write to LOCKED) and bumps the
+    /// `dyclogen.relocks` counter.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The input reference clock.
@@ -114,6 +138,15 @@ impl DyCloGen {
         }
         dcm.retune(m, d, now)?;
         let locked = dcm.locked_at().expect("retune drops lock");
+        let span = self.obs.begin(
+            now,
+            EventKind::DcmRelock {
+                clock: clock.label(),
+                target_mhz: target.as_mhz(),
+            },
+        );
+        self.obs.end(locked, span);
+        self.obs.count("dyclogen.relocks", 1);
         Ok((achieved, locked))
     }
 

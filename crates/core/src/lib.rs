@@ -40,6 +40,33 @@
 //! * [`inventory`] — the primitive inventories behind Table II's slice
 //!   counts.
 //!
+//! # Architecture
+//!
+//! The assembled controller mirrors the paper's Fig. 2; every arrow below
+//! is a module boundary in this crate, and every timed hop can emit a
+//! span through the [`obs`] handle attached with
+//! [`uparc::UParc::set_observer`]:
+//!
+//! ```text
+//!              host bitstream (maybe compressed)
+//!                          |
+//!                          v  preload (CLK_1)          spans
+//!   +---------+      +-----------+                 .............
+//!   | Manager |----->| dual-port |                 : Preload   :
+//!   |  (FSM)  |      |   BRAM    |                 : IcapBurst :
+//!   +---------+      +-----------+                 : Decompress:
+//!        |                 |  burst (CLK_2)        : DcmRelock :
+//!        | Start/Finish    v                       :...........:
+//!        |           +-----------+    +------+
+//!        +---------->|   UReC    |--->| ICAP |  1 word / CLK_2 cycle
+//!        |           +-----------+    +------+
+//!        v                 ^
+//!   +----------+     +-----------+
+//!   | DyCloGen |     | X-MatchPRO|  (UPaRC_ii only, CLK_3)
+//!   | CLK_1..3 |     | decomp.   |
+//!   +----------+     +-----------+
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -82,3 +109,15 @@ pub use cache::{CacheStats, DecompCache};
 pub use error::UparcError;
 pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryReport};
 pub use uparc::UParc;
+
+/// Structured observability, re-exported from [`uparc_sim::obs`]: attach an
+/// [`obs::Obs`] built around an [`obs::TraceRecorder`] via
+/// [`uparc::UParcBuilder::observer`] (or [`uparc::UParc::set_observer`]) to
+/// capture `Preload` / `IcapBurst` / `DecompressStage` / `DcmRelock` spans
+/// and the `uparc.*` / `dyclogen.*` / `recovery.*` metrics.
+pub mod obs {
+    pub use uparc_sim::obs::{
+        chrome_trace, flame_summary, EventKind, Histogram, Metrics, MetricsSnapshot, NullRecorder,
+        Obs, Recorder, SpanId, TraceEvent, TraceRecorder,
+    };
+}

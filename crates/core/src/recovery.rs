@@ -39,6 +39,7 @@ use uparc_bitstream::builder::PartialBitstream;
 use uparc_fpga::ecc::EccStatus;
 use uparc_fpga::FpgaError;
 use uparc_sim::fault::FaultKind;
+use uparc_sim::obs::EventKind;
 use uparc_sim::power::calib;
 use uparc_sim::time::{Frequency, SimTime};
 
@@ -223,6 +224,21 @@ fn mark_detected<F: Fn(&FaultKind) -> bool>(sys: &mut UParc, log0: usize, pred: 
     }
 }
 
+/// Takes one ladder rung: records a `RecoveryRung` instant (and the
+/// per-rung counter) on the system's observability handle, then appends
+/// the action to the list.
+fn take_rung(sys: &UParc, actions: &mut Vec<RecoveryAction>, action: RecoveryAction) {
+    let obs = sys.obs();
+    obs.instant(
+        sys.now(),
+        EventKind::RecoveryRung {
+            rung: action.label(),
+        },
+    );
+    obs.count("recovery.rungs", 1);
+    actions.push(action);
+}
+
 impl RecoveryPolicy {
     /// Preloads and reconfigures `bs` under this policy, healing every
     /// recoverable fault along the way.
@@ -281,7 +297,11 @@ impl RecoveryPolicy {
                             }
                             // The staged image is intact and the parser was
                             // aborted clean: a plain retry suffices.
-                            actions.push(RecoveryAction::WatchdogAbort { limit: *limit });
+                            take_rung(
+                                sys,
+                                &mut actions,
+                                RecoveryAction::WatchdogAbort { limit: *limit },
+                            );
                         }
                         UparcError::Fpga(FpgaError::DcmNotLocked) => {
                             // A lock failure is consumed (and logged) at the
@@ -294,7 +314,7 @@ impl RecoveryPolicy {
                                 return Err(e);
                             };
                             sys.set_reconfiguration_frequency(target)?;
-                            actions.push(RecoveryAction::RetuneRetry { target });
+                            take_rung(sys, &mut actions, RecoveryAction::RetuneRetry { target });
                         }
                         e if is_unrecoverable(e) => return Err(e.clone()),
                         _ => {
@@ -313,20 +333,24 @@ impl RecoveryPolicy {
                             let raw_fits = bs.size_bytes() + 4 <= sys.bram().capacity_bytes();
                             if was_compressed && self.mode_fallback && raw_fits {
                                 mode = Mode::Raw;
-                                actions.push(RecoveryAction::ModeFallback);
+                                take_rung(sys, &mut actions, RecoveryAction::ModeFallback);
                             } else if is_crc && self.frequency_fallback {
                                 let guaranteed = sys.device().family().bram_guaranteed_frequency();
                                 if let Some(from) =
                                     sys.reconfiguration_target().filter(|&t| t > guaranteed)
                                 {
                                     sys.set_reconfiguration_frequency(guaranteed)?;
-                                    actions.push(RecoveryAction::FrequencyFallback {
-                                        from,
-                                        to: guaranteed,
-                                    });
+                                    take_rung(
+                                        sys,
+                                        &mut actions,
+                                        RecoveryAction::FrequencyFallback {
+                                            from,
+                                            to: guaranteed,
+                                        },
+                                    );
                                 }
                             }
-                            actions.push(RecoveryAction::Restage);
+                            take_rung(sys, &mut actions, RecoveryAction::Restage);
                             need_preload = true;
                         }
                     }
@@ -344,7 +368,7 @@ impl RecoveryPolicy {
                     Ok(()) => break,
                     Err(e) if attempt < self.max_attempts && !is_unrecoverable(&e) => {
                         attempt += 1;
-                        actions.push(RecoveryAction::VerifyRetry);
+                        take_rung(sys, &mut actions, RecoveryAction::VerifyRetry);
                     }
                     Err(e) => return Err(e),
                 }
@@ -380,6 +404,10 @@ impl RecoveryPolicy {
             (trace.energy_above_uj(calib::V6_IDLE_MW, t0, t_end) - report.energy_uj - preload_uj)
                 .max(0.0);
 
+        sys.obs().count("recovery.attempts", u64::from(attempt));
+        if !actions.is_empty() {
+            sys.obs().count("recovery.healed", 1);
+        }
         Ok(RecoveryReport {
             report,
             preload,
@@ -406,9 +434,13 @@ impl RecoveryPolicy {
         let scrub = EccScrubber::new(far, frames).scrub(sys)?;
         if !scrub.corrected.is_empty() {
             mark_detected(sys, log0, |k| matches!(k, FaultKind::ConfigSeu { .. }));
-            actions.push(RecoveryAction::ScrubRepair {
-                corrected: scrub.corrected.len(),
-            });
+            take_rung(
+                sys,
+                actions,
+                RecoveryAction::ScrubRepair {
+                    corrected: scrub.corrected.len(),
+                },
+            );
         }
         if scrub.uncorrectable.is_empty() {
             return Ok(());
@@ -431,9 +463,13 @@ impl RecoveryPolicy {
                 ));
             }
         }
-        actions.push(RecoveryAction::GoldenRepair {
-            frames: scrub.uncorrectable.len(),
-        });
+        take_rung(
+            sys,
+            actions,
+            RecoveryAction::GoldenRepair {
+                frames: scrub.uncorrectable.len(),
+            },
+        );
         Ok(())
     }
 }

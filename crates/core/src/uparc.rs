@@ -31,6 +31,7 @@ use uparc_compress::Algorithm;
 use uparc_fpga::bram::{Bram, Port};
 use uparc_fpga::{Device, Icap};
 use uparc_sim::fault::{FaultInjector, FaultKind};
+use uparc_sim::obs::{EventKind, Obs};
 use uparc_sim::power::calib;
 use uparc_sim::time::{Frequency, SimTime};
 use uparc_sim::trace::PowerTrace;
@@ -183,6 +184,7 @@ pub struct UParcBuilder {
     manager: ManagerConfig,
     algorithm: Algorithm,
     cache_bytes: usize,
+    obs: Obs,
 }
 
 impl UParcBuilder {
@@ -197,7 +199,17 @@ impl UParcBuilder {
             manager: ManagerConfig::default(),
             algorithm: Algorithm::XMatchPro,
             cache_bytes: 32 * 1024 * 1024,
+            obs: Obs::null(),
         }
+    }
+
+    /// Attaches an observability handle (see [`uparc_sim::obs`]); the
+    /// system and its subcomponents report spans and metrics through it.
+    /// Defaults to the disabled [`Obs::null`] handle.
+    #[must_use]
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Overrides the staging BRAM size.
@@ -262,7 +274,7 @@ impl UParcBuilder {
         let bram = Bram::new(family, self.bram_bytes);
         let mut trace = PowerTrace::new();
         trace.push(SimTime::ZERO, calib::V6_IDLE_MW);
-        Ok(UParc {
+        let mut sys = UParc {
             device: self.device,
             icap,
             bram,
@@ -277,7 +289,10 @@ impl UParcBuilder {
             injector: None,
             watchdog: None,
             clk2_target: None,
-        })
+            obs: Obs::null(),
+        };
+        sys.set_observer(self.obs);
+        Ok(sys)
     }
 }
 
@@ -304,6 +319,9 @@ pub struct UParc {
     /// [`UParc::set_reconfiguration_frequency`] — what a recovery layer
     /// re-requests after a lock failure.
     clk2_target: Option<Frequency>,
+    /// Observability handle (shared with the ICAP and DyCloGen); the
+    /// disabled [`Obs::null`] by default.
+    obs: Obs,
 }
 
 impl UParc {
@@ -360,6 +378,22 @@ impl UParc {
     #[must_use]
     pub fn dyclogen(&self) -> &DyCloGen {
         &self.dyclogen
+    }
+
+    /// The observability handle this system reports through (recovery
+    /// layers wrapping the system reuse it so their events share the
+    /// recorder and lane tag).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Attaches an observability handle, propagating it to the ICAP and
+    /// DyCloGen. Pass [`Obs::null`] to detach.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.icap.set_observer(obs.clone());
+        self.dyclogen.set_observer(obs.clone());
+        self.obs = obs;
     }
 
     /// Attaches a fault injector; scheduled faults are applied at operation
@@ -562,6 +596,13 @@ impl UParc {
         };
         let stored_bytes = image.size_bytes();
         let duration = self.manager.preload(&mut self.bram, &image)?;
+        let span = self.obs.begin(
+            self.now,
+            EventKind::Preload {
+                stored_bytes: stored_bytes as u64,
+                compressed: use_compression,
+            },
+        );
         // Preload runs at the manager's clock through BRAM port A.
         self.trace.push(
             self.now,
@@ -571,6 +612,9 @@ impl UParc {
         );
         self.now += duration;
         self.trace.push(self.now, calib::V6_IDLE_MW);
+        self.obs.end(self.now, span);
+        self.obs.count("uparc.preloads", 1);
+        self.obs.observe("uparc.preload_us", duration.as_us_f64());
         self.staged = Some(Staged {
             compressed: use_compression,
             stored_bytes,
@@ -692,14 +736,37 @@ impl UParc {
         };
         // The stall stretches the burst; the path stays clocked throughout.
         transfer += stall;
+        let transfer_start = self.now;
         self.trace.push(self.now, transfer_power);
         self.now += transfer;
         // Finish: EN deasserts, clocks gate, power falls to idle.
         self.trace.push(self.now, calib::V6_IDLE_MW);
+        // The burst span covers the whole BRAM→ICAP transfer; in
+        // compressed mode the decompressor stage overlaps it (the pipeline
+        // runs concurrently), so its span nests inside the burst.
+        let burst = self.obs.begin(
+            transfer_start,
+            EventKind::IcapBurst {
+                words: staged.image_words as u64,
+            },
+        );
+        if staged.compressed {
+            let decomp = self.obs.begin(
+                transfer_start,
+                EventKind::DecompressStage {
+                    bytes: staged.raw_bytes as u64,
+                },
+            );
+            self.obs.end(self.now, decomp);
+        }
+        self.obs.end(self.now, burst);
+        self.obs.count("uparc.reconfigurations", 1);
+        self.obs.observe("uparc.transfer_us", transfer.as_us_f64());
         self.apply_ambient_faults();
 
         let energy = (self.manager.control_power_mw()) * control.as_secs_f64() * 1e3
             + (transfer_power - calib::V6_IDLE_MW) * transfer.as_secs_f64() * 1e3;
+        self.obs.observe("uparc.energy_uj", energy);
         Ok(UparcReport {
             bytes: staged.raw_bytes,
             stored_bytes: staged.stored_bytes,

@@ -63,7 +63,7 @@ static WIDE: [[u8; 65536]; 2] = {
 /// `w·32 + b + 1 = (w + carry) << 5 | ((b + 1) & 31)` with `carry = 1`
 /// only for `b = 31`, so the high and low halves XOR independently. The
 /// low half and the word's popcount parity come from four byte-lane table
-/// lookups ([`LANE`], 1 KB total); the high half is `w` taken popcount
+/// lookups (the private `LANE` tables, 1 KB total); the high half is `w` taken popcount
 /// times plus the `b = 31` carry fix-up. No per-set-bit loop.
 #[must_use]
 pub fn frame_parity(frame: &[u32]) -> u32 {

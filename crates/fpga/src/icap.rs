@@ -16,6 +16,7 @@ use crate::config_mem::ConfigMemory;
 use crate::device::Device;
 use crate::error::FpgaError;
 use crate::format::{decode, Command, ConfigCrc, ConfigRegister, Opcode, Packet, SYNC_WORD};
+use uparc_sim::obs::Obs;
 use uparc_sim::time::{Frequency, SimTime};
 
 /// Result of pushing one word: whether the stream reached DESYNC (end of a
@@ -65,6 +66,11 @@ pub struct Icap {
     /// Armed fault: the next CRC comparison latches a corrupted checksum
     /// even if the stream arrived intact (marginal overclocked timing).
     crc_glitch: bool,
+    /// Observability handle. The port is a cycle model with no notion of
+    /// [`SimTime`], so it reports metrics only (burst/word counters); the
+    /// time-stamped `IcapBurst` spans are emitted by the controller that
+    /// drives it. Defaults to the disabled [`Obs::null`] handle.
+    obs: Obs,
 }
 
 impl Icap {
@@ -92,7 +98,15 @@ impl Icap {
             frames_committed: 0,
             regs: [0; 14],
             crc_glitch: false,
+            obs: Obs::null(),
         }
+    }
+
+    /// Attaches an observability handle; the port feeds the
+    /// `icap.bursts` / `icap.words` counters through it. Pass
+    /// [`Obs::null`] to detach.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Returns the port to its power-on state (the effect of a JPROGRAM /
@@ -273,6 +287,8 @@ impl Icap {
     ///
     /// Propagates the first protocol error (see [`Icap::write_word`]).
     pub fn write_words(&mut self, words: &[u32]) -> Result<(), FpgaError> {
+        self.obs.count("icap.bursts", 1);
+        self.obs.count("icap.words", words.len() as u64);
         let mut i = 0;
         while i < words.len() {
             if self.status == IcapStatus::Desynced {

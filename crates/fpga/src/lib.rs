@@ -25,6 +25,26 @@
 //! * [`variation`] — per-sample fmax variation and overclock screening
 //!   (the §IV multi-sample experiment).
 //!
+//! # Architecture
+//!
+//! The configuration path the paper overclocks, as modelled here:
+//!
+//! ```text
+//!    32-bit words            frames                  readback
+//!   +-----------+   +------------------------+   +-------------+
+//!   |   icap    |-->|       config_mem       |<--| tests/scrub |
+//!   | (parser,  |   | (FAR-addressed frames) |   +-------------+
+//!   |  fmax per |   +------------------------+
+//!   |  family)  |                ^
+//!   +-----------+                | geometry
+//!         ^                +-----------+     +-----------+
+//!   clock |                |  device   |---->| floorplan |
+//!   +-----------+          | + family  |     | partition |
+//!   |    dcm    |          +-----------+     +-----------+
+//!   | (DRP M/D) |
+//!   +-----------+
+//! ```
+//!
 //! # Example
 //!
 //! ```

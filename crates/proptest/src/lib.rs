@@ -97,7 +97,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact length or a half-open
+    /// Length specification for [`vec()`]: an exact length or a half-open
     /// range of lengths.
     #[derive(Debug, Clone)]
     pub struct SizeRange {

@@ -8,9 +8,9 @@
 //! `Cargo.toml` renames it to `rand`, so `use rand::...` resolves here.
 //!
 //! Determinism is part of the contract: the synthetic bitstream generator
-//! ([`uparc_bitstream::synth`]) derives calibrated workloads from fixed
-//! seeds, and the experiment harnesses rely on those workloads being
-//! identical across runs and machines.
+//! (`uparc_bitstream::synth`, downstream of this crate) derives calibrated
+//! workloads from fixed seeds, and the experiment harnesses rely on those
+//! workloads being identical across runs and machines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -27,6 +27,27 @@
 //! * [`metrics`] — per-request completion records, the scheduler's power
 //!   envelope, and latency/miss-rate/energy summaries.
 //!
+//! # Architecture
+//!
+//! One event-driven scheduler multiplexes per-region UPaRC lanes; the
+//! [`obs`] handle in [`service::ServiceConfig`] threads through every
+//! layer, so a single `TraceRecorder` sees admission decisions, dispatch
+//! spans and the power-cap samples on one timeline:
+//!
+//! ```text
+//!   workload ----> admission ----> ready queues ----> dispatch
+//!   (seeded         (catalog,       (one per            |
+//!    arrivals)       deadline,       region,            v
+//!       |            region          policy-     +-------------+
+//!       |            checks)         ordered)    | UParc lane  | x regions
+//!       v              |                         | (recovery-  |
+//!    Admission      Admission                    |  wrapped)   |
+//!    instants       instants                     +-------------+
+//!                                                      |
+//!   power cap <---- CapSample instants <---- per-lane busy power
+//!   (defer when over budget)                 (sampled each event)
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -78,3 +99,15 @@ pub use request::{AdmissionError, ReconfigRequest};
 pub use scheduler::Policy;
 pub use service::{Service, ServiceConfig};
 pub use workload::WorkloadSpec;
+
+/// Structured observability, re-exported from [`uparc_sim::obs`]: set
+/// [`service::ServiceConfig::obs`] to an [`obs::Obs`] built around an
+/// [`obs::TraceRecorder`] to capture `Admission` / `Dispatch` / `CapSample`
+/// events and the `serve.*` metrics alongside the per-lane controller
+/// spans.
+pub mod obs {
+    pub use uparc_sim::obs::{
+        chrome_trace, flame_summary, EventKind, Histogram, Metrics, MetricsSnapshot, NullRecorder,
+        Obs, Recorder, SpanId, TraceEvent, TraceRecorder,
+    };
+}

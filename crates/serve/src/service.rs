@@ -20,6 +20,7 @@ use uparc_core::recovery::RecoveryPolicy;
 use uparc_core::uparc::COMPRESSED_MODE_MAX;
 use uparc_core::{UParc, UparcError};
 use uparc_sim::engine::{Context, Engine, Process};
+use uparc_sim::obs::{EventKind, Obs};
 use uparc_sim::power::calib;
 use uparc_sim::time::{Frequency, SimTime};
 
@@ -53,6 +54,11 @@ pub struct ServiceConfig {
     pub recovery: RecoveryPolicy,
     /// Host-side decompressed-bitstream cache per lane, in bytes.
     pub decompressed_cache_bytes: usize,
+    /// Observability handle for the run: each lane reports through a
+    /// region-tagged copy, the scheduler itself through the handle as
+    /// given. The disabled [`Obs::null`] (the default) makes every
+    /// instrumentation site a single-branch no-op.
+    pub obs: Obs,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +69,7 @@ impl Default for ServiceConfig {
             queue_capacity: 32,
             recovery: RecoveryPolicy::default(),
             decompressed_cache_bytes: 32 * 1024 * 1024,
+            obs: Obs::null(),
         }
     }
 }
@@ -159,8 +166,15 @@ impl Service {
     /// decompressor for the catalog's algorithm).
     #[must_use]
     pub fn run(&self, requests: &[ReconfigRequest]) -> ServiceMetrics {
+        // Run lanes report through region-tagged handles; the scratch
+        // lanes used by `measure_dispatch` calibration stay unobserved so
+        // traces show only the actual run.
         let lanes: Vec<UParc> = (0..self.catalog.region_count())
-            .map(|_| self.build_lane())
+            .map(|region| {
+                let mut lane = self.build_lane();
+                lane.set_observer(self.config.obs.with_lane(region as u32));
+                lane
+            })
             .collect();
         let grid = self.planner.frequency_grid();
         let ests: BTreeMap<BitstreamId, Est> = self
@@ -208,6 +222,7 @@ impl Service {
             queue_capacity: self.config.queue_capacity,
             recovery: self.config.recovery.clone(),
             metrics: ServiceMetrics::default(),
+            obs: self.config.obs.clone(),
         };
         let id = engine.spawn(Box::new(proc));
         for (i, r) in requests.iter().enumerate() {
@@ -250,6 +265,9 @@ struct ServeProcess {
     queue_capacity: usize,
     recovery: RecoveryPolicy,
     metrics: ServiceMetrics,
+    /// Scheduler-level observability (admission verdicts, cap samples);
+    /// lanes carry their own region-tagged copies.
+    obs: Obs,
 }
 
 impl Process<Ev> for ServeProcess {
@@ -258,12 +276,32 @@ impl Process<Ev> for ServeProcess {
             Ev::Arrive(i) => {
                 let now = ctx.now();
                 match self.admit(i, now) {
-                    Ok(queued) => self.queues[self.requests[i].region.0].push_back(queued),
-                    Err(reason) => self.metrics.rejections.push(Rejection {
-                        id: self.requests[i].id,
-                        at: now,
-                        reason,
-                    }),
+                    Ok(queued) => {
+                        self.obs.instant(
+                            now,
+                            EventKind::Admission {
+                                outcome: "admitted",
+                                request: self.requests[i].id.0,
+                            },
+                        );
+                        self.obs.count("serve.admitted", 1);
+                        self.queues[self.requests[i].region.0].push_back(queued);
+                    }
+                    Err(reason) => {
+                        self.obs.instant(
+                            now,
+                            EventKind::Admission {
+                                outcome: reason.label(),
+                                request: self.requests[i].id.0,
+                            },
+                        );
+                        self.obs.count("serve.rejected", 1);
+                        self.metrics.rejections.push(Rejection {
+                            id: self.requests[i].id,
+                            at: now,
+                            reason,
+                        });
+                    }
                 }
             }
             Ev::Done { lane } => {
@@ -416,6 +454,12 @@ impl ServeProcess {
         let est = self.ests[&req.bitstream];
         let uparc = &mut self.lanes[lane];
         uparc.advance_idle(now.saturating_sub(uparc.now()));
+        // The dispatch span (queue-exit to lane-finish) carries the lane
+        // tag and opens before the lane's own spans, so the whole
+        // reconfiguration nests under it in the trace.
+        let span = uparc
+            .obs()
+            .begin(now, EventKind::Dispatch { request: req.id.0 });
         let outcome = match uparc.set_reconfiguration_frequency(plan.frequency) {
             Ok(_) => self
                 .recovery
@@ -424,9 +468,20 @@ impl ServeProcess {
         };
         let finished = uparc.now();
         let wait = finished.saturating_sub(now);
+        uparc.obs().end(finished, span);
         match outcome {
             Ok(rr) => {
                 let missed = req.deadline.is_some_and(|d| finished > d);
+                self.obs.count("serve.completions", 1);
+                self.obs.observe(
+                    "serve.latency_us",
+                    finished.saturating_sub(req.arrival).as_us_f64(),
+                );
+                self.obs
+                    .observe("serve.energy_uj", rr.report.energy_uj + rr.extra_energy_uj);
+                if missed {
+                    self.obs.count("serve.deadline_misses", 1);
+                }
                 self.metrics.completions.push(Completion {
                     id: req.id,
                     region: RegionId(lane),
@@ -443,6 +498,7 @@ impl ServeProcess {
                 });
             }
             Err(e) => {
+                self.obs.count("serve.failures", 1);
                 self.metrics.failures.push(Failure {
                     id: req.id,
                     at: finished,
@@ -459,6 +515,14 @@ impl ServeProcess {
     /// violations. Static idle is chip-level, so it is counted once.
     fn sample_power(&mut self, at: SimTime) {
         let total_mw = calib::V6_IDLE_MW + self.busy.iter().flatten().sum::<f64>();
+        self.obs.instant(
+            at,
+            EventKind::CapSample {
+                total_mw,
+                cap_mw: self.cap_mw,
+            },
+        );
+        self.obs.gauge("serve.power_mw", total_mw);
         self.metrics.power.push(PowerSample { at, total_mw });
         if total_mw > self.cap_mw + CAP_EPSILON_MW {
             self.metrics.cap_violations += 1;

@@ -29,7 +29,34 @@
 //!   resilience campaigns.
 //! * [`trace`] — step-wise power traces with exact energy integration and an
 //!   oscilloscope/shunt-resistor front-end model ([`trace::Oscilloscope`]).
+//! * [`obs`] — structured observability: typed spans/instants recorded
+//!   through the cheap [`obs::Obs`] handle, a deterministic metrics
+//!   registry, and Chrome-trace / flamegraph exporters.
 //! * [`stats`] — small statistics helpers used by the benchmark harnesses.
+//!
+//! # Architecture
+//!
+//! Everything sits on the femtosecond [`SimTime`] axis; the layers above
+//! only ever exchange timestamps, so a whole run is reproducible from a
+//! seed:
+//!
+//! ```text
+//!   +--------------------------------------------------------------+
+//!   |  models (uparc-fpga / uparc-core / uparc-serve, downstream)  |
+//!   +-------+----------------+----------------+--------------------+
+//!           |                |                |
+//!           v                v                v
+//!      +---------+      +---------+      +----------+
+//!      | engine  |      |  power  |      |   obs    |  spans/metrics
+//!      | + queue |      | + trace |      | recorder |  -> Chrome JSON,
+//!      +---------+      +---------+      +----------+     flamegraph
+//!           |                |                |
+//!           +----------------+----------------+
+//!                            v
+//!              +---------------------------+
+//!              | time: SimTime / Frequency |   exact integer fs
+//!              +---------------------------+
+//! ```
 //!
 //! # Example
 //!
@@ -57,6 +84,7 @@
 pub mod clock;
 pub mod engine;
 pub mod fault;
+pub mod obs;
 pub mod power;
 pub mod queue;
 pub mod stats;

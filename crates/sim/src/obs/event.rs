@@ -1,0 +1,216 @@
+//! The typed event taxonomy: span/instant kinds and the raw trace record.
+//!
+//! Kinds are a closed enum rather than free-form strings so that every
+//! subsystem reports the same vocabulary and exporters can render typed
+//! payload fields (word counts, frequencies, power draws) without a
+//! schema registry. The full taxonomy, with units, is documented in the
+//! repository's `OBSERVABILITY.md`.
+
+use crate::time::SimTime;
+
+/// Identifier of one span, monotonically assigned by the recorder.
+///
+/// Ids are unique within one recorder's lifetime; [`SpanId::NULL`] (id 0)
+/// is returned by disabled handles and never matches a recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The id a disabled [`super::Obs`] hands out; never recorded.
+    pub const NULL: SpanId = SpanId(0);
+}
+
+/// What happened. Spans use the durational kinds (a burst, a relock, a
+/// dispatch); instants use the point kinds (an admission verdict, a power
+/// sample, a recovery rung) — the recorder does not enforce the split,
+/// the instrumentation sites do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// One BRAM→ICAP burst transfer (span). `words` is the configuration
+    /// stream length handed to the port.
+    IcapBurst {
+        /// 32-bit words transferred in the burst.
+        words: u64,
+    },
+    /// A DCM retune waiting for LOCKED (span), from the DRP write to the
+    /// lock assertion.
+    DcmRelock {
+        /// Which DyCloGen output relocked (`"clk1"`/`"clk2"`/`"clk3"`).
+        clock: &'static str,
+        /// The requested output frequency in MHz.
+        target_mhz: f64,
+    },
+    /// The compressed datapath decoding a staged image (span).
+    DecompressStage {
+        /// Raw (decompressed) bytes produced.
+        bytes: u64,
+    },
+    /// A bitstream being staged into the BRAM (span).
+    Preload {
+        /// Bytes stored in the BRAM (mode word included).
+        stored_bytes: u64,
+        /// Whether the image was staged compressed.
+        compressed: bool,
+    },
+    /// One rung of the self-healing ladder firing (instant).
+    RecoveryRung {
+        /// The rung's stable label (see `RecoveryAction::label`).
+        rung: &'static str,
+    },
+    /// An admission verdict for one service request (instant).
+    Admission {
+        /// `"admitted"` or the `AdmissionError` label.
+        outcome: &'static str,
+        /// The request id.
+        request: u64,
+    },
+    /// One service dispatch, queue-exit to lane-finish (span).
+    Dispatch {
+        /// The request id.
+        request: u64,
+    },
+    /// A power sample at a scheduling instant (instant).
+    CapSample {
+        /// Summed chip draw at the instant, mW.
+        total_mw: f64,
+        /// The configured cap, mW (`f64::INFINITY` when uncapped).
+        cap_mw: f64,
+    },
+}
+
+impl EventKind {
+    /// Stable name, used as the Chrome-trace event name and the
+    /// flame-summary key.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::IcapBurst { .. } => "IcapBurst",
+            EventKind::DcmRelock { .. } => "DcmRelock",
+            EventKind::DecompressStage { .. } => "DecompressStage",
+            EventKind::Preload { .. } => "Preload",
+            EventKind::RecoveryRung { .. } => "RecoveryRung",
+            EventKind::Admission { .. } => "Admission",
+            EventKind::Dispatch { .. } => "Dispatch",
+            EventKind::CapSample { .. } => "CapSample",
+        }
+    }
+}
+
+/// One raw record in a [`super::TraceRecorder`]'s ring buffer.
+///
+/// Records are kept exactly in emission order; exporters pair
+/// `Begin`/`End` by span id. Emission order is *not* globally
+/// time-sorted — a component may close a span whose end time it already
+/// knows before an earlier-stamped instant from another component is
+/// recorded — but every `End` follows its `Begin` and carries
+/// `at >= begin.at`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A span opened.
+    Begin {
+        /// Start time.
+        at: SimTime,
+        /// The span's id (monotonic per recorder).
+        span: SpanId,
+        /// Lane/region tag of the emitting handle.
+        lane: Option<u32>,
+        /// Typed payload.
+        kind: EventKind,
+    },
+    /// A span closed.
+    End {
+        /// End time (`>=` the matching `Begin`'s time).
+        at: SimTime,
+        /// The id given out by the matching `Begin`.
+        span: SpanId,
+    },
+    /// A zero-duration point event.
+    Instant {
+        /// Event time.
+        at: SimTime,
+        /// Lane/region tag of the emitting handle.
+        lane: Option<u32>,
+        /// Typed payload.
+        kind: EventKind,
+    },
+}
+
+impl TraceEvent {
+    /// The record's timestamp.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Begin { at, .. }
+            | TraceEvent::End { at, .. }
+            | TraceEvent::Instant { at, .. } => *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let kinds = [
+            (EventKind::IcapBurst { words: 1 }, "IcapBurst"),
+            (
+                EventKind::DcmRelock {
+                    clock: "clk2",
+                    target_mhz: 362.5,
+                },
+                "DcmRelock",
+            ),
+            (EventKind::DecompressStage { bytes: 1 }, "DecompressStage"),
+            (
+                EventKind::Preload {
+                    stored_bytes: 4,
+                    compressed: false,
+                },
+                "Preload",
+            ),
+            (EventKind::RecoveryRung { rung: "restage" }, "RecoveryRung"),
+            (
+                EventKind::Admission {
+                    outcome: "admitted",
+                    request: 0,
+                },
+                "Admission",
+            ),
+            (EventKind::Dispatch { request: 0 }, "Dispatch"),
+            (
+                EventKind::CapSample {
+                    total_mw: 0.0,
+                    cap_mw: 0.0,
+                },
+                "CapSample",
+            ),
+        ];
+        for (kind, label) in kinds {
+            assert_eq!(kind.label(), label);
+        }
+    }
+
+    #[test]
+    fn event_timestamp_accessor_covers_all_variants() {
+        let t = SimTime::from_us(5);
+        let b = TraceEvent::Begin {
+            at: t,
+            span: SpanId(1),
+            lane: None,
+            kind: EventKind::Dispatch { request: 1 },
+        };
+        let e = TraceEvent::End {
+            at: t,
+            span: SpanId(1),
+        };
+        let i = TraceEvent::Instant {
+            at: t,
+            lane: Some(0),
+            kind: EventKind::RecoveryRung { rung: "restage" },
+        };
+        assert!(b.at() == t && e.at() == t && i.at() == t);
+    }
+}

@@ -1,0 +1,346 @@
+//! The metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms with deterministic snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: one per possible f64 magnitude class we
+/// care about (values spanning 2⁻³² … 2³¹), plus underflow at index 0.
+const BUCKETS: usize = 64;
+
+/// A fixed-shape, log₂-bucketed histogram.
+///
+/// Bucket `i` (for `i >= 1`) holds values `v` with
+/// `2^(i-33) <= v < 2^(i-32)`; bucket 0 holds everything below `2⁻³²`
+/// (including zero and negatives). The shape is fixed and the bucketing
+/// exact (float exponent extraction, no transcendental math), so two runs
+/// that observe the same values produce identical histograms — a
+/// requirement for byte-stable exports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value.is_nan() || value < f64::MIN_POSITIVE {
+            // Zero, negatives, NaN: underflow bucket.
+            return 0;
+        }
+        // IEEE-754 unbiased exponent: floor(log2(value)) for normals.
+        let exp = ((value.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+        (exp + 33).clamp(0, BUCKETS as i64 - 1) as usize
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (+∞ when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value (−∞ when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// An upper bound on the `q`-quantile (0.0–1.0), read off the bucket
+    /// boundaries: the result is the inclusive upper edge of the bucket
+    /// the quantile falls in, so it is within 2× of the true value.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                // Upper edge of bucket i: 2^(i-32).
+                return (2.0f64).powi(i as i32 - 32);
+            }
+        }
+        self.max
+    }
+
+    /// The raw bucket counts (index → values in `[2^(i-33), 2^(i-32))`).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Registry state behind the mutex. `BTreeMap` keeps iteration order
+/// deterministic (sorted by name) for snapshots and renders.
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Shared behind an `Arc` by every [`super::Obs`] handle cloned from the
+/// same root; all methods take `&self` (interior mutability). Metric
+/// names are dotted lowercase paths (`"icap.words"`,
+/// `"serve.latency_us"`) — the full catalogue lives in `OBSERVABILITY.md`.
+///
+/// # Example
+///
+/// ```
+/// use uparc_sim::obs::Metrics;
+///
+/// let m = Metrics::new();
+/// m.count("icap.bursts", 1);
+/// m.count("icap.bursts", 2);
+/// m.observe("serve.latency_us", 42.0);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counters["icap.bursts"], 3);
+/// assert_eq!(snap.histograms["serve.latency_us"].count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to counter `name` (created at zero on first use).
+    pub fn count(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                inner.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .gauges
+            .insert(name.to_owned(), value);
+    }
+
+    /// Records `value` into histogram `name` (created empty on first use).
+    pub fn observe(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// A deterministic (name-sorted) copy of the registry's contents.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Renders the registry as an aligned `name value` text table, one
+    /// metric per line, histograms summarised as
+    /// `count/mean/min/max/p99≤`. Deterministic for a given registry
+    /// state.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] registry, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → accumulated value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last written value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram name → distribution.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no metrics at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The text rendering described on [`Metrics::render_text`].
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<width$}  {v:.6}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  count={} mean={:.6} min={:.6} max={:.6} p99<={:.6}\n",
+                h.count(),
+                h.mean(),
+                if h.count() == 0 { 0.0 } else { h.min() },
+                if h.count() == 0 { 0.0 } else { h.max() },
+                h.quantile_upper_bound(0.99),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.count("a", 1);
+        m.count("a", 4);
+        m.count("b", 2);
+        let s = m.snapshot();
+        assert_eq!(s.counters["a"], 5);
+        assert_eq!(s.counters["b"], 2);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = Metrics::new();
+        m.gauge("g", 1.0);
+        m.gauge("g", 7.5);
+        assert_eq!(m.snapshot().gauges["g"], 7.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_log2() {
+        let mut h = Histogram::new();
+        h.observe(1.0); // exponent 0 → bucket 33
+        h.observe(1.5); // same bucket
+        h.observe(2.0); // bucket 34
+        h.observe(0.0); // underflow bucket 0
+        assert_eq!(h.buckets()[33], 2);
+        assert_eq!(h.buckets()[34], 1);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 2.0);
+    }
+
+    #[test]
+    fn histogram_quantile_bound_brackets_true_value() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0, 1000.0] {
+            h.observe(v);
+        }
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p99 >= 1000.0, "p99 bound {p99} below max sample");
+        assert!(p99 <= 2000.0, "p99 bound {p99} looser than 2x");
+        // True p50 is 4.0; its bucket is [4, 8), so the bound is 8.
+        let p50 = h.quantile_upper_bound(0.5);
+        assert!((4.0..=8.0).contains(&p50), "p50 bound {p50}");
+    }
+
+    #[test]
+    fn render_text_is_deterministic_and_sorted() {
+        let m = Metrics::new();
+        m.count("z.last", 1);
+        m.count("a.first", 2);
+        m.observe("m.hist", 3.0);
+        let a = m.render_text();
+        let b = m.render_text();
+        assert_eq!(a, b);
+        let first = a.lines().next().unwrap();
+        assert!(first.starts_with("a.first"), "sorted output: {first}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_empty() {
+        assert!(Metrics::new().snapshot().is_empty());
+    }
+}

@@ -1,10 +1,15 @@
 //! Quickstart: build a UPaRC system, preload a partial bitstream, and
-//! reconfigure at the paper's headline 362.5 MHz operating point.
+//! reconfigure at the paper's headline 362.5 MHz operating point — with
+//! a recording observer attached, so the run ends with the trace-derived
+//! flame summary and metrics table (see `OBSERVABILITY.md`).
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+use std::sync::Arc;
+
 use uparc_repro::bitstream::builder::PartialBitstream;
 use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::core::obs::{Obs, TraceRecorder};
 use uparc_repro::core::uparc::{Mode, UParc};
 use uparc_repro::fpga::Device;
 use uparc_repro::sim::time::Frequency;
@@ -26,8 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Assemble UPaRC: Manager + UReC + DyCloGen + decompressor + 256 KB
-    // dual-port BRAM, wired to the device's ICAP.
-    let mut uparc = UParc::builder(device).build()?;
+    // dual-port BRAM, wired to the device's ICAP. The observer is the
+    // software analogue of the paper's oscilloscope rig: every subsystem
+    // reports typed spans and metrics through it (the default is a
+    // one-branch no-op — see `uparc_sim::obs`).
+    let recorder = Arc::new(TraceRecorder::new());
+    let obs = Obs::recording(Arc::clone(&recorder));
+    let mut uparc = UParc::builder(device).observer(obs.clone()).build()?;
 
     // DyCloGen synthesises CLK_2 = 100 MHz x 29/8 = 362.5 MHz through the
     // DCM's dynamic reconfiguration port.
@@ -64,5 +74,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "frames committed to configuration memory: {}",
         uparc.icap().frames_committed()
     );
+
+    // What the observer saw: where the time went (folded span stacks)
+    // and the metrics registry. `recorder.chrome_trace(...)` renders the
+    // same run as Perfetto-loadable JSON.
+    println!("\n--- flame summary ---");
+    print!("{}", recorder.flame_summary());
+    println!("--- metrics ---");
+    print!("{}", obs.metrics().render_text());
     Ok(())
 }
