@@ -17,6 +17,7 @@ use uparc_bench::report::{JsonReport, Obj, Value};
 use uparc_bench::sweep;
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_bitstream::synth::SynthProfile;
+use uparc_compress::parallel::BlockCodec;
 use uparc_compress::{Algorithm, Ratio};
 use uparc_core::schedule::{run_schedule, ReconfigTask, Strategy};
 use uparc_core::uparc::{Mode, UParc};
@@ -205,8 +206,12 @@ fn main() {
     let speedup = batched.per_sec() / per_cycle.per_sec();
     // Relative cost of observing the batched path; NullRecorder (the
     // default) does strictly less work than the recording observer timed
-    // here, so this bounds its overhead too. Negative = lost in noise.
-    let obs_overhead = median_ratio - 1.0;
+    // here, so this bounds its overhead too. The raw delta goes negative
+    // when the cost is lost in noise; the reported overhead clamps at
+    // zero (an observer cannot make the port faster), with the raw value
+    // kept alongside for noise diagnostics.
+    let obs_overhead_raw = median_ratio - 1.0;
+    let obs_overhead = obs_overhead_raw.max(0.0);
     println!(
         "icap: {} words; per-cycle {:.1} Mwords/s, batched {:.1} Mwords/s ({speedup:.1}x), \
          obs overhead {:.2}%",
@@ -241,6 +246,43 @@ fn main() {
         );
         codec_rows.push((alg.to_string(), enc, dec, saved));
     }
+
+    // ---- Block-parallel encode: BlockCodec across worker counts ------
+    // The framed block codec encodes independent blocks on a worker pool;
+    // the frame bytes must be identical at every worker count (the frame
+    // layout is position-deterministic), so only the wall clock may move.
+    // The ~1 MB ICAP corpus gives the pool enough 64 KB blocks to spread.
+    let block_corpus = stream.to_bytes();
+    let block_codec = BlockCodec::new(Algorithm::XMatchPro);
+    let mut parallel_rows = Vec::new();
+    let mut first_frame: Option<Vec<u8>> = None;
+    for workers in [1usize, 2, 8] {
+        std::env::set_var("UPARC_SWEEP_THREADS", workers.to_string());
+        let frame = block_codec.compress(&block_corpus);
+        match &first_frame {
+            None => {
+                assert_eq!(
+                    block_codec.decompress(&frame).expect("block round trip"),
+                    block_corpus,
+                    "block frame must restore the input"
+                );
+                first_frame = Some(frame);
+            }
+            Some(first) => {
+                assert_eq!(first, &frame, "worker count changed the frame bytes");
+            }
+        }
+        let enc = best_of(reps, block_corpus.len() as u64, || {
+            std::hint::black_box(block_codec.compress(&block_corpus));
+        });
+        println!(
+            "parallel encode x{workers}: {:.1} MB/s",
+            enc.per_sec() / 1e6
+        );
+        parallel_rows.push((workers, enc));
+    }
+    std::env::remove_var("UPARC_SWEEP_THREADS");
+    let block_frame_bytes = first_frame.expect("one worker count ran").len();
 
     // ---- End-to-end pipeline: preload + reconfigure (raw mode) -------
     let e2e_bytes = if smoke { 64 * 1024 } else { 247 * 1024 };
@@ -279,6 +321,33 @@ fn main() {
     println!(
         "pipeline (compressed): {:.1} Mwords/s (host wall clock)",
         pipeline_compressed.per_sec() / 1e6
+    );
+
+    // Steady-state compressed transfer: what a controller that already
+    // holds a staged image pays per reconfiguration. Build, retune and
+    // preload happen untimed; the decompression cache is cleared before
+    // every timed pass, so each one runs the full cold path — streamed
+    // decode overlapped with the ICAP burst, plus the cycle-level
+    // pipeline simulation.
+    let mut streaming_secs = f64::INFINITY;
+    for _ in 0..if smoke { 3 } else { 9 } {
+        let mut sys = UParc::builder(device.clone()).build().expect("build");
+        sys.set_reconfiguration_frequency(Frequency::from_mhz(200.0))
+            .expect("retune");
+        sys.preload(&e2e_bs, Mode::Compressed).expect("preload");
+        sys.clear_decomp_cache();
+        let t = Instant::now();
+        let r = sys.reconfigure().expect("reconfigure");
+        streaming_secs = streaming_secs.min(t.elapsed().as_secs_f64());
+        assert!(r.compressed);
+    }
+    let streaming = Measured {
+        secs: streaming_secs,
+        items: e2e_words,
+    };
+    println!(
+        "pipeline (streaming transfer): {:.1} Mwords/s (host wall clock)",
+        streaming.per_sec() / 1e6
     );
 
     // ---- Event queue: schedule + drain micro-benchmark ---------------
@@ -424,7 +493,7 @@ fn main() {
 
     // ---- JSON report --------------------------------------------------
     let queue_speedup = queue.per_sec() / QUEUE_BASELINE_OPS_PER_SEC;
-    let report = JsonReport::new("uparc-bench-throughput", 3)
+    let report = JsonReport::new("uparc-bench-throughput", 4)
         .field("smoke", smoke)
         .field(
             "icap",
@@ -440,7 +509,8 @@ fn main() {
                     "observed_words_per_sec",
                     Value::fixed(n_words as f64 / obs_best, 0),
                 )
-                .field("obs_overhead", Value::fixed(obs_overhead, 4)),
+                .field("obs_overhead", Value::fixed(obs_overhead, 4))
+                .field("obs_overhead_raw", Value::fixed(obs_overhead_raw, 4)),
         )
         .field(
             "codecs",
@@ -468,6 +538,31 @@ fn main() {
                 .field(
                     "compressed_mode_words_per_sec",
                     Value::fixed(pipeline_compressed.per_sec(), 0),
+                )
+                .field(
+                    "streaming_words_per_sec",
+                    Value::fixed(streaming.per_sec(), 0),
+                ),
+        )
+        .field(
+            "parallel_encode",
+            Obj::new()
+                .field("algorithm", "xmatchpro")
+                .field("block_bytes", block_codec.block_size())
+                .field("input_bytes", block_corpus.len())
+                .field("frame_bytes", block_frame_bytes)
+                .field("byte_identical_across_workers", true)
+                .field(
+                    "workers",
+                    parallel_rows
+                        .iter()
+                        .map(|(workers, enc)| {
+                            Obj::new()
+                                .field("count", *workers)
+                                .field("encode_bytes_per_sec", Value::fixed(enc.per_sec(), 0))
+                                .into()
+                        })
+                        .collect::<Vec<Value>>(),
                 ),
         )
         .field(
@@ -514,13 +609,31 @@ fn main() {
                 ),
         );
 
+    // Rendering is deterministic: two renders of the same report are
+    // byte-identical, and the file on disk is exactly the render.
+    let rendered = report.render();
+    assert_eq!(rendered, report.render(), "nondeterministic JSON render");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     report.write(path).expect("write BENCH_throughput.json");
+    let on_disk = std::fs::read_to_string(path).expect("read back BENCH_throughput.json");
+    assert_eq!(on_disk, rendered, "written report diverges from render");
     println!("report written: {path}");
 
+    // The v4 schema fields the CI smoke run keys on must exist in every
+    // variant, smoke included.
+    for key in [
+        "\"streaming_words_per_sec\"",
+        "\"parallel_encode\"",
+        "\"obs_overhead_raw\"",
+    ] {
+        assert!(rendered.contains(key), "report lost the {key} field");
+    }
+
     // Acceptance gates (full-size workloads only): the batched ICAP path
-    // must hold PR 1's 5x floor, and the calendar queue must be at least
-    // 3x the recorded BinaryHeap baseline on the same 200k-event workload.
+    // must hold PR 1's 5x floor, the calendar queue must be at least 3x
+    // the recorded BinaryHeap baseline on the same 200k-event workload,
+    // and the streamed compressed transfer must hold this PR's 38 Mwords/s
+    // floor (>= 3x the v3 compressed-pipeline figure).
     if !smoke {
         assert!(
             speedup >= 5.0,
@@ -537,6 +650,12 @@ fn main() {
             "event queue at {:.0} ops/s is only {queue_speedup:.2}x the \
              {QUEUE_BASELINE_OPS_PER_SEC:.0} ops/s baseline (need 3x)",
             queue.per_sec()
+        );
+        assert!(
+            streaming.per_sec() >= 38e6,
+            "streamed compressed transfer at {:.1} Mwords/s is below the \
+             38 Mwords/s floor",
+            streaming.per_sec() / 1e6
         );
     }
 }

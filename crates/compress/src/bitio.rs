@@ -71,9 +71,16 @@ impl BitWriter {
         // accumulator never overflows and at most 4 bytes spill per call.
         self.acc = (self.acc << n) | (u64::from(value) & ((1u64 << n) - 1));
         self.nbits += n;
-        while self.nbits >= 8 {
-            self.nbits -= 8;
-            self.bytes.push((self.acc >> self.nbits) as u8);
+        let spill = (self.nbits / 8) as usize;
+        if spill > 0 {
+            // Emit all complete bytes with one copy instead of a push per
+            // byte: the spilled bits, left-aligned, are exactly the first
+            // `spill` bytes of the big-endian accumulator image. Bits of
+            // `acc` above `nbits` are stale spilled data and shift out.
+            self.nbits %= 8;
+            let aligned = (self.acc >> self.nbits) << (64 - 8 * spill as u32);
+            self.bytes
+                .extend_from_slice(&aligned.to_be_bytes()[..spill]);
         }
     }
 

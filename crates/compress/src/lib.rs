@@ -47,8 +47,10 @@ pub mod hw;
 pub mod lz77;
 pub mod lz78;
 pub mod lzma_like;
+pub mod parallel;
 pub mod rle;
 pub mod stats;
+pub mod stream;
 pub mod xmatchpro;
 
 use std::fmt;
@@ -101,6 +103,25 @@ pub trait Codec {
     ///
     /// [`CodecError`] if the stream is truncated or corrupt.
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
+
+    /// Opens a resumable [`stream::StreamDecoder`] over `input`, for
+    /// pipelines that overlap decompression with the ICAP transfer.
+    ///
+    /// The default implementation decodes everything eagerly and streams
+    /// the result out ([`stream::OneShot`]); the Table I codecs override
+    /// it with genuinely incremental decoders.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the stream header is truncated or corrupt.
+    /// Token-level errors surface later, from
+    /// [`stream::StreamDecoder::decode_into`].
+    fn stream_decoder<'a>(
+        &self,
+        input: &'a [u8],
+    ) -> Result<Box<dyn stream::StreamDecoder + 'a>, CodecError> {
+        Ok(Box::new(stream::OneShot::new(self.decompress(input)?)))
+    }
 }
 
 /// The seven algorithms of Table I.

@@ -10,6 +10,7 @@
 //! `1 | offset-1 (W bits) | length-3 (L bits)` or `0 | literal (8 bits)`.
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::stream::{self, StreamDecoder};
 use crate::{Codec, CodecError};
 
 /// Minimum match length worth a token.
@@ -123,22 +124,35 @@ pub enum Token {
 }
 
 /// zlib-style hash-chain match finder.
+///
+/// Chain links are `u32` (half the memory traffic of the former `i64`
+/// tables — the head table alone is 128 KB instead of 256 KB), with
+/// [`NIL`] as the no-entry sentinel; ring indices use a mask since the
+/// window is always a power of two.
 #[derive(Debug)]
 struct MatchFinder {
     window: usize,
-    head: Vec<i64>,
-    prev: Vec<i64>,
+    /// `window - 1`.
+    mask: usize,
+    head: Vec<u32>,
+    prev: Vec<u32>,
     max_chain: usize,
 }
 
 const HASH_BITS: u32 = 15;
 
+/// Empty-chain sentinel. Inputs are far below 4 GiB (the stream format
+/// caps lengths at `u32` anyway), so no valid position collides with it.
+const NIL: u32 = u32::MAX;
+
 impl MatchFinder {
     fn new(window: usize) -> Self {
+        debug_assert!(window.is_power_of_two());
         MatchFinder {
             window,
-            head: vec![-1; 1 << HASH_BITS],
-            prev: vec![-1; window],
+            mask: window - 1,
+            head: vec![NIL; 1 << HASH_BITS],
+            prev: vec![NIL; window],
             max_chain: 64,
         }
     }
@@ -156,8 +170,8 @@ impl MatchFinder {
             return;
         }
         let h = Self::hash(input, pos);
-        self.prev[pos % self.window] = self.head[h];
-        self.head[h] = pos as i64;
+        self.prev[pos & self.mask] = self.head[h];
+        self.head[h] = pos as u32;
     }
 
     /// Returns `(distance, length)` of the best match at `pos` (length 0 if
@@ -179,7 +193,7 @@ impl MatchFinder {
         let mut best_dist = 0usize;
         let mut cand = self.head[Self::hash(input, pos)];
         let mut chain = 0;
-        while cand >= 0 && chain < self.max_chain {
+        while cand != NIL && chain < self.max_chain {
             let c = cand as usize;
             if c < min_pos || c >= pos {
                 break;
@@ -200,7 +214,7 @@ impl MatchFinder {
                     break;
                 }
             }
-            cand = self.prev[c % self.window];
+            cand = self.prev[c & self.mask];
             chain += 1;
         }
         (best_dist, best_len)
@@ -258,41 +272,87 @@ impl Codec for Lz77 {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        stream::drain(Lz77Stream::new(self, input)?)
+    }
+
+    fn stream_decoder<'a>(
+        &self,
+        input: &'a [u8],
+    ) -> Result<Box<dyn StreamDecoder + 'a>, CodecError> {
+        Ok(Box::new(Lz77Stream::new(self, input)?))
+    }
+}
+
+/// Streaming LZ77 decoder. Back-references resolve against the shared
+/// output buffer, which is why the stream contract requires the caller to
+/// reuse one buffer across calls.
+#[derive(Debug)]
+struct Lz77Stream<'a> {
+    reader: BitReader<'a>,
+    offset_bits: u32,
+    len_bits: u32,
+    n: usize,
+    produced: usize,
+}
+
+impl<'a> Lz77Stream<'a> {
+    fn new(codec: &Lz77, input: &'a [u8]) -> Result<Self, CodecError> {
         if input.len() < 4 {
             return Err(CodecError::Truncated);
         }
         let n = u32::from_le_bytes(input[0..4].try_into().expect("4 bytes")) as usize;
-        let mut r = BitReader::new(&input[4..]);
-        let mut out = Vec::with_capacity(n);
-        while out.len() < n {
-            if r.read_bit()? {
-                let dist = r.read_bits(self.offset_bits)? as usize + 1;
-                let len = r.read_bits(self.len_bits)? as usize + MIN_MATCH;
+        Ok(Lz77Stream {
+            reader: BitReader::new(&input[4..]),
+            offset_bits: codec.offset_bits,
+            len_bits: codec.len_bits,
+            n,
+            produced: 0,
+        })
+    }
+}
+
+impl StreamDecoder for Lz77Stream<'_> {
+    fn decode_into(&mut self, out: &mut Vec<u8>, budget: usize) -> Result<usize, CodecError> {
+        debug_assert_eq!(out.len(), self.produced, "shared history buffer reused");
+        let start = out.len();
+        while out.len() - start < budget && out.len() < self.n {
+            if self.reader.read_bit()? {
+                let dist = self.reader.read_bits(self.offset_bits)? as usize + 1;
+                let len = self.reader.read_bits(self.len_bits)? as usize + MIN_MATCH;
                 if dist > out.len() {
                     return Err(CodecError::corrupt(format!(
                         "backreference {dist} beyond {} output bytes",
                         out.len()
                     )));
                 }
-                if out.len() + len > n {
+                if out.len() + len > self.n {
                     return Err(CodecError::corrupt("match overruns output"));
                 }
-                let start = out.len() - dist;
+                let from = out.len() - dist;
                 if len <= dist {
-                    out.extend_from_within(start..start + len);
+                    out.extend_from_within(from..from + len);
                 } else {
                     // Overlapping copies are the RLE-like case (dist < len).
                     out.reserve(len);
                     for k in 0..len {
-                        let b = out[start + k];
+                        let b = out[from + k];
                         out.push(b);
                     }
                 }
             } else {
-                out.push(r.read_bits(8)? as u8);
+                out.push(self.reader.read_bits(8)? as u8);
             }
         }
-        Ok(out)
+        self.produced = out.len();
+        Ok(out.len() - start)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.produced == self.n
+    }
+
+    fn total_len(&self) -> usize {
+        self.n
     }
 }
 

@@ -10,11 +10,73 @@
 //! Only the final token may omit the byte. The dictionary resets when full.
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::stream::{self, StreamDecoder};
 use crate::{Codec, CodecError};
-use std::collections::HashMap;
 
 /// Dictionary capacity before reset (entries, including the empty root).
 pub const DICT_CAPACITY: usize = 65_536;
+
+/// Open-addressed `(parent, byte) → index` map for the encoder.
+///
+/// The encoder probes this table once per input byte, so a general-purpose
+/// `HashMap` spends most of the phrase-building time hashing (SipHash over
+/// a 5-byte tuple) and allocating as it grows. Here the key packs into 24
+/// bits (`parent < 65 536`, one byte), each slot is a single `u64` holding
+/// `(key + 1) << 32 | index` (zero = empty), and the table is sized at
+/// twice [`DICT_CAPACITY`] so linear probing stays short (load ≤ 0.5). A
+/// failed lookup hands its empty slot to the following insert, so the
+/// common miss-then-insert sequence probes once.
+#[derive(Debug)]
+struct PhraseTable {
+    slots: Vec<u64>,
+}
+
+/// Twice the dictionary capacity, so the load factor never exceeds 0.5.
+const TABLE_SLOTS: usize = 2 * DICT_CAPACITY;
+
+impl PhraseTable {
+    fn new() -> Self {
+        PhraseTable {
+            slots: vec![0; TABLE_SLOTS],
+        }
+    }
+
+    /// Fibonacci hash of the packed key, mapped to a starting slot.
+    #[inline]
+    fn slot_of(key: u32) -> usize {
+        (key.wrapping_mul(0x9E37_79B9) >> (32 - TABLE_SLOTS.trailing_zeros())) as usize
+    }
+
+    /// Looks up `key`; on a miss, returns the empty slot the probe ended
+    /// at, which a subsequent [`Self::set`] of the same key may fill
+    /// without re-probing.
+    #[inline]
+    fn lookup(&self, key: u32) -> Result<u32, usize> {
+        let tag = u64::from(key) + 1;
+        let mut s = Self::slot_of(key);
+        loop {
+            let e = self.slots[s];
+            if e == 0 {
+                return Err(s);
+            }
+            if e >> 32 == tag {
+                return Ok(e as u32);
+            }
+            s = (s + 1) & (TABLE_SLOTS - 1);
+        }
+    }
+
+    /// Fills the empty `slot` a failed [`Self::lookup`] of `key` returned.
+    #[inline]
+    fn set(&mut self, slot: usize, key: u32, index: u32) {
+        debug_assert_eq!(self.slots[slot], 0);
+        self.slots[slot] = ((u64::from(key) + 1) << 32) | u64::from(index);
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(0);
+    }
+}
 
 /// LZ78 codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,19 +105,23 @@ impl Codec for Lz78 {
         out.extend_from_slice(&(input.len() as u32).to_le_bytes());
         let mut w = BitWriter::new();
         // Entry 0 is the empty phrase; map (parent, byte) -> index.
-        let mut dict: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut dict = PhraseTable::new();
         let mut next_index = 1u32;
         let mut cur = 0u32; // current phrase index (0 = empty)
         for &b in input {
-            if let Some(&idx) = dict.get(&(cur, b)) {
-                cur = idx;
-                continue;
-            }
+            let key = (cur << 8) | u32::from(b);
+            let slot = match dict.lookup(key) {
+                Ok(idx) => {
+                    cur = idx;
+                    continue;
+                }
+                Err(slot) => slot,
+            };
             // Emit (cur, b), add the extended phrase.
             w.write_bits(cur, index_bits(next_index as usize));
             w.write_bit(true);
             w.write_bits(u32::from(b), 8);
-            dict.insert((cur, b), next_index);
+            dict.set(slot, key, next_index);
             next_index += 1;
             cur = 0;
             if next_index as usize >= DICT_CAPACITY {
@@ -73,49 +139,100 @@ impl Codec for Lz78 {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        stream::drain(Lz78Stream::new(input)?)
+    }
+
+    fn stream_decoder<'a>(
+        &self,
+        input: &'a [u8],
+    ) -> Result<Box<dyn StreamDecoder + 'a>, CodecError> {
+        Ok(Box::new(Lz78Stream::new(input)?))
+    }
+}
+
+/// Streaming LZ78 decoder: resumable at any phrase boundary (a call may
+/// overshoot its budget by one phrase).
+#[derive(Debug)]
+struct Lz78Stream<'a> {
+    reader: BitReader<'a>,
+    /// Mirror dictionary: entry -> (parent, byte, phrase length). The
+    /// stored length lets each phrase be written straight into the output
+    /// back-to-front during the parent walk, instead of through a
+    /// temporary buffer that is then reversed and copied.
+    entries: Vec<(u32, u8, u32)>,
+    n: usize,
+    produced: usize,
+}
+
+impl<'a> Lz78Stream<'a> {
+    fn new(input: &'a [u8]) -> Result<Self, CodecError> {
         if input.len() < 4 {
             return Err(CodecError::Truncated);
         }
         let n = u32::from_le_bytes(input[0..4].try_into().expect("4 bytes")) as usize;
-        let mut r = BitReader::new(&input[4..]);
-        let mut out = Vec::with_capacity(n);
-        // Mirror dictionary: entry -> (parent, byte).
-        let mut entries: Vec<(u32, u8)> = vec![(0, 0)]; // index 0 = empty
-        let mut phrase = Vec::new();
-        while out.len() < n {
-            let idx = r.read_bits(index_bits(entries.len()))?;
-            if idx as usize >= entries.len() {
+        Ok(Lz78Stream {
+            reader: BitReader::new(&input[4..]),
+            entries: vec![(0, 0, 0)], // index 0 = empty
+            n,
+            produced: 0,
+        })
+    }
+}
+
+impl StreamDecoder for Lz78Stream<'_> {
+    fn decode_into(&mut self, out: &mut Vec<u8>, budget: usize) -> Result<usize, CodecError> {
+        debug_assert_eq!(out.len(), self.produced, "shared history buffer reused");
+        let start_len = out.len();
+        while out.len() - start_len < budget && out.len() < self.n {
+            let idx = self.reader.read_bits(index_bits(self.entries.len()))?;
+            if idx as usize >= self.entries.len() {
                 return Err(CodecError::corrupt(format!(
                     "index {idx} out of dictionary"
                 )));
             }
-            // Materialise the phrase by walking parents.
-            phrase.clear();
-            let mut walk = idx;
-            while walk != 0 {
-                let (parent, byte) = entries[walk as usize];
-                phrase.push(byte);
-                walk = parent;
-            }
-            phrase.reverse();
-            let has_byte = r.read_bit()?;
-            if has_byte {
-                let b = r.read_bits(8)? as u8;
-                phrase.push(b);
-                entries.push((idx, b));
-                if entries.len() >= DICT_CAPACITY {
-                    entries.truncate(1);
-                }
-            }
-            if out.len() + phrase.len() > n {
+            let plen = self.entries[idx as usize].2 as usize;
+            let has_byte = self.reader.read_bit()?;
+            let appended = if has_byte {
+                Some(self.reader.read_bits(8)? as u8)
+            } else {
+                None
+            };
+            let total = plen + usize::from(has_byte);
+            let start = out.len();
+            if start + total > self.n {
                 return Err(CodecError::corrupt("phrase overruns output"));
             }
-            out.extend_from_slice(&phrase);
-            if !has_byte && out.len() < n {
+            out.resize(start + total, 0);
+            let mut end = start + plen;
+            let mut walk = idx;
+            while walk != 0 {
+                let (parent, byte, _) = self.entries[walk as usize];
+                end -= 1;
+                out[end] = byte;
+                walk = parent;
+            }
+            debug_assert_eq!(end, start);
+            if let Some(b) = appended {
+                out[start + plen] = b;
+                self.entries.push((idx, b, plen as u32 + 1));
+                if self.entries.len() >= DICT_CAPACITY {
+                    self.entries.truncate(1);
+                }
+            }
+            if !has_byte && out.len() < self.n {
                 return Err(CodecError::corrupt("index-only token before end"));
             }
         }
-        Ok(out)
+        self.produced = out.len();
+        Ok(out.len() - start_len)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.produced == self.n
+    }
+
+    fn total_len(&self) -> usize {
+        self.n
     }
 }
 

@@ -13,6 +13,7 @@
 //! A byte-oriented variant ([`Rle::byte_oriented`]) is provided for
 //! comparison experiments.
 
+use crate::stream::{self, StreamDecoder};
 use crate::{Codec, CodecError};
 
 /// Run-length codec (word-oriented by default, as in FaRM).
@@ -50,43 +51,37 @@ impl Rle {
         let mut out = Vec::with_capacity(input.len() / 2 + 8);
         out.push(tail_len as u8);
         out.extend_from_slice(tail);
-        let words: Vec<&[u8]> = body.chunks_exact(4).collect();
+        // Words are read straight off the byte slice (no staging
+        // `Vec<&[u8]>` of chunk references), and the run scan compares two
+        // words per step against the doubled pattern while whole 8-byte
+        // chunks remain.
+        let nwords = body.len() / 4;
+        let word_at =
+            |i: usize| u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
         let mut i = 0usize;
-        while i < words.len() {
-            let w = words[i];
+        while i < nwords {
+            let w = word_at(i);
+            let pattern = u64::from(w) | (u64::from(w) << 32);
             let mut run = 1usize;
-            while run < 255 && i + run < words.len() && words[i + run] == w {
+            while run + 2 <= 255 && i + run + 2 <= nwords {
+                let chunk = u64::from_le_bytes(
+                    body[(i + run) * 4..(i + run) * 4 + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                if chunk != pattern {
+                    break;
+                }
+                run += 2;
+            }
+            while run < 255 && i + run < nwords && word_at(i + run) == w {
                 run += 1;
             }
             out.push(run as u8);
-            out.extend_from_slice(w);
+            out.extend_from_slice(&w.to_le_bytes());
             i += run;
         }
         out
-    }
-
-    fn decompress_words(input: &[u8]) -> Result<Vec<u8>, CodecError> {
-        let (&tail_len, rest) = input.split_first().ok_or(CodecError::Truncated)?;
-        let tail_len = tail_len as usize;
-        if tail_len > 3 || rest.len() < tail_len {
-            return Err(CodecError::corrupt("bad tail length"));
-        }
-        let (tail, pairs) = rest.split_at(tail_len);
-        if pairs.len() % 5 != 0 {
-            return Err(CodecError::Truncated);
-        }
-        let mut out = Vec::with_capacity(pairs.len());
-        for p in pairs.chunks_exact(5) {
-            let count = p[0] as usize;
-            if count == 0 {
-                return Err(CodecError::corrupt("zero-length run"));
-            }
-            for _ in 0..count {
-                out.extend_from_slice(&p[1..5]);
-            }
-        }
-        out.extend_from_slice(tail);
-        Ok(out)
     }
 
     fn compress_bytes(input: &[u8]) -> Vec<u8> {
@@ -104,20 +99,141 @@ impl Rle {
         }
         out
     }
+}
 
-    fn decompress_bytes(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+/// Streaming decoder for the word-oriented format: resumable over the
+/// `(count, word)` pair list, with the unaligned tail emitted last.
+#[derive(Debug)]
+struct WordStream<'a> {
+    tail: &'a [u8],
+    pairs: &'a [u8],
+    pos: usize,
+    tail_done: bool,
+    total: usize,
+}
+
+impl<'a> WordStream<'a> {
+    fn new(input: &'a [u8]) -> Result<Self, CodecError> {
+        let (&tail_len, rest) = input.split_first().ok_or(CodecError::Truncated)?;
+        let tail_len = tail_len as usize;
+        if tail_len > 3 || rest.len() < tail_len {
+            return Err(CodecError::corrupt("bad tail length"));
+        }
+        let (tail, pairs) = rest.split_at(tail_len);
+        if pairs.len() % 5 != 0 {
+            return Err(CodecError::Truncated);
+        }
+        // Zero counts contribute nothing here; the decode loop rejects
+        // them when it reaches the offending pair.
+        let total = pairs
+            .chunks_exact(5)
+            .map(|p| p[0] as usize * 4)
+            .sum::<usize>()
+            + tail_len;
+        Ok(WordStream {
+            tail,
+            pairs,
+            pos: 0,
+            tail_done: false,
+            total,
+        })
+    }
+}
+
+impl StreamDecoder for WordStream<'_> {
+    fn decode_into(&mut self, out: &mut Vec<u8>, budget: usize) -> Result<usize, CodecError> {
+        let start = out.len();
+        loop {
+            if out.len() - start >= budget {
+                break;
+            }
+            if let Some(p) = self.pairs.get(self.pos..self.pos + 5) {
+                let count = p[0] as usize;
+                if count == 0 {
+                    return Err(CodecError::corrupt("zero-length run"));
+                }
+                let word: [u8; 4] = p[1..5].try_into().expect("4 bytes");
+                if count >= 4 {
+                    // Replicate through a 16-word stack pattern so long runs
+                    // land as 64-byte copies instead of count × 4-byte
+                    // appends.
+                    let mut pattern = [0u8; 64];
+                    for chunk in pattern.chunks_exact_mut(4) {
+                        chunk.copy_from_slice(&word);
+                    }
+                    let mut reps = count;
+                    while reps >= 16 {
+                        out.extend_from_slice(&pattern);
+                        reps -= 16;
+                    }
+                    out.extend_from_slice(&pattern[..reps * 4]);
+                } else {
+                    for _ in 0..count {
+                        out.extend_from_slice(&word);
+                    }
+                }
+                self.pos += 5;
+            } else if !self.tail_done {
+                out.extend_from_slice(self.tail);
+                self.tail_done = true;
+            } else {
+                break;
+            }
+        }
+        Ok(out.len() - start)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.pos == self.pairs.len() && self.tail_done
+    }
+
+    fn total_len(&self) -> usize {
+        self.total
+    }
+}
+
+/// Streaming decoder for the byte-oriented `(count, byte)` format.
+#[derive(Debug)]
+struct ByteStream<'a> {
+    pairs: &'a [u8],
+    pos: usize,
+    total: usize,
+}
+
+impl<'a> ByteStream<'a> {
+    fn new(input: &'a [u8]) -> Result<Self, CodecError> {
         if !input.len().is_multiple_of(2) {
             return Err(CodecError::Truncated);
         }
-        let mut out = Vec::with_capacity(input.len());
-        for pair in input.chunks_exact(2) {
-            let (count, byte) = (pair[0], pair[1]);
+        let total = input.chunks_exact(2).map(|p| p[0] as usize).sum();
+        Ok(ByteStream {
+            pairs: input,
+            pos: 0,
+            total,
+        })
+    }
+}
+
+impl StreamDecoder for ByteStream<'_> {
+    fn decode_into(&mut self, out: &mut Vec<u8>, budget: usize) -> Result<usize, CodecError> {
+        let start = out.len();
+        while out.len() - start < budget && self.pos < self.pairs.len() {
+            let (count, byte) = (self.pairs[self.pos], self.pairs[self.pos + 1]);
             if count == 0 {
                 return Err(CodecError::corrupt("zero-length run"));
             }
             out.extend(std::iter::repeat_n(byte, count as usize));
+            self.pos += 2;
         }
-        Ok(out)
+        Ok(out.len() - start)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.pos == self.pairs.len()
+    }
+
+    fn total_len(&self) -> usize {
+        self.total
     }
 }
 
@@ -136,10 +252,21 @@ impl Codec for Rle {
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         if self.word_oriented {
-            Self::decompress_words(input)
+            stream::drain(WordStream::new(input)?)
         } else {
-            Self::decompress_bytes(input)
+            stream::drain(ByteStream::new(input)?)
         }
+    }
+
+    fn stream_decoder<'a>(
+        &self,
+        input: &'a [u8],
+    ) -> Result<Box<dyn StreamDecoder + 'a>, CodecError> {
+        Ok(if self.word_oriented {
+            Box::new(WordStream::new(input)?)
+        } else {
+            Box::new(ByteStream::new(input)?)
+        })
     }
 }
 

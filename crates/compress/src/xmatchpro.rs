@@ -21,6 +21,7 @@
 //!   unmatched literal bytes`
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::stream::{self, StreamDecoder};
 use crate::{Codec, CodecError};
 
 /// Default dictionary entries (the hardware CAM depth the paper's
@@ -32,6 +33,12 @@ pub const DICT_SIZE: usize = 16;
 const PARTIAL_MASKS: [u8; 10] = [
     0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100, // two bytes
     0b0111, 0b1011, 0b1101, 0b1110, // three bytes
+];
+
+/// Inverse of [`PARTIAL_MASKS`]: mask value → index (0xFF for masks with
+/// fewer than two or all four bits set, which never reach the lookup).
+const PARTIAL_MASK_INDEX: [u8; 16] = [
+    0xFF, 0xFF, 0xFF, 0, 0xFF, 1, 2, 6, 0xFF, 3, 4, 7, 5, 8, 9, 0xFF,
 ];
 
 /// X-MatchPRO codec with a configurable CAM dictionary depth.
@@ -78,109 +85,12 @@ impl XMatchPro {
     pub fn dictionary_size(&self) -> usize {
         self.dict_size
     }
-}
 
-/// The CAM dictionary. Entries are kept as little-endian-packed `u32`s so
-/// one XOR + zero-byte detection replaces the per-byte compare the CAM
-/// does in parallel in hardware.
-#[derive(Debug, Clone)]
-struct Dictionary {
-    entries: Vec<u32>,
-}
-
-impl Dictionary {
-    fn new(size: usize) -> Self {
-        Dictionary {
-            entries: vec![0; size],
-        }
-    }
-
-    /// Best match: returns `(location, mask)` with the most matching bytes
-    /// (ties: lowest location). `None` if no entry matches ≥2 bytes.
-    ///
-    /// The byte-equality mask comes from a SWAR zero-byte scan of
-    /// `x = entry ^ tuple`: in `((x & 0x7F7F7F7F) + 0x7F7F7F7F) | x`,
-    /// bit `8k+7` is set exactly when byte `k` of `x` is non-zero (the
-    /// per-byte add cannot carry across byte lanes), so its complement
-    /// masked to the sign bits marks the matching bytes. Bit-exact with
-    /// [`Self::best_match_reference`].
-    #[inline]
-    fn best_match(&self, tuple: u32) -> Option<(usize, u8)> {
-        let mut best: Option<(usize, u8, u32)> = None;
-        for (loc, &entry) in self.entries.iter().enumerate() {
-            let diff = entry ^ tuple;
-            let z = !((diff & 0x7F7F_7F7F).wrapping_add(0x7F7F_7F7F) | diff) & 0x8080_8080;
-            let n = z.count_ones();
-            if n >= 2 && best.is_none_or(|(_, _, bn)| n > bn) {
-                let mask =
-                    (((z >> 7) & 1) | ((z >> 14) & 2) | ((z >> 21) & 4) | ((z >> 28) & 8)) as u8;
-                best = Some((loc, mask, n));
-                if n == 4 {
-                    // Nothing can beat a full match, and later ties lose.
-                    break;
-                }
-            }
-        }
-        best.map(|(loc, mask, _)| (loc, mask))
-    }
-
-    /// Byte-at-a-time reference for [`Self::best_match`] (kept for the
-    /// equivalence property test below).
-    #[cfg(test)]
-    fn best_match_reference(&self, tuple: u32) -> Option<(usize, u8)> {
-        let t = tuple.to_le_bytes();
-        let mut best: Option<(usize, u8, u32)> = None;
-        for (loc, &packed) in self.entries.iter().enumerate() {
-            let entry = packed.to_le_bytes();
-            let mut mask = 0u8;
-            for k in 0..4 {
-                if entry[k] == t[k] {
-                    mask |= 1 << k;
-                }
-            }
-            let n = mask.count_ones();
-            if n >= 2 && best.is_none_or(|(_, _, bn)| n > bn) {
-                best = Some((loc, mask, n));
-            }
-        }
-        best.map(|(loc, mask, _)| (loc, mask))
-    }
-
-    /// Move-to-front update: removes `from` (if `Some`) or the LRU entry,
-    /// then inserts `tuple` at the front.
-    fn promote(&mut self, from: Option<usize>, tuple: u32) {
-        match from {
-            Some(i) => {
-                self.entries.remove(i);
-            }
-            None => {
-                self.entries.pop();
-            }
-        }
-        self.entries.insert(0, tuple);
-    }
-}
-
-/// The `i`-th 32-bit tuple of `input`, zero-padded at the tail.
-#[inline]
-fn tuple_at(input: &[u8], i: usize) -> u32 {
-    let start = i * 4;
-    if let Some(chunk) = input.get(start..start + 4) {
-        u32::from_le_bytes(chunk.try_into().expect("4 bytes"))
-    } else {
-        let mut t = [0u8; 4];
-        let tail = &input[start..];
-        t[..tail.len()].copy_from_slice(tail);
-        u32::from_le_bytes(t)
-    }
-}
-
-impl Codec for XMatchPro {
-    fn name(&self) -> &'static str {
-        "X-MatchPRO"
-    }
-
-    fn compress(&self, input: &[u8]) -> Vec<u8> {
+    /// Reference encoder: the original token-at-a-time loop with
+    /// per-field bit writes. Exists to pin the fused-write fast path in
+    /// [`Codec::compress`] byte-for-byte (see `tests/proptest_fastpath.rs`).
+    #[must_use]
+    pub fn compress_reference(&self, input: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(input.len() / 2 + 8);
         out.extend_from_slice(&(input.len() as u32).to_le_bytes());
         let mut w = BitWriter::with_capacity(input.len() / 2);
@@ -235,7 +145,14 @@ impl Codec for XMatchPro {
         out
     }
 
-    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    /// Reference decoder: the original field-at-a-time loop with byte-wise
+    /// run replication. Exists to pin the batched fast path in
+    /// [`Codec::decompress`] (see `tests/proptest_fastpath.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Codec::decompress`], at the same tokens.
+    pub fn decompress_reference(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         if input.len() < 4 {
             return Err(CodecError::Truncated);
         }
@@ -254,7 +171,7 @@ impl Codec for XMatchPro {
                 if r.read_bit()? {
                     // Full match + run.
                     let run = r.read_bits(8)? as usize;
-                    let tuple = dict.entries[loc];
+                    let tuple = dict.at(loc);
                     if produced + 1 + run > total_tuples {
                         return Err(CodecError::corrupt("run overruns output"));
                     }
@@ -268,7 +185,7 @@ impl Codec for XMatchPro {
                     let mask = *PARTIAL_MASKS
                         .get(mask_idx)
                         .ok_or_else(|| CodecError::corrupt("bad mask index"))?;
-                    let mut bytes = dict.entries[loc].to_le_bytes();
+                    let mut bytes = dict.at(loc).to_le_bytes();
                     for (k, byte) in bytes.iter_mut().enumerate() {
                         if mask & (1 << k) == 0 {
                             *byte = r.read_bits(8)? as u8;
@@ -288,6 +205,500 @@ impl Codec for XMatchPro {
         }
         out.truncate(n);
         Ok(out)
+    }
+}
+
+/// The CAM dictionary, in one of two representations picked by depth.
+///
+/// Both expose the same *logical* MTF view — `at(loc)` is the entry at
+/// move-to-front position `loc` — so the codec loops are representation-
+/// agnostic and the two stay pinned against [`best_match_reference`].
+#[derive(Debug, Clone)]
+enum Dictionary {
+    Small(SmallDict),
+    Large(LargeDict),
+}
+
+impl Dictionary {
+    fn new(size: usize) -> Self {
+        if size <= 16 {
+            Dictionary::Small(SmallDict::new(size))
+        } else {
+            Dictionary::Large(LargeDict::new(size))
+        }
+    }
+
+    /// Best match: returns `(location, mask)` with the most matching bytes
+    /// (ties: lowest location). `None` if no entry matches ≥2 bytes.
+    #[inline]
+    fn best_match(&self, tuple: u32) -> Option<(usize, u8)> {
+        match self {
+            Dictionary::Small(d) => d.best_match(tuple),
+            Dictionary::Large(d) => d.best_match(tuple),
+        }
+    }
+
+    /// Move-to-front update: removes `from` (if `Some`) or the LRU entry,
+    /// then inserts `tuple` at the front.
+    #[inline]
+    fn promote(&mut self, from: Option<usize>, tuple: u32) {
+        match self {
+            Dictionary::Small(d) => d.promote(from, tuple),
+            Dictionary::Large(d) => d.promote(from, tuple),
+        }
+    }
+
+    /// The entry at logical MTF position `loc`.
+    #[inline]
+    fn at(&self, loc: usize) -> u32 {
+        match self {
+            Dictionary::Small(d) => d.at(loc),
+            Dictionary::Large(d) => d.at(loc),
+        }
+    }
+
+    /// Byte-at-a-time reference for [`Self::best_match`] (kept for the
+    /// equivalence property test below).
+    #[cfg(test)]
+    fn best_match_reference(&self, tuple: u32) -> Option<(usize, u8)> {
+        let size = match self {
+            Dictionary::Small(d) => d.size,
+            Dictionary::Large(d) => d.entries.len(),
+        };
+        let t = tuple.to_le_bytes();
+        let mut best: Option<(usize, u8, u32)> = None;
+        for loc in 0..size {
+            let entry = self.at(loc).to_le_bytes();
+            let mut mask = 0u8;
+            for k in 0..4 {
+                if entry[k] == t[k] {
+                    mask |= 1 << k;
+                }
+            }
+            let n = mask.count_ones();
+            if n >= 2 && best.is_none_or(|(_, _, bn)| n > bn) {
+                best = Some((loc, mask, n));
+            }
+        }
+        best.map(|(loc, mask, _)| (loc, mask))
+    }
+}
+
+/// CAM of at most 16 entries (the paper's depth), organised for the
+/// software hot path rather than as a literal shifting register file.
+///
+/// A naive MTF dictionary shifts every entry on every promote, and the
+/// next match scan immediately reloads what those scalar stores just
+/// wrote — a store-forwarding stall per token that dominates the encoder.
+/// Here entries live in *stationary physical slots* and only the MTF
+/// *order* moves, packed as a nibble permutation in one `u64`, so a
+/// promote is a handful of register shifts and a match consults two-level
+/// lookup tables instead of scanning the CAM:
+///
+/// * `presence[k][b]` is a bitmap over physical slots whose byte `k`
+///   equals `b`. Four loads plus boolean algebra over the four bitmaps
+///   yield the candidate sets with ≥4, ≥3 and ≥2 matching bytes — the
+///   software analogue of the per-byte comparators the hardware CAM
+///   evaluates in parallel.
+/// * `order` holds the physical slot index of each logical MTF position
+///   in 4-bit lanes (logical position `j` at bits `4j..4j+4`).
+///
+/// Tables change only when a miss replaces the LRU entry (8 table edits);
+/// promotes never touch memory at all.
+#[derive(Debug, Clone)]
+struct SmallDict {
+    /// Tuple payload per physical slot; slots never move.
+    entries: [u32; 16],
+    /// `presence[k][b]`: physical slots whose byte `k` equals `b`.
+    presence: Box<[[u16; 256]; 4]>,
+    /// Nibble `j` = physical slot of logical MTF position `j`.
+    order: u64,
+    size: usize,
+}
+
+impl SmallDict {
+    fn new(size: usize) -> Self {
+        debug_assert!((2..=16).contains(&size) && size.is_power_of_two());
+        let mut presence = Box::new([[0u16; 256]; 4]);
+        let full = if size == 16 {
+            u16::MAX
+        } else {
+            (1u16 << size) - 1
+        };
+        for table in presence.iter_mut() {
+            table[0] = full; // every slot starts as the zero tuple
+        }
+        SmallDict {
+            entries: [0; 16],
+            presence,
+            order: 0xFEDC_BA98_7654_3210 & (u64::MAX >> (64 - 4 * size)),
+            size,
+        }
+    }
+
+    #[inline]
+    fn at(&self, loc: usize) -> u32 {
+        debug_assert!(loc < self.size);
+        self.entries[((self.order >> (4 * loc)) & 0xF) as usize]
+    }
+
+    #[inline]
+    fn best_match(&self, tuple: u32) -> Option<(usize, u8)> {
+        let [b0, b1, b2, b3] = tuple.to_le_bytes();
+        let m0 = self.presence[0][b0 as usize];
+        let m1 = self.presence[1][b1 as usize];
+        let m2 = self.presence[2][b2 as usize];
+        let m3 = self.presence[3][b3 as usize];
+        // Candidate slots by match count, from the pairwise structure:
+        // ge4 = all four bytes, ge3 = any three, ge2 = any pair.
+        let m01 = m0 & m1;
+        let m23 = m2 & m3;
+        let ge4 = m01 & m23;
+        let cand = if ge4 != 0 {
+            ge4
+        } else {
+            let ge3 = (m01 & (m2 | m3)) | (m23 & (m0 | m1));
+            if ge3 != 0 {
+                ge3
+            } else {
+                let ge2 = m01 | m23 | ((m0 | m1) & (m2 | m3));
+                if ge2 == 0 {
+                    return None;
+                }
+                ge2
+            }
+        };
+        // Lowest *logical* position among the candidates: walk the MTF
+        // order from the front. MTF locality keeps this walk short.
+        let mut ord = self.order;
+        let mut loc = 0usize;
+        let p = loop {
+            let p = (ord & 0xF) as usize;
+            if cand >> p & 1 == 1 {
+                break p;
+            }
+            ord >>= 4;
+            loc += 1;
+            debug_assert!(loc < self.size, "candidate bitmap names a live slot");
+        };
+        let mask = ((m0 >> p) & 1)
+            | (((m1 >> p) & 1) << 1)
+            | (((m2 >> p) & 1) << 2)
+            | (((m3 >> p) & 1) << 3);
+        Some((loc, mask as u8))
+    }
+
+    #[inline]
+    fn promote(&mut self, from: Option<usize>, tuple: u32) {
+        let i = from.unwrap_or(self.size - 1);
+        debug_assert!(i < self.size);
+        let p = (self.order >> (4 * i)) & 0xF;
+        // MTF always installs the *incoming* tuple at the front: a full
+        // match re-inserts the identical value (no state change beyond the
+        // rotation), but a partial match overwrites the matched entry and
+        // a miss replaces the LRU entry. Rewrite the slot and its table
+        // bits whenever the payload actually changes.
+        let slot = p as usize;
+        if self.entries[slot] != tuple {
+            let bit = 1u16 << slot;
+            let old = self.entries[slot].to_le_bytes();
+            let new = tuple.to_le_bytes();
+            for k in 0..4 {
+                self.presence[k][old[k] as usize] &= !bit;
+                self.presence[k][new[k] as usize] |= bit;
+            }
+            self.entries[slot] = tuple;
+        }
+        // Rotate logical positions 0..=i one lane up and put `p` in front.
+        let low = (1u64 << (4 * i)) - 1;
+        let lane = 0xFu64 << (4 * i);
+        self.order = (self.order & !(low | lane)) | ((self.order & low) << 4) | p;
+    }
+}
+
+/// CAM of 32–128 entries: a plain logical array with an auto-vectorised
+/// SWAR scan. Depths beyond 16 exceed the `u16`/nibble packing of
+/// [`SmallDict`] and are off the paper's configuration, so they keep the
+/// simpler shape.
+#[derive(Debug, Clone)]
+struct LargeDict {
+    entries: Vec<u32>,
+}
+
+impl LargeDict {
+    fn new(size: usize) -> Self {
+        LargeDict {
+            entries: vec![0; size],
+        }
+    }
+
+    #[inline]
+    fn at(&self, loc: usize) -> u32 {
+        self.entries[loc]
+    }
+
+    /// Branchless max-reduction: each entry contributes a key
+    /// `(n << 8) | (255 - loc)` (zeroed when n < 2), so the running max
+    /// picks the highest byte count and, among ties, the lowest
+    /// location — the same entry the break-at-first-winner scan of the
+    /// byte-wise reference selects, full matches included. The byte count
+    /// comes from a SWAR zero-byte scan of `x = entry ^ tuple`: in
+    /// `((x & 0x7F7F7F7F) + 0x7F7F7F7F) | x`, bit `8k+7` is set exactly
+    /// when byte `k` of `x` is non-zero (the per-byte add cannot carry
+    /// across byte lanes). The four mark bits are summed with shifts and
+    /// adds rather than `count_ones` so the whole scan auto-vectorises
+    /// (there is no per-lane popcount below AVX-512); the equality mask is
+    /// only needed for the winner, so it is recomputed once after the
+    /// loop.
+    #[inline]
+    fn best_match(&self, tuple: u32) -> Option<(usize, u8)> {
+        let mut best = 0u32;
+        for (loc, &entry) in self.entries.iter().enumerate() {
+            let diff = entry ^ tuple;
+            let z = !((diff & 0x7F7F_7F7F).wrapping_add(0x7F7F_7F7F) | diff) & 0x8080_8080;
+            let n = ((z >> 7) & 1) + ((z >> 15) & 1) + ((z >> 23) & 1) + (z >> 31);
+            let key = if n >= 2 {
+                (n << 8) | (255 - loc as u32)
+            } else {
+                0
+            };
+            best = best.max(key);
+        }
+        if best == 0 {
+            return None;
+        }
+        let loc = 255 - (best & 0xFF) as usize;
+        let diff = self.entries[loc] ^ tuple;
+        let z = !((diff & 0x7F7F_7F7F).wrapping_add(0x7F7F_7F7F) | diff) & 0x8080_8080;
+        let mask = (((z >> 7) & 1) | ((z >> 14) & 2) | ((z >> 21) & 4) | ((z >> 28) & 8)) as u8;
+        Some((loc, mask))
+    }
+
+    /// The affected prefix is shifted one slot with a plain copy loop —
+    /// equivalent to `remove` + `insert(0)`, and measurably faster than
+    /// `rotate_right(1)` at CAM depths.
+    #[inline]
+    fn promote(&mut self, from: Option<usize>, tuple: u32) {
+        let i = from.unwrap_or(self.entries.len() - 1);
+        let prefix = &mut self.entries[..=i];
+        for k in (1..prefix.len()).rev() {
+            prefix[k] = prefix[k - 1];
+        }
+        prefix[0] = tuple;
+    }
+}
+
+/// The `i`-th 32-bit tuple of `input`, zero-padded at the tail.
+#[inline]
+fn tuple_at(input: &[u8], i: usize) -> u32 {
+    let start = i * 4;
+    if let Some(chunk) = input.get(start..start + 4) {
+        u32::from_le_bytes(chunk.try_into().expect("4 bytes"))
+    } else {
+        let mut t = [0u8; 4];
+        let tail = &input[start..];
+        t[..tail.len()].copy_from_slice(tail);
+        u32::from_le_bytes(t)
+    }
+}
+
+impl Codec for XMatchPro {
+    fn name(&self) -> &'static str {
+        "X-MatchPRO"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        let mut w = BitWriter::with_capacity(input.len() / 2);
+        let mut dict = Dictionary::new(self.dict_size);
+        let total = input.len().div_ceil(4);
+        let mut i = 0usize;
+        while i < total {
+            let tuple = tuple_at(input, i);
+            match dict.best_match(tuple) {
+                Some((loc, 0b1111)) => {
+                    // Run-length of consecutive identical tuples, compared
+                    // two tuples per step against the doubled pattern while
+                    // whole 8-byte chunks remain, then tuple-wise over the
+                    // tail.
+                    let max_run = (total - i - 1).min(255);
+                    let base = (i + 1) * 4;
+                    let pattern = u64::from(tuple) | (u64::from(tuple) << 32);
+                    let mut run = 0usize;
+                    while run + 2 <= max_run && base + run * 4 + 8 <= input.len() {
+                        let chunk = u64::from_le_bytes(
+                            input[base + run * 4..base + run * 4 + 8]
+                                .try_into()
+                                .expect("8 bytes"),
+                        );
+                        if chunk != pattern {
+                            break;
+                        }
+                        run += 2;
+                    }
+                    while run < max_run && tuple_at(input, i + 1 + run) == tuple {
+                        run += 1;
+                    }
+                    // One fused write: `1 | loc | 1 | run` (≤ 17 bits).
+                    w.write_bits(
+                        (1 << (self.loc_bits + 9)) | ((loc as u32) << 9) | (1 << 8) | run as u32,
+                        self.loc_bits + 10,
+                    );
+                    dict.promote(Some(loc), tuple);
+                    i += 1 + run;
+                    continue;
+                }
+                Some((loc, mask)) => {
+                    let mask_idx = u32::from(PARTIAL_MASK_INDEX[mask as usize]);
+                    debug_assert!(mask_idx < 16, "mask with 2-3 bytes is in the table");
+                    let bytes = tuple.to_le_bytes();
+                    let mut lit = 0u32;
+                    let mut nlit = 0u32;
+                    for (k, &byte) in bytes.iter().enumerate() {
+                        if mask & (1 << k) == 0 {
+                            lit = (lit << 8) | u32::from(byte);
+                            nlit += 8;
+                        }
+                    }
+                    // One fused write: `1 | loc | 0 | mask_idx | literals`
+                    // (≤ 29 bits even at a 128-entry dictionary).
+                    let prefix = (1 << (self.loc_bits + 5)) | ((loc as u32) << 5) | mask_idx;
+                    w.write_bits((prefix << nlit) | lit, self.loc_bits + 6 + nlit);
+                    dict.promote(Some(loc), tuple);
+                }
+                None => {
+                    w.write_bit(false);
+                    w.write_bits(tuple, 32);
+                    dict.promote(None, tuple);
+                }
+            }
+            i += 1;
+        }
+        out.extend_from_slice(&w.finish());
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        stream::drain(XMatchStream::new(self, input)?)
+    }
+
+    fn stream_decoder<'a>(
+        &self,
+        input: &'a [u8],
+    ) -> Result<Box<dyn StreamDecoder + 'a>, CodecError> {
+        Ok(Box::new(XMatchStream::new(self, input)?))
+    }
+}
+
+/// Streaming X-MatchPRO decoder: resumable at any token boundary (a call
+/// may overshoot its budget by one run token, ≤ 1 KB).
+///
+/// Where the old one-shot loop emitted whole tuples and truncated to `n`
+/// at the end, the stream clamps every append to the bytes remaining, so
+/// partial output prefixes are already exact.
+#[derive(Debug)]
+struct XMatchStream<'a> {
+    reader: BitReader<'a>,
+    dict: Dictionary,
+    dict_size: usize,
+    head_bits: u32,
+    n: usize,
+    total_tuples: usize,
+    tuples_done: usize,
+    produced: usize,
+}
+
+impl<'a> XMatchStream<'a> {
+    fn new(codec: &XMatchPro, input: &'a [u8]) -> Result<Self, CodecError> {
+        if input.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let n = u32::from_le_bytes(input[0..4].try_into().expect("4 bytes")) as usize;
+        Ok(XMatchStream {
+            reader: BitReader::new(&input[4..]),
+            dict: Dictionary::new(codec.dict_size),
+            dict_size: codec.dict_size,
+            // `flag | loc | full?` peeked as one batch; `loc` is exactly
+            // `loc_bits` wide so the masked extraction cannot leave the
+            // dictionary.
+            head_bits: codec.loc_bits + 2,
+            n,
+            total_tuples: n.div_ceil(4),
+            tuples_done: 0,
+            produced: 0,
+        })
+    }
+}
+
+impl StreamDecoder for XMatchStream<'_> {
+    fn decode_into(&mut self, out: &mut Vec<u8>, budget: usize) -> Result<usize, CodecError> {
+        debug_assert_eq!(out.len(), self.produced, "shared history buffer reused");
+        let start = out.len();
+        while out.len() - start < budget && self.tuples_done < self.total_tuples {
+            let head = self.reader.peek_bits(self.head_bits);
+            if head >> (self.head_bits - 1) == 1 {
+                let loc = ((head >> 1) as usize) & (self.dict_size - 1);
+                let full = head & 1 == 1;
+                self.reader.consume(self.head_bits)?;
+                if full {
+                    // Full match + run, replicated 16 tuples per copy.
+                    let run = self.reader.read_bits(8)? as usize;
+                    let tuple = self.dict.at(loc);
+                    if self.tuples_done + 1 + run > self.total_tuples {
+                        return Err(CodecError::corrupt("run overruns output"));
+                    }
+                    let mut pattern = [0u8; 64];
+                    for chunk in pattern.chunks_exact_mut(4) {
+                        chunk.copy_from_slice(&tuple.to_le_bytes());
+                    }
+                    // The final tuple of the stream may be cut short by `n`.
+                    let mut want = ((1 + run) * 4).min(self.n - out.len());
+                    while want >= 64 {
+                        out.extend_from_slice(&pattern);
+                        want -= 64;
+                    }
+                    out.extend_from_slice(&pattern[..want]);
+                    self.dict.promote(Some(loc), tuple);
+                    self.tuples_done += 1 + run;
+                } else {
+                    let mask_idx = self.reader.read_bits(4)? as usize;
+                    let mask = *PARTIAL_MASKS
+                        .get(mask_idx)
+                        .ok_or_else(|| CodecError::corrupt("bad mask index"))?;
+                    // All unmatched literals (8 or 16 bits) in one read.
+                    let mut nlit = (4 - mask.count_ones()) * 8;
+                    let lits = self.reader.read_bits(nlit)?;
+                    let mut bytes = self.dict.at(loc).to_le_bytes();
+                    for (k, byte) in bytes.iter_mut().enumerate() {
+                        if mask & (1 << k) == 0 {
+                            nlit -= 8;
+                            *byte = (lits >> nlit) as u8;
+                        }
+                    }
+                    out.extend_from_slice(&bytes[..4.min(self.n - out.len())]);
+                    let tuple = u32::from_le_bytes(bytes);
+                    self.dict.promote(Some(loc), tuple);
+                    self.tuples_done += 1;
+                }
+            } else {
+                self.reader.consume(1)?;
+                let tuple = self.reader.read_bits(32)?;
+                out.extend_from_slice(&tuple.to_le_bytes()[..4.min(self.n - out.len())]);
+                self.dict.promote(None, tuple);
+                self.tuples_done += 1;
+            }
+        }
+        self.produced = out.len();
+        Ok(out.len() - start)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.tuples_done == self.total_tuples
+    }
+
+    fn total_len(&self) -> usize {
+        self.n
     }
 }
 
@@ -453,6 +864,65 @@ mod tests {
                 Some((loc, _)) => dict.promote(Some(loc), tuple),
                 None => dict.promote(None, tuple),
             }
+        }
+    }
+
+    #[test]
+    fn small_and_large_dictionaries_evolve_identically() {
+        // The nibble-permutation + presence-table CAM and the plain
+        // shifting array are two representations of the same logical MTF
+        // dictionary. Drive both through an evolution rich in partial
+        // matches — which overwrite the matched entry, not just rotate —
+        // and compare match results and the full logical view each step.
+        let mut small = SmallDict::new(16);
+        let mut large = LargeDict::new(16);
+        let mut state = 0x0DDB_1A5E_5BAD_C0DEu64;
+        for step in 0..30_000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let tuple = u32::from_le_bytes([
+                (state >> 33) as u8 & 0xF,
+                (state >> 41) as u8 & 0xF,
+                (state >> 49) as u8 & 0xF,
+                (state >> 57) as u8 & 0xF,
+            ]);
+            let sm = small.best_match(tuple);
+            let lm = large.best_match(tuple);
+            assert_eq!(sm, lm, "match diverges at step {step}");
+            let from = sm.map(|(loc, _)| loc);
+            small.promote(from, tuple);
+            large.promote(from, tuple);
+            for loc in 0..16 {
+                assert_eq!(small.at(loc), large.at(loc), "step {step} loc {loc}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_reference_on_structured_data() {
+        // Mixed misses / partials / full runs, plus the zero-padded tail.
+        let mut state = 0xD1CEu64;
+        for len in [0usize, 1, 3, 4, 7, 4096, 40_001] {
+            let data: Vec<u8> = (0..len)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if (state >> 40) & 3 == 0 {
+                        0
+                    } else {
+                        ((state >> 33) as u8 & 0x1F) | (i as u8 & 0x3)
+                    }
+                })
+                .collect();
+            let codec = XMatchPro::new();
+            let fast = codec.compress(&data);
+            let slow = codec.compress_reference(&data);
+            assert_eq!(fast, slow, "encode diverges at len {len}");
+            assert_eq!(
+                codec.decompress(&fast).unwrap(),
+                codec.decompress_reference(&fast).unwrap(),
+                "decode diverges at len {len}"
+            );
         }
     }
 

@@ -59,8 +59,21 @@ pub struct PipelineRun {
     pub max_words_per_cycle: u32,
 }
 
+/// Femtoseconds per second — [`uparc_sim::time`]'s base unit, restated here
+/// for the fast edge generator (pinned against `time_of_cycles` by tests).
+const FS_PER_SEC: u64 = 1_000_000_000_000_000;
+
 impl PipelineRun {
     /// Simulates the pipeline, returning its stall statistics.
+    ///
+    /// Edge-exact fast path: instead of merging edges through
+    /// [`MultiClock`] (a heap-less but per-call scan with 128-bit division
+    /// on every edge), both domains' edge times are generated with an
+    /// incremental Bresenham accumulator — `floor(k · FS / f)` maintained
+    /// by one add and one conditional carry per edge — and ties break
+    /// toward CLK_2 exactly like `MultiClock`'s id order. The state machine
+    /// body is identical to [`PipelineRun::simulate_reference`], so the
+    /// returned statistics are equal field for field (pinned by tests).
     ///
     /// # Panics
     ///
@@ -68,6 +81,123 @@ impl PipelineRun {
     /// pipeline) or `max_words_per_cycle` is zero.
     #[must_use]
     pub fn simulate(&self) -> PipelineStats {
+        assert!(self.output_words > 0, "empty transfer");
+        assert!(self.max_words_per_cycle > 0, "decompressor must emit");
+        let f2 = self.clk2.as_hz();
+        let f3 = self.clk3.as_hz();
+        // Per-edge time step, split into whole femtoseconds and remainder:
+        // clk edge k lands at floor(k · FS / f), so each edge advances the
+        // time by `q` fs plus a carry whenever the remainder accumulator
+        // wraps — exactly the value `Frequency::time_of_cycles(k)` returns.
+        let (q2, r2) = (FS_PER_SEC / f2, FS_PER_SEC % f2);
+        let (q3, r3) = (FS_PER_SEC / f3, FS_PER_SEC % f3);
+        let (mut t2, mut a2) = (q2, r2); // next CLK_2 edge: time, remainder
+        let (mut t3, mut a3) = (q3, r3); // next CLK_3 edge: time, remainder
+
+        // Mean expansion rate, as a rational accumulator (out per in).
+        let rate_num = self.output_words;
+        let rate_den = self.input_words.max(1);
+
+        let mut in_fifo = 0usize; // compressed words buffered
+        let mut out_fifo = 0usize; // decompressed words buffered
+        let mut fetched = 0u64;
+        let mut emitted = 0u64;
+        let mut consumed = 0u64;
+        // Fractional output credit, scaled by rate_den.
+        let mut credit = 0u64;
+
+        let mut stats = PipelineStats {
+            clk2_cycles: 0,
+            clk3_cycles: 0,
+            icap_starved_cycles: 0,
+            decomp_starved_cycles: 0,
+            decomp_blocked_cycles: 0,
+            elapsed: SimTime::ZERO,
+        };
+
+        while consumed < self.output_words {
+            // Simultaneous edges dispatch CLK_2 first (MultiClock id order).
+            if t2 <= t3 {
+                stats.clk2_cycles += 1;
+                // UReC fetch side: one BRAM word into the input FIFO.
+                if fetched < self.input_words && in_fifo < FIFO_DEPTH {
+                    fetched += 1;
+                    in_fifo += 1;
+                }
+                // ICAP intake side: one word per cycle when available.
+                if out_fifo > 0 {
+                    out_fifo -= 1;
+                    consumed += 1;
+                    if consumed == self.output_words {
+                        stats.elapsed = SimTime::from_fs(t2);
+                        break;
+                    }
+                } else {
+                    stats.icap_starved_cycles += 1;
+                }
+                t2 += q2;
+                a2 += r2;
+                if a2 >= f2 {
+                    t2 += 1;
+                    a2 -= f2;
+                }
+            } else {
+                stats.clk3_cycles += 1;
+                // Decompressor: consume input when credit is low, emit up
+                // to the hardware cap while credit and FIFO space allow.
+                let mut did_work = false;
+                if in_fifo > 0 && credit < rate_num {
+                    in_fifo -= 1;
+                    credit += rate_num;
+                    did_work = true;
+                } else if in_fifo == 0 && fetched < self.input_words {
+                    stats.decomp_starved_cycles += 1;
+                }
+                let mut burst = 0u32;
+                while credit >= rate_den
+                    && out_fifo < FIFO_DEPTH
+                    && burst < self.max_words_per_cycle
+                    && emitted < self.output_words
+                {
+                    credit -= rate_den;
+                    out_fifo += 1;
+                    emitted += 1;
+                    burst += 1;
+                }
+                // Account tail credit: everything fetched but the division
+                // left less than one word of credit at the end.
+                if fetched == self.input_words
+                    && emitted < self.output_words
+                    && in_fifo == 0
+                    && credit < rate_den
+                {
+                    // Flush rounding remainder (≤1 word over a whole image).
+                    credit = rate_den;
+                }
+                if burst == 0 && !did_work && out_fifo >= FIFO_DEPTH {
+                    stats.decomp_blocked_cycles += 1;
+                }
+                t3 += q3;
+                a3 += r3;
+                if a3 >= f3 {
+                    t3 += 1;
+                    a3 -= f3;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Simulates the pipeline through [`MultiClock`]'s general edge merger
+    /// — the reference implementation [`PipelineRun::simulate`] is pinned
+    /// against (DESIGN §7: every fast path keeps its bit-exact reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_words` is zero (an empty transfer has no
+    /// pipeline) or `max_words_per_cycle` is zero.
+    #[must_use]
+    pub fn simulate_reference(&self) -> PipelineStats {
         assert!(self.output_words > 0, "empty transfer");
         assert!(self.max_words_per_cycle > 0, "decompressor must emit");
         let mut mc = MultiClock::new();
@@ -268,5 +398,54 @@ mod tests {
         // Termination itself proves delivery; stall counters stay bounded.
         assert!(stats.clk2_cycles >= 3200);
         assert!(stats.clk3_cycles > 0);
+    }
+
+    #[test]
+    fn fast_edge_step_matches_time_of_cycles() {
+        // The Bresenham accumulator assumes `Frequency::time_of_cycles(k)`
+        // equals floor(k · FS_PER_SEC / f) femtoseconds; pin that here so a
+        // representation change in uparc-sim surfaces as a test failure,
+        // not silent drift.
+        for mhz in [100.0, 125.0, 126.0, 200.0, 255.0, 300.0, 362.5] {
+            let f = Frequency::from_mhz(mhz);
+            let hz = f.as_hz();
+            for k in [1u64, 2, 3, 999, 1_000_000] {
+                let expect = (u128::from(k) * u128::from(FS_PER_SEC) / u128::from(hz)) as u64;
+                assert_eq!(f.time_of_cycles(k).as_fs(), expect, "{mhz} MHz, {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_simulation_equals_the_multiclock_reference() {
+        // Field-for-field equality, across bottleneck regimes, co-prime
+        // clock pairs (where floor rounding and tie-breaks matter most),
+        // and degenerate sizes.
+        for (inp, out, f2, f3, wpc) in [
+            (1000u64, 4000u64, 255.0, 125.0, 2u32),
+            (5000, 5000, 300.0, 126.0, 2),
+            (100, 4000, 255.0, 50.0, 2),
+            (2500, 10_000, 150.0, 125.0, 1),
+            (1, 10, 255.0, 125.0, 2),
+            (13_856, 55_424, 255.0, 125.0, 2),
+            (50_000, 50_000, 200.0, 126.0, 2),
+            (777, 3200, 362.5, 333.25, 3),
+            (97, 389, 199.999, 66.667, 1),
+            (1, 1, 100.0, 100.0, 1),
+            (4096, 16_001, 255.0, 254.9, 2),
+        ] {
+            let r = PipelineRun {
+                input_words: inp,
+                output_words: out,
+                clk2: Frequency::from_mhz(f2),
+                clk3: Frequency::from_mhz(f3),
+                max_words_per_cycle: wpc,
+            };
+            assert_eq!(
+                r.simulate(),
+                r.simulate_reference(),
+                "({inp},{out},{f2},{f3},{wpc})"
+            );
+        }
     }
 }

@@ -188,17 +188,36 @@ impl Urec {
         bram: &mut Bram,
         icap: &mut Icap,
     ) -> Result<BurstOutcome, UparcError> {
-        let mut cycles = 0u64;
         let mut to_decompressor = Vec::new();
+        let cycles = self.run_burst_into(bram, icap, &mut to_decompressor)?;
+        Ok(BurstOutcome {
+            cycles,
+            to_decompressor,
+        })
+    }
+
+    /// Arena variant of [`Urec::run_burst`]: identical semantics, but the
+    /// compressed-mode payload lands in `to_decompressor` (cleared first,
+    /// capacity reused) instead of a fresh allocation per transfer. Returns
+    /// the CLK_2 cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Urec::run_burst`].
+    pub fn run_burst_into(
+        &mut self,
+        bram: &mut Bram,
+        icap: &mut Icap,
+        to_decompressor: &mut Vec<u32>,
+    ) -> Result<u64, UparcError> {
+        let mut cycles = 0u64;
+        to_decompressor.clear();
         if self.state == UrecState::ReadMode {
             self.rising_edge(bram, icap)?;
             cycles += 1;
         }
         if matches!(self.state, UrecState::Idle | UrecState::Done) {
-            return Ok(BurstOutcome {
-                cycles,
-                to_decompressor,
-            });
+            return Ok(cycles);
         }
         let mode = self.mode.expect("stream state implies mode");
         let n = self.remaining as usize;
@@ -206,8 +225,8 @@ impl Urec {
         // per-edge out-of-range fault after the served words.
         let avail = n.min(bram.capacity_words().saturating_sub(self.addr));
         if mode.compressed {
-            to_decompressor = vec![0u32; avail];
-            bram.read_burst(Port::B, self.addr, &mut to_decompressor)
+            to_decompressor.resize(avail, 0);
+            bram.read_burst(Port::B, self.addr, to_decompressor)
                 .map_err(|e| self.fault(e.into()))?;
             self.addr += avail;
             self.remaining -= avail as u32;
@@ -235,10 +254,7 @@ impl Urec {
             unreachable!("read past BRAM capacity must fail");
         }
         self.finish();
-        Ok(BurstOutcome {
-            cycles,
-            to_decompressor,
-        })
+        Ok(cycles)
     }
 
     fn read_bram(&mut self, bram: &mut Bram) -> Result<u32, UparcError> {

@@ -7,15 +7,17 @@
 //! and precomputes the staged image size so admission and scheduling can
 //! estimate service times without touching a controller.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 use uparc_bitstream::builder::PartialBitstream;
 use uparc_compress::Algorithm;
 use uparc_core::uparc::Mode;
 use uparc_fpga::floorplan::Floorplan;
 use uparc_fpga::{Device, FpgaError};
+use uparc_sim::sweep;
 
 use crate::request::{BitstreamId, RegionId};
 
@@ -81,6 +83,10 @@ pub struct CatalogEntry {
     raw_bytes: usize,
     compressed: bool,
     staged_words: usize,
+    /// Compressed payload computed at registration (`None` for raw
+    /// staging). Shared, so cloning the catalog or handing the bytes to a
+    /// staging path copies a pointer, not the payload.
+    packed: Option<Arc<Vec<u8>>>,
 }
 
 impl CatalogEntry {
@@ -123,6 +129,58 @@ impl CatalogEntry {
             Mode::Raw
         }
     }
+
+    /// The compressed payload computed at registration, `None` when the
+    /// entry stages raw. The bytes are exactly what the controller's
+    /// staging codec produces, so admission checks and prefetch planners
+    /// can size transfers without recompressing.
+    #[must_use]
+    pub fn packed_bytes(&self) -> Option<&[u8]> {
+        self.packed.as_deref().map(Vec::as_slice)
+    }
+}
+
+/// Staging facts of one bitstream: the mode decision and, for compressed
+/// staging, the payload itself.
+struct StagingFacts {
+    raw_bytes: usize,
+    compressed: bool,
+    staged_words: usize,
+    packed: Option<Arc<Vec<u8>>>,
+}
+
+/// Mirrors `UParc::preload` with [`Mode::Auto`]: stage raw when the image
+/// (mode word included) fits the BRAM, compress otherwise. The staged
+/// word counts match what the controller will actually store.
+fn stage_facts(
+    algorithm: Algorithm,
+    bram_bytes: usize,
+    bitstream: &PartialBitstream,
+) -> Result<StagingFacts, CatalogError> {
+    let raw_bytes = bitstream.size_bytes();
+    if raw_bytes + 4 <= bram_bytes {
+        return Ok(StagingFacts {
+            raw_bytes,
+            compressed: false,
+            staged_words: raw_bytes / 4 + 1,
+            packed: None,
+        });
+    }
+    let packed = algorithm.codec().compress(&bitstream.to_bytes());
+    // Mode word + byte-count word + packed payload.
+    let words = 2 + packed.len().div_ceil(4);
+    if words * 4 > bram_bytes {
+        return Err(CatalogError::TooLarge {
+            required: words * 4,
+            bram: bram_bytes,
+        });
+    }
+    Ok(StagingFacts {
+        raw_bytes,
+        compressed: true,
+        staged_words: words,
+        packed: Some(Arc::new(packed)),
+    })
 }
 
 /// The bitstream inventory and region map of one service instance.
@@ -192,6 +250,53 @@ impl Catalog {
         if self.entries.contains_key(&id) {
             return Err(CatalogError::DuplicateId { id });
         }
+        let region = self.resolve_region(&bitstream)?;
+        let facts = stage_facts(self.algorithm, self.bram_bytes, &bitstream)?;
+        self.insert_entry(id, bitstream, region, facts);
+        Ok(region)
+    }
+
+    /// Registers a whole batch, compressing entries concurrently.
+    ///
+    /// Staging facts are computed across entries with
+    /// [`sweep::parallel_map`]; each entry's codec runs single-threaded,
+    /// so the catalog ends up byte-identical to sequential
+    /// [`Catalog::register`] calls under any `UPARC_SWEEP_THREADS`
+    /// setting. Registration is all-or-nothing: on any error the catalog
+    /// is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError`] as for [`Catalog::register`]; duplicate ids
+    /// within the batch are rejected too.
+    pub fn register_batch(
+        &mut self,
+        batch: Vec<(BitstreamId, PartialBitstream)>,
+    ) -> Result<Vec<RegionId>, CatalogError> {
+        let mut seen = BTreeSet::new();
+        let mut regions = Vec::with_capacity(batch.len());
+        for (id, bitstream) in &batch {
+            if self.entries.contains_key(id) || !seen.insert(*id) {
+                return Err(CatalogError::DuplicateId { id: *id });
+            }
+            regions.push(self.resolve_region(bitstream)?);
+        }
+        let (algorithm, bram_bytes) = (self.algorithm, self.bram_bytes);
+        let mut staged = Vec::with_capacity(batch.len());
+        for facts in sweep::parallel_map(&batch, |(_, bitstream)| {
+            stage_facts(algorithm, bram_bytes, bitstream)
+        }) {
+            staged.push(facts?);
+        }
+        for (((id, bitstream), &region), facts) in batch.into_iter().zip(regions.iter()).zip(staged)
+        {
+            self.insert_entry(id, bitstream, region, facts);
+        }
+        Ok(regions)
+    }
+
+    /// Resolves the unique region containing the bitstream's frame window.
+    fn resolve_region(&self, bitstream: &PartialBitstream) -> Result<RegionId, CatalogError> {
         let pid = self
             .floorplan
             .containing(bitstream.far(), bitstream.frame_count())
@@ -199,40 +304,32 @@ impl Catalog {
                 far: bitstream.far(),
                 frames: bitstream.frame_count(),
             })?;
-        let region = RegionId(
+        Ok(RegionId(
             self.regions
                 .iter()
                 .position(|&p| p == pid)
                 .expect("every floorplan partition was added through add_region"),
-        );
-        let raw_bytes = bitstream.size_bytes();
-        // Mirror `UParc::preload` with `Mode::Auto`: stage raw when the
-        // image (mode word included) fits, compress otherwise.
-        let (compressed, staged_words) = if raw_bytes + 4 <= self.bram_bytes {
-            (false, raw_bytes / 4 + 1)
-        } else {
-            let packed = self.algorithm.codec().compress(&bitstream.to_bytes());
-            // Mode word + byte-count word + packed payload.
-            let words = 2 + packed.len().div_ceil(4);
-            if words * 4 > self.bram_bytes {
-                return Err(CatalogError::TooLarge {
-                    required: words * 4,
-                    bram: self.bram_bytes,
-                });
-            }
-            (true, words)
-        };
+        ))
+    }
+
+    fn insert_entry(
+        &mut self,
+        id: BitstreamId,
+        bitstream: PartialBitstream,
+        region: RegionId,
+        facts: StagingFacts,
+    ) {
         self.entries.insert(
             id,
             CatalogEntry {
                 bitstream,
                 region,
-                raw_bytes,
-                compressed,
-                staged_words,
+                raw_bytes: facts.raw_bytes,
+                compressed: facts.compressed,
+                staged_words: facts.staged_words,
+                packed: facts.packed,
             },
         );
-        Ok(region)
     }
 
     /// Looks up a registered entry.
@@ -353,6 +450,73 @@ mod tests {
         assert!(entry.compressed());
         assert!(entry.staged_words() * 4 <= 8 * 1024);
         assert_eq!(entry.mode(), Mode::Compressed);
+    }
+
+    #[test]
+    fn batch_registration_matches_sequential() {
+        let make = || {
+            let device = Device::xc5vsx50t();
+            let mut cat = Catalog::new(device).with_bram_bytes(8 * 1024);
+            cat.add_region("rp0", 100..160).unwrap();
+            cat
+        };
+        let template = make();
+        let batch: Vec<(BitstreamId, PartialBitstream)> = (0..6)
+            .map(|i| {
+                let payload = SynthProfile::sparse().generate(
+                    template.device(),
+                    100,
+                    54 + i,
+                    u64::from(i) * 31 + 7,
+                );
+                (
+                    BitstreamId(i),
+                    PartialBitstream::build(template.device(), 100, &payload),
+                )
+            })
+            .collect();
+
+        let mut sequential = make();
+        for (id, bs) in batch.clone() {
+            sequential.register(id, bs).unwrap();
+        }
+        let mut batched = make();
+        let regions = batched.register_batch(batch).unwrap();
+        assert_eq!(regions.len(), 6);
+
+        assert_eq!(sequential.ids(), batched.ids());
+        for id in sequential.ids() {
+            let s = sequential.entry(id).unwrap();
+            let b = batched.entry(id).unwrap();
+            assert_eq!(s.region(), b.region());
+            assert_eq!(s.compressed(), b.compressed());
+            assert_eq!(s.staged_words(), b.staged_words());
+            assert_eq!(s.packed_bytes(), b.packed_bytes());
+            assert!(s.compressed(), "sparse 54+ frames exceed the 8 KB BRAM");
+            assert!(s.packed_bytes().is_some());
+        }
+    }
+
+    #[test]
+    fn batch_rejects_duplicates_without_partial_registration() {
+        let (mut cat, _) = catalog_with_region();
+        let a = bitstream(&cat, 100, 10, 1);
+        let b = bitstream(&cat, 100, 12, 2);
+        let err = cat
+            .register_batch(vec![(BitstreamId(1), a), (BitstreamId(1), b)])
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateId { .. }));
+        assert!(cat.is_empty(), "all-or-nothing: nothing registered");
+    }
+
+    #[test]
+    fn raw_entries_retain_no_packed_payload() {
+        let (mut cat, _) = catalog_with_region();
+        let bs = bitstream(&cat, 100, 40, 7);
+        cat.register(BitstreamId(1), bs).unwrap();
+        let entry = cat.entry(BitstreamId(1)).unwrap();
+        assert!(!entry.compressed());
+        assert_eq!(entry.packed_bytes(), None);
     }
 
     #[test]

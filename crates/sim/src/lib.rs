@@ -33,6 +33,9 @@
 //!   through the cheap [`obs::Obs`] handle, a deterministic metrics
 //!   registry, and Chrome-trace / flamegraph exporters.
 //! * [`stats`] — small statistics helpers used by the benchmark harnesses.
+//! * [`sweep`] — a std-only scoped-thread parallel map and deterministic
+//!   positional sharding, shared by the experiment harnesses and the
+//!   block-parallel encoders.
 //!
 //! # Architecture
 //!
@@ -88,6 +91,7 @@ pub mod obs;
 pub mod power;
 pub mod queue;
 pub mod stats;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 

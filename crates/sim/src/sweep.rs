@@ -1,0 +1,212 @@
+//! Std-only parallel map and deterministic sharding.
+//!
+//! The experiment harnesses evaluate grids of independent configurations
+//! (size × frequency, algorithm × workload), and the block-parallel
+//! encoders shard one input across cores. Each work item touches no
+//! shared state, so both split trivially. This module is a minimal
+//! std-only pool: scoped threads pull work items off an atomic index, so
+//! there are no external dependencies and no `'static` bounds on the
+//! closures.
+//!
+//! Results come back in input order regardless of which worker ran them,
+//! so harness output is deterministic and independent of the core count
+//! (including the single-core case, which degrades to a plain map).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of worker threads a sweep over `items` work items will use: the
+/// `UPARC_SWEEP_THREADS` environment variable if set to a positive
+/// integer (so CI and laptops can pin parallelism), otherwise the
+/// machine's available parallelism — in both cases clamped to the work
+/// count and at least 1.
+///
+/// A present-but-invalid `UPARC_SWEEP_THREADS` (empty, zero, garbage, or
+/// non-unicode) still falls back to autodetection so a typo never breaks a
+/// run, but the fallback is *loud*: a warning goes to stderr instead of
+/// the variable being silently ignored.
+#[must_use]
+pub fn worker_count(items: usize) -> usize {
+    let pinned = match std::env::var("UPARC_SWEEP_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "warning: UPARC_SWEEP_THREADS={v:?} is not a positive integer; \
+                     falling back to autodetected parallelism"
+                );
+                None
+            }
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            eprintln!(
+                "warning: UPARC_SWEEP_THREADS={raw:?} is not valid unicode; \
+                 falling back to autodetected parallelism"
+            );
+            None
+        }
+    };
+    let cores = pinned
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+    cores.min(items).max(1)
+}
+
+/// Splits `items` into `n` contiguous shards whose sizes differ by at
+/// most one (earlier shards get the remainder). Empty shards are omitted,
+/// so fewer than `n` shards come back when `items` is short.
+///
+/// Sharding is purely positional — independent of core count and of
+/// `UPARC_SWEEP_THREADS` — so a grid dispatched shard-by-shard (e.g. one
+/// engine scenario per shard) is decomposed identically on every host.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn shards<T>(items: &[T], n: usize) -> Vec<&[T]> {
+    assert!(n > 0, "cannot shard into zero shards");
+    let len = items.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n.min(len));
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(&items[start..start + size]);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// `f` runs on multiple threads concurrently; items are handed out
+/// one at a time from a shared atomic cursor, so uneven cell costs
+/// (large bitstreams vs small) balance automatically.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool panics once the workers join).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = worker_count(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, R)> = chunks.drain(..).flatten().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn worker_count_honors_env_override() {
+        // Env vars are process-global and tests run concurrently, so this
+        // test owns the variable: set → check → clear → check. Other tests
+        // here don't read it.
+        std::env::set_var("UPARC_SWEEP_THREADS", "3");
+        assert_eq!(worker_count(10_000), 3);
+        assert_eq!(worker_count(2), 2, "still clamped to the work count");
+        std::env::set_var("UPARC_SWEEP_THREADS", "not-a-number");
+        let fallback = worker_count(10_000);
+        assert!(fallback >= 1, "garbage value falls back to autodetect");
+        std::env::set_var("UPARC_SWEEP_THREADS", "0");
+        assert!(worker_count(10_000) >= 1, "zero falls back to autodetect");
+        std::env::remove_var("UPARC_SWEEP_THREADS");
+        assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn shards_are_contiguous_and_balanced() {
+        let items: Vec<u32> = (0..10).collect();
+        let s = shards(&items, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], &[0, 1, 2, 3]);
+        assert_eq!(s[1], &[4, 5, 6]);
+        assert_eq!(s[2], &[7, 8, 9]);
+        // Rebuilding the input proves coverage without overlap.
+        let rebuilt: Vec<u32> = s.concat();
+        assert_eq!(rebuilt, items);
+
+        // More shards than items: one singleton shard per item.
+        let few = shards(&items[..2], 5);
+        assert_eq!(few.len(), 2);
+        assert!(few.iter().all(|s| s.len() == 1));
+
+        // Empty input and the n = 1 degenerate case.
+        assert!(shards(&items[..0], 4).is_empty());
+        assert_eq!(shards(&items, 1), vec![&items[..]]);
+    }
+
+    #[test]
+    fn uneven_workloads_balance() {
+        // Cells with wildly different costs still land in order.
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(&items, |&i| {
+            let spin = if i % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k).rotate_left(1);
+            }
+            (i, acc & 1)
+        });
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+}

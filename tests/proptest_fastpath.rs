@@ -10,13 +10,18 @@
 //!   chunking of the input;
 //! * the two-level-LUT Huffman decoder ≡ the bit-at-a-time reference;
 //! * the word-at-a-time LZ77 match extension ≡ byte-at-a-time extension
-//!   (identical token streams, so the compression ratio cannot regress).
+//!   (identical token streams, so the compression ratio cannot regress);
+//! * every codec's incremental [`StreamDecoder`] ≡ one-shot `decompress`,
+//!   under arbitrary per-call budgets;
+//! * [`BlockCodec`] frames are byte-identical across worker counts, and
+//!   its streaming decoder matches its one-shot path.
 
 use proptest::prelude::*;
 use uparc_repro::compress::bitio::{BitReader, BitWriter};
 use uparc_repro::compress::huffman::{canonical_codes, code_lengths, CanonicalDecoder};
 use uparc_repro::compress::lz77::Lz77;
-use uparc_repro::compress::Codec;
+use uparc_repro::compress::parallel::BlockCodec;
+use uparc_repro::compress::{Algorithm, Codec};
 use uparc_repro::fpga::format::{
     type1, type2, Command, ConfigCrc, ConfigRegister, Opcode, DUMMY_WORD, NOOP, SYNC_WORD,
 };
@@ -234,5 +239,78 @@ proptest! {
             let packed = lz.compress(&data);
             prop_assert_eq!(lz.decompress(&packed).expect("decompress"), data.clone());
         }
+    }
+}
+
+// ----------------------------------------------------- streaming decode --
+
+fn codec_corpus_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..4096),
+        // Low-entropy, match-rich data (bitstream-like).
+        proptest::collection::vec(prop_oneof![Just(0u8), 1u8..6], 0..6144),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every codec's incremental decoder must emit exactly the one-shot
+    /// decompression, no matter how the caller slices its budgets — the
+    /// contract the decode/ICAP overlap in `transfer_compressed` rests on.
+    #[test]
+    fn streaming_decode_equals_one_shot_for_every_codec(
+        data in codec_corpus_strategy(),
+        budgets in proptest::collection::vec(1usize..4096, 1..8),
+    ) {
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let packed = codec.compress(&data);
+            let expect = codec.decompress(&packed).expect("one-shot decompress");
+            let mut dec = codec.stream_decoder(&packed).expect("open stream");
+            let mut out = Vec::new();
+            let mut i = 0usize;
+            while !dec.is_finished() {
+                let before = out.len();
+                dec.decode_into(&mut out, budgets[i % budgets.len()])
+                    .expect("streamed decode");
+                i += 1;
+                prop_assert!(
+                    out.len() > before || dec.is_finished(),
+                    "{}: decoder made no progress",
+                    codec.name()
+                );
+            }
+            prop_assert_eq!(&out, &expect, "{}: streamed bytes diverge", codec.name());
+            prop_assert_eq!(&expect, &data, "{}: round trip", codec.name());
+        }
+    }
+
+    /// Block-parallel frames are deterministic: the same input compresses
+    /// to the same bytes whether one, two or eight workers encode it, and
+    /// both decode paths (one-shot and lazy streaming) restore the input.
+    #[test]
+    fn block_codec_is_byte_identical_across_worker_counts(
+        data in codec_corpus_strategy(),
+        block_shift in 9u32..13, // 512 B .. 4 KB blocks
+    ) {
+        let bc = BlockCodec::with_block_size(Algorithm::XMatchPro, 1 << block_shift);
+        let mut frames = Vec::new();
+        for threads in ["1", "2", "8"] {
+            std::env::set_var("UPARC_SWEEP_THREADS", threads);
+            frames.push(bc.compress(&data));
+        }
+        std::env::remove_var("UPARC_SWEEP_THREADS");
+        prop_assert_eq!(&frames[0], &frames[1], "1 vs 2 workers");
+        prop_assert_eq!(&frames[0], &frames[2], "1 vs 8 workers");
+        let round = bc.decompress(&frames[0]).expect("block decompress");
+        prop_assert_eq!(&round, &data, "block round trip");
+
+        let mut dec = bc.stream_decoder(&frames[0]).expect("open block stream");
+        let mut out = Vec::new();
+        while !dec.is_finished() {
+            dec.decode_into(&mut out, 777).expect("streamed block decode");
+        }
+        prop_assert_eq!(&out, &data, "streamed block bytes diverge");
     }
 }
