@@ -1,0 +1,75 @@
+//! Shared CLI argument parsing for the bench binaries.
+//!
+//! Every harness accepts the same two flags — `--smoke` for the
+//! seconds-scale CI variant and `--trace <path>` for a Chrome-trace dump —
+//! which used to be parsed by copy-pasted helpers in each binary. This
+//! module is the single implementation.
+
+/// The common bench flags, parsed once at startup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--smoke`: run the small CI variant instead of the full benchmark.
+    pub smoke: bool,
+    /// `--trace <path>`: where to write the Chrome-trace export, if asked.
+    pub trace: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process's command line.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument stream (exposed so tests don't have to
+    /// fake the process command line).
+    pub fn from_iter<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut parsed = BenchArgs::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_ref() {
+                "--smoke" => parsed.smoke = true,
+                "--trace" => parsed.trace = args.next().map(|s| s.as_ref().to_owned()),
+                _ => {}
+            }
+        }
+        parsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_smoke_and_trace() {
+        let a = BenchArgs::from_iter(["--smoke", "--trace", "out.json"]);
+        assert!(a.smoke);
+        assert_eq!(a.trace.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn defaults_and_unknown_flags() {
+        let a = BenchArgs::from_iter(["--unknown", "x"]);
+        assert_eq!(a, BenchArgs::default());
+        assert!(!a.smoke);
+        assert!(a.trace.is_none());
+    }
+
+    #[test]
+    fn trace_without_value_is_none() {
+        let a = BenchArgs::from_iter(["--trace"]);
+        assert!(a.trace.is_none());
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = BenchArgs::from_iter(["--trace", "t.json", "--smoke"]);
+        assert!(a.smoke);
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+    }
+}

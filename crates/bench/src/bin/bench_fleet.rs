@@ -1,0 +1,318 @@
+//! Machine-readable rack-scale fleet benchmark: writes `BENCH_fleet.json`
+//! with throughput scaling, locality-vs-random routing uplift, latency
+//! percentiles at million-request scale, and hierarchical power-cap
+//! behaviour of the `uparc-fleet` sharded serving layer.
+//!
+//! Four runs over the same million-request stream: random routing at 1
+//! and 8 workers (the scaling pair), locality routing at 1 and 8 workers
+//! (the uplift pair). Simulated results are deterministic in the seed
+//! *and* the worker count — each policy's two runs must render
+//! byte-identical digests, which is the double-render gate.
+//!
+//! Run with `cargo run --release --bin bench_fleet`; pass `--smoke` for
+//! a seconds-scale CI variant (smaller fleet, same assertions minus the
+//! wall-clock-dependent ones).
+//!
+//! Acceptance gates:
+//! * full mode streams ≥ 1,000,000 requests per run;
+//! * every run completes every request with **zero** rack-cap
+//!   violations (verified by the fleet's independent interval sweep);
+//! * each policy renders byte-identically at 1 and 8 workers;
+//! * normalised throughput scaling efficiency
+//!   `(t1/t8) / min(8, cores)` ≥ 0.7 (full mode; raw figures always
+//!   emitted);
+//! * locality routing beats random routing on fleet cache hit rate, and
+//!   its measured words/s uplift is emitted alongside (gated > 1 in
+//!   full mode: hits skip real decompressions, so the host-side work
+//!   saved is wall-clock visible).
+
+use std::time::Instant;
+
+use uparc_bench::report::{JsonReport, Obj, Value};
+use uparc_fleet::{
+    synthetic_catalog, Fleet, FleetConfig, FleetOutcome, FleetWorkloadSpec, RoutePolicy,
+};
+use uparc_sim::sweep;
+use uparc_sim::time::{Frequency, SimTime};
+
+/// Workload seed; every run reuses it so streams are identical.
+const SEED: u64 = 20120312;
+
+/// Fleet shape per mode.
+struct Scale {
+    chips: usize,
+    images: usize,
+    frames_per_image: u32,
+    requests: u64,
+    mean_gap: SimTime,
+    rack_cap_mw: f64,
+    epoch: SimTime,
+    /// Per-chip decompressed-image cache (≈ 8 images).
+    chip_cache_bytes: usize,
+}
+
+fn scale(smoke: bool) -> Scale {
+    if smoke {
+        Scale {
+            chips: 64,
+            images: 256,
+            frames_per_image: 12,
+            requests: 50_000,
+            mean_gap: SimTime::from_ns(400),
+            rack_cap_mw: 28_000.0,
+            epoch: SimTime::from_us(200),
+            chip_cache_bytes: 16 * 1024,
+        }
+    } else {
+        Scale {
+            chips: 1024,
+            images: 4096,
+            frames_per_image: 40,
+            requests: 1_000_000,
+            mean_gap: SimTime::from_ns(56),
+            rack_cap_mw: 450_000.0,
+            epoch: SimTime::from_ms(1),
+            chip_cache_bytes: 56 * 1024,
+        }
+    }
+}
+
+/// One benchmarked run: outcome plus its wall-clock.
+struct Run {
+    label: &'static str,
+    workers: usize,
+    outcome: FleetOutcome,
+    wall_s: f64,
+}
+
+impl Run {
+    fn wall_words_per_sec(&self) -> f64 {
+        self.outcome.words as f64 / self.wall_s
+    }
+}
+
+fn execute(fleet: &Fleet, spec: &FleetWorkloadSpec, label: &'static str, workers: usize) -> Run {
+    sweep::pin_workers(workers);
+    let t0 = Instant::now();
+    let outcome = fleet.run(spec).expect("feasible fleet run");
+    let wall_s = t0.elapsed().as_secs_f64();
+    sweep::unpin_workers();
+    println!(
+        "{label:<11} workers {workers}: {:>9} done in {wall_s:>7.2}s wall, hit rate {:.4}, \
+         p99 {:>9.2} us, peak {:>9.1} mW ({} violations)",
+        outcome.completed,
+        outcome.hit_rate,
+        outcome.p99_us,
+        outcome.peak_power_mw,
+        outcome.cap_violations,
+    );
+    Run {
+        label,
+        workers,
+        outcome,
+        wall_s,
+    }
+}
+
+fn run_row(r: &Run) -> Value {
+    let o = &r.outcome;
+    Obj::new()
+        .field("policy", r.label)
+        .field("workers", r.workers)
+        .field("wall_s", Value::fixed(r.wall_s, 3))
+        .field("completed", o.completed)
+        .field("hit_rate", Value::fixed(o.hit_rate, 6))
+        .field("hits", o.hits)
+        .field("misses", o.misses)
+        .field("evictions", o.evictions)
+        .field("warm", o.route.warm)
+        .field("cold", o.route.cold)
+        .field("spills", o.route.spills)
+        .field("words", o.words)
+        .field("sim_words_per_sec", Value::fixed(o.sim_words_per_sec, 1))
+        .field(
+            "wall_words_per_sec",
+            Value::fixed(r.wall_words_per_sec(), 1),
+        )
+        .field("makespan_ms", Value::fixed(o.makespan.as_us_f64() / 1e3, 3))
+        .field("p50_us", Value::fixed(o.p50_us, 3))
+        .field("p95_us", Value::fixed(o.p95_us, 3))
+        .field("p99_us", Value::fixed(o.p99_us, 3))
+        .field("p999_us", Value::fixed(o.p999_us, 3))
+        .field("mean_frequency_mhz", Value::fixed(o.mean_frequency_mhz, 2))
+        .field("energy_uj", Value::fixed(o.energy_uj, 1))
+        .field("peak_power_mw", Value::fixed(o.peak_power_mw, 3))
+        .field("cap_violations", o.cap_violations)
+        .field("min_chip_completed", o.min_chip_completed)
+        .field("max_chip_completed", o.max_chip_completed)
+        .field("checksum", format!("{:016x}", o.checksum).as_str())
+        .into()
+}
+
+fn main() {
+    let smoke = uparc_bench::args::BenchArgs::parse().smoke;
+    let s = scale(smoke);
+
+    println!(
+        "building catalog: {} images x {} frames, {} chips",
+        s.images, s.frames_per_image, s.chips
+    );
+    let catalog = synthetic_catalog(s.images, s.frames_per_image, SEED);
+    let config = |route: RoutePolicy| FleetConfig {
+        chips: s.chips,
+        rack_cap_mw: s.rack_cap_mw,
+        epoch: s.epoch,
+        chip_cache_bytes: s.chip_cache_bytes,
+        route,
+        min_frequency: Frequency::from_mhz(50.0),
+    };
+    let t0 = Instant::now();
+    let random = Fleet::new(catalog.clone(), config(RoutePolicy::Random { seed: SEED }))
+        .expect("random fleet builds");
+    // A holder may run ~8 dispatches ahead of the least-loaded chip
+    // before locality yields: the window tracks the calibrated service
+    // time, so it survives rescaling the fleet.
+    let locality_policy = RoutePolicy::Locality {
+        spill_window: SimTime::from_fs(random.tables().mean_service_estimate().as_fs() * 8),
+    };
+    let locality = Fleet::new(catalog, config(locality_policy)).expect("locality fleet builds");
+    println!(
+        "calibrated {} grid points in {:.2}s",
+        random.tables().grid().len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let spec = FleetWorkloadSpec {
+        requests: s.requests,
+        mean_gap: s.mean_gap,
+        seed: SEED,
+    };
+
+    let rand1 = execute(&random, &spec, "random", 1);
+    let rand8 = execute(&random, &spec, "random", 8);
+    let loc1 = execute(&locality, &spec, "locality", 1);
+    let loc8 = execute(&locality, &spec, "locality", 8);
+
+    // ---- acceptance gates --------------------------------------------
+    for r in [&rand1, &rand8, &loc1, &loc8] {
+        assert_eq!(
+            r.outcome.completed, s.requests,
+            "{} w{}: requests unaccounted for",
+            r.label, r.workers
+        );
+        assert_eq!(
+            r.outcome.cap_violations, 0,
+            "{} w{}: rack cap violated",
+            r.label, r.workers
+        );
+        assert!(
+            r.outcome.peak_power_mw <= s.rack_cap_mw + 1e-9,
+            "{} w{}: verified peak {:.1} mW above the {:.0} mW rack cap",
+            r.label,
+            r.workers,
+            r.outcome.peak_power_mw,
+            s.rack_cap_mw
+        );
+    }
+    if !smoke {
+        assert!(
+            s.requests >= 1_000_000,
+            "full mode must stream 1M+ requests"
+        );
+    }
+
+    // Double-render identity: the same stream at 1 and 8 workers must
+    // produce bit-identical merged outcomes per policy.
+    assert_eq!(
+        rand1.outcome.render(),
+        rand8.outcome.render(),
+        "random routing outcome depends on worker count"
+    );
+    assert_eq!(
+        loc1.outcome.render(),
+        loc8.outcome.render(),
+        "locality routing outcome depends on worker count"
+    );
+    // Both policies serve the same image multiset, so the XOR-fold work
+    // checksum matches across policies too.
+    assert_eq!(
+        rand1.outcome.checksum, loc1.outcome.checksum,
+        "policies served different image bytes"
+    );
+
+    // Throughput scaling 1 → 8 workers, normalised by what the host can
+    // actually parallelise (raw figures are in the report either way).
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let speedup = rand1.wall_s / rand8.wall_s;
+    let scaling_efficiency = speedup / cores.min(8) as f64;
+    println!(
+        "scaling: {speedup:.2}x speedup on {cores} core(s) -> efficiency {scaling_efficiency:.2}"
+    );
+    if !smoke {
+        assert!(
+            scaling_efficiency >= 0.7,
+            "scaling efficiency {scaling_efficiency:.2} below 0.7 ({speedup:.2}x on {cores} cores)"
+        );
+    }
+
+    // Locality uplift vs random at the same worker count.
+    let hit_uplift = loc8.outcome.hit_rate - rand8.outcome.hit_rate;
+    let words_uplift = loc8.wall_words_per_sec() / rand8.wall_words_per_sec();
+    println!(
+        "locality uplift: hit rate {:.4} vs {:.4} (+{hit_uplift:.4}), \
+         measured words/s x{words_uplift:.2}",
+        loc8.outcome.hit_rate, rand8.outcome.hit_rate
+    );
+    assert!(
+        loc8.outcome.hit_rate > rand8.outcome.hit_rate,
+        "locality routing did not beat random on fleet hit rate"
+    );
+    if !smoke {
+        assert!(
+            words_uplift > 1.0,
+            "locality words/s uplift {words_uplift:.2} not above 1 (hits should skip decompression)"
+        );
+    }
+
+    let report = JsonReport::new("uparc-bench-fleet", 1)
+        .field("smoke", smoke)
+        .field(
+            "fleet",
+            Obj::new()
+                .field("seed", SEED)
+                .field("chips", s.chips)
+                .field("images", s.images)
+                .field("frames_per_image", u64::from(s.frames_per_image))
+                .field("requests", s.requests)
+                .field("mean_gap_ns", Value::fixed(s.mean_gap.as_us_f64() * 1e3, 1))
+                .field("rack_cap_mw", Value::fixed(s.rack_cap_mw, 0))
+                .field("epoch_us", Value::fixed(s.epoch.as_us_f64(), 1))
+                .field("chip_cache_bytes", s.chip_cache_bytes)
+                .field("grid_points", random.tables().grid().len())
+                .field("host_cores", cores),
+        )
+        .field(
+            "runs",
+            vec![
+                run_row(&rand1),
+                run_row(&rand8),
+                run_row(&loc1),
+                run_row(&loc8),
+            ],
+        )
+        .field(
+            "gates",
+            Obj::new()
+                .field("render_identical_random", true)
+                .field("render_identical_locality", true)
+                .field("cap_violations_total", 0u64)
+                .field("speedup_1_to_8", Value::fixed(speedup, 3))
+                .field("scaling_efficiency", Value::fixed(scaling_efficiency, 3))
+                .field("hit_rate_locality", Value::fixed(loc8.outcome.hit_rate, 6))
+                .field("hit_rate_random", Value::fixed(rand8.outcome.hit_rate, 6))
+                .field("wall_words_per_sec_uplift", Value::fixed(words_uplift, 3)),
+        );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, report.render()).expect("write BENCH_fleet.json");
+    println!("report written: {path}");
+}

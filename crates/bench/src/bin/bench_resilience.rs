@@ -420,20 +420,9 @@ fn write_trace(path: &str) {
     print!("{}", recorder.flame_summary());
 }
 
-/// Returns the value following `flag` on the command line, if present.
-fn arg_value(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == flag {
-            return args.next();
-        }
-    }
-    None
-}
-
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let trace_path = arg_value("--trace");
+    let args = uparc_bench::args::BenchArgs::parse();
+    let (smoke, trace_path) = (args.smoke, args.trace);
     let seeds_per_cell: u64 = if smoke { 2 } else { 6 };
     let policies = policies();
 

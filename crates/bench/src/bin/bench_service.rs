@@ -239,20 +239,9 @@ fn write_trace(catalog: &Catalog, smoke: bool, path: &str) {
     print!("{}", recorder.flame_summary());
 }
 
-/// Returns the value following `flag` on the command line, if present.
-fn arg_value(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == flag {
-            return args.next();
-        }
-    }
-    None
-}
-
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let trace_path = arg_value("--trace");
+    let args = uparc_bench::args::BenchArgs::parse();
+    let (smoke, trace_path) = (args.smoke, args.trace);
     let catalog = build_catalog();
 
     let (rendered, cells) = render_report(&catalog, smoke);

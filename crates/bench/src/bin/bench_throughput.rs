@@ -106,7 +106,7 @@ fn best_of<F: FnMut()>(reps: usize, items: u64, mut f: F) -> Measured {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = uparc_bench::args::BenchArgs::parse().smoke;
     let reps = if smoke { 2 } else { 5 };
     let device = Device::xc5vsx50t();
     let profile = SynthProfile::dense();
@@ -257,7 +257,7 @@ fn main() {
     let mut parallel_rows = Vec::new();
     let mut first_frame: Option<Vec<u8>> = None;
     for workers in [1usize, 2, 8] {
-        std::env::set_var("UPARC_SWEEP_THREADS", workers.to_string());
+        sweep::pin_workers(workers);
         let frame = block_codec.compress(&block_corpus);
         match &first_frame {
             None => {
@@ -281,7 +281,7 @@ fn main() {
         );
         parallel_rows.push((workers, enc));
     }
-    std::env::remove_var("UPARC_SWEEP_THREADS");
+    sweep::unpin_workers();
     let block_frame_bytes = first_frame.expect("one worker count ran").len();
 
     // ---- End-to-end pipeline: preload + reconfigure (raw mode) -------

@@ -5,4 +5,6 @@
 //! it under the historical `uparc_bench::sweep` path the harness binaries
 //! use.
 
-pub use uparc_sim::sweep::{parallel_map, shards, worker_count};
+pub use uparc_sim::sweep::{
+    parallel_map, pin_workers, shards, unpin_workers, worker_count, worker_override,
+};

@@ -280,11 +280,11 @@ mod tests {
         let data = corpus();
         let bc = BlockCodec::new(Algorithm::XMatchPro);
         let mut outputs = Vec::new();
-        for threads in ["1", "2", "8"] {
-            std::env::set_var("UPARC_SWEEP_THREADS", threads);
+        for threads in [1, 2, 8] {
+            uparc_sim::sweep::pin_workers(threads);
             outputs.push(bc.compress(&data));
         }
-        std::env::remove_var("UPARC_SWEEP_THREADS");
+        uparc_sim::sweep::unpin_workers();
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[1], outputs[2]);
     }

@@ -1,0 +1,194 @@
+//! Hierarchical rack-level power budgeting.
+//!
+//! The single-chip scheduler already plans under a per-chip cap via
+//! `PowerAwarePolicy::plan_constrained`-style residual budgets. At rack
+//! scale the cap is a *rack* number: this module decomposes it into
+//! per-chip caps, once per deterministic rebalance epoch, proportionally
+//! to the demand the router assigned to each chip in that epoch.
+//!
+//! Every chip always keeps `idle + floor` of budget — enough to run the
+//! slowest admissible operating point — so no chip can starve; only the
+//! *spare* headroom above that floor is redistributed by demand. By
+//! construction the per-chip caps sum to exactly the rack cap in every
+//! epoch, which is what makes the fleet's independent verification sweep
+//! (`fleet::verify_rack`) come out at zero violations.
+
+use uparc_sim::time::SimTime;
+
+use crate::FleetError;
+
+/// A rack-level power budget with a deterministic rebalance epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackBudget {
+    /// Total rack cap (idle of every chip included), mW.
+    pub cap_mw: f64,
+    /// Rebalance period: per-chip caps are recomputed at each multiple.
+    pub epoch: SimTime,
+}
+
+impl RackBudget {
+    /// Decomposes the rack cap into per-chip caps for each epoch.
+    ///
+    /// `demand[e][c]` is the number of requests the router assigned to
+    /// chip `c` arriving in epoch `e`. Each chip's cap in an epoch is
+    ///
+    /// ```text
+    /// cap[c][e] = idle + floor + spare · (1 + demand[e][c]) / Σ_c (1 + demand[e][c])
+    /// ```
+    ///
+    /// with `spare = cap_mw − chips·(idle + floor)`. The `1 +` keeps
+    /// idle chips fundable (a request routed near an epoch boundary may
+    /// still be draining), and `Σ_c cap[c][e] = cap_mw` exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InfeasibleRackCap`] if the rack cap cannot fund
+    /// `chips · (idle + floor)`.
+    pub fn schedule(
+        &self,
+        demand: &[Vec<u64>],
+        chips: usize,
+        idle_mw: f64,
+        floor_mw: f64,
+    ) -> Result<CapSchedule, FleetError> {
+        let required_mw = chips as f64 * (idle_mw + floor_mw);
+        let spare = self.cap_mw - required_mw;
+        if spare < 0.0 {
+            return Err(FleetError::InfeasibleRackCap {
+                required_mw,
+                cap_mw: self.cap_mw,
+            });
+        }
+        let epochs = demand.len().max(1);
+        let mut caps = vec![vec![0.0f64; epochs]; chips];
+        for e in 0..epochs {
+            let weights: Vec<f64> = (0..chips)
+                .map(|c| 1.0 + demand.get(e).map_or(0.0, |d| d[c] as f64))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            for (row, w) in caps.iter_mut().zip(&weights) {
+                row[e] = idle_mw + floor_mw + spare * w / total;
+            }
+        }
+        Ok(CapSchedule {
+            epoch_fs: self.epoch.as_fs().max(1),
+            caps,
+        })
+    }
+}
+
+/// The per-chip, per-epoch cap table a [`RackBudget`] decomposes into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapSchedule {
+    epoch_fs: u64,
+    /// `caps[chip][epoch]`, mW (idle included).
+    caps: Vec<Vec<f64>>,
+}
+
+impl CapSchedule {
+    /// Number of scheduled epochs.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.caps.first().map_or(0, Vec::len)
+    }
+
+    /// The epoch index containing `at_fs` (clamped to the last epoch:
+    /// traffic draining past the scheduled horizon keeps its final
+    /// allocation).
+    #[must_use]
+    fn epoch_of(&self, at_fs: u64) -> usize {
+        ((at_fs / self.epoch_fs) as usize).min(self.epochs().saturating_sub(1))
+    }
+
+    /// Chip `c`'s cap at instant `at_fs`, mW.
+    #[must_use]
+    pub fn cap(&self, c: usize, at_fs: u64) -> f64 {
+        self.caps[c][self.epoch_of(at_fs)]
+    }
+
+    /// The *minimum* cap chip `c` sees anywhere in `[from_fs, to_fs]`.
+    ///
+    /// Dispatch planning uses this over a conservative transfer window,
+    /// so a transfer spanning a rebalance boundary is planned under the
+    /// tightest cap it can encounter and never violates a lowered
+    /// next-epoch allocation mid-flight.
+    #[must_use]
+    pub fn min_cap_over(&self, c: usize, from_fs: u64, to_fs: u64) -> f64 {
+        let (first, last) = (self.epoch_of(from_fs), self.epoch_of(to_fs.max(from_fs)));
+        self.caps[c][first..=last]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_sum_to_the_rack_cap_every_epoch() {
+        let budget = RackBudget {
+            cap_mw: 4000.0,
+            epoch: SimTime::from_ms(1),
+        };
+        let demand = vec![vec![10, 0, 0, 2], vec![0, 0, 5, 5], vec![1, 1, 1, 1]];
+        let s = budget.schedule(&demand, 4, 53.0, 300.0).unwrap();
+        assert_eq!(s.epochs(), 3);
+        for e in 0..3 {
+            let total: f64 = (0..4).map(|c| s.cap(c, e as u64 * 1_000_000_000_000)).sum();
+            assert!(
+                (total - 4000.0).abs() < 1e-9,
+                "epoch {e} caps sum to {total}"
+            );
+        }
+        // Demand tilts the split: chip 0 dominates epoch 0.
+        assert!(s.cap(0, 0) > s.cap(1, 0));
+        // Every chip keeps at least idle + floor.
+        for c in 0..4 {
+            for e in 0..3u64 {
+                assert!(s.cap(c, e * 1_000_000_000_000) >= 53.0 + 300.0 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_cap_is_rejected() {
+        let budget = RackBudget {
+            cap_mw: 100.0,
+            epoch: SimTime::from_ms(1),
+        };
+        let err = budget.schedule(&[vec![0, 0]], 2, 53.0, 300.0).unwrap_err();
+        assert!(matches!(err, FleetError::InfeasibleRackCap { .. }));
+    }
+
+    #[test]
+    fn min_cap_over_spans_epoch_boundaries() {
+        let budget = RackBudget {
+            cap_mw: 1000.0,
+            epoch: SimTime::from_us(100),
+        };
+        // Chip 0 busy in epoch 0, idle in epoch 1 → its cap drops.
+        let demand = vec![vec![50, 0], vec![0, 50]];
+        let s = budget.schedule(&demand, 2, 53.0, 100.0).unwrap();
+        let e0 = s.cap(0, 0);
+        let e1 = s.cap(0, 100_000_000_000);
+        assert!(e0 > e1);
+        // A window spanning the boundary sees the tighter epoch-1 cap.
+        let w = s.min_cap_over(0, 99_000_000_000, 101_000_000_000);
+        assert!((w - e1).abs() < 1e-12);
+        // Past the horizon the last epoch's caps persist.
+        assert!((s.cap(0, u64::MAX / 2) - e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_demand_still_schedules_one_epoch() {
+        let budget = RackBudget {
+            cap_mw: 1000.0,
+            epoch: SimTime::from_ms(1),
+        };
+        let s = budget.schedule(&[], 2, 53.0, 100.0).unwrap();
+        assert_eq!(s.epochs(), 1);
+        assert!((s.cap(0, 0) - 500.0).abs() < 1e-9);
+    }
+}

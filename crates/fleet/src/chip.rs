@@ -1,0 +1,172 @@
+//! Per-chip simulation.
+//!
+//! Each chip serves its routed queue FIFO on one reconfigurable region:
+//! pick the fastest operating point the chip's epoch cap admits (from
+//! the calibrated [`PlanTables`]), run the host-side staging work for
+//! real — a miss in the chip's [`DecompCache`] decompresses the staged
+//! payload with the actual codec, a hit streams the cached image — and
+//! advance simulated time by the *measured* dispatch latency. Chips
+//! share nothing, so the fleet can fan them out across the worker pool
+//! and still merge byte-identical results in chip order.
+
+use std::sync::Arc;
+
+use uparc_core::cache::DecompCache;
+use uparc_serve::catalog::Catalog;
+use uparc_sim::stats::LogHistogram;
+use uparc_sim::time::SimTime;
+
+use crate::budget::CapSchedule;
+use crate::plan::PlanTables;
+use crate::workload::FleetRequest;
+
+/// One chip's routed work.
+#[derive(Debug, Clone)]
+pub struct ChipInput {
+    /// Chip index in the fleet.
+    pub chip: usize,
+    /// Routed requests in arrival order.
+    pub requests: Vec<FleetRequest>,
+}
+
+/// Everything one chip's run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipOutcome {
+    /// Chip index.
+    pub chip: usize,
+    /// Requests served.
+    pub completed: u64,
+    /// Decompressed-image cache hits.
+    pub hits: u64,
+    /// Decompressed-image cache misses (real decompressions run).
+    pub misses: u64,
+    /// Images evicted from the chip cache.
+    pub evictions: u64,
+    /// Bytes actually decompressed on misses.
+    pub decompressed_bytes: u64,
+    /// 32-bit words transferred through the ICAP across all dispatches.
+    pub words: u64,
+    /// Above-idle energy across all dispatches, µJ.
+    pub energy_uj: f64,
+    /// Sum of all service times (chip busy time).
+    pub busy: SimTime,
+    /// When the last dispatch finished.
+    pub finish: SimTime,
+    /// Arrival-to-finish latency distribution, µs.
+    pub latency_us: LogHistogram,
+    /// Dispatch count per grid frequency index.
+    pub freq_mix: Vec<u64>,
+    /// `(start_fs, end_fs, above_idle_draw_mw)` per dispatch, for the
+    /// fleet's independent rack-cap verification sweep.
+    pub intervals: Vec<(u64, u64, f64)>,
+    /// Fold of every served image's bytes — forces the staging work to
+    /// really happen and pins byte-identity across worker counts.
+    pub checksum: u64,
+}
+
+/// FNV-style 8-bytes-per-round fold over an image.
+fn fold_image(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lane = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h ^ lane).wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Runs one chip's queue to completion.
+///
+/// # Panics
+///
+/// Panics if a request references an uncalibrated bitstream or the cap
+/// schedule cannot fund the floor (the budget layer guarantees it can).
+#[must_use]
+pub fn simulate_chip(
+    input: &ChipInput,
+    catalog: &Catalog,
+    tables: &PlanTables,
+    schedule: &CapSchedule,
+    cache_budget: usize,
+) -> ChipOutcome {
+    let codec = catalog.algorithm().codec();
+    let mut cache = DecompCache::new(cache_budget);
+    let mut out = ChipOutcome {
+        chip: input.chip,
+        completed: 0,
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        decompressed_bytes: 0,
+        words: 0,
+        energy_uj: 0.0,
+        busy: SimTime::ZERO,
+        finish: SimTime::ZERO,
+        latency_us: LogHistogram::new(),
+        freq_mix: vec![0; tables.grid().len()],
+        intervals: Vec::with_capacity(input.requests.len()),
+        checksum: 0,
+    };
+    let mut clock = SimTime::ZERO;
+    for req in &input.requests {
+        let facts = tables.facts(req.bitstream);
+        let start = clock.max(req.arrival);
+        // Plan under the tightest cap anywhere in the conservative
+        // window [start, start + slowest], so a transfer spanning a
+        // rebalance boundary can never violate the next epoch's cap.
+        let window_end = start.as_fs() + tables.slowest_service(req.bitstream).as_fs();
+        let cap = schedule.min_cap_over(input.chip, start.as_fs(), window_end);
+        let idx = tables
+            .select(req.bitstream, cap)
+            .expect("epoch caps always fund the floor");
+        // Host-side staging: the real work locality routing saves.
+        if let Some(key) = &facts.key {
+            let image = match cache.get(key) {
+                Some(image) => {
+                    out.hits += 1;
+                    image
+                }
+                None => {
+                    out.misses += 1;
+                    let entry = catalog.entry(req.bitstream).expect("calibrated id");
+                    let packed = entry.packed_bytes().expect("compressed staging");
+                    let image = Arc::new(
+                        codec
+                            .decompress(packed)
+                            .expect("staged payload round-trips"),
+                    );
+                    out.decompressed_bytes += image.len() as u64;
+                    cache.insert(*key, Arc::clone(&image));
+                    image
+                }
+            };
+            // Stream the image (cached or fresh) into the ICAP.
+            out.checksum ^= fold_image(&image);
+        }
+        let service = tables.service(req.bitstream, idx);
+        let finish = start + service;
+        out.intervals.push((
+            start.as_fs(),
+            finish.as_fs(),
+            tables.draw_above_idle_mw(req.bitstream, idx),
+        ));
+        out.energy_uj += tables.energy_uj(req.bitstream, idx);
+        out.words += facts.words;
+        out.busy += service;
+        out.freq_mix[idx] += 1;
+        out.latency_us
+            .observe(finish.saturating_sub(req.arrival).as_us_f64());
+        out.completed += 1;
+        clock = finish;
+        out.finish = finish;
+    }
+    let stats = cache.stats();
+    debug_assert_eq!(stats.hits, out.hits);
+    debug_assert_eq!(stats.misses, out.misses);
+    out.evictions = stats.evictions;
+    out
+}

@@ -1,0 +1,426 @@
+//! Fleet orchestration: route → budget → simulate → verify → merge.
+//!
+//! The run is deterministic end to end: routing and cap scheduling are
+//! sequential; the per-chip simulations are mutually independent and fan
+//! out over [`uparc_sim::sweep::parallel_map`], whose results come back
+//! in chip order regardless of worker count; aggregation walks chips in
+//! index order. A [`FleetOutcome`] therefore renders byte-identically at
+//! any `UPARC_SWEEP_THREADS` setting — `bench_fleet` gates on exactly
+//! that.
+
+use uparc_bitstream::builder::PartialBitstream;
+use uparc_bitstream::synth::SynthProfile;
+use uparc_core::policy::PowerAwarePolicy;
+use uparc_fpga::Device;
+use uparc_serve::catalog::Catalog;
+use uparc_serve::request::BitstreamId;
+use uparc_sim::power::calib;
+use uparc_sim::stats::LogHistogram;
+use uparc_sim::sweep::parallel_map;
+use uparc_sim::time::{Frequency, SimTime};
+
+use crate::budget::RackBudget;
+use crate::chip::{simulate_chip, ChipInput, ChipOutcome};
+use crate::plan::PlanTables;
+use crate::router::{RoutePolicy, RouteStats, Router};
+use crate::workload::FleetWorkloadSpec;
+use crate::FleetError;
+
+/// Tolerance when checking total draw against the rack cap, mW.
+const CAP_EPSILON_MW: f64 = 1e-9;
+
+/// Fleet shape and policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of simulated UPaRC chips.
+    pub chips: usize,
+    /// Total rack power cap (every chip's idle included), mW.
+    pub rack_cap_mw: f64,
+    /// Hierarchical-budget rebalance epoch.
+    pub epoch: SimTime,
+    /// Per-chip decompressed-image cache budget, bytes.
+    pub chip_cache_bytes: usize,
+    /// Request-to-chip routing policy.
+    pub route: RoutePolicy,
+    /// Slowest CLK_2 the fleet is willing to run: the operating grid is
+    /// restricted to this and up, and the rack budget funds exactly this
+    /// floor on every chip.
+    pub min_frequency: Frequency,
+}
+
+/// A calibrated fleet, ready to run workloads.
+#[derive(Debug)]
+pub struct Fleet {
+    catalog: Catalog,
+    config: FleetConfig,
+    planner: PowerAwarePolicy,
+    tables: PlanTables,
+}
+
+/// Merged, deterministic results of one fleet run (no wall-clock
+/// anywhere — every field is reproducible bit-for-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Requests in the stream.
+    pub requests: u64,
+    /// Chips in the fleet.
+    pub chips: usize,
+    /// Requests served (always equals `requests`: the fleet drains).
+    pub completed: u64,
+    /// Fleet-wide decompressed-image cache hits.
+    pub hits: u64,
+    /// Fleet-wide cache misses (real decompressions).
+    pub misses: u64,
+    /// Fleet-wide cache evictions.
+    pub evictions: u64,
+    /// Hits over hits + misses.
+    pub hit_rate: f64,
+    /// Bytes actually decompressed on misses.
+    pub decompressed_bytes: u64,
+    /// Router tallies (warm/cold/spills; zero for random routing).
+    pub route: RouteStats,
+    /// Total ICAP words transferred.
+    pub words: u64,
+    /// Above-idle energy across the run, µJ.
+    pub energy_uj: f64,
+    /// When the last chip finished.
+    pub makespan: SimTime,
+    /// Simulated reconfiguration throughput: words / makespan.
+    pub sim_words_per_sec: f64,
+    /// Merged arrival-to-finish latency histogram, µs.
+    pub latency_us: LogHistogram,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: f64,
+    /// Verified peak total draw (idle of every chip included), mW.
+    pub peak_power_mw: f64,
+    /// The rack cap the run was budgeted under, mW.
+    pub rack_cap_mw: f64,
+    /// Instants where total draw exceeded the rack cap (gated to zero).
+    pub cap_violations: u64,
+    /// Mean dispatched CLK_2 over all requests, MHz.
+    pub mean_frequency_mhz: f64,
+    /// Fewest requests any one chip served.
+    pub min_chip_completed: u64,
+    /// Most requests any one chip served.
+    pub max_chip_completed: u64,
+    /// XOR-fold of every served image (byte-identity witness).
+    pub checksum: u64,
+}
+
+impl FleetOutcome {
+    /// Renders the outcome as a stable multi-line digest. Two runs of
+    /// the same workload must produce byte-identical digests at any
+    /// worker count; `bench_fleet` gates on this.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "requests={} chips={} completed={}\n",
+            self.requests, self.chips, self.completed
+        ));
+        s.push_str(&format!(
+            "cache: hits={} misses={} evictions={} hit_rate={:.6} decompressed_bytes={}\n",
+            self.hits, self.misses, self.evictions, self.hit_rate, self.decompressed_bytes
+        ));
+        s.push_str(&format!(
+            "route: warm={} cold={} spills={}\n",
+            self.route.warm, self.route.cold, self.route.spills
+        ));
+        s.push_str(&format!(
+            "sim: words={} makespan_us={:.3} words_per_sec={:.1} energy_uj={:.3}\n",
+            self.words,
+            self.makespan.as_us_f64(),
+            self.sim_words_per_sec,
+            self.energy_uj
+        ));
+        s.push_str(&format!(
+            "latency_us: p50={:.3} p95={:.3} p99={:.3} p999={:.3}\n",
+            self.p50_us, self.p95_us, self.p99_us, self.p999_us
+        ));
+        s.push_str(&format!(
+            "power: peak_mw={:.3} cap_mw={:.3} violations={}\n",
+            self.peak_power_mw, self.rack_cap_mw, self.cap_violations
+        ));
+        s.push_str(&format!(
+            "balance: min_chip={} max_chip={} mean_freq_mhz={:.2} checksum={:016x}\n",
+            self.min_chip_completed,
+            self.max_chip_completed,
+            self.mean_frequency_mhz,
+            self.checksum
+        ));
+        s
+    }
+}
+
+/// Sweeps every transfer interval across all chips and returns the
+/// verified peak total draw and the number of instants above the cap.
+///
+/// This is the *independent* check: it ignores how the budget layer
+/// decomposed the cap and simply integrates what the chips actually
+/// drew, so a budgeting bug cannot hide its own violations.
+fn verify_rack(outcomes: &[ChipOutcome], chips: usize, cap_mw: f64) -> (f64, u64) {
+    // (time_fs, phase, delta): ends (phase 0) apply before starts
+    // (phase 1) at the same instant, so back-to-back transfers don't
+    // double-count at the boundary.
+    let mut events: Vec<(u64, u8, f64)> = Vec::new();
+    for o in outcomes {
+        for &(start, end, draw) in &o.intervals {
+            events.push((start, 1, draw));
+            events.push((end, 0, -draw));
+        }
+    }
+    events.sort_unstable_by_key(|a| (a.0, a.1));
+    let base = chips as f64 * calib::V6_IDLE_MW;
+    let mut current = base;
+    let mut peak = base;
+    let mut violations = 0u64;
+    let mut i = 0;
+    while i < events.len() {
+        // Apply every event at this (instant, phase) before sampling.
+        let key = (events[i].0, events[i].1);
+        while i < events.len() && (events[i].0, events[i].1) == key {
+            current += events[i].2;
+            i += 1;
+        }
+        if current > peak {
+            peak = current;
+        }
+        if key.1 == 1 && current > cap_mw + CAP_EPSILON_MW {
+            violations += 1;
+        }
+    }
+    (peak, violations)
+}
+
+impl Fleet {
+    /// Builds a fleet over `catalog`, calibrating the planning tables
+    /// (one measured dispatch per bitstream shape per grid frequency).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoChips`], [`FleetError::EmptyCatalog`], or
+    /// [`FleetError::NoAdmissibleFrequency`].
+    pub fn new(catalog: Catalog, config: FleetConfig) -> Result<Self, FleetError> {
+        if config.chips == 0 {
+            return Err(FleetError::NoChips);
+        }
+        let planner = PowerAwarePolicy::paper_setup(catalog.device().family());
+        let tables = PlanTables::build(&catalog, &planner, config.min_frequency)?;
+        Ok(Fleet {
+            catalog,
+            config,
+            planner,
+            tables,
+        })
+    }
+
+    /// The bitstream inventory.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The fleet configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The operating-point planner the tables were calibrated against.
+    #[must_use]
+    pub fn planner(&self) -> &PowerAwarePolicy {
+        &self.planner
+    }
+
+    /// The calibrated planning tables.
+    #[must_use]
+    pub fn tables(&self) -> &PlanTables {
+        &self.tables
+    }
+
+    /// Runs `spec` through the fleet: sequential deterministic routing,
+    /// hierarchical cap scheduling, parallel chip simulation, rack-cap
+    /// verification, and merged summary statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InfeasibleRackCap`] if the rack cap cannot fund
+    /// every chip's idle plus the dynamic floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.requests` is zero.
+    pub fn run(&self, spec: &FleetWorkloadSpec) -> Result<FleetOutcome, FleetError> {
+        assert!(spec.requests > 0, "empty workload");
+        let ids = self.catalog.ids();
+        let chips = self.config.chips;
+        let epoch_fs = self.config.epoch.as_fs().max(1);
+
+        // Phase 1 — sequential routing + per-epoch demand accounting.
+        let mut router = Router::new(
+            chips,
+            self.config.route,
+            self.config.chip_cache_bytes,
+            self.tables.mean_service_estimate(),
+        );
+        let mut queues: Vec<Vec<crate::workload::FleetRequest>> = vec![Vec::new(); chips];
+        let mut demand: Vec<Vec<u64>> = Vec::new();
+        for i in 0..spec.requests {
+            let req = spec.request(i, &ids);
+            let image_bytes = self.tables.facts(req.bitstream).image_bytes;
+            let chip = router.route(&req, image_bytes);
+            let e = (req.arrival.as_fs() / epoch_fs) as usize;
+            while demand.len() <= e {
+                demand.push(vec![0; chips]);
+            }
+            demand[e][chip] += 1;
+            queues[chip].push(req);
+        }
+
+        // Phase 2 — decompose the rack cap into per-chip epoch caps.
+        let budget = RackBudget {
+            cap_mw: self.config.rack_cap_mw,
+            epoch: self.config.epoch,
+        };
+        let schedule =
+            budget.schedule(&demand, chips, calib::V6_IDLE_MW, self.tables.floor_mw())?;
+
+        // Phase 3 — simulate every chip (order-preserving fan-out).
+        let inputs: Vec<ChipInput> = queues
+            .into_iter()
+            .enumerate()
+            .map(|(chip, requests)| ChipInput { chip, requests })
+            .collect();
+        let outcomes: Vec<ChipOutcome> = parallel_map(&inputs, |input| {
+            simulate_chip(
+                input,
+                &self.catalog,
+                &self.tables,
+                &schedule,
+                self.config.chip_cache_bytes,
+            )
+        });
+
+        // Phase 4 — independent rack-cap verification.
+        let (peak_power_mw, cap_violations) =
+            verify_rack(&outcomes, chips, self.config.rack_cap_mw);
+
+        // Phase 5 — merge (chip order, deterministic).
+        let mut latency_us = LogHistogram::new();
+        let mut freq_mix = vec![0u64; self.tables.grid().len()];
+        let (mut completed, mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+        let (mut decompressed_bytes, mut words) = (0u64, 0u64);
+        let mut energy_uj = 0.0f64;
+        let mut makespan = SimTime::ZERO;
+        let mut checksum = 0u64;
+        let (mut min_chip, mut max_chip) = (u64::MAX, 0u64);
+        for o in &outcomes {
+            latency_us.merge(&o.latency_us);
+            for (m, c) in freq_mix.iter_mut().zip(&o.freq_mix) {
+                *m += c;
+            }
+            completed += o.completed;
+            hits += o.hits;
+            misses += o.misses;
+            evictions += o.evictions;
+            decompressed_bytes += o.decompressed_bytes;
+            words += o.words;
+            energy_uj += o.energy_uj;
+            makespan = makespan.max(o.finish);
+            checksum ^= o.checksum;
+            min_chip = min_chip.min(o.completed);
+            max_chip = max_chip.max(o.completed);
+        }
+        let staged = hits + misses;
+        let dispatched: u64 = freq_mix.iter().sum();
+        let mean_frequency_mhz = if dispatched > 0 {
+            freq_mix
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| self.tables.frequency(i).as_mhz() * n as f64)
+                .sum::<f64>()
+                / dispatched as f64
+        } else {
+            0.0
+        };
+        let span = makespan.as_secs_f64();
+        Ok(FleetOutcome {
+            requests: spec.requests,
+            chips,
+            completed,
+            hits,
+            misses,
+            evictions,
+            hit_rate: if staged > 0 {
+                hits as f64 / staged as f64
+            } else {
+                0.0
+            },
+            decompressed_bytes,
+            route: router.stats(),
+            words,
+            energy_uj,
+            makespan,
+            sim_words_per_sec: if span > 0.0 { words as f64 / span } else { 0.0 },
+            p50_us: latency_us.percentile(50.0).unwrap_or(0.0),
+            p95_us: latency_us.percentile(95.0).unwrap_or(0.0),
+            p99_us: latency_us.percentile(99.0).unwrap_or(0.0),
+            p999_us: latency_us.percentile(99.9).unwrap_or(0.0),
+            latency_us,
+            peak_power_mw,
+            rack_cap_mw: self.config.rack_cap_mw,
+            cap_violations,
+            mean_frequency_mhz,
+            min_chip_completed: min_chip,
+            max_chip_completed: max_chip,
+            checksum,
+        })
+    }
+}
+
+/// Builds a uniform synthetic catalog for fleet benches and tests:
+/// `images` sparse-profile bitstreams of `frames_per_image` frames each,
+/// all placed in one reconfigurable region, staged through the catalog's
+/// default compressed datapath (the staging BRAM is sized to force
+/// compression, so every image exercises the decompressed-image cache).
+///
+/// # Panics
+///
+/// Panics on invalid parameters (zero images/frames, or a region that
+/// does not fit the device).
+#[must_use]
+pub fn synthetic_catalog(images: usize, frames_per_image: u32, seed: u64) -> Catalog {
+    assert!(images > 0 && frames_per_image > 0, "empty catalog shape");
+    let device = Device::xc5vsx50t();
+    let frame_bytes = device.family().frame_bytes();
+    // Size the staging BRAM below one raw image so every entry stages
+    // compressed (mode word + byte count + payload must fit instead).
+    let bram_bytes = (frames_per_image as usize * frame_bytes) / 2;
+    let mut catalog = Catalog::new(device).with_bram_bytes(bram_bytes);
+    catalog
+        .add_region("pool", 100..100 + frames_per_image)
+        .expect("region fits the device");
+    let batch: Vec<(BitstreamId, PartialBitstream)> = (0..images)
+        .map(|i| {
+            let id = BitstreamId(i as u32 + 1);
+            let payload = SynthProfile::sparse().generate(
+                catalog.device(),
+                100,
+                frames_per_image,
+                seed.wrapping_add(i as u64),
+            );
+            let bs = PartialBitstream::build(catalog.device(), 100, &payload);
+            (id, bs)
+        })
+        .collect();
+    catalog
+        .register_batch(batch)
+        .expect("synthetic batch registers");
+    catalog
+}

@@ -1,0 +1,289 @@
+//! Calibrated operating-point tables.
+//!
+//! `PowerAwarePolicy::plan_constrained` rebuilds the DCM frequency grid
+//! and re-derives time/power/energy predictions on every call — fine for
+//! hundreds of requests, ruinous for millions. This module hoists all of
+//! that out of the dispatch path: the grid is built once, per-frequency
+//! power is tabulated once, and per bitstream *shape* (raw size ×
+//! staging mode) the full Start→Finish latency is **measured** once per
+//! grid frequency with a real cycle-accurate [`UParc`] dispatch (retune +
+//! preload + transfer), not predicted. Selecting an operating point for
+//! a request is then a binary search over the power table — and a test
+//! pins the selection against `plan_constrained` for the same query.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use uparc_core::cache::CacheKey;
+use uparc_core::manager::ManagerConfig;
+use uparc_core::policy::PowerAwarePolicy;
+use uparc_core::uparc::{codec_id, UParc, COMPRESSED_MODE_MAX};
+use uparc_serve::catalog::Catalog;
+use uparc_serve::request::BitstreamId;
+use uparc_sim::power::calib;
+use uparc_sim::time::{Frequency, SimTime};
+
+use crate::FleetError;
+
+/// Per-entry dispatch facts (precomputed so the hot loop never hashes or
+/// re-derives them).
+#[derive(Debug, Clone)]
+pub struct EntryFacts {
+    /// Index into the group tables.
+    group: usize,
+    /// Cache key of the staged compressed payload (None = raw staging,
+    /// which bypasses the decompressed-image cache entirely).
+    pub key: Option<CacheKey>,
+    /// Decompressed image size in bytes (what the cache stores).
+    pub image_bytes: usize,
+    /// Transfer size in 32-bit words (mode word included), for
+    /// throughput accounting.
+    pub words: u64,
+}
+
+/// Calibrated tables for one bitstream shape.
+#[derive(Debug, Clone)]
+struct GroupTable {
+    /// `grid[..admissible]` respects the datapath frequency ceiling.
+    admissible: usize,
+    /// Measured Start→Finish latency per admissible grid index.
+    service: Vec<SimTime>,
+    /// Above-idle energy per dispatch per admissible grid index, µJ
+    /// (decompressor draw included for compressed staging).
+    energy_uj: Vec<f64>,
+    /// Extra steady draw during the transfer (decompressor), mW.
+    extra_draw_mw: f64,
+}
+
+/// The fleet's precomputed planning tables.
+#[derive(Debug, Clone)]
+pub struct PlanTables {
+    /// Synthesizable CLK_2 targets in the fleet operating range,
+    /// ascending.
+    grid: Vec<Frequency>,
+    /// Total core power (idle included, decompressor excluded) per grid
+    /// index — strictly ascending, so cap admission is a binary search.
+    power_mw: Vec<f64>,
+    groups: Vec<GroupTable>,
+    entries: BTreeMap<u32, EntryFacts>,
+}
+
+impl PlanTables {
+    /// Builds and calibrates tables for every entry of `catalog`.
+    ///
+    /// The grid is restricted to `min_frequency` and up: the slowest
+    /// grid point defines the per-chip power floor the rack budget must
+    /// fund, so a rack-scale deployment declares the slowest clock it is
+    /// willing to run rather than reserving budget for pathological
+    /// 6 MHz operating points.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::EmptyCatalog`] for an empty catalog and
+    /// [`FleetError::NoAdmissibleFrequency`] if the operating range is
+    /// empty or excludes some entry's datapath ceiling.
+    pub fn build(
+        catalog: &Catalog,
+        planner: &PowerAwarePolicy,
+        min_frequency: Frequency,
+    ) -> Result<Self, FleetError> {
+        if catalog.is_empty() {
+            return Err(FleetError::EmptyCatalog);
+        }
+        let grid: Vec<Frequency> = planner
+            .frequency_grid()
+            .into_iter()
+            .filter(|&f| f >= min_frequency)
+            .collect();
+        if grid.is_empty() {
+            return Err(FleetError::NoAdmissibleFrequency);
+        }
+        let power_mw: Vec<f64> = grid
+            .iter()
+            .map(|&f| planner.predicted_power_mw(f))
+            .collect();
+        let manager_mhz = ManagerConfig::default().clock.as_mhz();
+        let codec = codec_id(catalog.algorithm());
+
+        let mut tables = PlanTables {
+            grid,
+            power_mw,
+            groups: Vec::new(),
+            entries: BTreeMap::new(),
+        };
+        let mut group_of: BTreeMap<(usize, bool), usize> = BTreeMap::new();
+        for id in catalog.ids() {
+            let entry = catalog.entry(id).expect("listed id resolves");
+            let shape = (entry.raw_bytes(), entry.compressed());
+            let group = match group_of.get(&shape) {
+                Some(&g) => g,
+                None => {
+                    let ceiling = entry
+                        .compressed()
+                        .then(|| Frequency::from_mhz(COMPRESSED_MODE_MAX));
+                    let admissible = match ceiling {
+                        Some(c) => tables.grid.partition_point(|&f| f <= c),
+                        None => tables.grid.len(),
+                    };
+                    if admissible == 0 {
+                        return Err(FleetError::NoAdmissibleFrequency);
+                    }
+                    let extra_draw_mw = if entry.compressed() {
+                        calib::DECOMPRESSOR_MW_PER_MHZ * manager_mhz
+                    } else {
+                        0.0
+                    };
+                    let mut service = Vec::with_capacity(admissible);
+                    let mut energy_uj = Vec::with_capacity(admissible);
+                    for i in 0..admissible {
+                        let f = tables.grid[i];
+                        // A fresh scratch controller per point: no DCM
+                        // relock residue, no warm decompressed cache.
+                        let mut scratch = UParc::builder(catalog.device().clone())
+                            .bram_bytes(catalog.bram_bytes())
+                            .decompressor(catalog.algorithm())
+                            .decompressed_cache_bytes(0)
+                            .build()
+                            .expect("catalog algorithm has a hardware decompressor");
+                        scratch
+                            .set_reconfiguration_frequency(f)
+                            .expect("grid frequency is synthesizable");
+                        scratch
+                            .reconfigure_bitstream(entry.bitstream(), entry.mode())
+                            .expect("fault-free calibration dispatch");
+                        let measured = scratch.now();
+                        service.push(measured);
+                        energy_uj.push(
+                            planner.predicted_energy_uj(entry.raw_bytes(), f)
+                                + extra_draw_mw * measured.as_secs_f64() * 1e3,
+                        );
+                    }
+                    let g = tables.groups.len();
+                    tables.groups.push(GroupTable {
+                        admissible,
+                        service,
+                        energy_uj,
+                        extra_draw_mw,
+                    });
+                    group_of.insert(shape, g);
+                    g
+                }
+            };
+            let (key, image_bytes) = match entry.packed_bytes() {
+                Some(packed) => {
+                    let image = catalog
+                        .algorithm()
+                        .codec()
+                        .decompress(packed)
+                        .expect("staged payload round-trips");
+                    (Some(CacheKey::of(codec, packed)), image.len())
+                }
+                None => (None, entry.raw_bytes()),
+            };
+            tables.entries.insert(
+                id.0,
+                EntryFacts {
+                    group,
+                    key,
+                    image_bytes,
+                    words: (entry.raw_bytes() as u64).div_ceil(4) + 1,
+                },
+            );
+        }
+        Ok(tables)
+    }
+
+    /// The restricted frequency grid, ascending.
+    #[must_use]
+    pub fn grid(&self) -> &[Frequency] {
+        &self.grid
+    }
+
+    /// Precomputed dispatch facts for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an id the tables were not built over.
+    #[must_use]
+    pub fn facts(&self, id: BitstreamId) -> &EntryFacts {
+        self.entries.get(&id.0).expect("id was calibrated")
+    }
+
+    /// Fastest admissible grid index for `id` under a total-power cap of
+    /// `cap_mw` (idle and decompressor draw included), or `None` if even
+    /// the slowest point exceeds the cap.
+    #[must_use]
+    pub fn select(&self, id: BitstreamId, cap_mw: f64) -> Option<usize> {
+        let g = &self.groups[self.facts(id).group];
+        let fit = self.power_mw[..g.admissible].partition_point(|&p| p + g.extra_draw_mw <= cap_mw);
+        fit.checked_sub(1)
+    }
+
+    /// Measured Start→Finish latency of `id` at grid index `idx`.
+    #[must_use]
+    pub fn service(&self, id: BitstreamId, idx: usize) -> SimTime {
+        self.groups[self.facts(id).group].service[idx]
+    }
+
+    /// The slowest admissible point's latency for `id` — the
+    /// conservative window dispatch planning spans epoch caps with.
+    #[must_use]
+    pub fn slowest_service(&self, id: BitstreamId) -> SimTime {
+        self.groups[self.facts(id).group].service[0]
+    }
+
+    /// Above-idle energy of one dispatch of `id` at grid index `idx`, µJ.
+    #[must_use]
+    pub fn energy_uj(&self, id: BitstreamId, idx: usize) -> f64 {
+        self.groups[self.facts(id).group].energy_uj[idx]
+    }
+
+    /// Above-idle draw of `id`'s transfer at grid index `idx`, mW
+    /// (reconfiguration path plus decompressor).
+    #[must_use]
+    pub fn draw_above_idle_mw(&self, id: BitstreamId, idx: usize) -> f64 {
+        let g = &self.groups[self.facts(id).group];
+        self.power_mw[idx] - calib::V6_IDLE_MW + g.extra_draw_mw
+    }
+
+    /// The CLK_2 frequency at grid index `idx`.
+    #[must_use]
+    pub fn frequency(&self, idx: usize) -> Frequency {
+        self.grid[idx]
+    }
+
+    /// The per-chip above-idle power floor: the draw of the slowest grid
+    /// point plus the largest decompressor surcharge any entry needs.
+    /// A chip whose cap funds idle + this floor can always dispatch.
+    #[must_use]
+    pub fn floor_mw(&self) -> f64 {
+        let extra = self
+            .groups
+            .iter()
+            .map(|g| g.extra_draw_mw)
+            .fold(0.0, f64::max);
+        self.power_mw[0] - calib::V6_IDLE_MW + extra
+    }
+
+    /// A mid-grid service-time estimate for router load modeling.
+    #[must_use]
+    pub fn mean_service_estimate(&self) -> SimTime {
+        let g = &self.groups[0];
+        g.service[g.admissible / 2]
+    }
+
+    /// An owned copy of the decompressed image of `id` (compressed
+    /// staging only). Used by tests; the chip loop decompresses inline.
+    #[must_use]
+    pub fn decompress_image(&self, catalog: &Catalog, id: BitstreamId) -> Option<Arc<Vec<u8>>> {
+        let entry = catalog.entry(id)?;
+        let packed = entry.packed_bytes()?;
+        Some(Arc::new(
+            catalog
+                .algorithm()
+                .codec()
+                .decompress(packed)
+                .expect("staged payload round-trips"),
+        ))
+    }
+}

@@ -1,0 +1,337 @@
+//! Cross-chip request routing.
+//!
+//! The router is the fleet's locality engine: it keeps a byte-budgeted
+//! model of each chip's decompressed-bitstream LRU (the same budget and
+//! eviction order as the real `uparc_core::cache::DecompCache` the chip
+//! simulation runs) and sends each request to a chip that already holds
+//! the image. When every holder is overloaded the request *spills* to
+//! the least-loaded chip instead — locality never wins at the price of a
+//! hot chip's queue growing without bound.
+//!
+//! Routing is strictly sequential and deterministic: chip load is
+//! modeled as a finish horizon in femtoseconds, candidates are compared
+//! by `(horizon, chip id)`, so equal-load ties always resolve to the
+//! lowest chip id (pinned by `tests/fleet.rs`).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use uparc_serve::request::BitstreamId;
+use uparc_sim::time::SimTime;
+
+use crate::workload::{splitmix64, FleetRequest, GOLDEN};
+
+/// How the fleet assigns requests to chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Prefer a chip whose modeled LRU holds the image; spill to the
+    /// least-loaded chip when the best holder's backlog exceeds the
+    /// fleet-wide minimum by more than `spill_window`.
+    Locality {
+        /// Maximum extra backlog a holder may carry over the least
+        /// loaded chip before the request spills.
+        spill_window: SimTime,
+    },
+    /// Seeded uniform-random assignment — the baseline the locality
+    /// uplift is measured against.
+    Random {
+        /// Assignment seed (independent of the workload seed).
+        seed: u64,
+    },
+}
+
+/// Per-request routing tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Requests routed to a chip already holding the image.
+    pub warm: u64,
+    /// Requests whose image no chip held (first touch or fully evicted).
+    pub cold: u64,
+    /// Requests that had a holder but spilled to a less loaded chip.
+    pub spills: u64,
+}
+
+/// Modeled per-chip LRU of decompressed images. Mirrors the byte-budget
+/// semantics of `DecompCache`: inserting past the budget evicts
+/// least-recently-used entries first; an entry larger than the whole
+/// budget is not admitted.
+#[derive(Debug, Clone)]
+struct ModelLru {
+    budget: usize,
+    used: usize,
+    tick: u64,
+    /// `(id, bytes, last-touch tick)`; small (a handful of images per
+    /// chip), so linear scans beat pointer-chasing.
+    entries: Vec<(BitstreamId, usize, u64)>,
+}
+
+impl ModelLru {
+    fn new(budget: usize) -> Self {
+        ModelLru {
+            budget,
+            used: 0,
+            tick: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    fn touch(&mut self, id: BitstreamId) -> bool {
+        self.tick += 1;
+        for e in &mut self.entries {
+            if e.0 == id {
+                e.2 = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `id`, returning the ids evicted to make room.
+    fn insert(&mut self, id: BitstreamId, bytes: usize) -> Vec<BitstreamId> {
+        self.tick += 1;
+        let mut evicted = Vec::new();
+        if bytes > self.budget || self.budget == 0 {
+            return evicted;
+        }
+        while self.used + bytes > self.budget {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("over budget implies a resident entry");
+            let (gone, gone_bytes, _) = self.entries.swap_remove(lru);
+            self.used -= gone_bytes;
+            evicted.push(gone);
+        }
+        self.used += bytes;
+        self.entries.push((id, bytes, self.tick));
+        evicted
+    }
+}
+
+/// The sequential, deterministic cross-chip router.
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutePolicy,
+    /// Modeled finish horizon per chip, fs.
+    horizons: Vec<u64>,
+    /// Modeled cache content per chip (locality policy only).
+    models: Vec<ModelLru>,
+    /// Which chips currently hold each image (ascending chip ids).
+    holders: BTreeMap<BitstreamId, Vec<usize>>,
+    /// Lazy min-heap over `(horizon, chip)`; stale entries are skipped.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Mean service estimate used to advance horizons, fs.
+    est_service_fs: u64,
+    stats: RouteStats,
+}
+
+impl Router {
+    /// A router over `chips` chips whose modeled LRUs hold
+    /// `cache_budget` bytes each; `est_service` is the load-model cost
+    /// of one request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn new(
+        chips: usize,
+        policy: RoutePolicy,
+        cache_budget: usize,
+        est_service: SimTime,
+    ) -> Self {
+        assert!(chips > 0, "router needs at least one chip");
+        Router {
+            policy,
+            horizons: vec![0; chips],
+            models: (0..chips).map(|_| ModelLru::new(cache_budget)).collect(),
+            holders: BTreeMap::new(),
+            heap: (0..chips).map(|c| Reverse((0, c))).collect(),
+            est_service_fs: est_service.as_fs().max(1),
+            stats: RouteStats::default(),
+        }
+    }
+
+    /// Routing tallies so far.
+    #[must_use]
+    pub fn stats(&self) -> RouteStats {
+        self.stats
+    }
+
+    /// The least-loaded chip by `(horizon, chip id)`; the heap is lazy,
+    /// so stale keys are popped until the top matches reality.
+    fn least_loaded(&mut self) -> (u64, usize) {
+        loop {
+            let &Reverse((h, c)) = self.heap.peek().expect("heap holds every chip");
+            if self.horizons[c] == h {
+                return (h, c);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Picks the target chip for `req` (an image of `image_bytes`
+    /// decompressed bytes) and advances the load model.
+    pub fn route(&mut self, req: &FleetRequest, image_bytes: usize) -> usize {
+        let target = match self.policy {
+            RoutePolicy::Random { seed } => {
+                (splitmix64(seed.wrapping_add(req.index.wrapping_mul(GOLDEN)))
+                    % self.horizons.len() as u64) as usize
+            }
+            RoutePolicy::Locality { spill_window } => {
+                let (min_h, least) = self.least_loaded();
+                let holder = self
+                    .holders
+                    .get(&req.bitstream)
+                    .and_then(|chips| chips.iter().copied().min_by_key(|&c| (self.horizons[c], c)));
+                match holder {
+                    Some(h) if self.horizons[h] <= min_h.saturating_add(spill_window.as_fs()) => {
+                        self.stats.warm += 1;
+                        h
+                    }
+                    Some(_) => {
+                        self.stats.spills += 1;
+                        least
+                    }
+                    None => {
+                        self.stats.cold += 1;
+                        least
+                    }
+                }
+            }
+        };
+        // Advance the modeled horizon and cache content.
+        let start = self.horizons[target].max(req.arrival.as_fs());
+        self.horizons[target] = start + self.est_service_fs;
+        self.heap.push(Reverse((self.horizons[target], target)));
+        if matches!(self.policy, RoutePolicy::Locality { .. })
+            && !self.models[target].touch(req.bitstream)
+        {
+            for gone in self.models[target].insert(req.bitstream, image_bytes) {
+                let held = self.holders.get_mut(&gone).expect("evictee was held");
+                held.retain(|&c| c != target);
+                if held.is_empty() {
+                    self.holders.remove(&gone);
+                }
+            }
+            if self.models[target].touch(req.bitstream) {
+                let held = self.holders.entry(req.bitstream).or_default();
+                match held.binary_search(&target) {
+                    Ok(_) => {}
+                    Err(pos) => held.insert(pos, target),
+                }
+            }
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(index: u64, arrival_ns: u64, bs: u32) -> FleetRequest {
+        FleetRequest {
+            index,
+            arrival: SimTime::from_ns(arrival_ns),
+            bitstream: BitstreamId(bs),
+        }
+    }
+
+    #[test]
+    fn equal_load_ties_break_to_lowest_chip_id() {
+        let mut r = Router::new(
+            4,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_us(10),
+            },
+            1 << 20,
+            SimTime::from_us(1),
+        );
+        // All chips idle at horizon 0: the first cold request must land
+        // on chip 0, the next (different image, chip 0 now loaded) on 1.
+        assert_eq!(r.route(&req(0, 0, 1), 1024), 0);
+        assert_eq!(r.route(&req(1, 0, 2), 1024), 1);
+        assert_eq!(r.route(&req(2, 0, 3), 1024), 2);
+        assert_eq!(r.route(&req(3, 0, 4), 1024), 3);
+    }
+
+    #[test]
+    fn warm_requests_follow_the_image() {
+        let mut r = Router::new(
+            3,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_ms(1),
+            },
+            1 << 20,
+            SimTime::from_us(1),
+        );
+        assert_eq!(r.route(&req(0, 0, 7), 1024), 0);
+        // Image 7 now lives on chip 0; later requests for it stay there
+        // even though chips 1 and 2 are idle (spill window is generous).
+        assert_eq!(r.route(&req(1, 10, 7), 1024), 0);
+        assert_eq!(r.route(&req(2, 20, 7), 1024), 0);
+        assert_eq!(r.stats().warm, 2);
+        assert_eq!(r.stats().cold, 1);
+    }
+
+    #[test]
+    fn overloaded_holder_spills_to_least_loaded() {
+        let mut r = Router::new(
+            2,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_ns(500),
+            },
+            1 << 20,
+            SimTime::from_us(1),
+        );
+        // Pile image 1 onto chip 0 until its backlog exceeds the spill
+        // window over idle chip 1.
+        assert_eq!(r.route(&req(0, 0, 1), 1024), 0);
+        assert_eq!(r.route(&req(1, 0, 1), 1024), 1, "backlogged holder spills");
+        assert_eq!(r.stats().spills, 1);
+    }
+
+    #[test]
+    fn eviction_forgets_holders() {
+        let mut r = Router::new(
+            1,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_ms(1),
+            },
+            2048,
+            SimTime::from_us(1),
+        );
+        // Budget fits two 1 KB images; the third insert evicts image 1.
+        r.route(&req(0, 0, 1), 1024);
+        r.route(&req(1, 0, 2), 1024);
+        r.route(&req(2, 0, 3), 1024);
+        assert!(!r.holders.contains_key(&BitstreamId(1)));
+        assert!(r.holders.contains_key(&BitstreamId(2)));
+        assert!(r.holders.contains_key(&BitstreamId(3)));
+        // A re-request of the evicted image is cold again.
+        let cold_before = r.stats().cold;
+        r.route(&req(3, 0, 1), 1024);
+        assert_eq!(r.stats().cold, cold_before + 1);
+    }
+
+    #[test]
+    fn random_routing_is_seed_deterministic() {
+        let route_all = |seed: u64| -> Vec<usize> {
+            let mut r = Router::new(
+                8,
+                RoutePolicy::Random { seed },
+                1 << 20,
+                SimTime::from_us(1),
+            );
+            (0..256)
+                .map(|i| r.route(&req(i, i * 10, (i % 5) as u32), 1024))
+                .collect()
+        };
+        assert_eq!(route_all(9), route_all(9));
+        assert_ne!(route_all(9), route_all(10));
+    }
+}

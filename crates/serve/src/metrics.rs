@@ -1,6 +1,6 @@
 //! Per-request records and run-level summaries.
 
-use uparc_sim::stats;
+use uparc_sim::stats::LogHistogram;
 use uparc_sim::time::{Frequency, SimTime};
 
 use crate::request::{AdmissionError, RegionId, RequestId};
@@ -94,16 +94,29 @@ pub struct ServiceMetrics {
 }
 
 impl ServiceMetrics {
+    /// Streaming log₂ histogram of arrival-to-finish latencies in
+    /// microseconds. This is the same mergeable implementation fleet
+    /// shards use, so a single-chip summary and a fleet-wide one report
+    /// quantiles through one code path.
+    #[must_use]
+    pub fn latency_histogram(&self) -> LogHistogram {
+        let mut hist = LogHistogram::new();
+        for c in &self.completions {
+            hist.observe(c.latency().as_us_f64());
+        }
+        hist
+    }
+
     /// Condenses the run into headline numbers.
+    ///
+    /// Latency quantiles come from the mergeable [`LogHistogram`] rather
+    /// than an exact sort, so they are within one bucket (≤12.5%
+    /// relative) of the sorted-vector answer; a test pins that bound
+    /// against `stats::percentile`.
     #[must_use]
     pub fn summary(&self) -> ServiceSummary {
         let completed = self.completions.len();
-        let mut latencies_us: Vec<f64> = self
-            .completions
-            .iter()
-            .map(|c| c.latency().as_us_f64())
-            .collect();
-        latencies_us.sort_by(f64::total_cmp);
+        let hist = self.latency_histogram();
         let misses = self.completions.iter().filter(|c| c.missed).count();
         let with_deadline = self
             .completions
@@ -121,9 +134,9 @@ impl ServiceMetrics {
             } else {
                 0.0
             },
-            p50_latency_us: stats::percentile(&latencies_us, 50.0).unwrap_or(0.0),
-            p95_latency_us: stats::percentile(&latencies_us, 95.0).unwrap_or(0.0),
-            p99_latency_us: stats::percentile(&latencies_us, 99.0).unwrap_or(0.0),
+            p50_latency_us: hist.percentile(50.0).unwrap_or(0.0),
+            p95_latency_us: hist.percentile(95.0).unwrap_or(0.0),
+            p99_latency_us: hist.percentile(99.0).unwrap_or(0.0),
             deadline_misses: misses,
             deadline_miss_rate: if with_deadline > 0 {
                 misses as f64 / with_deadline as f64
@@ -217,10 +230,51 @@ mod tests {
         assert_eq!(s.completed, 3);
         assert_eq!(s.deadline_misses, 1);
         assert!((s.deadline_miss_rate - 1.0 / 3.0).abs() < 1e-12);
-        assert!((s.p50_latency_us - 200.0).abs() < 1e-9);
+        // Histogram quantiles are bucket-accurate, not exact.
+        assert!((s.p50_latency_us - 200.0).abs() <= 200.0 * 0.125);
         assert!((s.peak_power_mw - 450.0).abs() < 1e-12);
         assert!((s.mean_energy_uj - 100.0).abs() < 1e-12);
         assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_within_one_bucket_of_exact() {
+        // The old exact-sort path stays behind this test: the summary's
+        // histogram quantiles must track `stats::percentile` over the
+        // same latencies to within one bucket (12.5% relative).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let completions: Vec<Completion> = (0..5000)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Latencies spanning ~3 decades, heavy-tailed.
+                let lat = 50 + (state >> 52) * (state >> 58).max(1);
+                completion(i, 0, lat, false)
+            })
+            .collect();
+        let exact_us: Vec<f64> = completions
+            .iter()
+            .map(|c| c.latency().as_us_f64())
+            .collect();
+        let m = ServiceMetrics {
+            completions,
+            makespan: SimTime::from_ms(10),
+            ..ServiceMetrics::default()
+        };
+        let s = m.summary();
+        for (est, p) in [
+            (s.p50_latency_us, 50.0),
+            (s.p95_latency_us, 95.0),
+            (s.p99_latency_us, 99.0),
+        ] {
+            let exact = uparc_sim::stats::percentile(&exact_us, p).unwrap();
+            let ratio = est / exact;
+            assert!(
+                (1.0 / 1.125..=1.125).contains(&ratio),
+                "p{p}: histogram {est} vs exact {exact}"
+            );
+        }
     }
 
     #[test]

@@ -13,21 +13,22 @@
 //! (including the single-core case, which degrades to a plain map).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
-/// Number of worker threads a sweep over `items` work items will use: the
-/// `UPARC_SWEEP_THREADS` environment variable if set to a positive
-/// integer (so CI and laptops can pin parallelism), otherwise the
-/// machine's available parallelism — in both cases clamped to the work
-/// count and at least 1.
+/// Cached worker override. `None` = not yet resolved (next read parses the
+/// environment); `Some(inner)` = resolved, where `inner` is the effective
+/// override (`None` = autodetect).
+static WORKER_OVERRIDE: Mutex<Option<Option<usize>>> = Mutex::new(None);
+
+/// Parses `UPARC_SWEEP_THREADS` from the environment (no caching).
 ///
-/// A present-but-invalid `UPARC_SWEEP_THREADS` (empty, zero, garbage, or
-/// non-unicode) still falls back to autodetection so a typo never breaks a
-/// run, but the fallback is *loud*: a warning goes to stderr instead of
-/// the variable being silently ignored.
-#[must_use]
-pub fn worker_count(items: usize) -> usize {
-    let pinned = match std::env::var("UPARC_SWEEP_THREADS") {
+/// A present-but-invalid value (empty, zero, garbage, or non-unicode)
+/// falls back to autodetection so a typo never breaks a run, but the
+/// fallback is *loud*: a warning goes to stderr instead of the variable
+/// being silently ignored.
+fn parse_env_override() -> Option<usize> {
+    match std::env::var("UPARC_SWEEP_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => Some(n),
             _ => {
@@ -46,8 +47,52 @@ pub fn worker_count(items: usize) -> usize {
             );
             None
         }
-    };
-    let cores = pinned
+    }
+}
+
+/// The effective worker override, if any: the value set by
+/// [`pin_workers`], else the cached parse of `UPARC_SWEEP_THREADS`.
+///
+/// The environment variable is parsed (and, if malformed, warned about)
+/// **once per process**, not on every sweep — every consumer of the
+/// override ([`worker_count`], and through it `parallel_map`, the
+/// block-parallel codecs, and fleet sharding) reads this one cached
+/// accessor. Call [`unpin_workers`] to force a re-read after mutating the
+/// variable at runtime (tests do this; production code should prefer
+/// [`pin_workers`]).
+#[must_use]
+pub fn worker_override() -> Option<usize> {
+    let mut cached = WORKER_OVERRIDE.lock().expect("worker override poisoned");
+    *cached.get_or_insert_with(parse_env_override)
+}
+
+/// Pins the sweep worker count programmatically for the rest of the
+/// process (until the next [`pin_workers`]/[`unpin_workers`] call),
+/// overriding `UPARC_SWEEP_THREADS`. Benches use this to sweep worker
+/// counts without mutating process-global environment variables.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn pin_workers(workers: usize) {
+    assert!(workers > 0, "cannot pin zero sweep workers");
+    *WORKER_OVERRIDE.lock().expect("worker override poisoned") = Some(Some(workers));
+}
+
+/// Clears any pinned worker count *and* the cached environment parse, so
+/// the next [`worker_override`] read re-parses `UPARC_SWEEP_THREADS`.
+pub fn unpin_workers() {
+    *WORKER_OVERRIDE.lock().expect("worker override poisoned") = None;
+}
+
+/// Number of worker threads a sweep over `items` work items will use: the
+/// pinned/`UPARC_SWEEP_THREADS` override from [`worker_override`] if set
+/// (so CI and laptops can pin parallelism), otherwise the machine's
+/// available parallelism — in both cases clamped to the work count and at
+/// least 1.
+#[must_use]
+pub fn worker_count(items: usize) -> usize {
+    let cores = worker_override()
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
     cores.min(items).max(1)
 }
@@ -158,17 +203,33 @@ mod tests {
     fn worker_count_honors_env_override() {
         // Env vars are process-global and tests run concurrently, so this
         // test owns the variable: set → check → clear → check. Other tests
-        // here don't read it.
+        // here don't read it. The parse is cached, so every mutation is
+        // followed by `unpin_workers()` to force a re-read.
         std::env::set_var("UPARC_SWEEP_THREADS", "3");
+        unpin_workers();
         assert_eq!(worker_count(10_000), 3);
         assert_eq!(worker_count(2), 2, "still clamped to the work count");
         std::env::set_var("UPARC_SWEEP_THREADS", "not-a-number");
+        unpin_workers();
         let fallback = worker_count(10_000);
         assert!(fallback >= 1, "garbage value falls back to autodetect");
         std::env::set_var("UPARC_SWEEP_THREADS", "0");
+        unpin_workers();
         assert!(worker_count(10_000) >= 1, "zero falls back to autodetect");
         std::env::remove_var("UPARC_SWEEP_THREADS");
+        unpin_workers();
         assert!(worker_count(10_000) >= 1);
+
+        // Programmatic pinning wins over the environment and unpinning
+        // restores the env-driven path.
+        std::env::set_var("UPARC_SWEEP_THREADS", "2");
+        unpin_workers();
+        pin_workers(5);
+        assert_eq!(worker_count(10_000), 5, "pin overrides the env var");
+        unpin_workers();
+        assert_eq!(worker_count(10_000), 2, "unpin re-reads the env var");
+        std::env::remove_var("UPARC_SWEEP_THREADS");
+        unpin_workers();
     }
 
     #[test]

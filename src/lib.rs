@@ -18,6 +18,8 @@
 //!   the global optimizer.
 //! * [`serve`] — the multi-tenant reconfiguration service: typed
 //!   admission, power-budgeted per-region scheduling, workload generator.
+//! * [`fleet`] — sharded rack-scale serving: hierarchical power caps,
+//!   locality-aware cross-chip routing, mergeable latency histograms.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub use uparc_bitstream as bitstream;
 pub use uparc_compress as compress;
 pub use uparc_controllers as controllers;
 pub use uparc_core as core;
+pub use uparc_fleet as fleet;
 pub use uparc_fpga as fpga;
 pub use uparc_serve as serve;
 pub use uparc_sim as sim;

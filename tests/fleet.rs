@@ -1,0 +1,198 @@
+//! Integration tests of the `uparc-fleet` rack-scale serving stack:
+//! workload sharding determinism, router tie-breaks, worker-count
+//! identity of a full fleet run, and equivalence of the calibrated
+//! operating-point tables against `PowerAwarePolicy::plan_constrained`.
+
+use uparc_repro::core::policy::{PlanQuery, PowerAwarePolicy};
+use uparc_repro::fleet::{
+    synthetic_catalog, Fleet, FleetConfig, FleetWorkloadSpec, PlanTables, RoutePolicy,
+};
+use uparc_repro::serve::request::BitstreamId;
+use uparc_repro::sim::power::calib;
+use uparc_repro::sim::sweep;
+use uparc_repro::sim::time::{Frequency, SimTime};
+
+fn small_config(chips: usize, route: RoutePolicy) -> FleetConfig {
+    FleetConfig {
+        chips,
+        rack_cap_mw: chips as f64 * 700.0,
+        epoch: SimTime::from_us(50),
+        chip_cache_bytes: 64 * 1024,
+        route,
+        min_frequency: Frequency::from_mhz(50.0),
+    }
+}
+
+fn small_spec(requests: u64) -> FleetWorkloadSpec {
+    FleetWorkloadSpec {
+        requests,
+        mean_gap: SimTime::from_ns(400),
+        seed: 0xF1EE7,
+    }
+}
+
+/// Sharded generation concatenates to exactly the sequential stream, so
+/// any shard decomposition of the request range sees identical requests.
+#[test]
+fn workload_shards_concat_to_the_full_stream() {
+    let catalog = synthetic_catalog(16, 12, 11);
+    let ids = catalog.ids();
+    let spec = small_spec(1000);
+    let full = spec.generate(&ids);
+    for shards in [2, 3, 7, 8] {
+        let mut stitched = Vec::new();
+        let per = 1000u64.div_ceil(shards);
+        for s in 0..shards {
+            let lo = s * per;
+            let hi = ((s + 1) * per).min(1000);
+            stitched.extend(spec.generate_range(lo..hi, &ids));
+        }
+        assert_eq!(stitched, full, "{shards}-way sharding changed the stream");
+    }
+}
+
+/// The same spec + inventory is pure in the request index: arrivals are
+/// non-decreasing and re-generation is identical.
+#[test]
+fn workload_generation_is_deterministic() {
+    let catalog = synthetic_catalog(8, 10, 3);
+    let ids = catalog.ids();
+    let spec = small_spec(500);
+    let a = spec.generate(&ids);
+    let b = spec.generate(&ids);
+    assert_eq!(a, b);
+    for w in a.windows(2) {
+        assert!(w[0].arrival <= w[1].arrival, "arrivals must be monotone");
+    }
+}
+
+/// A full fleet run renders byte-identically when the worker pool is
+/// pinned to 1 vs 8 — the tentpole determinism guarantee.
+#[test]
+fn fleet_outcome_is_identical_across_worker_counts() {
+    let catalog = synthetic_catalog(24, 12, 29);
+    let fleet = Fleet::new(
+        catalog,
+        small_config(
+            6,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_us(5),
+            },
+        ),
+    )
+    .unwrap();
+    let spec = small_spec(3000);
+
+    sweep::pin_workers(1);
+    let one = fleet.run(&spec).unwrap();
+    sweep::pin_workers(8);
+    let eight = fleet.run(&spec).unwrap();
+    sweep::unpin_workers();
+
+    assert_eq!(one, eight, "fleet outcome depends on worker count");
+    assert_eq!(one.render(), eight.render());
+    assert_eq!(one.completed, 3000);
+    assert_eq!(one.cap_violations, 0, "rack cap violated");
+    assert!(one.peak_power_mw <= one.rack_cap_mw + 1e-9);
+}
+
+/// Locality routing must beat seeded random routing on fleet cache hit
+/// rate for a reuse-heavy workload (few images, many requests).
+#[test]
+fn locality_routing_beats_random_on_hit_rate() {
+    let catalog = synthetic_catalog(32, 12, 41);
+    let spec = small_spec(4000);
+    let locality = Fleet::new(
+        catalog.clone(),
+        small_config(
+            8,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_us(5),
+            },
+        ),
+    )
+    .unwrap()
+    .run(&spec)
+    .unwrap();
+    let random = Fleet::new(catalog, small_config(8, RoutePolicy::Random { seed: 99 }))
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    assert_eq!(locality.completed, random.completed);
+    // Both serve the same multiset of images, so the work checksum
+    // (XOR fold of every served image) matches even though routing
+    // (and therefore per-chip XOR partitioning) differs.
+    assert!(
+        locality.hit_rate > random.hit_rate,
+        "locality hit rate {:.3} did not beat random {:.3}",
+        locality.hit_rate,
+        random.hit_rate
+    );
+    assert_eq!(locality.cap_violations, 0);
+    assert_eq!(random.cap_violations, 0);
+}
+
+/// The calibrated table's cap-constrained selection picks the same
+/// frequency as the reference planner's `plan_constrained` for caps that
+/// land between grid points.
+#[test]
+fn plan_tables_match_plan_constrained() {
+    let catalog = synthetic_catalog(4, 12, 53);
+    let planner = PowerAwarePolicy::paper_setup(catalog.device().family());
+    // Full grid (no fleet floor) so the comparison covers every point.
+    let tables = PlanTables::build(&catalog, &planner, Frequency::from_hz(1)).unwrap();
+    let id = BitstreamId(1);
+    let entry = catalog.entry(id).unwrap();
+    let facts = tables.facts(id);
+    let extra = if facts.key.is_some() {
+        calib::DECOMPRESSOR_MW_PER_MHZ * 100.0
+    } else {
+        0.0
+    };
+    let grid = tables.grid().to_vec();
+    for i in 0..grid.len() {
+        // A cap halfway between grid point i's power and the next
+        // point's power admits exactly points 0..=i.
+        let p_i = planner.predicted_power_mw(grid[i]);
+        let p_next = grid
+            .get(i + 1)
+            .map_or(p_i + 10.0, |&f| planner.predicted_power_mw(f));
+        let cap = (p_i + p_next) / 2.0 + extra;
+        let picked = tables.select(id, cap);
+        let reference = planner.plan_constrained(&PlanQuery {
+            bytes: entry.raw_bytes(),
+            max_frequency: facts.key.is_some().then(|| Frequency::from_mhz(255.0)),
+            power_cap_mw: Some(cap - extra),
+            ..PlanQuery::default()
+        });
+        match (picked, reference) {
+            (Some(idx), Ok(plan)) => {
+                assert_eq!(
+                    tables.frequency(idx).as_mhz(),
+                    plan.frequency.as_mhz(),
+                    "cap {cap:.1} mW: table picked {:.1} MHz, planner {:.1} MHz",
+                    tables.frequency(idx).as_mhz(),
+                    plan.frequency.as_mhz()
+                );
+            }
+            (None, Err(_)) => {}
+            (t, p) => panic!(
+                "cap {cap:.1} mW: table={t:?} planner-feasible={}",
+                p.is_ok()
+            ),
+        }
+    }
+}
+
+/// An infeasible rack cap is rejected up front rather than producing a
+/// run that violates it.
+#[test]
+fn infeasible_rack_cap_is_rejected() {
+    let catalog = synthetic_catalog(4, 12, 5);
+    let mut config = small_config(4, RoutePolicy::Random { seed: 1 });
+    config.rack_cap_mw = 4.0 * calib::V6_IDLE_MW; // idle only, no headroom
+    let fleet = Fleet::new(catalog, config).unwrap();
+    let err = fleet.run(&small_spec(10)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("rack cap"), "unexpected error: {msg}");
+}
