@@ -17,6 +17,85 @@ use uparc_sim::time::SimTime;
 
 use crate::FleetError;
 
+/// A rack-level power emergency: between `from` and `to` the rack cap is
+/// cut to `cap_mw` (facility brownout, cooling failure, grid curtailment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmergencyWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub to: SimTime,
+    /// The emergency rack cap inside the window, mW.
+    pub cap_mw: f64,
+}
+
+impl EmergencyWindow {
+    /// Whether `at_fs` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, at_fs: u64) -> bool {
+        self.from.as_fs() <= at_fs && at_fs < self.to.as_fs()
+    }
+}
+
+/// The rack cap as a function of time: a base cap cut down by any
+/// overlapping [`EmergencyWindow`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapTimeline {
+    base_mw: f64,
+    emergencies: Vec<EmergencyWindow>,
+}
+
+impl CapTimeline {
+    /// A constant cap with no emergencies.
+    #[must_use]
+    pub fn constant(base_mw: f64) -> Self {
+        CapTimeline {
+            base_mw,
+            emergencies: Vec::new(),
+        }
+    }
+
+    /// A base cap cut by `emergencies` wherever they apply.
+    #[must_use]
+    pub fn with_emergencies(base_mw: f64, emergencies: &[EmergencyWindow]) -> Self {
+        CapTimeline {
+            base_mw,
+            emergencies: emergencies.to_vec(),
+        }
+    }
+
+    /// The effective rack cap at `at_fs` — the base cap, or the lowest
+    /// emergency cap among windows containing the instant.
+    #[must_use]
+    pub fn cap_at(&self, at_fs: u64) -> f64 {
+        self.emergencies
+            .iter()
+            .filter(|w| w.contains(at_fs))
+            .map(|w| w.cap_mw)
+            .fold(self.base_mw, f64::min)
+    }
+
+    /// The tightest cap anywhere in `[from_fs, to_fs)`.
+    #[must_use]
+    pub fn min_over(&self, from_fs: u64, to_fs: u64) -> f64 {
+        self.emergencies
+            .iter()
+            .filter(|w| w.from.as_fs() < to_fs.max(from_fs + 1) && from_fs < w.to.as_fs())
+            .map(|w| w.cap_mw)
+            .fold(self.base_mw, f64::min)
+    }
+
+    /// End of the last emergency, in femtoseconds (0 if none).
+    #[must_use]
+    pub fn last_emergency_end_fs(&self) -> u64 {
+        self.emergencies
+            .iter()
+            .map(|w| w.to.as_fs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// A rack-level power budget with a deterministic rebalance epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RackBudget {
@@ -51,29 +130,80 @@ impl RackBudget {
         idle_mw: f64,
         floor_mw: f64,
     ) -> Result<CapSchedule, FleetError> {
-        let required_mw = chips as f64 * (idle_mw + floor_mw);
-        let spare = self.cap_mw - required_mw;
-        if spare < 0.0 {
-            return Err(FleetError::InfeasibleRackCap {
-                required_mw,
-                cap_mw: self.cap_mw,
-            });
-        }
-        let epochs = demand.len().max(1);
+        self.schedule_chaos(
+            demand,
+            chips,
+            idle_mw,
+            floor_mw,
+            &CapTimeline::constant(self.cap_mw),
+            &vec![None; chips],
+        )
+    }
+
+    /// The chaos-aware decomposition: like [`RackBudget::schedule`], but
+    /// the rack cap follows `timeline` (so emergency windows tighten the
+    /// per-epoch pool) and chips dead by an epoch's start (`loss_at`)
+    /// drop to a zero cap, with their idle+floor reclaimed and the whole
+    /// epoch cap re-decomposed over the surviving set. Per-epoch caps
+    /// over the *live* set still sum exactly to that epoch's effective
+    /// rack cap.
+    ///
+    /// The schedule always extends past the last emergency window, so
+    /// a tail emergency tightens real epochs rather than falling off the
+    /// clamped end of the table.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InfeasibleRackCap`] if any epoch's effective cap
+    /// cannot fund `live_chips · (idle + floor)`.
+    pub fn schedule_chaos(
+        &self,
+        demand: &[Vec<u64>],
+        chips: usize,
+        idle_mw: f64,
+        floor_mw: f64,
+        timeline: &CapTimeline,
+        loss_at: &[Option<SimTime>],
+    ) -> Result<CapSchedule, FleetError> {
+        let epoch_fs = self.epoch.as_fs().max(1);
+        let emergency_epochs = (timeline.last_emergency_end_fs() / epoch_fs + 1) as usize;
+        let epochs = demand.len().max(emergency_epochs).max(1);
         let mut caps = vec![vec![0.0f64; epochs]; chips];
         for e in 0..epochs {
+            let e_from = e as u64 * epoch_fs;
+            let cap_e = timeline.min_over(e_from, e_from + epoch_fs);
+            let live: Vec<bool> = (0..chips)
+                .map(|c| loss_at[c].is_none_or(|t| t.as_fs() > e_from))
+                .collect();
+            let n_live = live.iter().filter(|&&l| l).count();
+            if n_live == 0 {
+                continue; // whole rack dark: every cap stays 0
+            }
+            let required_mw = n_live as f64 * (idle_mw + floor_mw);
+            let spare = cap_e - required_mw;
+            if spare < 0.0 {
+                return Err(FleetError::InfeasibleRackCap {
+                    required_mw,
+                    cap_mw: cap_e,
+                });
+            }
             let weights: Vec<f64> = (0..chips)
-                .map(|c| 1.0 + demand.get(e).map_or(0.0, |d| d[c] as f64))
+                .map(|c| {
+                    if live[c] {
+                        1.0 + demand.get(e).map_or(0.0, |d| d[c] as f64)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             let total: f64 = weights.iter().sum();
-            for (row, w) in caps.iter_mut().zip(&weights) {
-                row[e] = idle_mw + floor_mw + spare * w / total;
+            for ((row, &w), &l) in caps.iter_mut().zip(&weights).zip(&live) {
+                if l {
+                    row[e] = idle_mw + floor_mw + spare * w / total;
+                }
             }
         }
-        Ok(CapSchedule {
-            epoch_fs: self.epoch.as_fs().max(1),
-            caps,
-        })
+        Ok(CapSchedule { epoch_fs, caps })
     }
 }
 
@@ -179,6 +309,118 @@ mod tests {
         assert!((w - e1).abs() < 1e-12);
         // Past the horizon the last epoch's caps persist.
         assert!((s.cap(0, u64::MAX / 2) - e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emergency_epochs_redistribute_over_the_live_set() {
+        let budget = RackBudget {
+            cap_mw: 4000.0,
+            epoch: SimTime::from_us(100),
+        };
+        // Chip 1 dies at 150 µs (start of epoch 1 is 100 µs, so it is
+        // still live there; dead from epoch 2 on). Emergency cuts the
+        // rack to 2500 mW across epochs 2–3.
+        let timeline = CapTimeline::with_emergencies(
+            4000.0,
+            &[EmergencyWindow {
+                from: SimTime::from_us(200),
+                to: SimTime::from_us(400),
+                cap_mw: 2500.0,
+            }],
+        );
+        let loss = vec![None, Some(SimTime::from_us(150)), None, None];
+        let demand = vec![vec![5, 5, 5, 5]; 5];
+        let s = budget
+            .schedule_chaos(&demand, 4, 53.0, 300.0, &timeline, &loss)
+            .unwrap();
+        let at = |e: u64| e * 100_000_000_000;
+        // Epoch 1: chip 1 still live (dies mid-epoch), full cap pool.
+        let total1: f64 = (0..4).map(|c| s.cap(c, at(1))).sum();
+        assert!((total1 - 4000.0).abs() < 1e-9);
+        // Epoch 2: emergency cap, chip 1 dark, live caps sum to 2500.
+        assert_eq!(s.cap(1, at(2)), 0.0);
+        let total2: f64 = (0..4).map(|c| s.cap(c, at(2))).sum();
+        assert!((total2 - 2500.0).abs() < 1e-9, "live set sums to {total2}");
+        for c in [0usize, 2, 3] {
+            assert!(s.cap(c, at(2)) >= 53.0 + 300.0 - 1e-12);
+        }
+        // Epoch 4: emergency over, chip 1 still dead, back to 4000.
+        let total4: f64 = (0..4).map(|c| s.cap(c, at(4))).sum();
+        assert!((total4 - 4000.0).abs() < 1e-9);
+        assert_eq!(s.cap(1, at(4)), 0.0);
+    }
+
+    #[test]
+    fn emergency_past_demand_horizon_extends_the_schedule() {
+        let budget = RackBudget {
+            cap_mw: 2000.0,
+            epoch: SimTime::from_us(100),
+        };
+        let timeline = CapTimeline::with_emergencies(
+            2000.0,
+            &[EmergencyWindow {
+                from: SimTime::from_us(800),
+                to: SimTime::from_us(900),
+                cap_mw: 1200.0,
+            }],
+        );
+        let s = budget
+            .schedule_chaos(&[vec![1, 1]], 2, 53.0, 300.0, &timeline, &[None, None])
+            .unwrap();
+        // One demand epoch, but the table reaches past the emergency.
+        assert!(s.epochs() >= 10);
+        let total8: f64 = (0..2).map(|c| s.cap(c, 800_000_000_000)).sum();
+        assert!((total8 - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_emergency_cap_is_rejected() {
+        let budget = RackBudget {
+            cap_mw: 2000.0,
+            epoch: SimTime::from_us(100),
+        };
+        let timeline = CapTimeline::with_emergencies(
+            2000.0,
+            &[EmergencyWindow {
+                from: SimTime::ZERO,
+                to: SimTime::from_us(100),
+                cap_mw: 100.0,
+            }],
+        );
+        let err = budget
+            .schedule_chaos(&[vec![0, 0]], 2, 53.0, 300.0, &timeline, &[None, None])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FleetError::InfeasibleRackCap { cap_mw, .. } if cap_mw == 100.0
+        ));
+    }
+
+    #[test]
+    fn cap_timeline_takes_the_tightest_overlap() {
+        let t = CapTimeline::with_emergencies(
+            5000.0,
+            &[
+                EmergencyWindow {
+                    from: SimTime::from_us(100),
+                    to: SimTime::from_us(300),
+                    cap_mw: 3000.0,
+                },
+                EmergencyWindow {
+                    from: SimTime::from_us(200),
+                    to: SimTime::from_us(400),
+                    cap_mw: 2000.0,
+                },
+            ],
+        );
+        assert_eq!(t.cap_at(0), 5000.0);
+        assert_eq!(t.cap_at(150_000_000_000), 3000.0);
+        assert_eq!(t.cap_at(250_000_000_000), 2000.0);
+        assert_eq!(t.cap_at(400_000_000_000), 5000.0);
+        assert_eq!(t.min_over(0, 150_000_000_000), 3000.0);
+        assert_eq!(t.min_over(0, 50_000_000_000), 5000.0);
+        assert_eq!(t.min_over(350_000_000_000, 500_000_000_000), 2000.0);
+        assert_eq!(t.last_emergency_end_fs(), 400_000_000_000);
     }
 
     #[test]

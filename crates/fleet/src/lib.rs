@@ -57,16 +57,20 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod chaos;
 pub mod chip;
 pub mod fleet;
+pub mod health;
 pub mod plan;
 pub mod router;
 pub mod workload;
 
-pub use budget::{CapSchedule, RackBudget};
+pub use budget::{CapSchedule, CapTimeline, EmergencyWindow, RackBudget};
+pub use chaos::{ChaosPlan, ChaosSpec, ChipChaos};
 pub use fleet::{synthetic_catalog, Fleet, FleetConfig, FleetOutcome};
+pub use health::{ChipState, HealthConfig, HealthTimeline};
 pub use plan::PlanTables;
-pub use router::{RoutePolicy, Router};
+pub use router::{RouteOutcome, RoutePolicy, Router, ShedReason};
 pub use workload::{FleetRequest, FleetWorkloadSpec};
 
 /// Errors the fleet layer can fail with.

@@ -36,6 +36,11 @@ pub struct FleetRequest {
     pub arrival: SimTime,
     /// The requested bitstream.
     pub bitstream: BitstreamId,
+    /// Service priority, 0 (highest) to 3 (lowest). Under overload the
+    /// fleet sheds low-priority requests first: a priority-`p` request
+    /// tolerates `(4 - p)` times the configured shed backlog before it
+    /// is rejected.
+    pub priority: u8,
 }
 
 /// A seeded open-loop fleet workload: `requests` arrivals with mean gap
@@ -71,6 +76,10 @@ impl FleetWorkloadSpec {
             index: i,
             arrival: SimTime::from_fs(arrival),
             bitstream: ids[(r_pick % ids.len() as u64) as usize],
+            // Top byte of the pick draw: independent of the low bits the
+            // modulus consumes, so adding priorities left the arrival and
+            // bitstream streams byte-identical.
+            priority: ((r_pick >> 56) & 3) as u8,
         }
     }
 
@@ -129,6 +138,22 @@ mod tests {
         for i in (0..100).rev() {
             assert_eq!(spec.request(i, &inventory), forward[i as usize]);
         }
+    }
+
+    #[test]
+    fn priorities_cover_all_classes() {
+        let spec = FleetWorkloadSpec {
+            requests: 4000,
+            mean_gap: SimTime::from_ns(80),
+            seed: 9,
+        };
+        let mut seen = [0u64; 4];
+        for r in spec.generate(&ids(8)) {
+            assert!(r.priority < 4);
+            seen[r.priority as usize] += 1;
+        }
+        // Uniform top-byte draw: every class shows up in 4000 requests.
+        assert!(seen.iter().all(|&n| n > 0), "priority classes {seen:?}");
     }
 
     #[test]

@@ -117,6 +117,23 @@ impl ServiceMetrics {
     pub fn summary(&self) -> ServiceSummary {
         let completed = self.completions.len();
         let hist = self.latency_histogram();
+        // Phase split: completions recovery had to intervene on are the
+        // degraded phase. One reusable histogram, `clear()`ed between
+        // phases, reports each tail on its own — a handful of healed
+        // requests with millisecond recovery detours would otherwise be
+        // invisible inside the steady-state p99.
+        let mut phase = LogHistogram::new();
+        for c in self.completions.iter().filter(|c| !c.healed) {
+            phase.observe(c.latency().as_us_f64());
+        }
+        let p99_steady = phase.percentile(99.0).unwrap_or(0.0);
+        phase.clear();
+        let mut degraded = 0usize;
+        for c in self.completions.iter().filter(|c| c.healed) {
+            phase.observe(c.latency().as_us_f64());
+            degraded += 1;
+        }
+        let p99_degraded = phase.percentile(99.0).unwrap_or(0.0);
         let misses = self.completions.iter().filter(|c| c.missed).count();
         let with_deadline = self
             .completions
@@ -137,6 +154,9 @@ impl ServiceMetrics {
             p50_latency_us: hist.percentile(50.0).unwrap_or(0.0),
             p95_latency_us: hist.percentile(95.0).unwrap_or(0.0),
             p99_latency_us: hist.percentile(99.0).unwrap_or(0.0),
+            degraded_completed: degraded,
+            p99_steady_latency_us: p99_steady,
+            p99_degraded_latency_us: p99_degraded,
             deadline_misses: misses,
             deadline_miss_rate: if with_deadline > 0 {
                 misses as f64 / with_deadline as f64
@@ -171,6 +191,13 @@ pub struct ServiceSummary {
     pub p95_latency_us: f64,
     /// 99th-percentile latency in microseconds.
     pub p99_latency_us: f64,
+    /// Completions recovery had to intervene on (the degraded phase).
+    pub degraded_completed: usize,
+    /// 99th-percentile latency over fault-free completions only, µs.
+    pub p99_steady_latency_us: f64,
+    /// 99th-percentile latency over healed completions only, µs —
+    /// reported separately so recovery detours are not averaged away.
+    pub p99_degraded_latency_us: f64,
     /// Completions that finished after their deadline.
     pub deadline_misses: usize,
     /// Misses over completions that carried a deadline.
@@ -235,6 +262,45 @@ mod tests {
         assert!((s.peak_power_mw - 450.0).abs() < 1e-12);
         assert!((s.mean_energy_uj - 100.0).abs() < 1e-12);
         assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn degraded_phase_percentiles_are_reported_separately() {
+        // Two fast fault-free completions and one slow healed one: the
+        // healed detour must show up in the degraded p99, not dilute
+        // (or be diluted by) the steady-state figure.
+        let mut slow = completion(2, 0, 5_000, false);
+        slow.healed = true;
+        slow.attempts = 3;
+        let m = ServiceMetrics {
+            completions: vec![
+                completion(0, 0, 100, false),
+                completion(1, 0, 120, false),
+                slow,
+            ],
+            makespan: SimTime::from_us(5_000),
+            ..ServiceMetrics::default()
+        };
+        let s = m.summary();
+        assert_eq!(s.degraded_completed, 1);
+        assert!(
+            s.p99_steady_latency_us <= 120.0 * 1.125,
+            "steady p99 {} polluted by the healed detour",
+            s.p99_steady_latency_us
+        );
+        assert!(
+            (s.p99_degraded_latency_us - 5_000.0).abs() <= 5_000.0 * 0.125,
+            "degraded p99 {} lost the detour",
+            s.p99_degraded_latency_us
+        );
+        // No degraded phase → the degraded figure is inert zero.
+        let quiet = ServiceMetrics {
+            completions: vec![completion(0, 0, 100, false)],
+            makespan: SimTime::from_us(100),
+            ..ServiceMetrics::default()
+        };
+        assert_eq!(quiet.summary().degraded_completed, 0);
+        assert_eq!(quiet.summary().p99_degraded_latency_us, 0.0);
     }
 
     #[test]

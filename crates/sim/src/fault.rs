@@ -161,6 +161,25 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives an independent sub-stream seed from a campaign seed.
+///
+/// Campaign grids must never derive per-cell seeds from a flat running
+/// counter: appending a chip (or a policy, or a seed replicate) would
+/// shift every later cell's fault sequence and invalidate comparisons
+/// across runs. `substream` is instead a pure splitmix64 mix of
+/// `(seed, lane, index)` — `lane` names the grid axis (chip faults,
+/// campaign cells, …), `index` the position along it — so sub-stream
+/// *k*'s faults are a function of *k* alone, no matter how many other
+/// sub-streams exist. `tests/fleet.rs` pins this chip-count invariance
+/// for fleet chaos plans.
+#[must_use]
+pub fn substream(seed: u64, lane: u64, index: u64) -> u64 {
+    let mut state = seed
+        ^ lane.wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state)
+}
+
 impl FaultPlan {
     /// Expands `seed` into a schedule of [`FaultRates::total`] faults with
     /// locations drawn from `space` and times uniform over `[0, horizon)`.
@@ -372,6 +391,32 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn substreams_are_pure_and_lane_separated() {
+        // Pure in (seed, lane, index): re-derivation is identical.
+        assert_eq!(substream(7, 1, 0), substream(7, 1, 0));
+        // Neighbouring indices, lanes and seeds all decorrelate.
+        assert_ne!(substream(7, 1, 0), substream(7, 1, 1));
+        assert_ne!(substream(7, 1, 0), substream(7, 2, 0));
+        assert_ne!(substream(7, 1, 0), substream(8, 1, 0));
+        // A whole plan expanded from a sub-stream seed is therefore
+        // independent of how many sibling sub-streams the campaign has.
+        let plan = |i: u64| {
+            FaultPlan::generate(
+                substream(99, 3, i),
+                &space(),
+                &FaultRates {
+                    config_seu: 2,
+                    transfer_stall: 1,
+                    ..FaultRates::default()
+                },
+                SimTime::from_ms(1),
+            )
+        };
+        assert_eq!(plan(5), plan(5));
+        assert_ne!(plan(5).faults(), plan(6).faults());
+    }
 
     fn space() -> FaultSpace {
         FaultSpace {

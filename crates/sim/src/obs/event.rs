@@ -77,6 +77,32 @@ pub enum EventKind {
         /// The configured cap, mW (`f64::INFINITY` when uncapped).
         cap_mw: f64,
     },
+    /// A fleet chip lost permanently to a chaos campaign (instant).
+    ChipDown {
+        /// The dead chip's fleet index.
+        chip: u32,
+    },
+    /// A request re-routed off a dead chip to a surviving one (instant).
+    Failover {
+        /// The request's global stream index.
+        request: u64,
+        /// The chip the request was orphaned on.
+        from: u32,
+        /// The surviving chip it was re-queued to.
+        to: u32,
+    },
+    /// A rack-level power emergency window opening: the rack cap is cut
+    /// to `cap_mw` until the window closes (instant).
+    CapEmergency {
+        /// The emergency rack cap, mW.
+        cap_mw: f64,
+    },
+    /// A fleet chip entering quarantine after repeated ICAP wedges — the
+    /// router stops offering it new work until repair (instant).
+    Quarantine {
+        /// The quarantined chip's fleet index.
+        chip: u32,
+    },
 }
 
 impl EventKind {
@@ -93,6 +119,10 @@ impl EventKind {
             EventKind::Admission { .. } => "Admission",
             EventKind::Dispatch { .. } => "Dispatch",
             EventKind::CapSample { .. } => "CapSample",
+            EventKind::ChipDown { .. } => "ChipDown",
+            EventKind::Failover { .. } => "Failover",
+            EventKind::CapEmergency { .. } => "CapEmergency",
+            EventKind::Quarantine { .. } => "Quarantine",
         }
     }
 }
@@ -187,6 +217,17 @@ mod tests {
                 },
                 "CapSample",
             ),
+            (EventKind::ChipDown { chip: 3 }, "ChipDown"),
+            (
+                EventKind::Failover {
+                    request: 7,
+                    from: 3,
+                    to: 5,
+                },
+                "Failover",
+            ),
+            (EventKind::CapEmergency { cap_mw: 9000.0 }, "CapEmergency"),
+            (EventKind::Quarantine { chip: 1 }, "Quarantine"),
         ];
         for (kind, label) in kinds {
             assert_eq!(kind.label(), label);

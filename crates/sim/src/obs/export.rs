@@ -68,6 +68,10 @@ fn category(kind: &EventKind) -> &'static str {
         EventKind::Admission { .. } | EventKind::Dispatch { .. } | EventKind::CapSample { .. } => {
             "serve"
         }
+        EventKind::ChipDown { .. }
+        | EventKind::Failover { .. }
+        | EventKind::CapEmergency { .. }
+        | EventKind::Quarantine { .. } => "fleet",
     }
 }
 
@@ -96,6 +100,14 @@ fn args_json(kind: &EventKind) -> String {
             json_f64(*total_mw),
             json_f64(*cap_mw)
         ),
+        EventKind::ChipDown { chip } => format!("{{\"chip\":{chip}}}"),
+        EventKind::Failover { request, from, to } => {
+            format!("{{\"request\":{request},\"from\":{from},\"to\":{to}}}")
+        }
+        EventKind::CapEmergency { cap_mw } => {
+            format!("{{\"cap_mw\":{}}}", json_f64(*cap_mw))
+        }
+        EventKind::Quarantine { chip } => format!("{{\"chip\":{chip}}}"),
     }
 }
 

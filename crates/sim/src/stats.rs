@@ -151,6 +151,20 @@ impl LogHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Resets the histogram to empty in place.
+    ///
+    /// This is the windowed-reporting primitive: snapshot a phase's
+    /// percentiles, `clear()`, and keep observing into the same
+    /// allocation — so a degraded phase's latencies can be reported on
+    /// their own instead of being averaged into steady state.
+    pub fn clear(&mut self) {
+        self.buckets = [0; LOG_HISTOGRAM_BUCKETS];
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
     /// Folds `other` into `self` (element-wise bucket addition).
     pub fn merge(&mut self, other: &LogHistogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -415,6 +429,24 @@ mod tests {
         assert_eq!(LogHistogram::bucket_index(1.0), 1 + 33 * 8);
         // 1.125 is the next sub-bucket up.
         assert_eq!(LogHistogram::bucket_index(1.125), 1 + 33 * 8 + 1);
+    }
+
+    #[test]
+    fn log_histogram_clear_resets_to_empty() {
+        let mut h = LogHistogram::new();
+        for v in [0.5, 3.0, 700.0, 12_000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        h.clear();
+        assert_eq!(h, LogHistogram::new(), "clear must be a full reset");
+        assert_eq!(h.percentile(99.0), None);
+        // The cleared histogram is reusable: a fresh phase records into
+        // the same allocation and reports only its own values.
+        h.observe(42.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(42.0));
+        assert_eq!(h.max(), Some(42.0));
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Integration tests of the `uparc-fleet` rack-scale serving stack:
 //! workload sharding determinism, router tie-breaks, worker-count
-//! identity of a full fleet run, and equivalence of the calibrated
-//! operating-point tables against `PowerAwarePolicy::plan_constrained`.
+//! identity of a full fleet run, equivalence of the calibrated
+//! operating-point tables against `PowerAwarePolicy::plan_constrained`,
+//! and the chaos layer (chip loss, failover accounting, power
+//! emergencies, graceful degradation).
 
 use uparc_repro::core::policy::{PlanQuery, PowerAwarePolicy};
 use uparc_repro::fleet::{
-    synthetic_catalog, Fleet, FleetConfig, FleetWorkloadSpec, PlanTables, RoutePolicy,
+    synthetic_catalog, ChaosSpec, EmergencyWindow, Fleet, FleetConfig, FleetWorkloadSpec,
+    HealthConfig, PlanTables, RoutePolicy,
 };
 use uparc_repro::serve::request::BitstreamId;
+use uparc_repro::sim::obs::{EventKind, Obs, TraceRecorder};
 use uparc_repro::sim::power::calib;
 use uparc_repro::sim::sweep;
 use uparc_repro::sim::time::{Frequency, SimTime};
@@ -20,6 +24,9 @@ fn small_config(chips: usize, route: RoutePolicy) -> FleetConfig {
         chip_cache_bytes: 64 * 1024,
         route,
         min_frequency: Frequency::from_mhz(50.0),
+        health: HealthConfig::default(),
+        shed_backlog: None,
+        failover_retries: 3,
     }
 }
 
@@ -182,6 +189,228 @@ fn plan_tables_match_plan_constrained() {
             ),
         }
     }
+}
+
+/// A chip-loss campaign keeps the accounting identity exact: every
+/// request is completed (possibly after failover) or shed with a typed
+/// reason, nothing lost, nothing double-served — and a single-digit
+/// death toll costs less than 1% of completions.
+#[test]
+fn chip_loss_failover_keeps_accounting_exact() {
+    let catalog = synthetic_catalog(24, 12, 29);
+    let fleet = Fleet::new(
+        catalog,
+        small_config(
+            8,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_us(5),
+            },
+        ),
+    )
+    .unwrap();
+    let spec = small_spec(3000);
+    let chaos = ChaosSpec {
+        seed: 0xC4A05,
+        horizon: SimTime::from_us(600),
+        loss_permille: 220,
+        ..ChaosSpec::quiet()
+    };
+    let out = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+    assert!(out.chips_lost >= 1, "campaign killed no chip");
+    assert!(out.failovers > 0, "no request survived via failover");
+    assert!(out.completed_failover > 0);
+    assert_eq!(out.completed + out.shed.total(), spec.requests);
+    assert!(
+        out.completed as f64 >= 0.99 * spec.requests as f64,
+        "completion {}/{} under single-digit chip loss",
+        out.completed,
+        spec.requests
+    );
+    assert_eq!(out.cap_violations, 0, "rack cap violated during chaos");
+    assert_eq!(out.cap_violations_emergency, 0);
+}
+
+/// The same chaos campaign renders byte-identically at 1 and 8 sweep
+/// workers — chaos keeps the tentpole determinism guarantee.
+#[test]
+fn chaos_outcome_is_identical_across_worker_counts() {
+    let catalog = synthetic_catalog(24, 12, 29);
+    let fleet = Fleet::new(
+        catalog,
+        small_config(
+            6,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_us(5),
+            },
+        ),
+    )
+    .unwrap();
+    let spec = small_spec(2000);
+    let chaos = ChaosSpec {
+        seed: 0xDE7E12,
+        horizon: SimTime::from_us(500),
+        loss_permille: 200,
+        wedge_permille: 300,
+        wedge_window: SimTime::from_us(20),
+        seu_permille: 300,
+        seu_window: SimTime::from_us(40),
+        seu_faults_per_request: 1,
+        emergencies: vec![EmergencyWindow {
+            from: SimTime::from_us(200),
+            to: SimTime::from_us(400),
+            cap_mw: 6.0 * 700.0 * 0.8,
+        }],
+        ..ChaosSpec::quiet()
+    };
+    sweep::pin_workers(1);
+    let one = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+    sweep::pin_workers(8);
+    let eight = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+    sweep::unpin_workers();
+    assert_eq!(one, eight, "chaos outcome depends on worker count");
+    assert_eq!(one.render(), eight.render());
+}
+
+/// A rack-level power emergency cuts the cap mid-run; the verifier
+/// confirms the fleet never exceeded the emergency cap inside the
+/// window (nor the steady cap outside it).
+#[test]
+fn power_emergency_respects_the_cut_cap() {
+    let catalog = synthetic_catalog(24, 12, 31);
+    let mut config = small_config(
+        8,
+        RoutePolicy::Locality {
+            spill_window: SimTime::from_us(5),
+        },
+    );
+    config.shed_backlog = Some(SimTime::from_us(40));
+    let fleet = Fleet::new(catalog, config).unwrap();
+    let spec = small_spec(3000);
+    let emergency_cap = 8.0 * 700.0 * 0.75;
+    let chaos = ChaosSpec {
+        seed: 0xE4E6,
+        horizon: SimTime::from_us(600),
+        emergencies: vec![EmergencyWindow {
+            from: SimTime::from_us(150),
+            to: SimTime::from_us(450),
+            cap_mw: emergency_cap,
+        }],
+        ..ChaosSpec::quiet()
+    };
+    let out = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+    assert_eq!(out.cap_violations, 0);
+    assert_eq!(
+        out.cap_violations_emergency, 0,
+        "draw exceeded the emergency cap inside its window"
+    );
+    assert_eq!(out.completed + out.shed.total(), spec.requests);
+}
+
+/// Repeated ICAP wedges push chips through the health ladder
+/// (suspect → quarantine → repair) while the recovery policy heals the
+/// wedged dispatches themselves; degraded-phase latency is tracked
+/// apart from steady-phase latency.
+#[test]
+fn wedges_quarantine_and_recovery_heals() {
+    let catalog = synthetic_catalog(16, 12, 37);
+    let fleet = Fleet::new(
+        catalog,
+        small_config(
+            4,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_us(5),
+            },
+        ),
+    )
+    .unwrap();
+    let spec = small_spec(1200);
+    let chaos = ChaosSpec {
+        seed: 0x3ED6E,
+        horizon: SimTime::from_us(400),
+        wedge_permille: 1000,
+        wedge_window: SimTime::from_us(25),
+        ..ChaosSpec::quiet()
+    };
+    let out = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+    assert!(out.quarantines > 0, "no chip was quarantined");
+    assert!(out.faulted > 0, "no dispatch hit a wedge");
+    assert!(out.healed > 0, "recovery healed nothing");
+    assert!(out.degraded_completed > 0);
+    assert!(out.recovery_extra_time > SimTime::ZERO);
+    // The phase split is reported apart (latency under load is queue-
+    // dominated, so no ordering between the two p99s is implied).
+    assert!(out.p99_degraded_us > 0.0);
+    assert_eq!(out.completed + out.shed.total(), spec.requests);
+}
+
+/// Chaos control events (chip deaths, failovers, emergencies) reach an
+/// attached trace recorder.
+#[test]
+fn chaos_events_reach_the_trace() {
+    use std::sync::Arc;
+    let catalog = synthetic_catalog(16, 12, 29);
+    let fleet = Fleet::new(
+        catalog,
+        small_config(
+            6,
+            RoutePolicy::Locality {
+                spill_window: SimTime::from_us(5),
+            },
+        ),
+    )
+    .unwrap();
+    let spec = small_spec(1500);
+    let chaos = ChaosSpec {
+        seed: 0xC4A05,
+        horizon: SimTime::from_us(400),
+        loss_permille: 300,
+        emergencies: vec![EmergencyWindow {
+            from: SimTime::from_us(100),
+            to: SimTime::from_us(300),
+            cap_mw: 6.0 * 700.0 * 0.8,
+        }],
+        ..ChaosSpec::quiet()
+    };
+    let recorder = Arc::new(TraceRecorder::new());
+    let out = fleet
+        .run_chaos(&spec, &chaos, &Obs::recording(Arc::clone(&recorder)))
+        .unwrap();
+    let labels: Vec<&str> = recorder
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            uparc_repro::sim::obs::TraceEvent::Instant { kind, .. } => Some(kind.label()),
+            _ => None,
+        })
+        .collect();
+    assert!(labels.contains(&"CapEmergency"));
+    if out.chips_lost > 0 {
+        assert!(labels.contains(&"ChipDown"));
+    }
+    if out.failovers > 0 {
+        assert!(labels.contains(&"Failover"));
+    }
+    let _ = EventKind::Quarantine { chip: 0 }; // taxonomy stays exported
+}
+
+/// When every chip dies, late arrivals are shed with `no_live_chip`
+/// rather than lost — the accounting identity still holds.
+#[test]
+fn total_fleet_loss_sheds_instead_of_losing() {
+    let catalog = synthetic_catalog(8, 12, 11);
+    let fleet = Fleet::new(catalog, small_config(4, RoutePolicy::Random { seed: 7 })).unwrap();
+    let spec = small_spec(800);
+    let chaos = ChaosSpec {
+        seed: 0xDEAD,
+        horizon: SimTime::from_us(120),
+        loss_permille: 1000,
+        ..ChaosSpec::quiet()
+    };
+    let out = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+    assert_eq!(out.chips_lost, 4);
+    assert!(out.shed.total() > 0, "no request was shed after total loss");
+    assert!(out.shed.no_live_chip > 0);
+    assert_eq!(out.completed + out.shed.total(), spec.requests);
 }
 
 /// An infeasible rack cap is rejected up front rather than producing a

@@ -1,0 +1,111 @@
+//! Property-based tests of the fleet chaos layer.
+//!
+//! Three invariants over arbitrary chaos campaigns (random death/wedge
+//! schedules and emergencies): the accounting identity — every request
+//! is completed exactly once or shed with a reason, none lost, none
+//! double-served; worker-count identity — the same campaign renders
+//! byte-identically at 1 and 6 sweep workers; and campaign purity — the
+//! same seed reproduces the same outcome bit for bit.
+
+use proptest::prelude::*;
+use uparc_repro::fleet::{
+    synthetic_catalog, ChaosSpec, EmergencyWindow, Fleet, FleetConfig, FleetWorkloadSpec,
+    HealthConfig, RoutePolicy,
+};
+use uparc_repro::sim::obs::Obs;
+use uparc_repro::sim::sweep;
+use uparc_repro::sim::time::{Frequency, SimTime};
+
+fn small_fleet(chips: usize) -> Fleet {
+    let catalog = synthetic_catalog(12, 12, 17);
+    Fleet::new(
+        catalog,
+        FleetConfig {
+            chips,
+            rack_cap_mw: chips as f64 * 700.0,
+            epoch: SimTime::from_us(50),
+            chip_cache_bytes: 64 * 1024,
+            route: RoutePolicy::Locality {
+                spill_window: SimTime::from_us(5),
+            },
+            min_frequency: Frequency::from_mhz(50.0),
+            health: HealthConfig::default(),
+            shed_backlog: None,
+            failover_retries: 3,
+        },
+    )
+    .unwrap()
+}
+
+fn chaos_strategy() -> impl Strategy<Value = ChaosSpec> {
+    (
+        any::<u64>(),
+        0u32..600,
+        0u32..800,
+        0u32..500,
+        prop_oneof![
+            Just(Vec::new()),
+            (60u64..200, 200u64..400).prop_map(|(from, to)| vec![EmergencyWindow {
+                from: SimTime::from_us(from),
+                to: SimTime::from_us(to),
+                cap_mw: 4.0 * 700.0 * 0.8,
+            }]),
+        ],
+    )
+        .prop_map(|(seed, loss, wedge, seu, emergencies)| ChaosSpec {
+            seed,
+            horizon: SimTime::from_us(250),
+            loss_permille: loss,
+            wedge_permille: wedge,
+            wedge_window: SimTime::from_us(15),
+            seu_permille: seu,
+            seu_window: SimTime::from_us(25),
+            seu_faults_per_request: 1,
+            emergencies,
+            ..ChaosSpec::quiet()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random death/wedge schedules never lose or double-serve a
+    /// request: `completed + shed == requests` holds (the run itself
+    /// asserts no index is served twice), and chip deaths show up as
+    /// failovers or sheds, never as silent losses.
+    #[test]
+    fn accounting_is_exact_under_random_chaos(chaos in chaos_strategy()) {
+        let fleet = small_fleet(4);
+        let spec = FleetWorkloadSpec {
+            requests: 300,
+            mean_gap: SimTime::from_ns(400),
+            seed: 0xF1EE7,
+        };
+        let out = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+        prop_assert_eq!(out.completed + out.shed.total(), spec.requests);
+        prop_assert_eq!(out.cap_violations, 0);
+        prop_assert_eq!(out.cap_violations_emergency, 0);
+    }
+
+    /// The same campaign is worker-count independent and pure: pinning
+    /// the sweep pool to 1 vs 6 workers — and re-running at 6 — yields
+    /// byte-identical outcomes.
+    #[test]
+    fn chaos_runs_are_worker_count_independent(chaos in chaos_strategy()) {
+        let fleet = small_fleet(4);
+        let spec = FleetWorkloadSpec {
+            requests: 300,
+            mean_gap: SimTime::from_ns(400),
+            seed: 0xF1EE7,
+        };
+        sweep::pin_workers(1);
+        let one = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+        sweep::pin_workers(6);
+        let six = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+        let again = fleet.run_chaos(&spec, &chaos, &Obs::null()).unwrap();
+        sweep::unpin_workers();
+        prop_assert_eq!(&one, &six);
+        prop_assert_eq!(one.render(), six.render());
+        prop_assert_eq!(&six, &again);
+    }
+}
