@@ -18,12 +18,12 @@ impl BenchArgs {
     /// Parses the process's command line.
     #[must_use]
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument stream (exposed so tests don't have to
     /// fake the process command line).
-    pub fn from_iter<I, S>(args: I) -> Self
+    pub fn parse_from<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
@@ -47,14 +47,14 @@ mod tests {
 
     #[test]
     fn parses_smoke_and_trace() {
-        let a = BenchArgs::from_iter(["--smoke", "--trace", "out.json"]);
+        let a = BenchArgs::parse_from(["--smoke", "--trace", "out.json"]);
         assert!(a.smoke);
         assert_eq!(a.trace.as_deref(), Some("out.json"));
     }
 
     #[test]
     fn defaults_and_unknown_flags() {
-        let a = BenchArgs::from_iter(["--unknown", "x"]);
+        let a = BenchArgs::parse_from(["--unknown", "x"]);
         assert_eq!(a, BenchArgs::default());
         assert!(!a.smoke);
         assert!(a.trace.is_none());
@@ -62,13 +62,13 @@ mod tests {
 
     #[test]
     fn trace_without_value_is_none() {
-        let a = BenchArgs::from_iter(["--trace"]);
+        let a = BenchArgs::parse_from(["--trace"]);
         assert!(a.trace.is_none());
     }
 
     #[test]
     fn order_does_not_matter() {
-        let a = BenchArgs::from_iter(["--trace", "t.json", "--smoke"]);
+        let a = BenchArgs::parse_from(["--trace", "t.json", "--smoke"]);
         assert!(a.smoke);
         assert_eq!(a.trace.as_deref(), Some("t.json"));
     }

@@ -26,29 +26,70 @@ impl PartialBitstream {
     /// Builds a partial bitstream writing `payload` (a whole number of
     /// frames) starting at frame address `far`.
     ///
+    /// This is the panicking convenience over
+    /// [`PartialBitstream::try_build`]; callers placing images at runtime
+    /// (an allocator handing out windows under churn) should use the
+    /// fallible form so a rejection is an error, not a crash.
+    ///
     /// # Panics
     ///
     /// Panics if `payload` is empty or not a multiple of the family frame
     /// size, or if the frame range exceeds the device.
     #[must_use]
     pub fn build(device: &Device, far: u32, payload: &[u32]) -> Self {
+        match Self::try_build(device, far, payload) {
+            Ok(bs) => bs,
+            Err(BitstreamError::EmptyPayload) => {
+                panic!("payload must contain at least one frame")
+            }
+            Err(BitstreamError::RaggedPayload { frame_words, .. }) => {
+                panic!("payload must be whole frames ({frame_words} words)")
+            }
+            Err(BitstreamError::FrameRange {
+                far,
+                frames,
+                device_frames,
+            }) => panic!(
+                "frames {far}..{} exceed device ({device_frames} frames)",
+                far.saturating_add(frames)
+            ),
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Builds a partial bitstream writing `payload` (a whole number of
+    /// frames) starting at frame address `far`, reporting shape problems
+    /// as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// * [`BitstreamError::EmptyPayload`] — `payload` carries no frames.
+    /// * [`BitstreamError::RaggedPayload`] — `payload` is not a whole
+    ///   number of family frames.
+    /// * [`BitstreamError::FrameRange`] — `far..far + frames` runs off the
+    ///   end of the device.
+    pub fn try_build(device: &Device, far: u32, payload: &[u32]) -> Result<Self, BitstreamError> {
         let fw = device.family().frame_words();
-        assert!(
-            !payload.is_empty(),
-            "payload must contain at least one frame"
-        );
-        assert_eq!(
-            payload.len() % fw,
-            0,
-            "payload must be whole frames ({fw} words)"
-        );
+        if payload.is_empty() {
+            return Err(BitstreamError::EmptyPayload);
+        }
+        if !payload.len().is_multiple_of(fw) {
+            return Err(BitstreamError::RaggedPayload {
+                words: payload.len(),
+                frame_words: fw,
+            });
+        }
         let frame_count = (payload.len() / fw) as u32;
-        assert!(
-            far + frame_count <= device.frames(),
-            "frames {far}..{} exceed device ({} frames)",
-            far + frame_count,
-            device.frames()
-        );
+        if far
+            .checked_add(frame_count)
+            .is_none_or(|end| end > device.frames())
+        {
+            return Err(BitstreamError::FrameRange {
+                far,
+                frames: frame_count,
+                device_frames: device.frames(),
+            });
+        }
 
         let mut words = Vec::with_capacity(payload.len() + 24);
         let mut crc = ConfigCrc::new();
@@ -98,12 +139,69 @@ impl PartialBitstream {
         );
         words.push(NOOP);
 
-        PartialBitstream {
+        Ok(PartialBitstream {
             words,
             far,
             frame_count,
             device_name: device.name(),
+        })
+    }
+
+    /// Rewrites the stream's frame address to `new_far` and recomputes
+    /// the running CRC, so the relocated image is byte-identical to a
+    /// fresh [`PartialBitstream::try_build`] of the same payload at the
+    /// new address.
+    ///
+    /// Only two words change: the FAR register value and the CRC check
+    /// word. The CRC is replayed from the post-RCRC register sequence
+    /// (IDCODE, WCFG, the new FAR, then the FDRI run through the
+    /// slicing kernel), so the result still passes ICAP verification.
+    ///
+    /// # Errors
+    ///
+    /// * [`BitstreamError::DeviceMismatch`] — `device` is not the device
+    ///   the stream was built for.
+    /// * [`BitstreamError::FrameRange`] — the image does not fit at
+    ///   `new_far`.
+    pub fn relocate(&self, device: &Device, new_far: u32) -> Result<Self, BitstreamError> {
+        if device.name() != self.device_name {
+            return Err(BitstreamError::DeviceMismatch {
+                expected: self.device_name,
+                found: device.name(),
+            });
         }
+        if new_far
+            .checked_add(self.frame_count)
+            .is_none_or(|end| end > device.frames())
+        {
+            return Err(BitstreamError::FrameRange {
+                far: new_far,
+                frames: self.frame_count,
+                device_frames: device.frames(),
+            });
+        }
+
+        let mut words = self.words.clone();
+        debug_assert_eq!(
+            words[10],
+            type1(Opcode::Write, ConfigRegister::Far, 1),
+            "FAR header drifted from the builder layout"
+        );
+        words[11] = new_far;
+        let crc_index = words.len() - 4;
+        let mut crc = ConfigCrc::new();
+        crc.update(ConfigRegister::Idcode, device.idcode());
+        crc.update(ConfigRegister::Cmd, Command::Wcfg as u32);
+        crc.update(ConfigRegister::Far, new_far);
+        crc.update_run(ConfigRegister::Fdri, self.payload());
+        words[crc_index] = crc.value();
+
+        Ok(PartialBitstream {
+            words,
+            far: new_far,
+            frame_count: self.frame_count,
+            device_name: self.device_name,
+        })
     }
 
     /// The executable word stream.
@@ -256,6 +354,73 @@ mod tests {
         let bs = PartialBitstream::build(&v5, 0, &payload(&v5, 1, 0));
         let mut icap = Icap::new(Device::xc6vlx240t());
         assert!(icap.write_words(bs.words()).is_err());
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let device = Device::xc5vsx50t();
+        assert_eq!(
+            PartialBitstream::try_build(&device, 0, &[]),
+            Err(BitstreamError::EmptyPayload)
+        );
+        assert_eq!(
+            PartialBitstream::try_build(&device, 0, &[1, 2, 3]),
+            Err(BitstreamError::RaggedPayload {
+                words: 3,
+                frame_words: device.family().frame_words(),
+            })
+        );
+        let far = device.frames() - 1;
+        assert_eq!(
+            PartialBitstream::try_build(&device, far, &payload(&device, 2, 0)),
+            Err(BitstreamError::FrameRange {
+                far,
+                frames: 2,
+                device_frames: device.frames(),
+            })
+        );
+        // A FAR near u32::MAX must not wrap into an accepted window.
+        assert!(matches!(
+            PartialBitstream::try_build(&device, u32::MAX, &payload(&device, 2, 0)),
+            Err(BitstreamError::FrameRange { .. })
+        ));
+        let ok = PartialBitstream::try_build(&device, 100, &payload(&device, 2, 9)).unwrap();
+        assert_eq!(
+            ok,
+            PartialBitstream::build(&device, 100, &payload(&device, 2, 9))
+        );
+    }
+
+    #[test]
+    fn relocation_is_byte_identical_to_fresh_build() {
+        let device = Device::xc5vsx50t();
+        let data = payload(&device, 7, 0xDEAD_BEEF);
+        let bs = PartialBitstream::build(&device, 300, &data);
+        let moved = bs.relocate(&device, 41).unwrap();
+        let fresh = PartialBitstream::build(&device, 41, &data);
+        assert_eq!(moved, fresh);
+        assert_eq!(moved.far(), 41);
+        assert_eq!(moved.frame_count(), 7);
+        // The relocated stream still passes ICAP CRC verification.
+        let mut icap = Icap::new(device);
+        icap.write_words(moved.words()).unwrap();
+        assert_eq!(icap.frames_committed(), 7);
+    }
+
+    #[test]
+    fn relocation_rejects_bad_targets() {
+        let device = Device::xc5vsx50t();
+        let bs = PartialBitstream::build(&device, 0, &payload(&device, 4, 1));
+        assert!(matches!(
+            bs.relocate(&device, device.frames() - 3),
+            Err(BitstreamError::FrameRange { .. })
+        ));
+        assert!(matches!(
+            bs.relocate(&Device::xc6vlx240t(), 0),
+            Err(BitstreamError::DeviceMismatch { .. })
+        ));
+        // Self-relocation is the identity.
+        assert_eq!(bs.relocate(&device, 0).unwrap(), bs);
     }
 
     #[test]

@@ -27,6 +27,32 @@ pub enum BitstreamError {
         /// What was wrong.
         detail: String,
     },
+    /// A builder payload carried zero frames.
+    EmptyPayload,
+    /// A builder payload was not a whole number of frames.
+    RaggedPayload {
+        /// Words supplied.
+        words: usize,
+        /// The family frame size in words.
+        frame_words: usize,
+    },
+    /// A frame window does not fit inside the device.
+    FrameRange {
+        /// Starting frame address of the window.
+        far: u32,
+        /// Frames in the window.
+        frames: u32,
+        /// Total frames the device has.
+        device_frames: u32,
+    },
+    /// A bitstream was relocated against a different device than the one
+    /// it was built for.
+    DeviceMismatch {
+        /// The device the stream was built for.
+        expected: &'static str,
+        /// The device handed to the operation.
+        found: &'static str,
+    },
 }
 
 impl BitstreamError {
@@ -51,6 +77,25 @@ impl std::fmt::Display for BitstreamError {
             BitstreamError::NoSync => write!(f, "no sync word in configuration stream"),
             BitstreamError::Malformed { detail } => write!(f, "malformed stream: {detail}"),
             BitstreamError::BadModeWord { detail } => write!(f, "bad mode word: {detail}"),
+            BitstreamError::EmptyPayload => {
+                write!(f, "payload must contain at least one frame")
+            }
+            BitstreamError::RaggedPayload { words, frame_words } => write!(
+                f,
+                "payload must be whole frames ({frame_words} words), got {words} words"
+            ),
+            BitstreamError::FrameRange {
+                far,
+                frames,
+                device_frames,
+            } => write!(
+                f,
+                "frames {far}..{} exceed device ({device_frames} frames)",
+                far.saturating_add(*frames)
+            ),
+            BitstreamError::DeviceMismatch { expected, found } => {
+                write!(f, "bitstream built for {expected}, not {found}")
+            }
         }
     }
 }
@@ -65,6 +110,27 @@ mod tests {
     fn display_messages() {
         assert!(BitstreamError::BadMagic.to_string().contains("magic"));
         assert!(BitstreamError::malformed("x").to_string().contains('x'));
+        assert!(BitstreamError::EmptyPayload
+            .to_string()
+            .contains("at least one frame"));
+        assert!(BitstreamError::RaggedPayload {
+            words: 3,
+            frame_words: 41
+        }
+        .to_string()
+        .contains("whole frames"));
+        let range = BitstreamError::FrameRange {
+            far: 15311,
+            frames: 2,
+            device_frames: 15312,
+        };
+        assert!(range.to_string().contains("15311..15313"), "{range}");
+        assert!(BitstreamError::DeviceMismatch {
+            expected: "XC5VSX50T",
+            found: "XC6VLX240T"
+        }
+        .to_string()
+        .contains("built for"));
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct PartitionId(usize);
 pub struct Floorplan {
     device: Device,
     partitions: Vec<Partition>,
+    // Indices into `partitions`, kept sorted by window start. Windows
+    // never overlap, so for any frame address at most one window can
+    // contain it — `containing` binary-searches this instead of
+    // scanning every partition.
+    by_start: Vec<usize>,
 }
 
 impl Floorplan {
@@ -29,6 +34,7 @@ impl Floorplan {
         Floorplan {
             device,
             partitions: Vec::new(),
+            by_start: Vec::new(),
         }
     }
 
@@ -70,9 +76,14 @@ impl Floorplan {
                 });
             }
         }
+        let idx = self.partitions.len();
+        let pos = self
+            .by_start
+            .partition_point(|&i| self.partitions[i].frames().start < frames.start);
         self.partitions
             .push(Partition::new(&self.device, name, frames));
-        Ok(PartitionId(self.partitions.len() - 1))
+        self.by_start.insert(pos, idx);
+        Ok(PartitionId(idx))
     }
 
     /// Immutable access to a partition.
@@ -126,12 +137,14 @@ impl Floorplan {
     #[must_use]
     pub fn containing(&self, far: u32, frames: u32) -> Option<PartitionId> {
         let end = far.checked_add(frames)?;
-        self.iter()
-            .find(|(_, p)| {
-                let w = p.frames();
-                w.start <= far && end <= w.end
-            })
-            .map(|(id, _)| id)
+        // Binary search for the last window starting at or before `far`;
+        // windows are disjoint, so it is the only possible container.
+        let pos = self
+            .by_start
+            .partition_point(|&i| self.partitions[i].frames().start <= far);
+        let idx = *self.by_start.get(pos.checked_sub(1)?)?;
+        let w = self.partitions[idx].frames();
+        (w.start <= far && end <= w.end).then_some(PartitionId(idx))
     }
 
     /// Picks the smallest *empty* partition that fits a module of
@@ -210,6 +223,29 @@ mod tests {
         assert_eq!(fp.containing(900, 10), None);
         // Overflow-safe.
         assert_eq!(fp.containing(u32::MAX, 2), None);
+    }
+
+    #[test]
+    fn containing_handles_out_of_order_registration() {
+        // Ids are insertion-ordered; the search index is start-ordered.
+        // Register windows shuffled to force the two apart.
+        let mut fp = plan();
+        let windows = [800..900u32, 100..200, 500..800, 0..100, 300..450];
+        let ids: Vec<_> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| fp.add_partition(&format!("rp{i}"), w.clone()).unwrap())
+            .collect();
+        for (w, id) in windows.iter().zip(&ids) {
+            assert_eq!(fp.containing(w.start, w.end - w.start), Some(*id));
+            assert_eq!(fp.containing(w.start, 1), Some(*id));
+            assert_eq!(fp.containing(w.end - 1, 1), Some(*id));
+        }
+        // The 200..300 and 450..500 gaps contain nothing.
+        assert_eq!(fp.containing(200, 50), None);
+        assert_eq!(fp.containing(460, 10), None);
+        // Straddling a gap from inside a window fails too.
+        assert_eq!(fp.containing(150, 100), None);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`resources`] — slice/LUT/FF accounting and the area estimator behind
 //!   Table II.
 //! * [`partition`] — reconfigurable partitions and their module bindings.
+//! * [`alloc`] — a free-interval allocator over the frame space, for
+//!   runtime placement under tenant churn (first-fit/best-fit, coalescing
+//!   frees, fragmentation metrics).
 //! * [`variation`] — per-sample fmax variation and overclock screening
 //!   (the §IV multi-sample experiment).
 //!
@@ -64,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bram;
 pub mod config_mem;
 pub mod dcm;
@@ -79,6 +83,7 @@ pub mod partition;
 pub mod resources;
 pub mod variation;
 
+pub use alloc::{AllocError, FitPolicy, FragStats, FrameAllocator};
 pub use bram::Bram;
 pub use config_mem::ConfigMemory;
 pub use dcm::Dcm;

@@ -1,0 +1,149 @@
+//! Background defragmentation: sliding compaction of live images.
+//!
+//! The defragmenter never preempts foreground loads — the placement sim
+//! only asks it for work when the ICAP is idle. Each step is one *move*:
+//! take the lowest free gap that has live frames above it and bring a
+//! live image down into it (the image immediately above slides down even
+//! when the windows overlap, because relocation frees the source before
+//! claiming the destination). Every move strictly lowers the sum of live
+//! window starts, so a compaction pass always terminates; when no move is
+//! plannable the frame space is compact — live images packed low, free
+//! capacity coalesced into one high block per reserved boundary.
+
+use std::ops::Range;
+use uparc_serve::dynamic::DynamicCatalog;
+use uparc_serve::request::BitstreamId;
+
+/// One planned relocation: move image `id` from `from` to frame `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovePlan {
+    /// The image to relocate.
+    pub id: BitstreamId,
+    /// Its current window.
+    pub from: Range<u32>,
+    /// Destination frame address.
+    pub to: u32,
+    /// Frames carried (the move streams these through the ICAP twice:
+    /// readback, then the relocated write).
+    pub frames: u32,
+}
+
+/// The compaction planner. Stateless: each call inspects the catalog and
+/// proposes the single best next move, so the caller can interleave moves
+/// with foreground work at any granularity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Defragmenter;
+
+impl Defragmenter {
+    /// Proposes the next compaction move, or `None` when the layout is
+    /// already compact.
+    ///
+    /// For each free gap (lowest first): the live image directly above it
+    /// slides down when it is adjacent; otherwise (a reserved window
+    /// intervenes) the first live image above that fits entirely inside
+    /// the gap drops in. Gaps with no live frames above them are the
+    /// compact tail and are left alone.
+    #[must_use]
+    pub fn plan(&self, catalog: &DynamicCatalog) -> Option<MovePlan> {
+        let alloc = catalog.allocator();
+        let live = alloc.live();
+        for gap in alloc.free_blocks() {
+            let gap_len = gap.end - gap.start;
+            let above = live.partition_point(|l| l.start < gap.end);
+            let candidates = &live[above..];
+            let first = candidates.first()?;
+            let pick = if first.start == gap.end {
+                Some(first)
+            } else {
+                candidates.iter().find(|b| b.end - b.start <= gap_len)
+            };
+            if let Some(block) = pick {
+                let id = catalog
+                    .iter()
+                    .find(|(_, img)| img.window() == *block)
+                    .map(|(id, _)| id)
+                    .expect("allocator live window belongs to a placed image");
+                return Some(MovePlan {
+                    id,
+                    from: block.clone(),
+                    to: gap.start,
+                    frames: block.end - block.start,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uparc_bitstream::builder::PartialBitstream;
+    use uparc_bitstream::synth::SynthProfile;
+    use uparc_fpga::alloc::FitPolicy;
+    use uparc_fpga::Device;
+
+    fn load(cat: &mut DynamicCatalog, id: u32, frames: u32) {
+        let device = cat.device().clone();
+        let payload = SynthProfile::dense().generate(&device, 0, frames, u64::from(id));
+        let bs = PartialBitstream::build(&device, 0, &payload);
+        cat.load(BitstreamId(id), &bs).unwrap();
+    }
+
+    #[test]
+    fn compaction_slides_images_down_until_compact() {
+        let mut cat = DynamicCatalog::new(Device::xc5vsx50t(), FitPolicy::FirstFit);
+        for id in 0..4u32 {
+            load(&mut cat, id, 10);
+        }
+        // Free the first and third windows: layout hole/live/hole/live.
+        cat.unload(BitstreamId(0)).unwrap();
+        cat.unload(BitstreamId(2)).unwrap();
+        let before = cat.frag_stats();
+        let d = Defragmenter;
+        let mut moves = 0;
+        while let Some(plan) = d.plan(&cat) {
+            let (from, to) = cat.relocate_to(plan.id, plan.to).unwrap();
+            assert_eq!(from, plan.from);
+            assert_eq!(to.start, plan.to);
+            cat.check_invariants().unwrap();
+            moves += 1;
+            assert!(moves <= 8, "compaction must terminate");
+        }
+        // Both survivors packed at the bottom, free space coalesced.
+        let after = cat.frag_stats();
+        assert_eq!(after.free_blocks, 1);
+        assert_eq!(after.largest_free, after.total_free);
+        assert!(after.largest_free > before.largest_free);
+        let windows: Vec<_> = cat.iter().map(|(_, img)| img.window()).collect();
+        assert!(windows.contains(&(0..10)) && windows.contains(&(10..20)));
+    }
+
+    #[test]
+    fn compact_layouts_plan_nothing() {
+        let mut cat = DynamicCatalog::new(Device::xc5vsx50t(), FitPolicy::FirstFit);
+        load(&mut cat, 0, 10);
+        load(&mut cat, 1, 20);
+        assert_eq!(Defragmenter.plan(&cat), None);
+        // Tail-only free space after the last unload is also compact.
+        cat.unload(BitstreamId(1)).unwrap();
+        assert_eq!(Defragmenter.plan(&cat), None);
+    }
+
+    #[test]
+    fn reserved_windows_are_stepped_over() {
+        let mut cat = DynamicCatalog::new(Device::xc5vsx50t(), FitPolicy::FirstFit);
+        cat.reserve_static(10..30).unwrap();
+        load(&mut cat, 0, 10); // 0..10
+        load(&mut cat, 1, 8); // 30..38
+        cat.unload(BitstreamId(0)).unwrap();
+        // Gap 0..10 sits below the reserved window; image 1 (8 frames)
+        // fits inside it.
+        let plan = Defragmenter.plan(&cat).unwrap();
+        assert_eq!(plan.id, BitstreamId(1));
+        assert_eq!(plan.to, 0);
+        cat.relocate_to(plan.id, plan.to).unwrap();
+        cat.check_invariants().unwrap();
+        assert_eq!(Defragmenter.plan(&cat), None);
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`catalog`] — the bitstream inventory, validated against the device
 //!   floorplan (every bitstream maps to exactly one reconfigurable
 //!   region) with staging mode and size precomputed per entry;
+//! * [`dynamic`] — the allocator-driven counterpart for churn workloads:
+//!   admission consults a [`uparc_fpga::alloc::FrameAllocator`] for a
+//!   window and the image is relocated (FAR rewrite + CRC replay) to
+//!   wherever the window landed;
 //! * [`scheduler`] — the scheduling policies ([`scheduler::Policy::Fifo`],
 //!   [`scheduler::Policy::EarliestDeadlineFirst`],
 //!   [`scheduler::Policy::PowerGreedy`]) and their candidate ordering;
@@ -87,6 +91,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod dynamic;
 pub mod metrics;
 pub mod request;
 pub mod scheduler;
@@ -94,6 +99,7 @@ pub mod service;
 pub mod workload;
 
 pub use catalog::Catalog;
+pub use dynamic::DynamicCatalog;
 pub use metrics::{ServiceMetrics, ServiceSummary};
 pub use request::{AdmissionError, ReconfigRequest};
 pub use scheduler::Policy;

@@ -103,6 +103,31 @@ pub enum EventKind {
         /// The quarantined chip's fleet index.
         chip: u32,
     },
+    /// A live image being moved to a new frame window (span): the
+    /// defragmenter streaming the relocated bitstream over idle ICAP
+    /// bandwidth, FAR rewrite to commit.
+    Relocate {
+        /// Source frame address of the move.
+        from: u32,
+        /// Destination frame address of the move.
+        to: u32,
+        /// Frames carried by the image.
+        frames: u32,
+    },
+    /// One background defragmentation pass finishing (instant).
+    Compact {
+        /// Images relocated during the pass.
+        moves: u32,
+        /// Growth of the largest free block over the pass, in frames.
+        recovered_frames: u32,
+    },
+    /// The placement allocator rejecting an allocation request (instant).
+    AllocFail {
+        /// Contiguous frames the tenant asked for.
+        frames: u32,
+        /// Largest contiguous free block at the time of rejection.
+        largest_free: u32,
+    },
 }
 
 impl EventKind {
@@ -123,6 +148,9 @@ impl EventKind {
             EventKind::Failover { .. } => "Failover",
             EventKind::CapEmergency { .. } => "CapEmergency",
             EventKind::Quarantine { .. } => "Quarantine",
+            EventKind::Relocate { .. } => "Relocate",
+            EventKind::Compact { .. } => "Compact",
+            EventKind::AllocFail { .. } => "AllocFail",
         }
     }
 }
@@ -228,6 +256,28 @@ mod tests {
             ),
             (EventKind::CapEmergency { cap_mw: 9000.0 }, "CapEmergency"),
             (EventKind::Quarantine { chip: 1 }, "Quarantine"),
+            (
+                EventKind::Relocate {
+                    from: 440,
+                    to: 0,
+                    frames: 22,
+                },
+                "Relocate",
+            ),
+            (
+                EventKind::Compact {
+                    moves: 3,
+                    recovered_frames: 66,
+                },
+                "Compact",
+            ),
+            (
+                EventKind::AllocFail {
+                    frames: 40,
+                    largest_free: 12,
+                },
+                "AllocFail",
+            ),
         ];
         for (kind, label) in kinds {
             assert_eq!(kind.label(), label);

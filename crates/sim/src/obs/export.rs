@@ -72,6 +72,9 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::Failover { .. }
         | EventKind::CapEmergency { .. }
         | EventKind::Quarantine { .. } => "fleet",
+        EventKind::Relocate { .. } | EventKind::Compact { .. } | EventKind::AllocFail { .. } => {
+            "place"
+        }
     }
 }
 
@@ -108,6 +111,17 @@ fn args_json(kind: &EventKind) -> String {
             format!("{{\"cap_mw\":{}}}", json_f64(*cap_mw))
         }
         EventKind::Quarantine { chip } => format!("{{\"chip\":{chip}}}"),
+        EventKind::Relocate { from, to, frames } => {
+            format!("{{\"from\":{from},\"to\":{to},\"frames\":{frames}}}")
+        }
+        EventKind::Compact {
+            moves,
+            recovered_frames,
+        } => format!("{{\"moves\":{moves},\"recovered_frames\":{recovered_frames}}}"),
+        EventKind::AllocFail {
+            frames,
+            largest_free,
+        } => format!("{{\"frames\":{frames},\"largest_free\":{largest_free}}}"),
     }
 }
 

@@ -20,6 +20,8 @@
 //!   admission, power-budgeted per-region scheduling, workload generator.
 //! * [`fleet`] — sharded rack-scale serving: hierarchical power caps,
 //!   locality-aware cross-chip routing, mergeable latency histograms.
+//! * [`place`] — dynamic placement under tenant churn: frame allocator,
+//!   bitstream relocation, background defragmentation on idle ICAP time.
 //!
 //! # Example
 //!
@@ -51,5 +53,6 @@ pub use uparc_controllers as controllers;
 pub use uparc_core as core;
 pub use uparc_fleet as fleet;
 pub use uparc_fpga as fpga;
+pub use uparc_place as place;
 pub use uparc_serve as serve;
 pub use uparc_sim as sim;

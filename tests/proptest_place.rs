@@ -1,0 +1,117 @@
+//! Property-based tests of the placement layer.
+//!
+//! Two families of invariants over arbitrary inputs: bitstream
+//! relocation is indistinguishable from building at the target address
+//! in the first place (byte-identical words, ICAP CRC acceptance), and
+//! the frame allocator maintains a perfect tiling of the device — no
+//! overlap, eager coalescing, and full recovery once everything is
+//! freed.
+
+use proptest::prelude::*;
+use uparc_repro::bitstream::builder::PartialBitstream;
+use uparc_repro::bitstream::synth::SynthProfile;
+use uparc_repro::fpga::alloc::{FitPolicy, FrameAllocator};
+use uparc_repro::fpga::{Device, Icap};
+
+fn profile_strategy() -> impl Strategy<Value = SynthProfile> {
+    prop_oneof![
+        Just(SynthProfile::dense()),
+        Just(SynthProfile::sparse()),
+        Just(SynthProfile::noise()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Relocating an image is byte-identical to building it fresh at
+    /// the destination FAR, and the relocated stream still passes ICAP
+    /// CRC verification end to end.
+    #[test]
+    fn relocation_round_trips(
+        profile in profile_strategy(),
+        seed in 0u64..1_000_000,
+        frames in 1u32..48,
+        far in 0u32..2_000,
+        new_far in 0u32..2_000,
+    ) {
+        let device = Device::xc5vsx50t();
+        let payload = profile.generate(&device, far, frames, seed);
+        let bs = PartialBitstream::build(&device, far, &payload);
+
+        let moved = bs.relocate(&device, new_far).unwrap();
+        let fresh = PartialBitstream::build(&device, new_far, &payload);
+        prop_assert_eq!(&moved, &fresh);
+        prop_assert_eq!(moved.far(), new_far);
+
+        // Round trip: moving back restores the original stream.
+        let back = moved.relocate(&device, far).unwrap();
+        prop_assert_eq!(&back, &bs);
+
+        let mut icap = Icap::new(device);
+        icap.write_words(moved.words()).unwrap();
+        prop_assert_eq!(icap.frames_committed(), u64::from(frames));
+    }
+
+    /// Random alloc/free interleavings never violate the allocator
+    /// invariants: live windows are disjoint, the free list is sorted
+    /// and coalesced, and live + free always tile the device exactly.
+    #[test]
+    fn allocator_invariants_hold(
+        frames in 64u32..512,
+        requests in proptest::collection::vec((1u32..40, any::<bool>(), any::<u8>()), 1..64),
+    ) {
+        let mut alloc = FrameAllocator::new(frames);
+        let mut live: Vec<std::ops::Range<u32>> = Vec::new();
+
+        for (len, best, victim) in requests {
+            let policy = if best { FitPolicy::BestFit } else { FitPolicy::FirstFit };
+            if let Ok(window) = alloc.alloc(len, policy) {
+                // A fresh window never overlaps an existing live one.
+                for held in &live {
+                    prop_assert!(window.end <= held.start || held.end <= window.start);
+                }
+                live.push(window);
+            }
+            // Free a pseudo-random held window about half the time.
+            if !live.is_empty() && victim & 1 == 1 {
+                let idx = usize::from(victim >> 1) % live.len();
+                let window = live.swap_remove(idx);
+                alloc.free(window).unwrap();
+            }
+            alloc.check_invariants().unwrap();
+            prop_assert_eq!(alloc.live().len(), live.len());
+        }
+
+        // Freeing everything coalesces back to one block spanning the
+        // whole device, and freeing is not repeatable (no double free).
+        for window in live.drain(..) {
+            alloc.free(window.clone()).unwrap();
+            prop_assert!(alloc.free(window).is_err());
+        }
+        alloc.check_invariants().unwrap();
+        prop_assert_eq!(alloc.free_blocks().len(), 1);
+        prop_assert_eq!(alloc.free_blocks()[0].clone(), 0..frames);
+        prop_assert_eq!(alloc.largest_free(), frames);
+    }
+
+    /// `alloc` then `free` is the identity on the allocator state: the
+    /// free list after the pair equals the free list before it.
+    #[test]
+    fn alloc_free_is_identity(
+        frames in 64u32..512,
+        warmup in proptest::collection::vec(1u32..24, 0..8),
+        len in 1u32..32,
+    ) {
+        let mut alloc = FrameAllocator::new(frames);
+        for w in warmup {
+            let _ = alloc.alloc(w, FitPolicy::FirstFit);
+        }
+        let before = alloc.free_blocks().to_vec();
+        if let Ok(window) = alloc.alloc(len, FitPolicy::FirstFit) {
+            alloc.free(window).unwrap();
+        }
+        prop_assert_eq!(alloc.free_blocks(), &before[..]);
+        alloc.check_invariants().unwrap();
+    }
+}
