@@ -13,12 +13,22 @@
 //!   fast, finish early); with an event-driven manager it is flat in the
 //!   path term and the slowest clock wins (§V's closing discussion);
 //! * [`Constraint::MaxThroughput`] — the 362.5 MHz headline point.
+//!
+//! Since the DVFS extension the grid is two-dimensional: every policy
+//! carries a [`VfTable`] of voltage rails, and [`PowerAwarePolicy::plan_vf`]
+//! searches (rail, frequency) pairs — path power scales as `C·V²·f`,
+//! undervolted rails cap the clock, and switching rails charges the
+//! regulator settle into both the predicted time and the predicted
+//! energy. [`PowerAwarePolicy::plan_constrained`] is the same search
+//! pinned to the nominal rail with the analytic (pre-DVFS) power model,
+//! and stays bit-identical to the original frequency-only planner (see
+//! `POWER.md` for the methodology and the regression anchors).
 
 use crate::error::UparcError;
 use crate::manager::ManagerConfig;
 use uparc_fpga::dcm::DcmConstraints;
 use uparc_fpga::family::Family;
-use uparc_sim::power::calib;
+use uparc_sim::power::{calib, VfTable};
 use uparc_sim::time::{Frequency, SimTime};
 
 /// A run-time constraint on a reconfiguration.
@@ -72,24 +82,120 @@ pub struct PlanQuery {
     pub energy_budget_uj: Option<f64>,
 }
 
+/// A 2-D (V, f) operating-point query for [`PowerAwarePolicy::plan_vf`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VfQuery {
+    /// The frequency-axis constraints (size, ceiling, deadline, caps).
+    pub base: PlanQuery,
+    /// The lane's current rail (index into the policy's [`VfTable`]);
+    /// plans that switch rails are charged the regulator settle in both
+    /// predicted time and predicted energy. `None` means the rail is
+    /// already wherever the plan needs it (no ramp cost).
+    pub current_rail: Option<usize>,
+    /// Ceiling on rail voltage — thermal throttling demotes operating
+    /// points by lowering this. When it excludes every rail, the search
+    /// falls back to the lowest-voltage (coolest) rail.
+    pub max_volts: Option<f64>,
+    /// Pin the search to the nominal rail and the analytic (pre-DVFS)
+    /// `c·f` power model. This is what [`PowerAwarePolicy::plan_constrained`]
+    /// sets, and it makes the 2-D machinery degenerate bit-exactly to the
+    /// original frequency-only planner.
+    pub frequency_only: bool,
+}
+
+impl VfQuery {
+    /// A full 2-D query over `base`'s constraints.
+    #[must_use]
+    pub fn new(base: PlanQuery) -> Self {
+        VfQuery {
+            base,
+            ..VfQuery::default()
+        }
+    }
+
+    /// The backward-compatible query: nominal rail, analytic power model.
+    #[must_use]
+    pub fn frequency_only(base: PlanQuery) -> Self {
+        VfQuery {
+            base,
+            frequency_only: true,
+            ..VfQuery::default()
+        }
+    }
+}
+
+/// A selected (V, f) operating point with its predictions.
+#[derive(Debug, Clone, Copy)]
+pub struct VfPlan {
+    /// Index of the selected rail in the policy's [`VfTable`].
+    pub rail: usize,
+    /// The selected core voltage, volts.
+    pub volts: f64,
+    /// The CLK_2 target to hand to DyCloGen.
+    pub frequency: Frequency,
+    /// Regulator settle charged for reaching the rail from
+    /// [`VfQuery::current_rail`] (zero when no ramp is needed).
+    pub settle: SimTime,
+    /// Predicted Start→Finish latency, rail settle included.
+    pub predicted_time: SimTime,
+    /// Predicted total core power during the transfer, mW.
+    pub predicted_power_mw: f64,
+    /// Predicted above-idle energy, µJ, ramp cost included.
+    pub predicted_energy_uj: f64,
+}
+
+impl VfPlan {
+    /// The frequency-axis view of this plan, for callers that predate the
+    /// voltage axis. Settle is already folded into `predicted_time` and
+    /// `predicted_energy_uj` (both are zero-settle-identical for plans
+    /// produced by a [`VfQuery::frequency_only`] query).
+    #[must_use]
+    pub fn frequency_plan(&self) -> FrequencyPlan {
+        FrequencyPlan {
+            frequency: self.frequency,
+            predicted_time: self.predicted_time,
+            predicted_power_mw: self.predicted_power_mw,
+            predicted_energy_uj: self.predicted_energy_uj,
+        }
+    }
+}
+
 /// The frequency-selection policy for UPaRC_i (raw staging).
 #[derive(Debug, Clone)]
 pub struct PowerAwarePolicy {
     family: Family,
     fin: Frequency,
     manager: ManagerConfig,
+    vf: VfTable,
 }
 
 impl PowerAwarePolicy {
     /// A policy for `family` with DyCloGen reference `fin` and the given
-    /// manager behaviour.
+    /// manager behaviour. The (V, f) table defaults to the VolTune-style
+    /// three-rail table calibrated on the paper's Virtex-6 measurements
+    /// (like the rest of the power model); use
+    /// [`PowerAwarePolicy::with_vf_table`] to override it.
     #[must_use]
     pub fn new(family: Family, fin: Frequency, manager: ManagerConfig) -> Self {
         PowerAwarePolicy {
             family,
             fin,
             manager,
+            vf: VfTable::voltune_virtex6(),
         }
+    }
+
+    /// Replaces the (V, f) operating-point table.
+    #[must_use]
+    pub fn with_vf_table(mut self, vf: VfTable) -> Self {
+        self.vf = vf;
+        self
+    }
+
+    /// The policy's (V, f) operating-point table.
+    #[must_use]
+    pub fn vf_table(&self) -> &VfTable {
+        &self.vf
     }
 
     /// The paper's setup: 100 MHz reference, actively-waiting MicroBlaze.
@@ -156,6 +262,80 @@ impl PowerAwarePolicy {
         let transfer = f.time_of_cycles(words);
         calib::MANAGER_ACTIVE_WAIT_MW * control.as_secs_f64() * 1e3
             + (self.predicted_power_mw(f) - calib::V6_IDLE_MW) * transfer.as_secs_f64() * 1e3
+    }
+
+    /// Total core power at an arbitrary (V, f) point, mW.
+    ///
+    /// `measured` selects the Nafkha-&-Louet measured-overhead curve
+    /// (interpolating the Fig. 7 totals, exact at the four anchors) over
+    /// the analytic `c·f` model; the path term scales as `(v / V_nom)²`
+    /// either way. On the nominal rail with the measured model this *is*
+    /// the measured curve, bit-exactly.
+    fn power_point_mw(&self, volts: f64, f: Frequency, measured: bool) -> f64 {
+        let wait = if self.manager.active_wait {
+            calib::MANAGER_ACTIVE_WAIT_MW
+        } else {
+            calib::MANAGER_IDLE_MW
+        };
+        let base = calib::V6_IDLE_MW + wait;
+        let r = volts / calib::V_NOM_V;
+        let scale = r * r;
+        if measured {
+            if scale == 1.0 && self.manager.active_wait {
+                // Fig. 7 measured an actively-waiting manager at nominal
+                // voltage; return the measured total without a base/path
+                // round-trip so the anchors stay exact.
+                return calib::fig7_measured_mw(f.as_mhz());
+            }
+            base + scale * (calib::fig7_measured_mw(f.as_mhz()) - calib::analytic_base_mw())
+        } else {
+            base + scale * (calib::RECONFIG_PATH_MW_PER_MHZ * f.as_mhz())
+        }
+    }
+
+    /// Above-idle energy at an arbitrary (V, f) point, µJ, with the
+    /// regulator `settle` charged at the manager's active-wait draw (the
+    /// manager spins while the rail ramps, exactly as during a DCM
+    /// relock).
+    fn energy_point_uj(
+        &self,
+        bytes: usize,
+        volts: f64,
+        f: Frequency,
+        settle: SimTime,
+        measured: bool,
+    ) -> f64 {
+        let control = self
+            .manager
+            .clock
+            .time_of_cycles(self.manager.control_overhead_cycles);
+        let words = (bytes as u64).div_ceil(4) + 1;
+        let transfer = f.time_of_cycles(words);
+        calib::MANAGER_ACTIVE_WAIT_MW * control.as_secs_f64() * 1e3
+            + (self.power_point_mw(volts, f, measured) - calib::V6_IDLE_MW)
+                * transfer.as_secs_f64()
+                * 1e3
+            + calib::MANAGER_ACTIVE_WAIT_MW * settle.as_secs_f64() * 1e3
+    }
+
+    /// Predicted total core power during a transfer at voltage `volts`
+    /// and clock `f`, mW, under the policy table's power model.
+    #[must_use]
+    pub fn predicted_power_vf_mw(&self, volts: f64, f: Frequency) -> f64 {
+        self.power_point_mw(volts, f, self.vf.measured_overhead())
+    }
+
+    /// Predicted above-idle energy for `bytes` at (`volts`, `f`) with a
+    /// regulator `settle` charged in, µJ.
+    #[must_use]
+    pub fn predicted_energy_vf_uj(
+        &self,
+        bytes: usize,
+        volts: f64,
+        f: Frequency,
+        settle: SimTime,
+    ) -> f64 {
+        self.energy_point_uj(bytes, volts, f, settle, self.vf.measured_overhead())
     }
 
     fn plan_at(&self, bytes: usize, f: Frequency) -> FrequencyPlan {
@@ -230,6 +410,220 @@ impl PowerAwarePolicy {
     /// * [`UparcError::Frequency`] — `max_frequency` is below the whole
     ///   grid (no synthesisable point under the ceiling).
     pub fn plan_constrained(&self, q: &PlanQuery) -> Result<FrequencyPlan, UparcError> {
+        self.plan_vf(&VfQuery::frequency_only(*q))
+            .map(|p| p.frequency_plan())
+    }
+
+    /// Every admissible (V, f) operating point for `q`, sorted by the
+    /// planner's best-effort preference: fastest first (settle included),
+    /// ties broken towards the higher clock, then the lower power, then
+    /// the lower voltage.
+    ///
+    /// The frontier applies the same constraint cascade as
+    /// [`PowerAwarePolicy::plan_constrained`] — frequency ceiling, power
+    /// cap, energy budget — pointwise over the 2-D grid. Undervolted
+    /// rails drop their above-`fmax` clocks; a thermal `max_volts` that
+    /// excludes every rail falls back to the lowest-voltage rail rather
+    /// than refusing to plan (a throttled lane must still be able to cool
+    /// down at the cheapest point).
+    ///
+    /// # Errors
+    ///
+    /// Same typed infeasibilities as [`PowerAwarePolicy::plan_constrained`]:
+    /// the frontier is never returned empty.
+    pub fn frontier(&self, q: &VfQuery) -> Result<Vec<VfPlan>, UparcError> {
+        let measured = !q.frequency_only && self.vf.measured_overhead();
+        let grid = self.frequency_grid();
+        let ceiling: Vec<Frequency> = match q.base.max_frequency {
+            Some(max) => grid.iter().copied().filter(|&f| f <= max).collect(),
+            None => grid,
+        };
+        if ceiling.is_empty() {
+            return Err(UparcError::Frequency {
+                requested: q
+                    .base
+                    .max_frequency
+                    .expect("unfiltered grid is never empty"),
+                max: q.base.max_frequency.expect("checked above"),
+                limited_by: "dcm grid",
+            });
+        }
+        let rails: Vec<usize> = if q.frequency_only {
+            vec![self.vf.nominal_index()]
+        } else {
+            let allowed: Vec<usize> = (0..self.vf.rails().len())
+                .filter(|&i| {
+                    q.max_volts
+                        .is_none_or(|limit| self.vf.rails()[i].volts <= limit)
+                })
+                .collect();
+            if allowed.is_empty() {
+                // Thermal demotion past the table: coolest rail wins.
+                let coolest = (0..self.vf.rails().len())
+                    .min_by(|&a, &b| {
+                        self.vf.rails()[a]
+                            .volts
+                            .total_cmp(&self.vf.rails()[b].volts)
+                    })
+                    .expect("tables always carry the nominal rail");
+                vec![coolest]
+            } else {
+                allowed
+            }
+        };
+        let mut points: Vec<(usize, Frequency)> = Vec::new();
+        for &rail in &rails {
+            let fmax = self.vf.rails()[rail].fmax;
+            for &f in &ceiling {
+                if fmax.is_none_or(|cap| f <= cap) {
+                    points.push((rail, f));
+                }
+            }
+        }
+        if points.is_empty() {
+            // Every candidate rail's fmax sits below the whole (ceilinged)
+            // grid — only possible with a custom table that excludes the
+            // unconstrained nominal rail.
+            return Err(UparcError::Frequency {
+                requested: ceiling[0],
+                max: self.vf.rails()[rails[0]].fmax.unwrap_or(ceiling[0]),
+                limited_by: "vf rail fmax",
+            });
+        }
+        let settle_of = |rail: usize| -> SimTime {
+            if q.frequency_only {
+                SimTime::ZERO
+            } else {
+                q.current_rail
+                    .map_or(SimTime::ZERO, |from| self.vf.settle(from, rail))
+            }
+        };
+        let capped: Vec<(usize, Frequency)> = match q.base.power_cap_mw {
+            Some(cap) => points
+                .iter()
+                .copied()
+                .filter(|&(rail, f)| {
+                    self.power_point_mw(self.vf.rails()[rail].volts, f, measured) <= cap
+                })
+                .collect(),
+            None => points.clone(),
+        };
+        if capped.is_empty() {
+            let floor_mw = points
+                .iter()
+                .map(|&(rail, f)| self.power_point_mw(self.vf.rails()[rail].volts, f, measured))
+                .fold(f64::INFINITY, f64::min);
+            return Err(UparcError::BudgetInfeasible {
+                budget_mw: q.base.power_cap_mw.expect("emptied by the power filter"),
+                floor_mw,
+            });
+        }
+        let energy_of = |rail: usize, f: Frequency| -> f64 {
+            self.energy_point_uj(
+                q.base.bytes,
+                self.vf.rails()[rail].volts,
+                f,
+                settle_of(rail),
+                measured,
+            )
+        };
+        let admissible: Vec<(usize, Frequency)> = match q.base.energy_budget_uj {
+            Some(budget) => capped
+                .iter()
+                .copied()
+                .filter(|&(rail, f)| energy_of(rail, f) <= budget)
+                .collect(),
+            None => capped.clone(),
+        };
+        if admissible.is_empty() {
+            let floor_uj = capped
+                .iter()
+                .map(|&(rail, f)| energy_of(rail, f))
+                .fold(f64::INFINITY, f64::min);
+            return Err(UparcError::EnergyBudgetInfeasible {
+                budget_uj: q
+                    .base
+                    .energy_budget_uj
+                    .expect("emptied by the energy filter"),
+                floor_uj,
+            });
+        }
+        let mut plans: Vec<VfPlan> = admissible
+            .into_iter()
+            .map(|(rail, f)| {
+                let volts = self.vf.rails()[rail].volts;
+                let settle = settle_of(rail);
+                VfPlan {
+                    rail,
+                    volts,
+                    frequency: f,
+                    settle,
+                    predicted_time: settle + self.predicted_time(q.base.bytes, f),
+                    predicted_power_mw: self.power_point_mw(volts, f, measured),
+                    predicted_energy_uj: energy_of(rail, f),
+                }
+            })
+            .collect();
+        plans.sort_by(|a, b| {
+            a.predicted_time
+                .cmp(&b.predicted_time)
+                .then(b.frequency.cmp(&a.frequency))
+                .then(a.predicted_power_mw.total_cmp(&b.predicted_power_mw))
+                .then(a.volts.total_cmp(&b.volts))
+        });
+        Ok(plans)
+    }
+
+    /// Selects a (V, f) operating point under all the constraints of `q`
+    /// at once — the 2-D generalisation of
+    /// [`PowerAwarePolicy::plan_constrained`], with ramp costs charged
+    /// into the plan.
+    ///
+    /// The selection rule is power-aware (§V): among the admissible
+    /// points that **meet the deadline** (regulator settle included),
+    /// pick the lowest-power one, breaking ties towards lower energy,
+    /// then lower voltage, then the slower clock. When no admissible
+    /// point meets the deadline — or no deadline is given — return the
+    /// fastest admissible point (best effort), preferring the higher
+    /// clock, then lower power, then lower voltage on ties.
+    ///
+    /// With [`VfQuery::frequency_only`] the answer is bit-identical to
+    /// the pre-DVFS frequency-only planner (the backward-compat pin in
+    /// the property suite).
+    ///
+    /// # Errors
+    ///
+    /// Same typed infeasibilities as [`PowerAwarePolicy::plan_constrained`].
+    pub fn plan_vf(&self, q: &VfQuery) -> Result<VfPlan, UparcError> {
+        let plans = self.frontier(q)?;
+        if let Some(deadline) = q.base.deadline {
+            let meeting = plans
+                .iter()
+                .filter(|p| p.predicted_time <= deadline)
+                .min_by(|a, b| {
+                    a.predicted_power_mw
+                        .total_cmp(&b.predicted_power_mw)
+                        .then(a.predicted_energy_uj.total_cmp(&b.predicted_energy_uj))
+                        .then(a.volts.total_cmp(&b.volts))
+                        .then(a.frequency.cmp(&b.frequency))
+                });
+            if let Some(best) = meeting {
+                return Ok(*best);
+            }
+        }
+        Ok(plans[0])
+    }
+
+    /// The original frequency-only `plan_constrained`, kept verbatim as
+    /// the regression reference for the DVFS rework: the property suite
+    /// pins [`PowerAwarePolicy::plan_constrained`] (now a nominal-rail
+    /// [`PowerAwarePolicy::plan_vf`]) bit-identical to this body on every
+    /// query, including the typed error payloads.
+    ///
+    /// # Errors
+    ///
+    /// Same typed infeasibilities as [`PowerAwarePolicy::plan_constrained`].
+    pub fn plan_constrained_reference(&self, q: &PlanQuery) -> Result<FrequencyPlan, UparcError> {
         let grid = self.frequency_grid();
         let ceiling: Vec<Frequency> = match q.max_frequency {
             Some(max) => grid.iter().copied().filter(|&f| f <= max).collect(),
@@ -482,6 +876,112 @@ mod tests {
             p.plan_constrained(&q),
             Err(UparcError::Frequency { .. })
         ));
+    }
+
+    #[test]
+    fn plan_constrained_is_bit_identical_to_the_reference() {
+        let p = policy();
+        let caps = [None, Some(100.0), Some(260.0), Some(420.0)];
+        let deadlines = [
+            None,
+            Some(SimTime::from_us(200)),
+            Some(SimTime::from_us(600)),
+        ];
+        let ceilings = [
+            None,
+            Some(Frequency::from_mhz(255.0)),
+            Some(Frequency::from_mhz(1.0)),
+        ];
+        let energies = [None, Some(1.0), Some(50.0), Some(1e9)];
+        for cap in caps {
+            for deadline in deadlines {
+                for ceiling in ceilings {
+                    for energy in energies {
+                        let q = PlanQuery {
+                            bytes: BYTES,
+                            max_frequency: ceiling,
+                            deadline,
+                            power_cap_mw: cap,
+                            energy_budget_uj: energy,
+                        };
+                        match (p.plan_constrained(&q), p.plan_constrained_reference(&q)) {
+                            (Ok(a), Ok(b)) => {
+                                assert_eq!(a.frequency, b.frequency, "{q:?}");
+                                assert_eq!(a.predicted_time, b.predicted_time, "{q:?}");
+                                assert_eq!(
+                                    a.predicted_power_mw.to_bits(),
+                                    b.predicted_power_mw.to_bits(),
+                                    "{q:?}"
+                                );
+                                assert_eq!(
+                                    a.predicted_energy_uj.to_bits(),
+                                    b.predicted_energy_uj.to_bits(),
+                                    "{q:?}"
+                                );
+                            }
+                            (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+                            (a, b) => panic!("divergence on {q:?}: {a:?} vs {b:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vf_plan_exploits_an_undervolted_rail_under_a_tight_cap() {
+        let p = policy();
+        let base = PlanQuery {
+            bytes: BYTES,
+            power_cap_mw: Some(330.0),
+            ..PlanQuery::default()
+        };
+        let dvfs = p.plan_vf(&VfQuery::new(base)).unwrap();
+        let freq_only = p.plan_constrained(&base).unwrap();
+        // 330 mW admits ≈169 MHz at nominal voltage (analytic model) but
+        // ≈184 MHz on the 0.9 V rail — the 2-D search must find it.
+        assert!(dvfs.volts < calib::V_NOM_V, "{dvfs:?}");
+        assert!(dvfs.frequency > freq_only.frequency, "{dvfs:?}");
+        assert!(dvfs.predicted_power_mw <= 330.0);
+    }
+
+    #[test]
+    fn thermal_demotion_past_the_table_falls_back_to_the_coolest_rail() {
+        let p = policy();
+        let q = VfQuery {
+            max_volts: Some(0.5),
+            ..VfQuery::new(PlanQuery {
+                bytes: BYTES,
+                ..PlanQuery::default()
+            })
+        };
+        let plan = p.plan_vf(&q).unwrap();
+        let low = &p.vf_table().rails()[0];
+        assert_eq!(plan.volts, low.volts);
+        assert!(plan.frequency <= low.fmax.unwrap());
+    }
+
+    #[test]
+    fn rail_switches_charge_settle_into_time_and_energy() {
+        let p = policy();
+        let base = PlanQuery {
+            bytes: BYTES,
+            power_cap_mw: Some(330.0),
+            ..PlanQuery::default()
+        };
+        let free = p.plan_vf(&VfQuery::new(base)).unwrap();
+        let ramped = p
+            .plan_vf(&VfQuery {
+                current_rail: Some(p.vf_table().nominal_index()),
+                ..VfQuery::new(base)
+            })
+            .unwrap();
+        assert!(free.volts < calib::V_NOM_V, "cap forces an undervolt");
+        assert_eq!(free.settle, SimTime::ZERO, "no current rail, no ramp");
+        if ramped.rail != p.vf_table().nominal_index() {
+            assert!(ramped.settle > SimTime::ZERO);
+            assert!(ramped.predicted_energy_uj > free.predicted_energy_uj);
+        }
     }
 
     #[test]

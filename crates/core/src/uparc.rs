@@ -304,6 +304,8 @@ impl UParcBuilder {
             injector: None,
             watchdog: None,
             clk2_target: None,
+            core_volts: calib::V_NOM_V,
+            vrail_ready: SimTime::ZERO,
             obs: Obs::null(),
         };
         sys.set_observer(self.obs);
@@ -337,6 +339,13 @@ pub struct UParc {
     /// [`UParc::set_reconfiguration_frequency`] — what a recovery layer
     /// re-requests after a lock failure.
     clk2_target: Option<Frequency>,
+    /// Current core-rail voltage (DVFS); path power scales as
+    /// `(core_volts / V_nom)²`.
+    core_volts: f64,
+    /// When the regulator finishes settling after the last
+    /// [`UParc::set_core_voltage`]; reconfiguration waits it out exactly
+    /// like a pending DCM relock.
+    vrail_ready: SimTime,
     /// Observability handle (shared with the ICAP and DyCloGen); the
     /// disabled [`Obs::null`] by default.
     obs: Obs,
@@ -538,6 +547,63 @@ impl UParc {
         Ok(f)
     }
 
+    /// The current core-rail voltage, volts.
+    #[must_use]
+    pub fn core_voltage(&self) -> f64 {
+        self.core_volts
+    }
+
+    /// The CLK_2 DCM's lock latency — what a retune to a *different*
+    /// frequency costs before the next reconfiguration can start. Lets
+    /// admission estimators charge the relock without running a dispatch.
+    #[must_use]
+    pub fn dcm_lock_time(&self) -> SimTime {
+        self.dyclogen.lock_time()
+    }
+
+    /// Ramps the core rail to `volts` (VolTune-style runtime voltage
+    /// control). The regulator settle — [`calib::VRAIL_SETTLE_US_PER_100MV`]
+    /// per 100 mV of swing — is accounted at the next reconfiguration,
+    /// exactly like a DCM relock; the returned settle is what that
+    /// reconfiguration will wait. Re-requesting the current voltage is
+    /// free.
+    ///
+    /// # Panics
+    ///
+    /// On a non-finite or non-positive `volts` — rails are configuration,
+    /// not data, so a bad rail is a programming error.
+    pub fn set_core_voltage(&mut self, volts: f64) -> SimTime {
+        assert!(
+            volts.is_finite() && volts > 0.0,
+            "core voltage must be positive, got {volts}"
+        );
+        if volts == self.core_volts {
+            return SimTime::ZERO;
+        }
+        let swing = (volts - self.core_volts).abs();
+        let settle = SimTime::from_secs_f64(swing / 0.1 * calib::VRAIL_SETTLE_US_PER_100MV * 1e-6);
+        let span = self.obs.begin(
+            self.now,
+            EventKind::Vf {
+                from_mv: (self.core_volts * 1000.0).round() as u32,
+                to_mv: (volts * 1000.0).round() as u32,
+            },
+        );
+        self.obs.end(self.now + settle, span);
+        self.obs.count("power.vf_ramps", 1);
+        self.obs.gauge("power.rail_mv", volts * 1000.0);
+        self.obs.observe("power.settle_us", settle.as_us_f64());
+        self.core_volts = volts;
+        self.vrail_ready = self.now + settle;
+        settle
+    }
+
+    /// The `(core_volts / V_nom)²` dynamic-power scale (`C·V²·f`).
+    fn vf_scale(&self) -> f64 {
+        let r = self.core_volts / calib::V_NOM_V;
+        r * r
+    }
+
     /// Retunes CLK_3 (decompressor clock), capped at the current block's
     /// maximum frequency.
     ///
@@ -658,11 +724,13 @@ impl UParc {
     pub fn reconfigure(&mut self) -> Result<UparcReport, UparcError> {
         let staged = self.staged.clone().ok_or(UparcError::NothingPreloaded)?;
         self.apply_ambient_faults();
-        // Wait out any pending DCM relock (frequency adaptation latency).
+        // Wait out any pending DCM relock (frequency adaptation latency)
+        // and any core-rail ramp still settling.
         let ready = self
             .dyclogen
             .ready_at(OutputClock::Reconfiguration)
-            .max(self.dyclogen.ready_at(OutputClock::Decompressor));
+            .max(self.dyclogen.ready_at(OutputClock::Decompressor))
+            .max(self.vrail_ready);
         if ready > self.now {
             self.advance_idle(ready - self.now);
         }
@@ -737,7 +805,7 @@ impl UParc {
                 let t = f2.time_of_cycles(cycles);
                 let p = calib::V6_IDLE_MW
                     + self.manager.wait_power_mw()
-                    + calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz();
+                    + self.vf_scale() * (calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz());
                 (t, None, p)
             })
         };
@@ -866,7 +934,10 @@ impl UParc {
     /// Frame-range or clock errors.
     pub fn readback(&mut self, far: u32, frames: u32) -> Result<Vec<u32>, UparcError> {
         self.apply_ambient_faults();
-        let ready = self.dyclogen.ready_at(OutputClock::Reconfiguration);
+        let ready = self
+            .dyclogen
+            .ready_at(OutputClock::Reconfiguration)
+            .max(self.vrail_ready);
         if ready > self.now {
             self.advance_idle(ready - self.now);
         }
@@ -880,7 +951,7 @@ impl UParc {
             self.now,
             calib::V6_IDLE_MW
                 + self.manager.wait_power_mw()
-                + calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz(),
+                + self.vf_scale() * (calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz()),
         );
         self.now += duration;
         self.trace.push(self.now, calib::V6_IDLE_MW);
@@ -1033,8 +1104,8 @@ impl UParc {
         };
         let power = calib::V6_IDLE_MW
             + self.manager.wait_power_mw()
-            + calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz()
-            + calib::DECOMPRESSOR_MW_PER_MHZ * f3.as_mhz();
+            + self.vf_scale() * (calib::RECONFIG_PATH_MW_PER_MHZ * f2.as_mhz())
+            + self.vf_scale() * (calib::DECOMPRESSOR_MW_PER_MHZ * f3.as_mhz());
         Ok((transfer, Some(f3), power))
     }
 
@@ -1106,6 +1177,52 @@ mod tests {
 
     fn uparc() -> UParc {
         UParc::builder(Device::xc5vsx50t()).build().unwrap()
+    }
+
+    #[test]
+    fn undervolting_scales_transfer_power_and_charges_settle() {
+        let device = Device::xc5vsx50t();
+        let bs = bitstream(&device, 100, 9);
+
+        let mut nominal = uparc();
+        nominal.preload(&bs, Mode::Raw).unwrap();
+        let base = nominal.reconfigure().unwrap();
+
+        let mut undervolted = uparc();
+        assert_eq!(undervolted.core_voltage(), calib::V_NOM_V);
+        // Re-requesting the current rail is free.
+        assert_eq!(undervolted.set_core_voltage(calib::V_NOM_V), SimTime::ZERO);
+        let settle = undervolted.set_core_voltage(0.9);
+        // 100 mV of swing at the calibrated slew.
+        let expected = SimTime::from_secs_f64(calib::VRAIL_SETTLE_US_PER_100MV * 1e-6);
+        assert_eq!(settle, expected);
+        assert_eq!(undervolted.core_voltage(), 0.9);
+        undervolted.preload(&bs, Mode::Raw).unwrap();
+        let started = undervolted.now();
+        let r = undervolted.reconfigure().unwrap();
+        // The reconfiguration waited out the regulator (preload advanced
+        // part of the settle window already).
+        assert!(r.started_at >= started);
+        assert!(r.started_at + r.control_overhead >= expected);
+        // Path energy scales by (0.9)² while timing is unchanged.
+        assert_eq!(r.transfer_time, base.transfer_time);
+        assert!(
+            r.energy_uj < base.energy_uj,
+            "{} vs {}",
+            r.energy_uj,
+            base.energy_uj
+        );
+        let base_path = base.energy_uj
+            - calib::MANAGER_ACTIVE_WAIT_MW * base.control_overhead.as_secs_f64() * 1e3
+            - calib::MANAGER_ACTIVE_WAIT_MW * base.transfer_time.as_secs_f64() * 1e3;
+        let under_path = r.energy_uj
+            - calib::MANAGER_ACTIVE_WAIT_MW * r.control_overhead.as_secs_f64() * 1e3
+            - calib::MANAGER_ACTIVE_WAIT_MW * r.transfer_time.as_secs_f64() * 1e3;
+        assert!(
+            (under_path / base_path - 0.81).abs() < 1e-9,
+            "path-term scale {}",
+            under_path / base_path
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Property tests for the (V, f) planner: cap monotonicity, ramp-cost
+//! sanity, and the frequency-only backward-compatibility pin, over
+//! randomized queries rather than the unit tests' fixed sweeps.
+
+use proptest::prelude::*;
+use uparc_core::policy::{PlanQuery, PowerAwarePolicy, VfQuery};
+use uparc_fpga::Family;
+use uparc_sim::time::{Frequency, SimTime};
+
+fn planner() -> PowerAwarePolicy {
+    PowerAwarePolicy::paper_setup(Family::Virtex5)
+}
+
+proptest! {
+    /// Raising the power cap can only add operating points, so the
+    /// no-deadline plan (fastest admissible) never gets slower and the
+    /// winning point always fits its cap.
+    #[test]
+    fn raising_the_cap_never_slows_the_plan(
+        bytes in 1_000usize..400_000,
+        cap_lo in 210.0f64..520.0,
+        extra in 1.0f64..400.0,
+    ) {
+        let p = planner();
+        let q = |cap: f64| VfQuery::new(PlanQuery {
+            bytes,
+            power_cap_mw: Some(cap),
+            ..PlanQuery::default()
+        });
+        let lo = p.plan_vf(&q(cap_lo));
+        let hi = p.plan_vf(&q(cap_lo + extra));
+        if let Ok(a) = &lo {
+            let b = hi.as_ref().expect("superset of a feasible cap is feasible");
+            prop_assert!(b.predicted_time <= a.predicted_time);
+            prop_assert!(a.predicted_power_mw <= cap_lo);
+            prop_assert!(b.predicted_power_mw <= cap_lo + extra);
+        }
+    }
+
+    /// With a deadline the planner minimizes power among deadline-meeting
+    /// points; a raised cap keeps every old candidate, so if the tight
+    /// cap met the deadline the loose cap must too, at no more power.
+    #[test]
+    fn raising_the_cap_never_raises_deadline_power(
+        bytes in 1_000usize..400_000,
+        cap_lo in 210.0f64..520.0,
+        extra in 1.0f64..400.0,
+        deadline_us in 50u64..5_000,
+    ) {
+        let p = planner();
+        let deadline = SimTime::from_us(deadline_us);
+        let q = |cap: f64| VfQuery::new(PlanQuery {
+            bytes,
+            deadline: Some(deadline),
+            power_cap_mw: Some(cap),
+            ..PlanQuery::default()
+        });
+        if let (Ok(a), Ok(b)) = (p.plan_vf(&q(cap_lo)), p.plan_vf(&q(cap_lo + extra))) {
+            if a.predicted_time <= deadline {
+                prop_assert!(b.predicted_time <= deadline);
+                prop_assert!(b.predicted_power_mw <= a.predicted_power_mw);
+            }
+        }
+    }
+
+    /// Regulator settle is a metric on the rail set: zero on the
+    /// diagonal, symmetric, and triangle-bounded (up to 1 fs of
+    /// femtosecond truncation per leg). Oscillating a→b→a therefore
+    /// always costs `2·settle(a,b)` over staying put — rapid voltage
+    /// oscillation can never be free.
+    #[test]
+    fn settle_is_a_metric_so_oscillation_costs(
+        a in 0usize..3,
+        b in 0usize..3,
+        c in 0usize..3,
+    ) {
+        let vf = planner().vf_table().clone();
+        prop_assert_eq!(vf.settle(a, a), SimTime::ZERO);
+        prop_assert_eq!(vf.settle(a, b), vf.settle(b, a));
+        let fs = SimTime::from_fs(1);
+        prop_assert!(vf.settle(a, c) <= vf.settle(a, b) + vf.settle(b, c) + fs);
+        if a != b {
+            prop_assert!(vf.settle(a, b) + vf.settle(b, a) > SimTime::ZERO);
+        }
+    }
+
+    /// Re-planning from the rail the last plan landed on can only shed
+    /// the settle: ramping away and back never beats staying.
+    #[test]
+    fn staying_on_the_planned_rail_never_loses(
+        bytes in 50_000usize..400_000,
+        cap in 250.0f64..520.0,
+    ) {
+        let p = planner();
+        let base = PlanQuery {
+            bytes,
+            power_cap_mw: Some(cap),
+            ..PlanQuery::default()
+        };
+        let mut q = VfQuery::new(base);
+        q.current_rail = Some(p.vf_table().nominal_index());
+        if let Ok(a) = p.plan_vf(&q) {
+            let mut q2 = VfQuery::new(base);
+            q2.current_rail = Some(a.rail);
+            let b = p.plan_vf(&q2).expect("same constraints stay feasible");
+            prop_assert!(b.predicted_time <= a.predicted_time);
+            prop_assert!(b.predicted_energy_uj <= a.predicted_energy_uj);
+        }
+    }
+
+    /// The backward-compat pin, randomized: `plan_constrained` (now a
+    /// frequency-only (V, f) search on the nominal rail) is bit-identical
+    /// to the retained pre-DVFS reference implementation — frequencies,
+    /// float payloads, and typed errors alike.
+    #[test]
+    fn plan_constrained_matches_the_pre_dvfs_reference(
+        bytes in 1usize..400_000,
+        ceiling in prop_oneof![
+            Just(None),
+            (10.0f64..400.0).prop_map(|m| Some(Frequency::from_mhz(m))),
+        ],
+        deadline_us in prop_oneof![Just(None), (10u64..5_000).prop_map(Some)],
+        cap in prop_oneof![Just(None), (100.0f64..700.0).prop_map(Some)],
+        budget in prop_oneof![Just(None), (1.0f64..2_000.0).prop_map(Some)],
+    ) {
+        let p = planner();
+        let q = PlanQuery {
+            bytes,
+            max_frequency: ceiling,
+            deadline: deadline_us.map(SimTime::from_us),
+            power_cap_mw: cap,
+            energy_budget_uj: budget,
+        };
+        match (p.plan_constrained(&q), p.plan_constrained_reference(&q)) {
+            (Ok(got), Ok(want)) => {
+                prop_assert_eq!(got.frequency, want.frequency);
+                prop_assert_eq!(got.predicted_time, want.predicted_time);
+                prop_assert_eq!(
+                    got.predicted_power_mw.to_bits(),
+                    want.predicted_power_mw.to_bits()
+                );
+                prop_assert_eq!(
+                    got.predicted_energy_uj.to_bits(),
+                    want.predicted_energy_uj.to_bits()
+                );
+            }
+            (Err(got), Err(want)) => {
+                prop_assert_eq!(format!("{got:?}"), format!("{want:?}"));
+            }
+            (got, want) => {
+                return Err(format!("divergence: got {got:?}, reference {want:?}").into());
+            }
+        }
+    }
+}

@@ -96,6 +96,7 @@ pub mod metrics;
 pub mod request;
 pub mod scheduler;
 pub mod service;
+pub mod thermal;
 pub mod workload;
 
 pub use catalog::Catalog;

@@ -24,6 +24,12 @@ pub struct Completion {
     pub missed: bool,
     /// Reconfiguration clock (CLK_2) the scheduler chose.
     pub frequency: Frequency,
+    /// Core-rail voltage the scheduler chose (the nominal 1.0 V when
+    /// DVFS is off).
+    pub volts: f64,
+    /// Whether the thermal governor demoted the operating point for
+    /// this dispatch.
+    pub throttled: bool,
     /// Whether the compressed datapath served it.
     pub compressed: bool,
     /// Total energy spent, recovery overhead included, in microjoules.
@@ -91,6 +97,16 @@ pub struct ServiceMetrics {
     pub unserved: usize,
     /// Time of the last event in the run.
     pub makespan: SimTime,
+    /// Dispatches the thermal governor demoted to a cooler operating
+    /// point (zero when the thermal layer is off).
+    pub thermal_throttles: u64,
+    /// Dispatches whose end-of-dispatch region temperature exceeded the
+    /// configured limit — the governor is designed to keep this at
+    /// exactly zero.
+    pub overtemp_dispatches: u64,
+    /// Hottest end-of-dispatch region temperature seen, °C (ambient if
+    /// nothing dispatched or the thermal layer is off).
+    pub peak_temp_c: f64,
 }
 
 impl ServiceMetrics {
@@ -170,6 +186,9 @@ impl ServiceMetrics {
             },
             peak_power_mw: self.power.iter().map(|s| s.total_mw).fold(0.0, f64::max),
             cap_violations: self.cap_violations,
+            thermal_throttles: self.thermal_throttles,
+            overtemp_dispatches: self.overtemp_dispatches,
+            peak_temp_c: self.peak_temp_c,
         }
     }
 }
@@ -208,6 +227,12 @@ pub struct ServiceSummary {
     pub peak_power_mw: f64,
     /// Scheduling instants above the power cap.
     pub cap_violations: u64,
+    /// Dispatches demoted by the thermal governor.
+    pub thermal_throttles: u64,
+    /// Dispatches that ended above the thermal limit (zero by design).
+    pub overtemp_dispatches: u64,
+    /// Hottest end-of-dispatch region temperature, °C.
+    pub peak_temp_c: f64,
 }
 
 #[cfg(test)]
@@ -225,6 +250,8 @@ mod tests {
             deadline: Some(SimTime::from_us(finish_us + 1)),
             missed,
             frequency: Frequency::from_mhz(100.0),
+            volts: 1.0,
+            throttled: false,
             compressed: false,
             energy_uj: 100.0,
             attempts: 1,

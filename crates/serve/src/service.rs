@@ -15,19 +15,20 @@ use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
 use uparc_core::manager::ManagerConfig;
-use uparc_core::policy::{PlanQuery, PowerAwarePolicy};
+use uparc_core::policy::{PlanQuery, PowerAwarePolicy, VfPlan, VfQuery};
 use uparc_core::recovery::RecoveryPolicy;
 use uparc_core::uparc::COMPRESSED_MODE_MAX;
 use uparc_core::{UParc, UparcError};
 use uparc_sim::engine::{Context, Engine, Process};
 use uparc_sim::obs::{EventKind, Obs};
-use uparc_sim::power::calib;
+use uparc_sim::power::{calib, VfTable};
 use uparc_sim::time::{Frequency, SimTime};
 
 use crate::catalog::Catalog;
 use crate::metrics::{Completion, Failure, PowerSample, Rejection, ServiceMetrics};
 use crate::request::{AdmissionError, BitstreamId, ReconfigRequest, RegionId};
 use crate::scheduler::{candidate_order, Policy, Queued};
+use crate::thermal::{LaneTemp, ThermalConfig};
 
 /// Safety margin on estimated service times: the analytic transfer model
 /// ignores pipeline fill and stall cycles, so admission pads it before
@@ -54,6 +55,16 @@ pub struct ServiceConfig {
     pub recovery: RecoveryPolicy,
     /// Host-side decompressed-bitstream cache per lane, in bytes.
     pub decompressed_cache_bytes: usize,
+    /// (V, f) operating-point table for DVFS dispatch. `None` (the
+    /// default) keeps the pre-DVFS frequency-only behaviour — every
+    /// dispatch runs the nominal rail and the planner's answers are
+    /// bit-identical to the original planner.
+    pub vf: Option<VfTable>,
+    /// Per-region thermal model and throttling governor. `None` (the
+    /// default) disables thermal accounting entirely. Requires `vf` to
+    /// demote operating points; with `vf: None` the governor still caps
+    /// the dispatch draw but can only trade frequency.
+    pub thermal: Option<ThermalConfig>,
     /// Observability handle for the run: each lane reports through a
     /// region-tagged copy, the scheduler itself through the handle as
     /// given. The disabled [`Obs::null`] (the default) makes every
@@ -69,6 +80,8 @@ impl Default for ServiceConfig {
             queue_capacity: 32,
             recovery: RecoveryPolicy::default(),
             decompressed_cache_bytes: 32 * 1024 * 1024,
+            vf: None,
+            thermal: None,
             obs: Obs::null(),
         }
     }
@@ -80,8 +93,16 @@ impl Default for ServiceConfig {
 #[derive(Debug, Clone, Copy)]
 struct Est {
     /// Best-case dispatch-to-finish time with the lane idle (measured at
-    /// the fastest admissible clock), margin included.
+    /// the fastest admissible clock, the DCM relock from a cold lane
+    /// included), margin included.
     service_fastest: SimTime,
+    /// Same dispatch re-measured with CLK_2 already locked at the target
+    /// — the relock-free service time. `service_fastest - service_pure`
+    /// is the unhidden relock residual a dispatch pays exactly when the
+    /// planned frequency differs from the lane's current one.
+    service_pure: SimTime,
+    /// The fastest admissible clock the estimates were measured at.
+    fastest: Frequency,
     /// CLK_2 ceiling imposed by the datapath (compressed mode).
     ceiling: Option<Frequency>,
     /// Extra steady draw of the decompressor during the transfer, mW.
@@ -102,7 +123,10 @@ impl Service {
     /// setup (100 MHz reference, actively-waiting manager).
     #[must_use]
     pub fn new(catalog: Catalog, config: ServiceConfig) -> Self {
-        let planner = PowerAwarePolicy::paper_setup(catalog.device().family());
+        let mut planner = PowerAwarePolicy::paper_setup(catalog.device().family());
+        if let Some(vf) = &config.vf {
+            planner = planner.with_vf_table(vf.clone());
+        }
         Service {
             catalog,
             config,
@@ -141,8 +165,12 @@ impl Service {
 
     /// Measures a full fault-free dispatch of `id` at CLK_2 `f` on a
     /// scratch controller: retune + preload + transfer + the recovery
-    /// layer's verification, exactly as a lane would run it.
-    fn measure_dispatch(&self, id: BitstreamId, f: Frequency) -> SimTime {
+    /// layer's verification, exactly as a lane would run it. The dispatch
+    /// runs twice on the same scratch: the first pays the DCM relock from
+    /// the cold lane (partially hidden behind the preload), the second
+    /// re-runs with the factors already locked and measures the pure
+    /// service time. Returns `(with_relock, pure)`.
+    fn measure_dispatch(&self, id: BitstreamId, f: Frequency) -> (SimTime, SimTime) {
         let entry = self.catalog.entry(id).expect("measure of unknown id");
         let mut scratch = self.build_lane();
         scratch
@@ -152,7 +180,15 @@ impl Service {
             .recovery
             .reconfigure(&mut scratch, entry.bitstream(), entry.mode())
             .expect("fault-free dispatch on a scratch lane");
-        scratch.now()
+        let first = scratch.now();
+        scratch
+            .set_reconfiguration_frequency(f)
+            .expect("retune to the locked frequency is free");
+        self.config
+            .recovery
+            .reconfigure(&mut scratch, entry.bitstream(), entry.mode())
+            .expect("fault-free dispatch on a scratch lane");
+        (first, scratch.now().saturating_sub(first))
     }
 
     /// Runs one request trace to completion and returns its metrics.
@@ -191,7 +227,7 @@ impl Service {
                     .copied()
                     .rfind(|&f| ceiling.is_none_or(|c| f <= c))
                     .expect("frequency grid is never empty");
-                let measured = self.measure_dispatch(id, fastest);
+                let (with_relock, pure) = self.measure_dispatch(id, fastest);
                 let extra_draw_mw = if entry.compressed() {
                     calib::DECOMPRESSOR_MW_PER_MHZ * self.manager.clock.as_mhz()
                 } else {
@@ -199,8 +235,10 @@ impl Service {
                 };
                 let est = Est {
                     service_fastest: SimTime::from_secs_f64(
-                        measured.as_secs_f64() * ESTIMATE_MARGIN,
+                        with_relock.as_secs_f64() * ESTIMATE_MARGIN,
                     ),
+                    service_pure: SimTime::from_secs_f64(pure.as_secs_f64() * ESTIMATE_MARGIN),
+                    fastest,
                     ceiling,
                     extra_draw_mw,
                 };
@@ -208,6 +246,7 @@ impl Service {
             })
             .collect();
         let region_count = self.catalog.region_count();
+        let node = LaneTemp::new(&self.config.thermal.unwrap_or_default());
         let mut engine: Engine<Ev> = Engine::new();
         let proc = ServeProcess {
             requests: requests.to_vec(),
@@ -221,6 +260,12 @@ impl Service {
             cap_mw: self.config.power_cap_mw,
             queue_capacity: self.config.queue_capacity,
             recovery: self.config.recovery.clone(),
+            vf: self.config.vf.clone(),
+            thermal: self.config.thermal,
+            temps: vec![node; region_count],
+            throttle_state: vec![false; region_count],
+            current_f: vec![None; region_count],
+            rails: vec![self.planner.vf_table().nominal_index(); region_count],
             metrics: ServiceMetrics::default(),
             obs: self.config.obs.clone(),
         };
@@ -264,6 +309,22 @@ struct ServeProcess {
     cap_mw: f64,
     queue_capacity: usize,
     recovery: RecoveryPolicy,
+    /// DVFS operating-point table; `None` pins dispatch to the nominal
+    /// rail and the pre-DVFS analytic planner.
+    vf: Option<VfTable>,
+    /// Thermal model and governor; `None` disables thermal accounting.
+    thermal: Option<ThermalConfig>,
+    /// Per-lane RC thermal node (only advanced when `thermal` is set).
+    temps: Vec<LaneTemp>,
+    /// Per-lane governor hysteresis state.
+    throttle_state: Vec<bool>,
+    /// The CLK_2 each lane is currently locked at (`None` until its
+    /// first successful dispatch) — a dispatch at the same frequency
+    /// skips the DCM relock, and admission's dry-run estimate mirrors
+    /// that.
+    current_f: Vec<Option<Frequency>>,
+    /// The rail each lane's core supply currently sits on.
+    rails: Vec<usize>,
     metrics: ServiceMetrics,
     /// Scheduler-level observability (admission verdicts, cap samples);
     /// lanes carry their own region-tagged copies.
@@ -338,9 +399,21 @@ impl ServeProcess {
         }
         let est = self.ests[&req.bitstream];
         // Hopeless deadlines are rejected for every policy identically,
-        // so policy comparisons run on the same admitted set.
+        // so policy comparisons run on the same admitted set. The dry-run
+        // estimate mirrors the dispatch path: a lane already locked at
+        // the entry's fastest clock skips the DCM relock, any other lane
+        // pays it, and a DVFS dispatch may additionally pay the rail ramp
+        // back to nominal.
         if let Some(deadline) = req.deadline {
-            let earliest_finish = now + est.service_fastest;
+            let base = if self.current_f[req.region.0] == Some(est.fastest) {
+                est.service_pure
+            } else {
+                est.service_fastest
+            };
+            let settle = self.vf.as_ref().map_or(SimTime::ZERO, |vf| {
+                vf.settle(self.rails[req.region.0], vf.nominal_index())
+            });
+            let earliest_finish = now + base + settle;
             if deadline < earliest_finish {
                 return Err(AdmissionError::DeadlineInfeasible {
                     deadline,
@@ -355,9 +428,7 @@ impl ServeProcess {
                 energy_budget_uj: Some(budget),
                 ..PlanQuery::default()
             };
-            if let Err(UparcError::EnergyBudgetInfeasible { floor_uj, .. }) =
-                self.planner.plan_constrained(&q)
-            {
+            if let Err(UparcError::EnergyBudgetInfeasible { floor_uj, .. }) = self.dry_plan(q) {
                 return Err(AdmissionError::EnergyInfeasible {
                     budget_uj: budget,
                     floor_uj,
@@ -374,9 +445,7 @@ impl ServeProcess {
                 power_cap_mw: Some(self.cap_mw - est.extra_draw_mw),
                 ..PlanQuery::default()
             };
-            if let Err(UparcError::BudgetInfeasible { floor_mw, .. }) =
-                self.planner.plan_constrained(&q)
-            {
+            if let Err(UparcError::BudgetInfeasible { floor_mw, .. }) = self.dry_plan(q) {
                 return Err(AdmissionError::PowerInfeasible {
                     cap_mw: self.cap_mw,
                     floor_mw: floor_mw + est.extra_draw_mw,
@@ -391,6 +460,17 @@ impl ServeProcess {
         })
     }
 
+    /// Admission-time dry run against the planner: the full (V, f) table
+    /// when DVFS is configured, the pinned frequency-only search
+    /// otherwise.
+    fn dry_plan(&self, q: PlanQuery) -> Result<VfPlan, UparcError> {
+        if self.vf.is_some() {
+            self.planner.plan_vf(&VfQuery::new(q))
+        } else {
+            self.planner.plan_vf(&VfQuery::frequency_only(q))
+        }
+    }
+
     /// Offers every idle lane its queue, in region order.
     fn dispatch_idle_lanes(&mut self, ctx: &mut Context<'_, Ev>) {
         for lane in 0..self.lanes.len() {
@@ -400,17 +480,28 @@ impl ServeProcess {
             let now = ctx.now();
             let order = candidate_order(self.policy, &self.queues[lane], now);
             for pos in order {
-                if let Some(plan) = self.plan_for(lane, pos) {
-                    self.dispatch(ctx, lane, pos, plan);
+                if let Some((plan, throttled, temp_c)) = self.plan_for(lane, pos, now) {
+                    self.dispatch(ctx, lane, pos, plan, throttled, temp_c);
                     break;
                 }
             }
         }
     }
 
+    /// Upper bound on the wall-clock of a dispatch at `plan`: the
+    /// measured fastest-clock service time scaled by the clock ratio
+    /// (the transfer scales inversely with CLK_2 and the fixed
+    /// preload/verify parts do not grow), plus the rail settle.
+    fn duration_bound(&self, est: &Est, plan: &VfPlan) -> SimTime {
+        let ratio = est.fastest.as_mhz() / plan.frequency.as_mhz();
+        SimTime::from_secs_f64(est.service_fastest.as_secs_f64() * ratio) + plan.settle
+    }
+
     /// Tries to find an operating point for queue position `pos` of
-    /// `lane` under the current power headroom.
-    fn plan_for(&self, lane: usize, pos: usize) -> Option<uparc_core::policy::FrequencyPlan> {
+    /// `lane` under the current power headroom and (when configured) the
+    /// thermal governor. Returns the plan, whether the governor
+    /// throttled it, and the lane temperature at planning time.
+    fn plan_for(&mut self, lane: usize, pos: usize, now: SimTime) -> Option<(VfPlan, bool, f64)> {
         let queued = self.queues[lane][pos];
         let req = &self.requests[queued.req];
         let entry = self.catalog.entry(req.bitstream).expect("admitted request");
@@ -429,7 +520,53 @@ impl ServeProcess {
             let others: f64 = self.busy.iter().flatten().sum();
             q.power_cap_mw = Some(self.cap_mw - others - est.extra_draw_mw);
         }
-        self.planner.plan_constrained(&q).ok()
+        // Without a VfTable the governor still runs, but can only demote
+        // the clock; with one it demotes whole (V, f) points.
+        let mut vq = if self.vf.is_some() {
+            let mut vq = VfQuery::new(q);
+            vq.current_rail = Some(self.rails[lane]);
+            vq
+        } else {
+            VfQuery::frequency_only(q)
+        };
+        let Some(tcfg) = self.thermal else {
+            return Some((self.planner.plan_vf(&vq).ok()?, false, 0.0));
+        };
+        let temp = self.temps[lane].temp_at(&tcfg, now);
+        let mut throttled = self.throttle_state[lane];
+        if throttled && temp < tcfg.release_at_c() {
+            throttled = false;
+        } else if !throttled && temp >= tcfg.throttle_at_c() {
+            throttled = true;
+        }
+        if !throttled {
+            if let Ok(plan) = self.planner.plan_vf(&vq) {
+                let draw_w =
+                    (plan.predicted_power_mw - calib::V6_IDLE_MW + est.extra_draw_mw) / 1e3;
+                let dt = self.duration_bound(&est, &plan);
+                if tcfg.step_c(temp, draw_w, dt) <= tcfg.limit_c {
+                    self.throttle_state[lane] = false;
+                    return Some((plan, false, temp));
+                }
+            }
+            // The unthrottled plan would overshoot the junction limit
+            // before it finishes — throttle this dispatch even though
+            // the lane is below the entry threshold.
+            throttled = true;
+        }
+        self.throttle_state[lane] = throttled;
+        // Steady-state-safe demotion: cap the dispatch at the draw whose
+        // equilibrium temperature is exactly the junction limit. The RC
+        // response is monotone toward its drive, so whatever the
+        // dispatch duration the node can never cross the limit.
+        let thermal_cap = calib::V6_IDLE_MW + tcfg.sustainable_mw() - est.extra_draw_mw;
+        vq.base.power_cap_mw = Some(
+            vq.base
+                .power_cap_mw
+                .map_or(thermal_cap, |c| c.min(thermal_cap)),
+        );
+        let plan = self.planner.plan_vf(&vq).ok()?;
+        Some((plan, true, temp))
     }
 
     /// Dispatches queue position `pos` of `lane` at the planned
@@ -439,7 +576,9 @@ impl ServeProcess {
         ctx: &mut Context<'_, Ev>,
         lane: usize,
         pos: usize,
-        plan: uparc_core::policy::FrequencyPlan,
+        plan: VfPlan,
+        throttled: bool,
+        temp_c: f64,
     ) {
         let now = ctx.now();
         let queued = self.queues[lane]
@@ -452,8 +591,28 @@ impl ServeProcess {
             .expect("admitted request")
             .clone();
         let est = self.ests[&req.bitstream];
+        if let Some(tcfg) = self.thermal {
+            self.obs.instant(
+                now,
+                EventKind::Thermal {
+                    temp_c,
+                    limit_c: tcfg.limit_c,
+                    throttled,
+                },
+            );
+            if throttled {
+                self.metrics.thermal_throttles += 1;
+                self.obs.count("thermal.throttles", 1);
+            }
+        }
         let uparc = &mut self.lanes[lane];
         uparc.advance_idle(now.saturating_sub(uparc.now()));
+        if self.vf.is_some() {
+            // Ramp the lane's core rail to the planned voltage; the
+            // controller charges the regulator settle into the dispatch.
+            let _settle = uparc.set_core_voltage(plan.volts);
+            self.rails[lane] = plan.rail;
+        }
         // The dispatch span (queue-exit to lane-finish) carries the lane
         // tag and opens before the lane's own spans, so the whole
         // reconfiguration nests under it in the trace.
@@ -491,11 +650,14 @@ impl ServeProcess {
                     deadline: req.deadline,
                     missed,
                     frequency: rr.report.frequency,
+                    volts: plan.volts,
+                    throttled,
                     compressed: rr.report.compressed,
                     energy_uj: rr.report.energy_uj + rr.extra_energy_uj,
                     attempts: rr.attempts,
                     healed: rr.healed(),
                 });
+                self.current_f[lane] = Some(rr.report.frequency);
             }
             Err(e) => {
                 self.obs.count("serve.failures", 1);
@@ -504,9 +666,20 @@ impl ServeProcess {
                     at: finished,
                     error: e.to_string(),
                 });
+                self.current_f[lane] = None;
             }
         }
-        self.busy[lane] = Some(plan.predicted_power_mw - calib::V6_IDLE_MW + est.extra_draw_mw);
+        let draw_mw = plan.predicted_power_mw - calib::V6_IDLE_MW + est.extra_draw_mw;
+        self.busy[lane] = Some(draw_mw);
+        if let Some(tcfg) = self.thermal {
+            let end_c = self.temps[lane].apply(&tcfg, now, finished, draw_mw / 1e3);
+            self.metrics.peak_temp_c = self.metrics.peak_temp_c.max(end_c);
+            self.obs.gauge("thermal.temp_c", end_c);
+            if end_c > tcfg.limit_c + 1e-9 {
+                self.metrics.overtemp_dispatches += 1;
+                self.obs.count("thermal.overtemp", 1);
+            }
+        }
         self.sample_power(now);
         ctx.send_in(wait, ctx.self_id(), Ev::Done { lane });
     }
@@ -545,6 +718,22 @@ mod tests {
         cat.add_region("rp0", 100..160).unwrap();
         cat.add_region("rp1", 200..260).unwrap();
         for (id, far, frames) in [(1u32, 100, 40), (2, 110, 25), (3, 200, 50)] {
+            let payload = SynthProfile::dense().generate(cat.device(), far, frames, u64::from(id));
+            let bs = PartialBitstream::build(cat.device(), far, &payload);
+            cat.register(BitstreamId(id), bs).unwrap();
+        }
+        cat
+    }
+
+    /// Bench-scale modules (~150 KB raw, staged raw via a big BRAM):
+    /// large enough that a faster CLK_2 saves more than the 25 µs rail
+    /// ramp costs, so the (V, f) planner actually undervolts.
+    fn large_two_region_catalog() -> Catalog {
+        let device = Device::xc5vsx50t();
+        let mut cat = Catalog::new(device).with_bram_bytes(256 * 1024);
+        cat.add_region("rp0", 100..1100).unwrap();
+        cat.add_region("rp1", 1200..2200).unwrap();
+        for (id, far, frames) in [(1u32, 100, 900), (2, 1200, 700)] {
             let payload = SynthProfile::dense().generate(cat.device(), far, frames, u64::from(id));
             let bs = PartialBitstream::build(cat.device(), far, &payload);
             cat.register(BitstreamId(id), bs).unwrap();
@@ -632,6 +821,85 @@ mod tests {
             );
         }
         assert!(!m.completions.is_empty());
+    }
+
+    #[test]
+    fn dvfs_undervolts_under_a_tight_cap_and_stays_deterministic() {
+        let catalog = large_two_region_catalog();
+        let cfg = |vf| ServiceConfig {
+            policy: Policy::PowerGreedy,
+            power_cap_mw: 330.0,
+            vf,
+            ..ServiceConfig::default()
+        };
+        let spec = WorkloadSpec {
+            requests: 30,
+            mean_gap: SimTime::from_us(120),
+            pattern: ArrivalPattern::Bursty { burst: 6 },
+            ..WorkloadSpec::default()
+        };
+        let dvfs = Service::new(catalog.clone(), cfg(Some(VfTable::voltune_virtex6())));
+        let reqs = spec.generate(13, dvfs.catalog());
+        let m = dvfs.run(&reqs);
+        assert_eq!(m.cap_violations, 0);
+        assert!(
+            m.completions.iter().any(|c| c.volts < 1.0),
+            "a 330 mW cap must force undervolted dispatches"
+        );
+        assert_eq!(
+            m.summary(),
+            dvfs.run(&reqs).summary(),
+            "DVFS run must be deterministic"
+        );
+        // Undervolting buys clock the frequency-only planner cannot
+        // afford under the same cap.
+        let freq_only = Service::new(catalog, cfg(None)).run(&reqs);
+        assert_eq!(freq_only.cap_violations, 0);
+        let max_mhz = |m: &ServiceMetrics| {
+            m.completions
+                .iter()
+                .map(|c| c.frequency.as_mhz())
+                .fold(0.0, f64::max)
+        };
+        assert!(max_mhz(&m) > max_mhz(&freq_only));
+    }
+
+    #[test]
+    fn sustained_load_throttles_without_overtemperature() {
+        let catalog = large_two_region_catalog();
+        let tcfg = ThermalConfig::default();
+        let service = Service::new(
+            catalog,
+            ServiceConfig {
+                policy: Policy::PowerGreedy,
+                queue_capacity: 256,
+                vf: Some(VfTable::voltune_virtex6()),
+                thermal: Some(tcfg),
+                ..ServiceConfig::default()
+            },
+        );
+        // A metronome faster than the service rate holds both lanes at
+        // 100% duty — full speed would settle far above the junction
+        // limit, so the governor has to throttle.
+        let spec = WorkloadSpec {
+            requests: 200,
+            mean_gap: SimTime::from_us(10),
+            pattern: ArrivalPattern::Sustained,
+            ..WorkloadSpec::default()
+        };
+        let reqs = spec.generate(17, service.catalog());
+        let m = service.run(&reqs);
+        assert!(
+            m.thermal_throttles > 0,
+            "sustained full-duty load must throttle"
+        );
+        assert_eq!(m.overtemp_dispatches, 0);
+        assert!(m.peak_temp_c > tcfg.ambient_c);
+        assert!(m.peak_temp_c <= tcfg.limit_c + 1e-9);
+        assert!(
+            m.completions.iter().any(|c| c.throttled && c.volts < 1.0),
+            "throttling must demote the operating point, not just the clock"
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum ArrivalPattern {
         /// Length of one load cycle.
         period: SimTime,
     },
+    /// Every gap is exactly the mean — a metronome. With a mean gap at
+    /// or below the service time this holds every lane at ~100% duty,
+    /// the regime that forces sustained thermal throttling.
+    Sustained,
 }
 
 /// Parameters of one synthetic workload.
@@ -96,6 +100,7 @@ impl WorkloadSpec {
                     let factor = 0.5 + 3.0 * (phase - 0.5).abs();
                     rng.random::<f64>() * 2.0 * mean_fs * factor
                 }
+                ArrivalPattern::Sustained => mean_fs,
             };
             now_fs += gap_fs;
             let arrival = SimTime::from_secs_f64(now_fs * 1e-15);
@@ -178,6 +183,7 @@ mod tests {
             ArrivalPattern::Diurnal {
                 period: SimTime::from_ms(2),
             },
+            ArrivalPattern::Sustained,
         ] {
             let spec = WorkloadSpec {
                 requests: 40,
@@ -208,6 +214,24 @@ mod tests {
             for w in chunk.windows(2) {
                 assert_eq!(w[0].arrival, w[1].arrival);
             }
+        }
+    }
+
+    #[test]
+    fn sustained_arrivals_are_a_metronome() {
+        let cat = sample_catalog();
+        let spec = WorkloadSpec {
+            requests: 12,
+            mean_gap: SimTime::from_us(80),
+            pattern: ArrivalPattern::Sustained,
+            ..WorkloadSpec::default()
+        };
+        let reqs = spec.generate(4, &cat);
+        for w in reqs.windows(2) {
+            assert_eq!(
+                w[1].arrival.saturating_sub(w[0].arrival),
+                SimTime::from_us(80)
+            );
         }
     }
 

@@ -128,6 +128,25 @@ pub enum EventKind {
         /// Largest contiguous free block at the time of rejection.
         largest_free: u32,
     },
+    /// A core-voltage rail ramp settling (span): from the regulator
+    /// command to the rail being usable again — the voltage analogue of
+    /// [`EventKind::DcmRelock`].
+    Vf {
+        /// Rail voltage before the ramp, millivolts.
+        from_mv: u32,
+        /// Target rail voltage, millivolts.
+        to_mv: u32,
+    },
+    /// A thermal-governor verdict at a dispatch decision (instant).
+    Thermal {
+        /// Region temperature at the decision, °C.
+        temp_c: f64,
+        /// The configured junction limit, °C.
+        limit_c: f64,
+        /// Whether the preferred operating point was demoted (or the
+        /// dispatch deferred) to stay under the limit.
+        throttled: bool,
+    },
 }
 
 impl EventKind {
@@ -151,6 +170,8 @@ impl EventKind {
             EventKind::Relocate { .. } => "Relocate",
             EventKind::Compact { .. } => "Compact",
             EventKind::AllocFail { .. } => "AllocFail",
+            EventKind::Vf { .. } => "Vf",
+            EventKind::Thermal { .. } => "Thermal",
         }
     }
 }
@@ -277,6 +298,21 @@ mod tests {
                     largest_free: 12,
                 },
                 "AllocFail",
+            ),
+            (
+                EventKind::Vf {
+                    from_mv: 1000,
+                    to_mv: 850,
+                },
+                "Vf",
+            ),
+            (
+                EventKind::Thermal {
+                    temp_c: 86.0,
+                    limit_c: 85.0,
+                    throttled: true,
+                },
+                "Thermal",
             ),
         ];
         for (kind, label) in kinds {

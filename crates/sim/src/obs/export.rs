@@ -75,6 +75,7 @@ fn category(kind: &EventKind) -> &'static str {
         EventKind::Relocate { .. } | EventKind::Compact { .. } | EventKind::AllocFail { .. } => {
             "place"
         }
+        EventKind::Vf { .. } | EventKind::Thermal { .. } => "power",
     }
 }
 
@@ -122,6 +123,18 @@ fn args_json(kind: &EventKind) -> String {
             frames,
             largest_free,
         } => format!("{{\"frames\":{frames},\"largest_free\":{largest_free}}}"),
+        EventKind::Vf { from_mv, to_mv } => {
+            format!("{{\"from_mv\":{from_mv},\"to_mv\":{to_mv}}}")
+        }
+        EventKind::Thermal {
+            temp_c,
+            limit_c,
+            throttled,
+        } => format!(
+            "{{\"temp_c\":{},\"limit_c\":{},\"throttled\":{throttled}}}",
+            json_f64(*temp_c),
+            json_f64(*limit_c)
+        ),
     }
 }
 

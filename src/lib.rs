@@ -56,3 +56,9 @@ pub use uparc_fpga as fpga;
 pub use uparc_place as place;
 pub use uparc_serve as serve;
 pub use uparc_sim as sim;
+
+/// The repository's power-model methodology document (`POWER.md`),
+/// compiled here so every code block on that page runs as a doc-test and
+/// its numbers cannot drift from the implementation.
+#[doc = include_str!("../POWER.md")]
+pub mod power_methodology {}
